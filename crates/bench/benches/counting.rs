@@ -1,0 +1,49 @@
+//! X1's instrument under the microscope: exact document counting for
+//! plain DTDs and (subset-construction) s-DTDs, plus the doc samplers —
+//! the cost of the quantitative tightness metrics themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mix_bench::{d1, dtd_of_size, q2};
+use mix_dtd::sample::{DocConfig, DocSampler};
+use mix_dtd::{count_documents_by_size, count_sdocuments_by_size};
+use mix_infer::infer_view_dtd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_counting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counting");
+    g.sample_size(15).measurement_time(Duration::from_secs(2));
+
+    let iv = infer_view_dtd(&q2(), &d1()).expect("infers");
+    for max_size in [10usize, 16, 22] {
+        g.bench_with_input(
+            BenchmarkId::new("count_plain_d2", max_size),
+            &max_size,
+            |b, &s| b.iter(|| count_documents_by_size(&iv.dtd, s)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("count_sdtd_d4", max_size),
+            &max_size,
+            |b, &s| b.iter(|| count_sdocuments_by_size(&iv.sdtd, s)),
+        );
+    }
+
+    for names in [8usize, 16, 32] {
+        let dtd = dtd_of_size(names, 11);
+        g.bench_with_input(
+            BenchmarkId::new("count_random_dtd_≤14", names),
+            &names,
+            |b, _| b.iter(|| count_documents_by_size(&dtd, 14)),
+        );
+        g.bench_with_input(BenchmarkId::new("sample_doc", names), &names, |b, _| {
+            let sampler = DocSampler::new(&dtd, DocConfig::default()).expect("productive");
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| sampler.sample(&mut rng).size())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_counting);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! X5 — language operations behind the tightness checks: inclusion,
+//! equivalence, simplification, determinization, counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mix_bench::regex_of_size;
+use mix_relang::{count_words_upto, equivalent, is_subset, simplify, Dfa};
+use std::time::Duration;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("language_ops");
+    g.sample_size(25).measurement_time(Duration::from_secs(2));
+    for size in [8usize, 16, 32, 64, 128] {
+        let a = regex_of_size(size, 6, 1);
+        let b = regex_of_size(size, 6, 2);
+        g.bench_with_input(BenchmarkId::new("is_subset", size), &size, |bch, _| {
+            bch.iter(|| is_subset(&a, &b))
+        });
+        g.bench_with_input(BenchmarkId::new("equivalent_self", size), &size, |bch, _| {
+            // the common case in the pipeline: validity checks compare a
+            // type against its own refinement
+            bch.iter(|| equivalent(&a, &a))
+        });
+        g.bench_with_input(BenchmarkId::new("simplify", size), &size, |bch, _| {
+            bch.iter(|| simplify(&a))
+        });
+        g.bench_with_input(BenchmarkId::new("determinize+minimize", size), &size, |bch, _| {
+            bch.iter(|| Dfa::from_regex(&a).len())
+        });
+        g.bench_with_input(BenchmarkId::new("count_words_≤12", size), &size, |bch, _| {
+            bch.iter(|| count_words_upto(&a, 12))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! X8 + X9 — the mediator-level ablations that motivate the paper:
+//!
+//! * X8: answering a provably-empty query with the DTD-based simplifier
+//!   on vs. off (the "heavy loss of performance" of living without
+//!   structure, Section 1);
+//! * X9: answering a member query by view–query composition vs. by
+//!   materializing the view;
+//! * X9b: materialized evaluation with vs. without DTD-guided condition
+//!   pruning (dropping provably-valid subconditions before matching).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mix_bench::{d1, department_of_size};
+use mix_mediator::{AnswerPath, Mediator, ProcessorConfig, XmlSource};
+use mix_xmas::parse_query;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build(professors: usize, cfg: ProcessorConfig) -> Mediator {
+    let mut m = Mediator::with_config(cfg);
+    m.add_source(
+        "cs",
+        Arc::new(XmlSource::new(d1(), department_of_size(professors)).expect("valid")),
+    );
+    let view = parse_query(
+        "withJournals = SELECT P WHERE <department> <name>CS</name> \
+           P:<professor | gradStudent> <publication><journal/></publication> </> </>",
+    )
+    .expect("view parses");
+    m.register_view("cs", &view).expect("registers");
+    m
+}
+
+fn bench_mediator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mediator");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    let unsat = parse_query(
+        "ans = SELECT C WHERE <withJournals> <professor> C:<course/> </> </withJournals>",
+    )
+    .expect("parses");
+    let member = parse_query(
+        "ans = SELECT X WHERE <withJournals> X:<professor> <teaches/> </professor> </>",
+    )
+    .expect("parses");
+    // a query whose conditions are all guaranteed by the view DTD — the
+    // best case for condition pruning
+    let prunable = parse_query(
+        "ans = SELECT X WHERE <withJournals> X:<professor> \
+           <firstName/> <lastName/> <publication><title/><author/></publication> \
+         </professor> </withJournals>",
+    )
+    .expect("parses");
+
+    for professors in [16usize, 64, 256] {
+        let on = build(professors, ProcessorConfig::default());
+        let off = build(
+            professors,
+            ProcessorConfig {
+                use_simplifier: false,
+                use_composition: false,
+                use_condition_pruning: false,
+            },
+        );
+        let compose_only = build(
+            professors,
+            ProcessorConfig {
+                use_simplifier: false,
+                use_composition: true,
+                use_condition_pruning: false,
+            },
+        );
+
+        // X8: unsatisfiable query, simplifier on vs off
+        assert_eq!(
+            on.query(&unsat).expect("answers").path,
+            AnswerPath::PrunedUnsatisfiable
+        );
+        g.bench_with_input(
+            BenchmarkId::new("unsat_simplifier_on", professors),
+            &professors,
+            |b, _| b.iter(|| on.query(&unsat).expect("answers")),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("unsat_simplifier_off", professors),
+            &professors,
+            |b, _| b.iter(|| off.query(&unsat).expect("answers")),
+        );
+
+        // X9: member query, composed vs materialized
+        assert_eq!(
+            compose_only.query(&member).expect("answers").path,
+            AnswerPath::Composed
+        );
+        g.bench_with_input(
+            BenchmarkId::new("member_composed", professors),
+            &professors,
+            |b, _| b.iter(|| compose_only.query(&member).expect("answers")),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("member_materialized", professors),
+            &professors,
+            |b, _| b.iter(|| off.query(&member).expect("answers")),
+        );
+
+        // X9b: condition pruning on vs off (both materialized)
+        let pruning_only = build(
+            professors,
+            ProcessorConfig {
+                use_simplifier: false,
+                use_composition: false,
+                use_condition_pruning: true,
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("prunable_pruning_on", professors),
+            &professors,
+            |b, _| b.iter(|| pruning_only.query(&prunable).expect("answers")),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("prunable_pruning_off", professors),
+            &professors,
+            |b, _| b.iter(|| off.query(&prunable).expect("answers")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mediator);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! X4 + X10 — the inference pipeline: Tighten on growing DTDs, InferList
+//! on growing path depths, the full `infer_view_dtd`, and the paper's own
+//! workloads (Q2/Q3 on D1) as fixed reference points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mix_bench::{chain_workload, d1, dtd_of_size, q2, q3};
+use mix_infer::{infer_union_view_dtd, infer_view_dtd, naive_view_dtd, tighten, NaiveMode};
+use mix_relang::symbol::Name;
+use mix_xmas::gen::{random_query, QueryGenConfig};
+use mix_xmas::normalize;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    // fixed reference points: the paper's running examples
+    let d = d1();
+    g.bench_function("infer_q2_on_d1", |b| {
+        let q = q2();
+        b.iter(|| infer_view_dtd(&q, &d).expect("infers"))
+    });
+    g.bench_function("infer_q3_on_d1", |b| {
+        let q = q3();
+        b.iter(|| infer_view_dtd(&q, &d).expect("infers"))
+    });
+    g.bench_function("naive_q2_on_d1", |b| {
+        let q = normalize(&q2(), &d).expect("normalizes");
+        b.iter(|| naive_view_dtd(&q, &d, NaiveMode::Sound))
+    });
+
+    // X4: tighten vs DTD size
+    for names in [8usize, 16, 32, 64] {
+        let dtd = dtd_of_size(names, 5);
+        let mut rng = StdRng::seed_from_u64(99);
+        let q = normalize(
+            &random_query(&dtd, &mut rng, &QueryGenConfig::default()),
+            &dtd,
+        )
+        .expect("normalizes");
+        g.bench_with_input(BenchmarkId::new("tighten_dtd_names", names), &names, |b, _| {
+            b.iter(|| tighten(&q, &dtd))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("full_pipeline_dtd_names", names),
+            &names,
+            |b, _| b.iter(|| infer_view_dtd(&q, &dtd).expect("infers")),
+        );
+    }
+
+    // X12: union-view inference vs number of sites (identical D1 sites)
+    for sites in [2usize, 8, 32, 128] {
+        let dtd = d1();
+        let q = q3();
+        let parts: Vec<_> = (0..sites).map(|_| (&q, &dtd)).collect();
+        g.bench_with_input(BenchmarkId::new("union_sites", sites), &sites, |b, _| {
+            b.iter(|| infer_union_view_dtd(Name::intern("allPubs"), &parts).expect("infers"))
+        });
+    }
+
+    // X10: InferList vs pick-path depth
+    for depth in [2usize, 4, 8, 16] {
+        let (dtd, q) = chain_workload(depth);
+        g.bench_with_input(BenchmarkId::new("pipeline_path_depth", depth), &depth, |b, _| {
+            b.iter(|| infer_view_dtd(&q, &dtd).expect("infers"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! X7 — query evaluation scaling: (Q2)/(Q3) over growing department
+//! documents, plus the XML parser on the same inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mix_bench::{d1, department_of_size, q2, q3};
+use mix_xmas::{evaluate, normalize};
+use mix_xml::{parse_document, write_document, WriteConfig};
+use std::time::Duration;
+
+fn bench_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_eval");
+    g.sample_size(25).measurement_time(Duration::from_secs(2));
+    let dtd = d1();
+    let nq2 = normalize(&q2(), &dtd).expect("normalizes");
+    let nq3 = normalize(&q3(), &dtd).expect("normalizes");
+    for professors in [4usize, 16, 64, 256] {
+        let doc = department_of_size(professors);
+        g.throughput(Throughput::Elements(doc.size() as u64));
+        g.bench_with_input(BenchmarkId::new("q2", doc.size()), &doc, |b, doc| {
+            b.iter(|| evaluate(&nq2, doc))
+        });
+        g.bench_with_input(BenchmarkId::new("q3", doc.size()), &doc, |b, doc| {
+            b.iter(|| evaluate(&nq3, doc))
+        });
+        let text = write_document(&doc, WriteConfig::default());
+        g.bench_with_input(
+            BenchmarkId::new("xml_parse", doc.size()),
+            &text,
+            |b, text| b.iter(|| parse_document(text).expect("parses")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

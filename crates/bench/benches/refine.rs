@@ -1,0 +1,33 @@
+//! X3 — `refine` scaling: time vs. content-model size, plain and tagged.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mix_bench::regex_of_size;
+use mix_infer::refine;
+use mix_relang::symbol::Name;
+use std::time::Duration;
+
+fn bench_refine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("refine");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    let target = Name::intern("x0");
+    for size in [8usize, 16, 32, 64, 128, 256] {
+        let r = regex_of_size(size, 6, 42);
+        g.bench_with_input(BenchmarkId::new("plain", size), &r, |b, r| {
+            b.iter(|| refine(r, &[target], 0))
+        });
+        g.bench_with_input(BenchmarkId::new("tagged", size), &r, |b, r| {
+            b.iter(|| refine(r, &[target], 7))
+        });
+        // Example 4.2's pattern: sequential tagged refinement
+        g.bench_with_input(BenchmarkId::new("tagged-twice", size), &r, |b, r| {
+            b.iter(|| {
+                let once = refine(r, &[target], 1);
+                refine(&once, &[target], 2)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_refine);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! X6 — validation scaling: plain-DTD validation and s-DTD tree-automaton
+//! acceptance vs. document size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mix_bench::{d1, department_of_size, q2};
+use mix_dtd::sdtd::SAcceptor;
+use mix_dtd::validate::Validator;
+use mix_infer::infer_view_dtd;
+use mix_xmas::evaluate;
+use std::time::Duration;
+
+fn bench_validate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validate");
+    g.sample_size(25).measurement_time(Duration::from_secs(2));
+    let dtd = d1();
+    let iv = infer_view_dtd(&q2(), &dtd).expect("infers");
+    for professors in [4usize, 16, 64, 256] {
+        let doc = department_of_size(professors);
+        g.throughput(Throughput::Elements(doc.size() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("dtd_validate", doc.size()),
+            &doc,
+            |b, doc| {
+                let v = Validator::new(&dtd);
+                b.iter(|| v.validate_document(doc).expect("valid"))
+            },
+        );
+        let view = evaluate(&iv.query, &doc);
+        g.bench_with_input(
+            BenchmarkId::new("sdtd_accept_view", view.size()),
+            &view,
+            |b, view| {
+                let a = SAcceptor::new(&iv.sdtd);
+                b.iter(|| assert!(a.document_satisfies(view)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_validate);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Algorithm Merge (Section 4.3): convert an s-DTD to a plain DTD by
+//! taking images of all types and unioning the definitions that collapse
+//! onto the same name — signalling the collapse, "since merging
+//! inadvertently introduces non-tightness".
+
+use mix_dtd::{ContentModel, Dtd, SDtd};
+use mix_relang::ast::Regex;
+use mix_relang::simplify;
+use mix_relang::symbol::Name;
+
+/// Result of [`merge`].
+#[derive(Debug, Clone)]
+pub struct Merged {
+    /// The resulting plain DTD (types simplified).
+    pub dtd: Dtd,
+    /// Names whose specializations were merged — the user-facing
+    /// non-tightness signal.
+    pub merged_names: Vec<Name>,
+}
+
+/// Converts `sd` into a plain DTD (Algorithm Merge).
+pub fn merge(sd: &SDtd) -> Merged {
+    let mut dtd = Dtd::new(sd.doc_type.name);
+    let mut merged_names = Vec::new();
+    for (sym, model) in sd.types.iter() {
+        let n = sym.name;
+        let image = match model {
+            ContentModel::Pcdata => ContentModel::Pcdata,
+            ContentModel::Elements(r) => ContentModel::Elements(r.image()),
+        };
+        match dtd.types.get(n) {
+            None => {
+                dtd.types.insert(n, image);
+            }
+            Some(existing) => {
+                // signal the merge
+                if !merged_names.contains(&n) {
+                    merged_names.push(n);
+                }
+                let unioned = match (existing, &image) {
+                    (ContentModel::Pcdata, ContentModel::Pcdata) => ContentModel::Pcdata,
+                    (ContentModel::Elements(a), ContentModel::Elements(b)) => {
+                        ContentModel::Elements(Regex::alt([a.clone(), b.clone()]))
+                    }
+                    // PCDATA and element content cannot be unioned in a
+                    // DTD; fall back to the element side (strictly looser
+                    // outcomes are flagged through `merged_names`).
+                    (ContentModel::Elements(a), ContentModel::Pcdata) => {
+                        ContentModel::Elements(a.clone())
+                    }
+                    (ContentModel::Pcdata, ContentModel::Elements(b)) => {
+                        ContentModel::Elements(b.clone())
+                    }
+                };
+                dtd.types.insert(n, unioned);
+            }
+        }
+    }
+    // simplify every type (Example 4.3's "can be simplified to (D2)" step)
+    let names: Vec<Name> = dtd.types.keys().collect();
+    for n in names {
+        if let Some(ContentModel::Elements(r)) = dtd.types.get(n) {
+            let s = simplify(r);
+            dtd.types.insert(n, ContentModel::Elements(s));
+        }
+    }
+    Merged { dtd, merged_names }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_dtd::parse::parse_compact_sdtd;
+    use mix_relang::symbol::name;
+    use mix_relang::{equivalent, parse_regex};
+
+    #[test]
+    fn example_4_3_merge_d4_to_d2() {
+        // D4 (Example 3.4) → merged → simplified: professor requires ≥2
+        // publications, the journal constraint is lost, and the merge is
+        // signalled on `publication`.
+        let d4 = parse_compact_sdtd(
+            "{<withJournals : professor*, gradStudent*>\
+              <professor : firstName, lastName, publication*, publication^1, \
+                           publication*, publication^2, publication*, teaches>\
+              <gradStudent : firstName, lastName, publication*, publication^1, \
+                           publication*, publication^2, publication*>\
+              <publication : title, author+, (journal | conference)>\
+              <publication^1 : title, author+, journal>\
+              <publication^2 : title, author+, journal>\
+              <teaches : EMPTY> <journal : EMPTY> <conference : EMPTY>}",
+        )
+        .unwrap();
+        let m = merge(&d4);
+        assert_eq!(m.merged_names, vec![name("publication")]);
+        let prof = m.dtd.get(name("professor")).unwrap().regex().unwrap();
+        assert!(
+            equivalent(
+                prof,
+                &parse_regex(
+                    "firstName, lastName, publication, publication, publication*, teaches"
+                )
+                .unwrap()
+            ),
+            "professor merged to {prof}"
+        );
+        // the publication type is the union of the two images
+        let publ = m.dtd.get(name("publication")).unwrap().regex().unwrap();
+        assert!(equivalent(
+            publ,
+            &parse_regex("title, author+, (journal | conference)").unwrap()
+        ));
+        // the simplifier renders the "at least two" constraint compactly
+        assert_eq!(
+            prof.to_string(),
+            "firstName, lastName, publication, publication+, teaches"
+        );
+    }
+
+    #[test]
+    fn no_merge_for_single_specializations() {
+        let sd = parse_compact_sdtd("{<v : a*> <a : PCDATA>}").unwrap();
+        let m = merge(&sd);
+        assert!(m.merged_names.is_empty());
+        assert_eq!(m.dtd.doc_type, name("v"));
+    }
+
+    #[test]
+    fn equivalent_specializations_still_signal() {
+        let sd = parse_compact_sdtd("{<v : a^1, a> <a : b?> <a^1 : b?> <b : EMPTY>}").unwrap();
+        let m = merge(&sd);
+        assert_eq!(m.merged_names, vec![name("a")]);
+        let a = m.dtd.get(name("a")).unwrap().regex().unwrap();
+        assert!(equivalent(a, &parse_regex("b?").unwrap()));
+    }
+
+    #[test]
+    fn root_type_image_drops_tags() {
+        let sd = parse_compact_sdtd("{<v : p^1, p^2> <p^1 : PCDATA> <p^2 : PCDATA>}").unwrap();
+        let m = merge(&sd);
+        let v = m.dtd.get(name("v")).unwrap().regex().unwrap();
+        assert!(equivalent(v, &parse_regex("p, p").unwrap()));
+        assert_eq!(m.merged_names, vec![name("p")]);
+    }
+}

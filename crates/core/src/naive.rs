@@ -1,0 +1,138 @@
+//! The naive view-DTD inference baseline of Example 3.1.
+//!
+//! "A naive view inference algorithm may derive a view DTD by the
+//! following steps: First it adds the type definition
+//! `⟨withJournals : (professor|gradStudent)+⟩` … Then it declares
+//! `withJournals` to be the document type, and eliminates all type
+//! definitions that correspond to names that are not referenced, directly
+//! or indirectly, by `withJournals`."
+//!
+//! The paper's literal `+` is unsound (a view can be empty); the default
+//! here is the sound `*`, with [`NaiveMode::PaperLiteral`] reproducing the
+//! paper's version for the experiments that demonstrate the unsoundness.
+
+use mix_dtd::{ContentModel, Dtd};
+use mix_relang::ast::Regex;
+use mix_relang::symbol::Name;
+use mix_xmas::Query;
+
+/// Root-cardinality flavour of the naive algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NaiveMode {
+    /// `(n₁ | … | n_k)*` — sound.
+    Sound,
+    /// `(n₁ | … | n_k)+` — the paper's literal text; unsound when the view
+    /// can be empty.
+    PaperLiteral,
+}
+
+/// Derives the naive view DTD for a (normalized) pick-element query.
+pub fn naive_view_dtd(q: &Query, source: &Dtd, mode: NaiveMode) -> Dtd {
+    let pick_names: Vec<Name> = q
+        .pick_node()
+        .map(|c| {
+            c.test
+                .names()
+                .iter()
+                .copied()
+                .filter(|&n| source.types.contains(n))
+                .collect()
+        })
+        .unwrap_or_default();
+    let disjunction = Regex::alt(pick_names.iter().map(|&n| Regex::name(n)));
+    let root = match mode {
+        NaiveMode::Sound => Regex::star(disjunction),
+        NaiveMode::PaperLiteral => Regex::plus(disjunction),
+    };
+    let mut out = Dtd::new(q.view_name);
+    out.types.insert(q.view_name, ContentModel::Elements(root));
+    // pull every source definition reachable from the pick names
+    let mut frontier: Vec<Name> = pick_names;
+    while let Some(n) = frontier.pop() {
+        if out.types.contains(n) {
+            continue;
+        }
+        if let Some(m) = source.get(n) {
+            out.types.insert(n, m.clone());
+            if let ContentModel::Elements(r) = m {
+                frontier.extend(r.names());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_dtd::paper::d1_department;
+    use mix_relang::symbol::name;
+    use mix_relang::{equivalent, parse_regex};
+    use mix_xmas::{normalize, parse_query};
+
+    fn q2(d: &Dtd) -> Query {
+        normalize(
+            &parse_query(
+                "withJournals = SELECT P WHERE <department> <name>CS</name> \
+                   P:<professor | gradStudent> \
+                     <publication id=Pub1><journal/></publication> \
+                     <publication id=Pub2><journal/></publication> \
+                   </> </> AND Pub1 != Pub2",
+            )
+            .unwrap(),
+            d,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_3_1_naive_root() {
+        let d = d1_department();
+        let n = naive_view_dtd(&q2(&d), &d, NaiveMode::PaperLiteral);
+        let root = n.get(name("withJournals")).unwrap().regex().unwrap();
+        assert!(equivalent(
+            root,
+            &parse_regex("(professor | gradStudent)+").unwrap()
+        ));
+        let sound = naive_view_dtd(&q2(&d), &d, NaiveMode::Sound);
+        let root = sound.get(name("withJournals")).unwrap().regex().unwrap();
+        assert!(equivalent(
+            root,
+            &parse_regex("(professor | gradStudent)*").unwrap()
+        ));
+    }
+
+    #[test]
+    fn unreferenced_types_eliminated() {
+        let d = d1_department();
+        let n = naive_view_dtd(&q2(&d), &d, NaiveMode::Sound);
+        // department, name, course are not reachable from the pick names
+        assert!(!n.types.contains(name("department")));
+        assert!(!n.types.contains(name("course")));
+        assert!(!n.types.contains(name("name")));
+        // but everything under professor/gradStudent is kept, unrefined
+        for kept in ["professor", "gradStudent", "publication", "journal", "teaches"] {
+            assert!(n.types.contains(name(kept)), "missing {kept}");
+        }
+        let publ = n.get(name("publication")).unwrap().regex().unwrap();
+        assert!(equivalent(
+            publ,
+            &parse_regex("title, author+, (journal | conference)").unwrap()
+        ));
+        assert!(n.undefined_names().is_empty());
+    }
+
+    #[test]
+    fn pick_names_missing_from_source_are_dropped() {
+        let d = d1_department();
+        let q = normalize(
+            &parse_query("v = SELECT X WHERE <department> X:<professor | unicorn/> </>")
+                .unwrap(),
+            &d,
+        )
+        .unwrap();
+        let n = naive_view_dtd(&q, &d, NaiveMode::Sound);
+        let root = n.get(name("v")).unwrap().regex().unwrap();
+        assert!(equivalent(root, &parse_regex("professor*").unwrap()));
+    }
+}

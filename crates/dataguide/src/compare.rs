@@ -1,0 +1,182 @@
+//! Mechanical verification of the paper's Section 5 comparison between
+//! dataguides and DTDs:
+//!
+//! * "they do not capture constraints on order and cardinality and they
+//!   do not capture constraints on the siblings. In this respect they are
+//!   less powerful than the DTDs" — [`find_blindness_witness`] constructs
+//!   order/cardinality/sibling witnesses and the crate tests pin each
+//!   case;
+//! * "dataguides do not require the same type name to define the same
+//!   type, so in this respect dataguides are similar to s-DTDs" —
+//!   demonstrated in the crate tests and the `related_work` example.
+
+use crate::guide::DataGuide;
+use mix_dtd::validate::Validator;
+use mix_dtd::Dtd;
+use mix_xml::Document;
+
+/// A pair of documents with identical dataguides but different validity
+/// under `dtd` — proof that the guide cannot express a constraint the DTD
+/// holds.
+#[derive(Debug)]
+pub struct BlindnessWitness {
+    /// The document both formalisms accept.
+    pub accepted: Document,
+    /// The document the DTD rejects but the guide (built from `accepted`)
+    /// still describes.
+    pub confused: Document,
+}
+
+/// Checks whether `confused` witnesses guide-blindness of `dtd` relative
+/// to the guide of `accepted`.
+pub fn is_blindness_witness(dtd: &Dtd, w: &BlindnessWitness) -> bool {
+    let v = Validator::new(dtd);
+    let guide = DataGuide::of_document(&w.accepted);
+    v.validate_document(&w.accepted).is_ok()
+        && v.validate_document(&w.confused).is_err()
+        && guide.describes(&w.confused)
+}
+
+/// Searches `docs` (valid under `dtd`) for an order/cardinality/sibling
+/// constraint the dataguide misses: permutes and duplicates children of
+/// the first valid document and returns the first variant the DTD rejects
+/// but the guide describes.
+pub fn find_blindness_witness(dtd: &Dtd, docs: &[Document]) -> Option<BlindnessWitness> {
+    let v = Validator::new(dtd);
+    for doc in docs {
+        if v.validate_document(doc).is_err() {
+            continue;
+        }
+        let guide = DataGuide::of_document(doc);
+        for variant in variants(doc) {
+            if v.validate_document(&variant).is_err() && guide.describes(&variant) {
+                return Some(BlindnessWitness {
+                    accepted: doc.clone(),
+                    confused: variant,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Child-list mutations that never create a new label path: reversals,
+/// duplications, deletions.
+fn variants(doc: &Document) -> Vec<Document> {
+    use mix_xml::{Content, Element};
+    fn mutate(e: &Element, out: &mut Vec<Element>) {
+        if let Content::Elements(kids) = &e.content {
+            if kids.len() >= 2 {
+                // reverse
+                let mut rev = e.clone();
+                if let Content::Elements(k) = &mut rev.content {
+                    k.reverse();
+                }
+                out.push(rev);
+            }
+            if !kids.is_empty() {
+                // duplicate the first child
+                let mut dup = e.clone();
+                if let Content::Elements(k) = &mut dup.content {
+                    let cloned = k[0].deep_clone_fresh();
+                    k.push(cloned);
+                }
+                out.push(dup);
+                // drop the first child
+                let mut del = e.clone();
+                if let Content::Elements(k) = &mut del.content {
+                    k.remove(0);
+                }
+                out.push(del);
+            }
+            // recurse: mutate one child, keep the rest
+            for (i, c) in kids.iter().enumerate() {
+                let mut inner = Vec::new();
+                mutate(c, &mut inner);
+                for m in inner {
+                    let mut parent = e.clone();
+                    if let Content::Elements(k) = &mut parent.content {
+                        k[i] = m;
+                    }
+                    out.push(parent);
+                }
+            }
+        }
+    }
+    let mut roots = Vec::new();
+    mutate(&doc.root, &mut roots);
+    roots.into_iter().map(Document::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_dtd::parse_compact;
+    use mix_xml::parse_document;
+
+    #[test]
+    fn order_blindness() {
+        // DTD requires b before c; the guide can't see order.
+        let dtd = parse_compact("{<a : b, c> <b : EMPTY> <c : EMPTY>}").unwrap();
+        let accepted = parse_document("<a><b/><c/></a>").unwrap();
+        let confused = parse_document("<a><c/><b/></a>").unwrap();
+        let w = BlindnessWitness { accepted, confused };
+        assert!(is_blindness_witness(&dtd, &w));
+    }
+
+    #[test]
+    fn cardinality_blindness() {
+        // DTD requires exactly one b.
+        let dtd = parse_compact("{<a : b> <b : EMPTY>}").unwrap();
+        let accepted = parse_document("<a><b/></a>").unwrap();
+        let confused = parse_document("<a><b/><b/></a>").unwrap();
+        assert!(is_blindness_witness(&dtd, &BlindnessWitness { accepted, confused }));
+    }
+
+    #[test]
+    fn sibling_blindness() {
+        // DTD: either (b and c) or (d) — a sibling constraint.
+        let dtd =
+            parse_compact("{<a : (b, c) | d> <b : EMPTY> <c : EMPTY> <d : EMPTY>}").unwrap();
+        let accepted = parse_document("<a><b/><c/></a>").unwrap();
+        // b alone is describable by the guide (paths ⊆ {b,c}) but invalid
+        let confused = parse_document("<a><b/></a>").unwrap();
+        assert!(is_blindness_witness(&dtd, &BlindnessWitness { accepted, confused }));
+    }
+
+    #[test]
+    fn witness_search_finds_one_on_the_paper_dtd() {
+        let dtd = mix_dtd::paper::d1_department();
+        let doc = parse_document(
+            "<department><name>CS</name>\
+               <professor><firstName>Y</firstName><lastName>P</lastName>\
+                 <publication><title>t</title><author>a</author><journal/></publication>\
+                 <teaches/></professor>\
+               <gradStudent><firstName>G</firstName><lastName>S</lastName>\
+                 <publication><title>u</title><author>a</author><conference/></publication>\
+               </gradStudent></department>",
+        )
+        .unwrap();
+        let w = find_blindness_witness(&dtd, &[doc]).expect("D1 has order constraints");
+        assert!(is_blindness_witness(&dtd, &w));
+    }
+
+    #[test]
+    fn guide_beats_dtd_on_context_dependence() {
+        // the converse direction: one DTD type per name must union the
+        // contexts, the guide keeps them separate — "similar to s-DTDs"
+        let doc = parse_document("<r><x><b><c/></b></x><y><b><d/></b></y></r>").unwrap();
+        let guide = DataGuide::of_document(&doc);
+        // the best plain DTD for this document needs b : (c | d)? or looser
+        let dtd = parse_compact(
+            "{<r : x, y> <x : b> <y : b> <b : (c | d)?> <c : EMPTY> <d : EMPTY>}",
+        )
+        .unwrap();
+        let v = Validator::new(&dtd);
+        assert!(v.validate_document(&doc).is_ok());
+        // the mixed-context document: DTD accepts, guide rejects
+        let mixed = parse_document("<r><x><b><d/></b></x><y><b><c/></b></y></r>").unwrap();
+        assert!(v.validate_document(&mixed).is_ok());
+        assert!(!guide.describes(&mixed));
+    }
+}

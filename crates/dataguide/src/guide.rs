@@ -1,0 +1,318 @@
+//! Strong DataGuides over tree-structured XML.
+//!
+//! \[GW97\] (cited in the paper's Section 5) introduces dataguides: a
+//! concise summary in which **every label path of the source appears
+//! exactly once**. Over tree-structured data the strong dataguide is
+//! simply the trie of label paths, which is what we build here. The
+//! paper's related-work claims about them — no order, no cardinality, no
+//! sibling constraints, but *context-dependent* typing like s-DTDs — are
+//! demonstrated mechanically in [`crate::compare`] and the `related_work`
+//! example.
+
+use mix_relang::symbol::Name;
+use mix_xml::{Document, Element};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One node of the dataguide trie: the children reachable under a label
+/// path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GuideNode {
+    /// Child labels, each summarizing all elements reached by extending
+    /// the path with that label.
+    pub children: BTreeMap<Name, GuideNode>,
+    /// Whether some element on this path had PCDATA content.
+    pub has_text: bool,
+}
+
+/// A strong dataguide for a set of equally-rooted documents.
+///
+/// ```
+/// use mix_dataguide::DataGuide;
+/// let doc = mix_xml::parse_document("<a><b/><c>t</c></a>").unwrap();
+/// let g = DataGuide::of_document(&doc);
+/// // order and cardinality are invisible to a path summary:
+/// assert!(g.describes(&mix_xml::parse_document("<a><c>x</c><b/><b/></a>").unwrap()));
+/// assert!(!g.describes(&mix_xml::parse_document("<a><z/></a>").unwrap()));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataGuide {
+    /// The root label (all summarized documents share it).
+    pub root_name: Name,
+    /// The root node of the trie.
+    pub root: GuideNode,
+}
+
+impl DataGuide {
+    /// Builds the dataguide of one document.
+    pub fn of_document(doc: &Document) -> DataGuide {
+        let mut g = DataGuide {
+            root_name: doc.root.name,
+            root: GuideNode::default(),
+        };
+        g.root.absorb(&doc.root);
+        g
+    }
+
+    /// Builds the dataguide of several documents (they must share a root
+    /// label; returns `None` for an empty set or mixed roots).
+    pub fn of_documents(docs: &[Document]) -> Option<DataGuide> {
+        let first = docs.first()?;
+        let mut g = DataGuide::of_document(first);
+        for d in &docs[1..] {
+            if d.root.name != g.root_name {
+                return None;
+            }
+            g.root.absorb(&d.root);
+        }
+        Some(g)
+    }
+
+    /// Extends the guide with another document (the incremental
+    /// maintenance \[GW97\] discusses).
+    pub fn absorb(&mut self, doc: &Document) -> bool {
+        if doc.root.name != self.root_name {
+            return false;
+        }
+        self.root.absorb(&doc.root);
+        true
+    }
+
+    /// Does the guide contain this label path (starting *below* the
+    /// root)?
+    pub fn contains_path(&self, path: &[Name]) -> bool {
+        let mut cur = &self.root;
+        for n in path {
+            match cur.children.get(n) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Does `doc` conform to the guide — is every label path of `doc` a
+    /// path of the guide, with text content only where the summarized
+    /// data had text? (This is the "schema" reading of an annotated
+    /// dataguide: the set of documents whose paths it covers.)
+    pub fn describes(&self, doc: &Document) -> bool {
+        doc.root.name == self.root_name && self.root.covers(&doc.root)
+    }
+
+    /// All label paths (below the root), depth-first.
+    pub fn paths(&self) -> Vec<Vec<Name>> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.root.collect_paths(&mut prefix, &mut out);
+        out
+    }
+
+    /// Number of trie nodes (excluding the root).
+    pub fn len(&self) -> usize {
+        self.paths().len()
+    }
+
+    /// Is the guide a bare root?
+    pub fn is_empty(&self) -> bool {
+        self.root.children.is_empty()
+    }
+
+    /// Counts the documents (name-tree shapes, PCDATA collapsed — the
+    /// same metric as `mix_dtd::count_documents_by_size`) of each size
+    /// that conform to the guide. A conforming node may repeat and
+    /// reorder its guide children arbitrarily — exactly the information
+    /// dataguides cannot express, so this is the quantitative face of the
+    /// paper's §5 comparison.
+    pub fn count_conforming_by_size(&self, max_size: usize) -> Vec<u128> {
+        let mut out = vec![0u128; max_size + 1];
+        for (s, slot) in out.iter_mut().enumerate().skip(1) {
+            *slot = ways(&self.root, s);
+        }
+        out
+    }
+}
+
+/// Shapes of a conforming subtree rooted at a node summarized by `g`,
+/// with exactly `size` nodes.
+fn ways(g: &GuideNode, size: usize) -> u128 {
+    if size == 0 {
+        return 0;
+    }
+    if size == 1 {
+        // a leaf: text or empty-element content are one shape each; count
+        // text leaves only when the guide saw text here, and the empty
+        // element always (any element may have empty content when its
+        // children are unconstrained… except the guide's job is paths, so
+        // an empty element is always conforming)
+        return 1 + u128::from(g.has_text);
+    }
+    // sequences of conforming children with total size-1 nodes
+    seq(g, size - 1)
+}
+
+fn seq(g: &GuideNode, budget: usize) -> u128 {
+    if budget == 0 {
+        return 1;
+    }
+    let mut total = 0u128;
+    for child in g.children.values() {
+        for k in 1..=budget {
+            let w = ways(child, k);
+            if w == 0 {
+                continue;
+            }
+            total = total.saturating_add(w.saturating_mul(seq(g, budget - k)));
+        }
+    }
+    total
+}
+
+impl GuideNode {
+    fn absorb(&mut self, e: &Element) {
+        if e.pcdata().is_some() {
+            self.has_text = true;
+        }
+        for c in e.children() {
+            self.children.entry(c.name).or_default().absorb(c);
+        }
+    }
+
+    fn covers(&self, e: &Element) -> bool {
+        if e.pcdata().is_some() {
+            // annotated-dataguide semantics: text content is only covered
+            // where the summarized data had text
+            return self.has_text;
+        }
+        e.children()
+            .iter()
+            .all(|c| match self.children.get(&c.name) {
+                Some(g) => g.covers(c),
+                None => false,
+            })
+    }
+
+    fn collect_paths(&self, prefix: &mut Vec<Name>, out: &mut Vec<Vec<Name>>) {
+        for (n, child) in &self.children {
+            prefix.push(*n);
+            out.push(prefix.clone());
+            child.collect_paths(prefix, out);
+            prefix.pop();
+        }
+    }
+
+    fn render(&self, name: &str, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "{}{}{}",
+            "  ".repeat(depth),
+            name,
+            if self.has_text { ": text" } else { "" }
+        );
+        for (n, child) in &self.children {
+            child.render(n.as_str(), depth + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for DataGuide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.root.render(self.root_name.as_str(), 0, &mut out);
+        write!(f, "{}", out.trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_relang::symbol::name;
+    use mix_xml::parse_document;
+
+    fn doc(s: &str) -> Document {
+        parse_document(s).unwrap()
+    }
+
+    #[test]
+    fn trie_of_label_paths() {
+        let g = DataGuide::of_document(&doc(
+            "<a><b><d>t</d></b><b><e/></b><c/></a>",
+        ));
+        let paths: Vec<String> = g
+            .paths()
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .map(|n| n.as_str())
+                    .collect::<Vec<_>>()
+                    .join("/")
+            })
+            .collect();
+        assert_eq!(paths, ["b", "b/d", "b/e", "c"]);
+        // every label path appears exactly once even though b appears twice
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn describes_ignores_order_and_cardinality() {
+        let g = DataGuide::of_document(&doc("<a><b/><c/></a>"));
+        // reordered
+        assert!(g.describes(&doc("<a><c/><b/></a>")));
+        // repeated
+        assert!(g.describes(&doc("<a><b/><b/><b/></a>")));
+        // dropped
+        assert!(g.describes(&doc("<a/>")));
+        // new label: not covered
+        assert!(!g.describes(&doc("<a><z/></a>")));
+        // new path through a known label
+        assert!(!g.describes(&doc("<a><b><deep/></b></a>")));
+    }
+
+    #[test]
+    fn context_dependent_typing() {
+        // the same label `b` has different structure under different
+        // parents — the respect in which dataguides resemble s-DTDs (§5)
+        let g = DataGuide::of_document(&doc("<r><x><b><c/></b></x><y><b><d/></b></y></r>"));
+        assert!(g.contains_path(&[name("x"), name("b"), name("c")]));
+        assert!(!g.contains_path(&[name("x"), name("b"), name("d")]));
+        assert!(g.contains_path(&[name("y"), name("b"), name("d")]));
+        // a document using d under x/b is rejected
+        assert!(!g.describes(&doc("<r><x><b><d/></b></x></r>")));
+    }
+
+    #[test]
+    fn multi_document_union() {
+        let g = DataGuide::of_documents(&[doc("<a><b/></a>"), doc("<a><c>t</c></a>")]).unwrap();
+        assert!(g.describes(&doc("<a><b/><c>zzz</c></a>")));
+        assert!(DataGuide::of_documents(&[doc("<a/>"), doc("<z/>")]).is_none());
+    }
+
+    #[test]
+    fn absorb_extends() {
+        let mut g = DataGuide::of_document(&doc("<a><b/></a>"));
+        assert!(!g.describes(&doc("<a><c/></a>")));
+        assert!(g.absorb(&doc("<a><c/></a>")));
+        assert!(g.describes(&doc("<a><c/></a>")));
+        assert!(!g.absorb(&doc("<zzz/>")));
+    }
+
+    #[test]
+    fn counting_conforming_shapes() {
+        // guide from <a><b/></a>: conforming docs are a-nodes with any
+        // number of b-leaves (each a leaf: empty only, no text seen)
+        let g = DataGuide::of_document(&doc("<a><b/></a>"));
+        let c = g.count_conforming_by_size(4);
+        assert_eq!(c, vec![0, 1, 1, 1, 1]);
+        // with text seen at b, each b slot has 2 shapes (text or empty)
+        let g = DataGuide::of_document(&doc("<a><b>t</b></a>"));
+        let c = g.count_conforming_by_size(3);
+        assert_eq!(c, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let g = DataGuide::of_document(&doc("<a><b><c>t</c></b></a>"));
+        let shown = g.to_string();
+        assert!(shown.contains("a\n  b\n    c: text"), "{shown}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # mix-dataguide — strong DataGuides for the related-work comparison
+//!
+//! The paper's Section 5 contrasts DTDs with the dataguides of \[GW97\]:
+//! dataguides "do not capture constraints on order and cardinality and
+//! they do not capture constraints on the siblings … However dataguides
+//! do not require the same type name to define the same type, so in this
+//! respect dataguides are similar to s-DTDs." This crate implements
+//! strong dataguides over the tree-structured XML of this workspace and
+//! makes both halves of that comparison *mechanical*: blindness witnesses
+//! (documents a DTD distinguishes but a guide cannot) and
+//! context-dependence witnesses (documents a guide distinguishes but a
+//! single-type-per-name DTD cannot), plus conforming-document counting on
+//! the same metric as `mix_dtd`'s, so guides slot into the tightness
+//! experiments.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod guide;
+
+pub use compare::{find_blindness_witness, is_blindness_witness, BlindnessWitness};
+pub use guide::{DataGuide, GuideNode};

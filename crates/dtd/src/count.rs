@@ -1,0 +1,404 @@
+//! Exact counting of the documents described by a DTD or s-DTD.
+//!
+//! This is the quantitative instrument behind the tightness experiments
+//! (EXPERIMENTS.md, X1): a DTD `D1` that is tighter than `D2` describes a
+//! subset of `D2`'s documents, and the *count* of described documents up to
+//! a size bound measures how much looseness each inference algorithm leaves.
+//!
+//! What is counted: **name-tree shapes** — documents up to the
+//! structural-class abstraction of Definition 3.5 with every PCDATA value
+//! collapsed to a single representative. Size = number of element nodes.
+//!
+//! For s-DTDs the counting tree automaton is nondeterministic (a journal
+//! publication satisfies both `publication` and `publication^1` of D4), so
+//! shapes are bucketed by their exact *assignable-specialization set*
+//! (bottom-up subset construction) to avoid double counting.
+
+use crate::model::{ContentModel, Dtd, SDtd};
+use mix_relang::symbol::{Name, Sym};
+use mix_relang::{Dfa, Nfa};
+use std::collections::HashMap;
+
+fn saturating_mul_add(acc: u128, a: u128, b: u128) -> u128 {
+    acc.saturating_add(a.saturating_mul(b))
+}
+
+/// Counts the name-tree shapes of each size `0..=max_size` satisfying `d`
+/// (index = node count; index 0 is always 0).
+pub fn count_documents_by_size(d: &Dtd, max_size: usize) -> Vec<u128> {
+    // ways[name][s] = shapes of an element named `name` with s nodes total.
+    let mut ways: HashMap<Name, Vec<u128>> = HashMap::new();
+    let mut dfas: HashMap<Name, Dfa> = HashMap::new();
+    for (n, m) in d.types.iter() {
+        ways.insert(n, vec![0; max_size + 1]);
+        if let ContentModel::Elements(r) = m {
+            dfas.insert(n, Dfa::from_regex(r));
+        }
+    }
+    for s in 1..=max_size {
+        // compute ways[n][s] from ways[*][< s]
+        let mut new_vals: Vec<(Name, u128)> = Vec::new();
+        for (n, m) in d.types.iter() {
+            let v = match m {
+                ContentModel::Pcdata => u128::from(s == 1),
+                ContentModel::Elements(_) => {
+                    let dfa = &dfas[&n];
+                    count_sequences(dfa, s - 1, &ways)
+                }
+            };
+            new_vals.push((n, v));
+        }
+        for (n, v) in new_vals {
+            ways.get_mut(&n).expect("all names present")[s] = v;
+        }
+    }
+    let root = ways
+        .get(&d.doc_type)
+        .cloned()
+        .unwrap_or_else(|| vec![0; max_size + 1]);
+    root
+}
+
+/// Number of child sequences consuming exactly `budget` nodes, where a
+/// child named `m` of size `k` contributes `ways[m][k]` choices.
+fn count_sequences(dfa: &Dfa, budget: usize, ways: &HashMap<Name, Vec<u128>>) -> u128 {
+    let nstates = dfa.len();
+    let asz = dfa.alphabet.len();
+    // f[b][q] = number of partial sequences of total size b ending in q
+    let mut f = vec![vec![0u128; nstates]; budget + 1];
+    f[0][dfa.start as usize] = 1;
+    for b in 0..=budget {
+        for q in 0..nstates {
+            let cur = f[b][q];
+            if cur == 0 {
+                continue;
+            }
+            for a in 0..asz {
+                let target = dfa.transitions[q * asz + a] as usize;
+                let child = dfa.alphabet[a].name;
+                let Some(w) = ways.get(&child) else { continue };
+                for (k, &cnt) in w.iter().enumerate().skip(1) {
+                    if b + k > budget {
+                        break;
+                    }
+                    if cnt == 0 {
+                        continue;
+                    }
+                    f[b + k][target] = saturating_mul_add(f[b + k][target], cur, cnt);
+                }
+            }
+        }
+    }
+    (0..nstates)
+        .filter(|&q| dfa.accepting[q])
+        .fold(0u128, |acc, q| acc.saturating_add(f[budget][q]))
+}
+
+/// Total shapes of size ≤ `max_size` satisfying `d`.
+pub fn count_documents_upto(d: &Dtd, max_size: usize) -> u128 {
+    count_documents_by_size(d, max_size)
+        .into_iter()
+        .fold(0u128, |a, b| a.saturating_add(b))
+}
+
+/// A subset of the specializations of one name, as a bitmask over
+/// `SDtd::specializations(n)` order.
+type SpecSet = u32;
+
+/// Counts the name-tree shapes of each size `0..=max_size` satisfying the
+/// s-DTD (Definition 3.10 semantics; exact, no double counting).
+pub fn count_sdocuments_by_size(sd: &SDtd, max_size: usize) -> Vec<u128> {
+    let names: Vec<Name> = {
+        let mut v: Vec<Name> = sd.types.keys().map(|s| s.name).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let specs: HashMap<Name, Vec<Sym>> = names
+        .iter()
+        .map(|&n| (n, sd.specializations(n)))
+        .collect();
+    let nfas: HashMap<Sym, Nfa> = sd
+        .types
+        .iter()
+        .filter_map(|(s, m)| m.regex().map(|r| (s, Nfa::from_regex(r))))
+        .collect();
+    // cnt[name][(set, size)] = number of shapes with that exact assignable set
+    let mut cnt: HashMap<Name, HashMap<(SpecSet, usize), u128>> =
+        names.iter().map(|&n| (n, HashMap::new())).collect();
+    for s in 1..=max_size {
+        let mut updates: Vec<(Name, SpecSet, u128)> = Vec::new();
+        for &n in &names {
+            if s == 1 {
+                // text leaf: assignable = PCDATA specializations
+                let mut text_set: SpecSet = 0;
+                // empty element: assignable = nullable element models
+                let mut empty_set: SpecSet = 0;
+                for (i, &sp) in specs[&n].iter().enumerate() {
+                    match sd.get(sp) {
+                        Some(ContentModel::Pcdata) => text_set |= 1 << i,
+                        Some(ContentModel::Elements(r)) if r.nullable() => empty_set |= 1 << i,
+                        _ => {}
+                    }
+                }
+                if text_set != 0 {
+                    updates.push((n, text_set, 1));
+                }
+                if empty_set != 0 {
+                    updates.push((n, empty_set, 1));
+                }
+                // also one-node subtrees counted through the sequence DP
+                // below would be empty-element too; skip the DP at size 1
+                continue;
+            }
+            // element with children totalling s-1 nodes (at least one child)
+            for (set, c) in count_spec_sequences(&specs[&n], &nfas, sd, s - 1, &cnt) {
+                if set != 0 && c != 0 {
+                    updates.push((n, set, c));
+                }
+            }
+        }
+        for (n, set, c) in updates {
+            let slot = cnt
+                .get_mut(&n)
+                .expect("all names present")
+                .entry((set, s))
+                .or_insert(0);
+            *slot = slot.saturating_add(c);
+        }
+    }
+    // Roll up: accepted documents are those whose root assignable set
+    // contains the document type symbol.
+    let root = sd.doc_type.name;
+    let root_specs = specs.get(&root).cloned().unwrap_or_default();
+    let Some(pos) = root_specs.iter().position(|&x| x == sd.doc_type) else {
+        return vec![0; max_size + 1];
+    };
+    let mut out = vec![0u128; max_size + 1];
+    if let Some(m) = cnt.get(&root) {
+        for (&(set, size), &c) in m {
+            if set & (1 << pos) != 0 {
+                out[size] = out[size].saturating_add(c);
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates `(assignable set, count)` of child sequences of exactly
+/// `budget` nodes (budget ≥ 1) for the parent name `n`.
+fn count_spec_sequences(
+    n_specs: &[Sym],
+    nfas: &HashMap<Sym, Nfa>,
+    sd: &SDtd,
+    budget: usize,
+    cnt: &HashMap<Name, HashMap<(SpecSet, usize), u128>>,
+) -> Vec<(SpecSet, u128)> {
+    // Joint simulation state: per spec, the NFA state set (element models
+    // only; PCDATA specs never accept element content with ≥1 child — and
+    // with 0 children the size-1 path above handles it).
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct Joint(Vec<Vec<bool>>);
+    let element_specs: Vec<(usize, &Nfa)> = n_specs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, sp)| nfas.get(sp).map(|a| (i, a)))
+        .collect();
+    if element_specs.is_empty() {
+        return Vec::new();
+    }
+    let start = Joint(
+        element_specs
+            .iter()
+            .map(|(_, a)| {
+                let mut v = vec![false; a.len()];
+                v[0] = true;
+                v
+            })
+            .collect(),
+    );
+    // dp[b] : state -> count
+    let mut dp: Vec<HashMap<Joint, u128>> = vec![HashMap::new(); budget + 1];
+    dp[0].insert(start, 1);
+    // Child classes: (name m, set A, size k) with count cnt[m][(A,k)].
+    for b in 0..budget {
+        if dp[b].is_empty() {
+            continue;
+        }
+        let states: Vec<(Joint, u128)> = dp[b].iter().map(|(j, c)| (j.clone(), *c)).collect();
+        for (joint, c) in states {
+            for (m, classes) in cnt.iter() {
+                for (&(set, k), &ways) in classes {
+                    if ways == 0 || b + k > budget {
+                        continue;
+                    }
+                    // letters offered by this child class
+                    let letters: Vec<Sym> = sd
+                        .specializations(*m)
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| set & (1 << i) != 0)
+                        .map(|(_, &sp)| sp)
+                        .collect();
+                    let mut next = Vec::with_capacity(joint.0.len());
+                    let mut all_dead = true;
+                    for ((_, nfa), cur) in element_specs.iter().zip(&joint.0) {
+                        let mut nx = vec![false; nfa.len()];
+                        for (st, live) in cur.iter().enumerate() {
+                            if !live {
+                                continue;
+                            }
+                            for &(sym, t) in &nfa.transitions[st] {
+                                if letters.contains(&sym) {
+                                    nx[t as usize] = true;
+                                }
+                            }
+                        }
+                        if nx.iter().any(|&x| x) {
+                            all_dead = false;
+                        }
+                        next.push(nx);
+                    }
+                    if all_dead {
+                        continue; // no specialization can extend: prune
+                    }
+                    let slot = dp[b + k].entry(Joint(next)).or_insert(0);
+                    *slot = saturating_mul_add(*slot, c, ways);
+                }
+            }
+        }
+    }
+    // Collapse final states into assignable sets.
+    let mut out: HashMap<SpecSet, u128> = HashMap::new();
+    for (joint, c) in &dp[budget] {
+        let mut set: SpecSet = 0;
+        for ((i, nfa), statevec) in element_specs.iter().zip(&joint.0) {
+            let accepted = statevec
+                .iter()
+                .zip(&nfa.accepting)
+                .any(|(live, acc)| *live && *acc);
+            if accepted {
+                set |= 1 << i;
+            }
+        }
+        let slot = out.entry(set).or_insert(0);
+        *slot = slot.saturating_add(*c);
+    }
+    out.into_iter().collect()
+}
+
+/// Total shapes of size ≤ `max_size` satisfying the s-DTD.
+pub fn count_sdocuments_upto(sd: &SDtd, max_size: usize) -> u128 {
+    count_sdocuments_by_size(sd, max_size)
+        .into_iter()
+        .fold(0u128, |a, b| a.saturating_add(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_compact, parse_compact_sdtd};
+
+    #[test]
+    fn flat_counts() {
+        // r has a* children, a is PCDATA: one shape per child count.
+        let d = parse_compact("{<r : a*> <a : PCDATA>}").unwrap();
+        let c = count_documents_by_size(&d, 5);
+        assert_eq!(c, vec![0, 1, 1, 1, 1, 1]);
+        assert_eq!(count_documents_upto(&d, 5), 5);
+    }
+
+    #[test]
+    fn branching_counts() {
+        // r : (a | b)*, both PCDATA: 2^(s-1) shapes of size s.
+        let d = parse_compact("{<r : (a | b)*> <a : PCDATA> <b : PCDATA>}").unwrap();
+        let c = count_documents_by_size(&d, 4);
+        assert_eq!(c, vec![0, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn fixed_arity() {
+        let d = parse_compact("{<r : a, a> <a : PCDATA>}").unwrap();
+        let c = count_documents_by_size(&d, 4);
+        assert_eq!(c, vec![0, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn recursive_counts_are_catalan_like() {
+        // t : t?  — unary chains: exactly one shape per size.
+        let d = parse_compact("{<t : t?>}").unwrap();
+        let c = count_documents_by_size(&d, 6);
+        assert_eq!(c, vec![0, 1, 1, 1, 1, 1, 1]);
+        // binary trees: t : (t, t)? — Catalan numbers on odd sizes.
+        let d = parse_compact("{<t : (t, t)?>}").unwrap();
+        let c = count_documents_by_size(&d, 7);
+        assert_eq!(c[1], 1); // leaf
+        assert_eq!(c[3], 1); // one internal node
+        assert_eq!(c[5], 2);
+        assert_eq!(c[7], 5);
+        assert_eq!(c[2] + c[4] + c[6], 0);
+    }
+
+    #[test]
+    fn unproductive_counts_zero() {
+        let d = parse_compact("{<r : r>}").unwrap();
+        assert_eq!(count_documents_upto(&d, 8), 0);
+    }
+
+    #[test]
+    fn tighter_dtd_counts_fewer() {
+        let loose = parse_compact("{<v : p*> <p : (j | c)> <j : EMPTY> <c : EMPTY>}").unwrap();
+        let tight = parse_compact("{<v : p*> <p : j> <j : EMPTY>}").unwrap();
+        for s in [3, 5, 9] {
+            assert!(count_documents_upto(&tight, s) < count_documents_upto(&loose, s));
+        }
+    }
+
+    #[test]
+    fn sdtd_counting_matches_plain_when_untagged() {
+        let d = parse_compact(
+            "{<r : a*, b?> <a : (x | y)?> <b : PCDATA> <x : EMPTY> <y : PCDATA>}",
+        )
+        .unwrap();
+        let sd = crate::model::SDtd::from_dtd(&d);
+        let plain = count_documents_by_size(&d, 8);
+        let specialized = count_sdocuments_by_size(&sd, 8);
+        assert_eq!(plain, specialized);
+    }
+
+    #[test]
+    fn sdtd_counting_no_double_count_on_ambiguity() {
+        // x accepts both x (anything) and x^1 (only empty): an empty x
+        // satisfies both; it must be counted once.
+        let sd = parse_compact_sdtd("{<r : x | x^1> <x : y?> <x^1 : EMPTY> <y : EMPTY>}")
+            .unwrap();
+        let c = count_sdocuments_by_size(&sd, 3);
+        // size 2: r with one child x: either empty x (1 shape) or x with y
+        // (that's size 3). So c[2] == 1, c[3] == 1.
+        assert_eq!(c[2], 1, "empty x counted once, not twice: {c:?}");
+        assert_eq!(c[3], 1);
+    }
+
+    #[test]
+    fn sdtd_two_journal_constraint_counts_fewer_than_merged() {
+        let sd = parse_compact_sdtd(
+            "{<v : professor>\
+              <professor : publication*, publication^1, publication*, publication^1, publication*>\
+              <publication : (journal | conference)>\
+              <publication^1 : journal>\
+              <journal : EMPTY> <conference : EMPTY>}",
+        )
+        .unwrap();
+        let merged = parse_compact(
+            "{<v : professor>\
+              <professor : publication, publication, publication*>\
+              <publication : (journal | conference)>\
+              <journal : EMPTY> <conference : EMPTY>}",
+        )
+        .unwrap();
+        let cs = count_sdocuments_upto(&sd, 10);
+        let cm = count_documents_upto(&merged, 10);
+        assert!(cs < cm, "s-DTD must be strictly tighter: {cs} vs {cm}");
+        assert!(cs > 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Display of DTDs and s-DTDs in the paper's compact notation, which
+//! [`crate::parse::parse_compact_sdtd`] parses back.
+
+use crate::model::{ContentModel, Dtd, SDtd};
+use std::fmt;
+
+impl fmt::Display for ContentModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentModel::Pcdata => write!(f, "PCDATA"),
+            ContentModel::Elements(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl fmt::Display for Dtd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{ (document type: {})", self.doc_type)?;
+        for (n, m) in self.types.iter() {
+            writeln!(f, "  <{n} : {m}>")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for SDtd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{ (document type: {})", self.doc_type)?;
+        for (s, m) in self.types.iter() {
+            writeln!(f, "  <{s} : {m}>")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::{parse_compact, parse_compact_sdtd};
+
+    #[test]
+    fn dtd_display_roundtrips() {
+        let src = "{<r : a, b*> <a : PCDATA> <b : c?> <c : PCDATA>}";
+        let d = parse_compact(src).unwrap();
+        let shown = d.to_string();
+        // strip the "(document type: …)" annotation for reparsing
+        let cleaned = shown.replace("(document type: r)", "");
+        let again = parse_compact(&cleaned).unwrap();
+        assert_eq!(d, again);
+    }
+
+    #[test]
+    fn sdtd_display_shows_tags() {
+        let s = parse_compact_sdtd("{<v : p^1, p*> <p : t> <p^1 : t, j> <t : PCDATA> <j : EMPTY>}")
+            .unwrap();
+        let shown = s.to_string();
+        assert!(shown.contains("<p^1 : t, j>"));
+        let cleaned = shown.replace("(document type: v)", "");
+        assert_eq!(parse_compact_sdtd(&cleaned).unwrap(), s);
+    }
+}

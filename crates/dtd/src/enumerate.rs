@@ -1,0 +1,183 @@
+//! Bounded exhaustive enumeration of the documents a DTD describes —
+//! used by the structural-tightness experiments to find concrete
+//! structures a merged view DTD admits but the view can never produce
+//! (Section 3.2).
+//!
+//! Enumerated documents are *representatives* of structural classes
+//! (Definition 3.5): every PCDATA leaf carries the same placeholder
+//! string, so distinct enumerated documents are in distinct classes.
+
+use crate::model::{ContentModel, Dtd};
+use mix_relang::symbol::Name;
+use mix_relang::Dfa;
+use mix_xml::{Content, Document, ElemId, Element};
+use std::collections::HashMap;
+
+/// The placeholder PCDATA value used for representatives.
+pub const PLACEHOLDER: &str = "s";
+
+struct Enumerator<'d> {
+    dtd: &'d Dtd,
+    dfas: HashMap<Name, Dfa>,
+    memo: HashMap<(Name, usize), Vec<Element>>,
+    cap: usize,
+}
+
+impl Enumerator<'_> {
+    /// All element shapes for `name` with at most `budget` nodes (≥ 1),
+    /// capped at `self.cap` per (name, budget).
+    fn gen(&mut self, name: Name, budget: usize) -> Vec<Element> {
+        if budget == 0 {
+            return Vec::new();
+        }
+        if let Some(hit) = self.memo.get(&(name, budget)) {
+            // fresh IDs on every reuse, so assembled documents never
+            // contain duplicate IDs
+            return hit.iter().map(Element::deep_clone_fresh).collect();
+        }
+        let out = match self.dtd.get(name) {
+            None => Vec::new(),
+            Some(ContentModel::Pcdata) => vec![Element {
+                name,
+                id: ElemId::fresh(),
+                content: Content::Text(PLACEHOLDER.to_owned()),
+            }],
+            Some(ContentModel::Elements(_)) => {
+                let dfa = self
+                    .dfas
+                    .get(&name)
+                    .expect("compiled with the DTD")
+                    .clone();
+                let words = dfa.enumerate_words(budget - 1, self.cap * 4);
+                let mut shapes = Vec::new();
+                'words: for w in words {
+                    if w.len() > budget - 1 {
+                        continue;
+                    }
+                    // cartesian product of child shapes with total ≤ budget-1
+                    let mut partials: Vec<(Vec<Element>, usize)> = vec![(Vec::new(), 0)];
+                    for sym in &w {
+                        let mut next = Vec::new();
+                        for (children, used) in &partials {
+                            // reserve one node for each not-yet-placed child
+                            let reserved = w.len() - children.len() - 1;
+                            let remaining = (budget - 1).saturating_sub(used + reserved);
+                            for child in self.gen(sym.name, remaining) {
+                                let sz = child.size();
+                                let mut c2: Vec<Element> =
+                                    children.iter().map(Element::deep_clone_fresh).collect();
+                                c2.push(child);
+                                next.push((c2, used + sz));
+                                if next.len() > self.cap * 4 {
+                                    break;
+                                }
+                            }
+                        }
+                        partials = next;
+                        if partials.is_empty() {
+                            continue 'words;
+                        }
+                    }
+                    for (children, _) in partials {
+                        shapes.push(Element {
+                            name,
+                            id: ElemId::fresh(),
+                            content: Content::Elements(children),
+                        });
+                        if shapes.len() >= self.cap {
+                            break 'words;
+                        }
+                    }
+                }
+                shapes
+            }
+        };
+        self.memo.insert((name, budget), out.clone());
+        out
+    }
+}
+
+/// Enumerates up to `cap` documents of at most `max_size` element nodes
+/// satisfying `d`, smallest first (roughly).
+pub fn enumerate_documents(d: &Dtd, max_size: usize, cap: usize) -> Vec<Document> {
+    let mut dfas = HashMap::new();
+    for (n, m) in d.types.iter() {
+        if let ContentModel::Elements(r) = m {
+            dfas.insert(n, Dfa::from_regex(r));
+        }
+    }
+    let mut e = Enumerator {
+        dtd: d,
+        dfas,
+        memo: HashMap::new(),
+        cap,
+    };
+    let mut out: Vec<Document> = e
+        .gen(d.doc_type, max_size)
+        .into_iter()
+        .map(Document::new)
+        .collect();
+    out.sort_by_key(Document::size);
+    out.truncate(cap);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::count_documents_upto;
+    use crate::parse::parse_compact;
+    use crate::validate::satisfies;
+
+    #[test]
+    fn enumerated_documents_are_valid_and_distinct() {
+        let d = parse_compact("{<r : (a | b)*, c?> <a : PCDATA> <b : EMPTY> <c : b*>}")
+            .unwrap();
+        let docs = enumerate_documents(&d, 5, 10_000);
+        for doc in &docs {
+            assert!(satisfies(&d, doc), "invalid enumerated doc");
+            assert!(doc.size() <= 5);
+        }
+        // distinct structural classes
+        let mut skels: Vec<_> = docs
+            .iter()
+            .map(|doc| mix_xml::Skeleton::of(&doc.root))
+            .collect();
+        let n = skels.len();
+        skels.sort_by_key(|s| format!("{s:?}"));
+        skels.dedup();
+        assert_eq!(skels.len(), n, "duplicate structures enumerated");
+    }
+
+    #[test]
+    fn enumeration_agrees_with_counting() {
+        for (src, max) in [
+            ("{<r : a*> <a : PCDATA>}", 6),
+            ("{<r : (a | b)*> <a : PCDATA> <b : EMPTY>}", 5),
+            ("{<t : (t, t)?>}", 7),
+            ("{<r : a, (b | c)> <a : PCDATA> <b : EMPTY> <c : a?>}", 6),
+        ] {
+            let d = parse_compact(src).unwrap();
+            let counted = count_documents_upto(&d, max);
+            let enumerated = enumerate_documents(&d, max, 1_000_000).len() as u128;
+            assert_eq!(counted, enumerated, "count vs enumerate for {src}");
+        }
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let d = parse_compact("{<r : (a | b)*> <a : PCDATA> <b : EMPTY>}").unwrap();
+        let docs = enumerate_documents(&d, 10, 17);
+        assert_eq!(docs.len(), 17);
+    }
+
+    #[test]
+    fn recursive_enumeration_terminates() {
+        let d = crate::paper::section_recursive();
+        let docs = enumerate_documents(&d, 9, 500);
+        assert!(!docs.is_empty());
+        for doc in &docs {
+            assert!(satisfies(&d, doc));
+        }
+    }
+}

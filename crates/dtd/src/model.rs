@@ -1,0 +1,316 @@
+//! DTDs (Definition 2.2) and specialized DTDs (Definition 3.8).
+
+use mix_relang::symbol::{Name, Sym};
+use mix_relang::Regex;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// The type of an element name: `PCDATA` or a regular expression over
+/// (tagged) names (Definition 2.2 / 3.8).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ContentModel {
+    /// Character content.
+    Pcdata,
+    /// Element content described by a content-model regex.
+    Elements(Regex),
+}
+
+impl ContentModel {
+    /// The regex, if this is element content.
+    pub fn regex(&self) -> Option<&Regex> {
+        match self {
+            ContentModel::Elements(r) => Some(r),
+            ContentModel::Pcdata => None,
+        }
+    }
+
+    /// Is this `PCDATA`?
+    pub fn is_pcdata(&self) -> bool {
+        matches!(self, ContentModel::Pcdata)
+    }
+}
+
+/// An insertion-ordered map from (tagged) names to content models.
+///
+/// Order matters for display and for deterministic iteration in
+/// experiments; lookups go through a side index.
+#[derive(Clone, Debug, Default)]
+pub struct TypeMap<K: Copy + Eq + Hash> {
+    entries: Vec<(K, ContentModel)>,
+    index: HashMap<K, usize>,
+}
+
+impl<K: Copy + Eq + Hash> TypeMap<K> {
+    /// An empty map.
+    pub fn new() -> Self {
+        TypeMap {
+            entries: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Inserts or replaces the type of `k`; returns the previous model.
+    pub fn insert(&mut self, k: K, m: ContentModel) -> Option<ContentModel> {
+        match self.index.get(&k) {
+            Some(&i) => Some(std::mem::replace(&mut self.entries[i].1, m)),
+            None => {
+                self.index.insert(k, self.entries.len());
+                self.entries.push((k, m));
+                None
+            }
+        }
+    }
+
+    /// Looks up the type of `k`.
+    pub fn get(&self, k: K) -> Option<&ContentModel> {
+        self.index.get(&k).map(|&i| &self.entries[i].1)
+    }
+
+    /// Does the map define `k`?
+    pub fn contains(&self, k: K) -> bool {
+        self.index.contains_key(&k)
+    }
+
+    /// Number of type definitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &ContentModel)> {
+        self.entries.iter().map(|(k, m)| (*k, m))
+    }
+
+    /// All keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.entries.iter().map(|(k, _)| *k)
+    }
+
+    /// Removes `k` (order of the rest is preserved).
+    pub fn remove(&mut self, k: K) -> Option<ContentModel> {
+        let i = self.index.remove(&k)?;
+        let (_, m) = self.entries.remove(i);
+        for (j, (key, _)) in self.entries.iter().enumerate().skip(i) {
+            self.index.insert(*key, j);
+        }
+        Some(m)
+    }
+}
+
+impl<K: Copy + Eq + Hash> PartialEq for TypeMap<K> {
+    /// Structural equality *ignoring insertion order*.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .all(|(k, m)| other.get(k) == Some(m))
+    }
+}
+
+impl<K: Copy + Eq + Hash> Eq for TypeMap<K> {}
+
+/// A DTD: a document type plus one type definition per element name
+/// (Definitions 2.2 and 2.4).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dtd {
+    /// The document type `d_root` — the required name of the root element.
+    pub doc_type: Name,
+    /// The type definitions.
+    pub types: TypeMap<Name>,
+}
+
+impl Dtd {
+    /// A DTD with the given document type and no definitions yet.
+    pub fn new(doc_type: Name) -> Dtd {
+        Dtd {
+            doc_type,
+            types: TypeMap::new(),
+        }
+    }
+
+    /// Adds a type definition (builder style).
+    pub fn with(mut self, name: Name, m: ContentModel) -> Dtd {
+        self.types.insert(name, m);
+        self
+    }
+
+    /// Looks up a type definition.
+    pub fn get(&self, n: Name) -> Option<&ContentModel> {
+        self.types.get(n)
+    }
+
+    /// The set of names defined by the DTD (`N` of Definition 2.2).
+    pub fn names(&self) -> Vec<Name> {
+        self.types.keys().collect()
+    }
+
+    /// Checks internal consistency: the document type and every name used
+    /// inside a content model must be defined. Returns the missing names.
+    pub fn undefined_names(&self) -> Vec<Name> {
+        let mut missing = Vec::new();
+        if !self.types.contains(self.doc_type) {
+            missing.push(self.doc_type);
+        }
+        for (_, m) in self.types.iter() {
+            if let ContentModel::Elements(r) = m {
+                for s in r.syms() {
+                    if !self.types.contains(s.name) && !missing.contains(&s.name) {
+                        missing.push(s.name);
+                    }
+                }
+            }
+        }
+        missing
+    }
+}
+
+/// A specialized DTD (Definition 3.8): type definitions keyed by *tagged*
+/// names, with tagged regular expressions as content models.
+///
+/// `n^0` is written plainly as `n`; the document type is a single tagged
+/// name (the view's top element type).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SDtd {
+    /// The (tagged) document type.
+    pub doc_type: Sym,
+    /// The type definitions over `N^+`.
+    pub types: TypeMap<Sym>,
+}
+
+impl SDtd {
+    /// An s-DTD with the given document type and no definitions yet.
+    pub fn new(doc_type: Sym) -> SDtd {
+        SDtd {
+            doc_type,
+            types: TypeMap::new(),
+        }
+    }
+
+    /// Adds a type definition (builder style).
+    pub fn with(mut self, s: Sym, m: ContentModel) -> SDtd {
+        self.types.insert(s, m);
+        self
+    }
+
+    /// Looks up a type definition.
+    pub fn get(&self, s: Sym) -> Option<&ContentModel> {
+        self.types.get(s)
+    }
+
+    /// The specializations of a given name, in insertion order.
+    pub fn specializations(&self, n: Name) -> Vec<Sym> {
+        self.types.keys().filter(|s| s.name == n).collect()
+    }
+
+    /// `spec(n)` of Definition 3.8: the largest tag defined for `n`.
+    pub fn spec(&self, n: Name) -> Option<mix_relang::Tag> {
+        self.specializations(n).iter().map(|s| s.tag).max()
+    }
+
+    /// Every plain DTD is an s-DTD with all tags zero.
+    pub fn from_dtd(d: &Dtd) -> SDtd {
+        let mut s = SDtd::new(d.doc_type.untagged());
+        for (n, m) in d.types.iter() {
+            s.types.insert(n.untagged(), m.clone());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_relang::symbol::name;
+    use mix_relang::parse_regex;
+
+    fn model(s: &str) -> ContentModel {
+        ContentModel::Elements(parse_regex(s).unwrap())
+    }
+
+    #[test]
+    fn typemap_insert_get_replace() {
+        let mut m: TypeMap<Name> = TypeMap::new();
+        assert!(m.insert(name("a"), ContentModel::Pcdata).is_none());
+        assert_eq!(m.get(name("a")), Some(&ContentModel::Pcdata));
+        let old = m.insert(name("a"), model("b"));
+        assert_eq!(old, Some(ContentModel::Pcdata));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn typemap_preserves_insertion_order() {
+        let mut m: TypeMap<Name> = TypeMap::new();
+        for n in ["z", "a", "m"] {
+            m.insert(name(n), ContentModel::Pcdata);
+        }
+        let keys: Vec<&str> = m.keys().map(|k| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn typemap_remove_keeps_index_consistent() {
+        let mut m: TypeMap<Name> = TypeMap::new();
+        for n in ["a", "b", "c"] {
+            m.insert(name(n), ContentModel::Pcdata);
+        }
+        m.remove(name("a"));
+        assert_eq!(m.len(), 2);
+        assert!(m.get(name("b")).is_some());
+        assert!(m.get(name("c")).is_some());
+        m.insert(name("c"), model("x"));
+        assert_eq!(m.get(name("c")), Some(&model("x")));
+    }
+
+    #[test]
+    fn typemap_eq_ignores_order() {
+        let mut m1: TypeMap<Name> = TypeMap::new();
+        m1.insert(name("a"), ContentModel::Pcdata);
+        m1.insert(name("b"), model("a"));
+        let mut m2: TypeMap<Name> = TypeMap::new();
+        m2.insert(name("b"), model("a"));
+        m2.insert(name("a"), ContentModel::Pcdata);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn dtd_undefined_names() {
+        let d = Dtd::new(name("root")).with(name("root"), model("a, b"));
+        let missing = d.undefined_names();
+        assert_eq!(missing.len(), 2);
+        let d = d
+            .with(name("a"), ContentModel::Pcdata)
+            .with(name("b"), ContentModel::Pcdata);
+        assert!(d.undefined_names().is_empty());
+    }
+
+    #[test]
+    fn sdtd_specializations() {
+        let p = name("publication");
+        let s = SDtd::new(name("v").untagged())
+            .with(name("v").untagged(), model("publication^1, publication*"))
+            .with(p.untagged(), model("title"))
+            .with(p.tagged(1), model("title, journal"))
+            .with(name("title").untagged(), ContentModel::Pcdata)
+            .with(name("journal").untagged(), model("ε"));
+        assert_eq!(s.specializations(p).len(), 2);
+        assert_eq!(s.spec(p), Some(1));
+        assert_eq!(s.spec(name("title")), Some(0));
+        assert_eq!(s.spec(name("nope")), None);
+    }
+
+    #[test]
+    fn sdtd_from_dtd_is_all_untagged() {
+        let d = Dtd::new(name("r"))
+            .with(name("r"), model("x*"))
+            .with(name("x"), ContentModel::Pcdata);
+        let s = SDtd::from_dtd(&d);
+        assert_eq!(s.doc_type, name("r").untagged());
+        assert!(s.types.keys().all(|k| k.is_untagged()));
+        assert_eq!(s.types.len(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! The paper's DTD fixtures (D1, D9, D11, and the recursive `section` DTD
+//! of Example 3.5), shared by tests, examples, and benches across the
+//! workspace.
+//!
+//! Where the 1999 scan is internally inconsistent we use the reconstruction
+//! argued in `DESIGN.md` §3 (e.g. D11's `gradStudent` has `publication*`,
+//! which Example 4.4's *satisfiable* verdict requires).
+
+use crate::model::Dtd;
+use crate::parse::parse_compact;
+
+/// (D1) — the running department DTD of Example 3.1.
+pub fn d1_department() -> Dtd {
+    parse_compact(
+        "{<department : name, professor+, gradStudent+, course*>\
+          <professor : firstName, lastName, publication+, teaches>\
+          <gradStudent : firstName, lastName, publication+>\
+          <publication : title, author+, (journal | conference)>\
+          <teaches : EMPTY>\
+          <journal : EMPTY>\
+          <conference : EMPTY>\
+          <course : EMPTY>}",
+    )
+    .expect("D1 is well-formed")
+}
+
+/// (D9) — the professor DTD of Example 4.1.
+pub fn d9_professor() -> Dtd {
+    parse_compact(
+        "{<professor : name, (journal | conference)*>\
+          <journal : EMPTY>\
+          <conference : EMPTY>}",
+    )
+    .expect("D9 is well-formed")
+}
+
+/// (D11) — the department DTD of Example 4.4 (gradStudent has
+/// `publication*`; see DESIGN.md §3 note 3).
+pub fn d11_department() -> Dtd {
+    parse_compact(
+        "{<department : name, professor+, gradStudent+, course*>\
+          <professor : firstName, lastName, publication+, teaches>\
+          <gradStudent : firstName, lastName, publication*>\
+          <publication : title, author*, (journal | conference)>\
+          <teaches : EMPTY>\
+          <journal : EMPTY>\
+          <conference : EMPTY>\
+          <course : EMPTY>}",
+    )
+    .expect("D11 is well-formed")
+}
+
+/// The recursive `section` DTD of Example 3.5.
+pub fn section_recursive() -> Dtd {
+    parse_compact(
+        "{<section : prolog, section*, conclusion>\
+          <prolog : EMPTY>\
+          <conclusion : EMPTY>}",
+    )
+    .expect("section DTD is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_relang::symbol::name;
+
+    #[test]
+    fn fixtures_are_closed() {
+        for d in [
+            d1_department(),
+            d9_professor(),
+            d11_department(),
+            section_recursive(),
+        ] {
+            assert!(d.undefined_names().is_empty(), "{d}");
+        }
+    }
+
+    #[test]
+    fn d1_shape() {
+        let d = d1_department();
+        assert_eq!(d.doc_type, name("department"));
+        assert!(d.get(name("firstName")).unwrap().is_pcdata());
+        assert_eq!(
+            d.get(name("publication")).unwrap().regex().unwrap().to_string(),
+            "title, author+, (journal | conference)"
+        );
+    }
+
+    #[test]
+    fn d11_gradstudent_publications_are_optional() {
+        let d = d11_department();
+        let g = d.get(name("gradStudent")).unwrap().regex().unwrap();
+        assert_eq!(g.to_string(), "firstName, lastName, publication*");
+    }
+}

@@ -1,0 +1,284 @@
+//! Random generation of valid documents for a DTD — the workload generator
+//! behind the empirical soundness experiments (X2) and the benches.
+
+use crate::analysis::{productive, restrict};
+use crate::model::{ContentModel, Dtd};
+use mix_relang::ast::Regex;
+use mix_relang::sample::{sample_word, SampleConfig};
+use mix_relang::symbol::Name;
+use mix_xml::{Content, Document, ElemId, Element};
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Knobs for [`DocSampler`].
+#[derive(Debug, Clone)]
+pub struct DocConfig {
+    /// Soft bound on total element nodes; once exceeded, every remaining
+    /// expansion is minimal.
+    pub max_nodes: usize,
+    /// Probability of continuing a `*`/`+` loop (passed to the word
+    /// sampler).
+    pub loop_continue: f64,
+    /// Soft bound on the fan-out sampled for one element.
+    pub max_fanout: usize,
+    /// PCDATA values are drawn uniformly from this pool (a small pool makes
+    /// string-equality query conditions selectively satisfiable).
+    pub string_pool: Vec<String>,
+}
+
+impl Default for DocConfig {
+    fn default() -> Self {
+        DocConfig {
+            max_nodes: 120,
+            loop_continue: 0.5,
+            max_fanout: 8,
+            string_pool: ["CS", "EE", "Math", "alpha", "beta", "gamma"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+/// A reusable random-document generator for one DTD.
+///
+/// Every produced document satisfies the DTD (the generator restricts each
+/// content model to the productive alphabet, so recursion always has an
+/// exit).
+pub struct DocSampler<'d> {
+    dtd: &'d Dtd,
+    cfg: DocConfig,
+    /// Content models restricted to productive names.
+    restricted: HashMap<Name, Regex>,
+    /// Precomputed minimal expansions.
+    min_sizes: HashMap<Name, usize>,
+}
+
+impl<'d> DocSampler<'d> {
+    /// Prepares a sampler; returns `None` when the DTD describes no
+    /// documents at all (unproductive document type).
+    pub fn new(dtd: &'d Dtd, cfg: DocConfig) -> Option<DocSampler<'d>> {
+        let prod = productive(dtd);
+        if !prod.contains(&dtd.doc_type) {
+            return None;
+        }
+        let mut restricted = HashMap::new();
+        for (n, m) in dtd.types.iter() {
+            if let ContentModel::Elements(r) = m {
+                restricted.insert(n, restrict(r, &prod));
+            }
+        }
+        let min_sizes = minimal_sizes(dtd, &prod, &restricted);
+        Some(DocSampler {
+            dtd,
+            cfg,
+            restricted,
+            min_sizes,
+        })
+    }
+
+    /// Samples one valid document.
+    pub fn sample(&self, rng: &mut impl Rng) -> Document {
+        let mut budget = self.cfg.max_nodes;
+        let root = self.element(self.dtd.doc_type, rng, &mut budget);
+        Document::new(root)
+    }
+
+    fn element(&self, n: Name, rng: &mut impl Rng, budget: &mut usize) -> Element {
+        *budget = budget.saturating_sub(1);
+        match self.dtd.get(n) {
+            Some(ContentModel::Pcdata) => {
+                let pool = &self.cfg.string_pool;
+                let v = if pool.is_empty() {
+                    String::new()
+                } else {
+                    pool[rng.gen_range(0..pool.len())].clone()
+                };
+                Element {
+                    name: n,
+                    id: ElemId::fresh(),
+                    content: Content::Text(v),
+                }
+            }
+            Some(ContentModel::Elements(_)) => {
+                let r = &self.restricted[&n];
+                let word = if *budget == 0 {
+                    minimal_word(r, &self.min_sizes).expect("productive name has a word")
+                } else {
+                    let cfg = SampleConfig {
+                        loop_continue: self.cfg.loop_continue,
+                        max_len: self.cfg.max_fanout.min(*budget),
+                    };
+                    sample_word(r, rng, cfg).expect("productive name has a word")
+                };
+                let children = word
+                    .into_iter()
+                    .map(|s| self.element(s.name, rng, budget))
+                    .collect();
+                Element {
+                    name: n,
+                    id: ElemId::fresh(),
+                    content: Content::Elements(children),
+                }
+            }
+            None => {
+                // Undefined names cannot appear in restricted words; treat
+                // defensively as an empty element.
+                Element::new(n.as_str(), vec![])
+            }
+        }
+    }
+}
+
+/// Minimal document size per productive name (fixpoint over `min_word_len`
+/// weighted by child minima).
+fn minimal_sizes(
+    dtd: &Dtd,
+    prod: &HashSet<Name>,
+    restricted: &HashMap<Name, Regex>,
+) -> HashMap<Name, usize> {
+    let mut sizes: HashMap<Name, usize> = HashMap::new();
+    loop {
+        let mut changed = false;
+        for (n, m) in dtd.types.iter() {
+            if !prod.contains(&n) || sizes.contains_key(&n) {
+                continue;
+            }
+            let v = match m {
+                ContentModel::Pcdata => Some(1),
+                ContentModel::Elements(_) => {
+                    min_cost(&restricted[&n], &sizes).map(|c| c + 1)
+                }
+            };
+            if let Some(v) = v {
+                sizes.insert(n, v);
+                changed = true;
+            }
+        }
+        if !changed {
+            return sizes;
+        }
+    }
+}
+
+/// Cheapest total child size of a word in `L(r)` where name `n` costs
+/// `sizes[n]`; `None` if no word is currently costable.
+fn min_cost(r: &Regex, sizes: &HashMap<Name, usize>) -> Option<usize> {
+    match r {
+        Regex::Empty => None,
+        Regex::Epsilon => Some(0),
+        Regex::Sym(s) => sizes.get(&s.name).copied(),
+        Regex::Concat(v) => v.iter().map(|x| min_cost(x, sizes)).sum(),
+        Regex::Alt(v) => v.iter().filter_map(|x| min_cost(x, sizes)).min(),
+        Regex::Star(_) | Regex::Opt(_) => Some(0),
+        Regex::Plus(x) => min_cost(x, sizes),
+    }
+}
+
+/// A minimal-cost word of `L(r)`.
+fn minimal_word(r: &Regex, sizes: &HashMap<Name, usize>) -> Option<Vec<mix_relang::Sym>> {
+    match r {
+        Regex::Empty => None,
+        Regex::Epsilon | Regex::Star(_) | Regex::Opt(_) => Some(vec![]),
+        Regex::Sym(s) => sizes.get(&s.name).map(|_| vec![*s]),
+        Regex::Concat(v) => {
+            let mut out = Vec::new();
+            for x in v {
+                out.extend(minimal_word(x, sizes)?);
+            }
+            Some(out)
+        }
+        Regex::Alt(v) => v
+            .iter()
+            .filter_map(|x| minimal_word(x, sizes).map(|w| (min_cost(x, sizes), w)))
+            .min_by_key(|(c, _)| c.unwrap_or(usize::MAX))
+            .map(|(_, w)| w),
+        Regex::Plus(x) => minimal_word(x, sizes),
+    }
+}
+
+/// Convenience: sample `count` documents with a fixed seed.
+pub fn sample_documents(dtd: &Dtd, count: usize, seed: u64, cfg: DocConfig) -> Vec<Document> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let sampler = DocSampler::new(dtd, cfg).expect("DTD describes documents");
+    (0..count).map(|_| sampler.sample(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{d1_department, section_recursive};
+    use crate::validate::satisfies;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_satisfy_d1() {
+        let d = d1_department();
+        for doc in sample_documents(&d, 100, 7, DocConfig::default()) {
+            assert!(satisfies(&d, &doc), "invalid sample:\n{doc:?}");
+        }
+    }
+
+    #[test]
+    fn samples_satisfy_recursive_dtd_and_terminate() {
+        let d = section_recursive();
+        let cfg = DocConfig {
+            max_nodes: 60,
+            loop_continue: 0.6,
+            ..DocConfig::default()
+        };
+        for doc in sample_documents(&d, 100, 13, cfg) {
+            assert!(satisfies(&d, &doc));
+            assert!(doc.size() < 4000, "runaway recursion: {} nodes", doc.size());
+        }
+    }
+
+    #[test]
+    fn unproductive_dtd_yields_no_sampler() {
+        let d = crate::parse::parse_compact("{<r : r>}").unwrap();
+        assert!(DocSampler::new(&d, DocConfig::default()).is_none());
+    }
+
+    #[test]
+    fn unproductive_branch_is_never_taken() {
+        let d = crate::parse::parse_compact("{<r : (loop | a)+> <loop : loop> <a : PCDATA>}")
+            .unwrap();
+        for doc in sample_documents(&d, 50, 3, DocConfig::default()) {
+            assert!(satisfies(&d, &doc));
+            assert!(doc.root.walk().all(|e| e.name.as_str() != "loop"));
+        }
+    }
+
+    #[test]
+    fn budget_caps_document_size() {
+        let d = crate::parse::parse_compact("{<r : a+> <a : b*> <b : PCDATA>}").unwrap();
+        let cfg = DocConfig {
+            max_nodes: 10,
+            loop_continue: 0.95,
+            max_fanout: 6,
+            ..DocConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let sampler = DocSampler::new(&d, cfg).unwrap();
+        for _ in 0..50 {
+            let doc = sampler.sample(&mut rng);
+            // soft bound: once exhausted only minimal words are produced,
+            // so sizes stay within budget + max_fanout slack
+            assert!(doc.size() <= 10 + 6 + 1, "doc too big: {}", doc.size());
+        }
+    }
+
+    #[test]
+    fn strings_come_from_pool() {
+        let d = crate::parse::parse_compact("{<r : a> <a : PCDATA>}").unwrap();
+        let cfg = DocConfig {
+            string_pool: vec!["only".into()],
+            ..DocConfig::default()
+        };
+        for doc in sample_documents(&d, 10, 1, cfg) {
+            assert_eq!(doc.root.children()[0].pcdata(), Some("only"));
+        }
+    }
+}

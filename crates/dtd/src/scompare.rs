@@ -1,0 +1,196 @@
+//! Tightness comparison for *specialized* DTDs.
+//!
+//! Plain-DTD tightness reduces to per-type regular-language inclusion
+//! (see [`crate::compare`]); s-DTDs are nondeterministic tree automata,
+//! where exact inclusion is EXPTIME in general. This module provides the
+//! bounded-but-exact-within-the-bound comparison the experiments need:
+//! every document of `a` up to a size bound is checked against `b`, by
+//! enumerating an over-approximating plain *image DTD* of `a` and
+//! filtering with the exact acceptors.
+
+use crate::count::count_sdocuments_upto;
+use crate::enumerate::enumerate_documents;
+use crate::model::{ContentModel, Dtd, SDtd};
+use crate::sdtd::SAcceptor;
+use mix_relang::ast::Regex;
+use mix_relang::symbol::Name;
+use mix_xml::Document;
+use std::collections::HashMap;
+
+/// The image DTD of an s-DTD: one type per *name*, the union of the
+/// images of its specializations. Its language contains every document of
+/// the s-DTD (it is the `Merge` over-approximation), which makes it a
+/// sound enumeration basis. Returns `None` when some name mixes PCDATA
+/// and element specializations — not expressible as one plain type (the
+/// inference pipeline never produces that shape).
+pub fn sdtd_image_dtd(sd: &SDtd) -> Option<Dtd> {
+    let mut models: HashMap<Name, ContentModel> = HashMap::new();
+    let mut order: Vec<Name> = Vec::new();
+    for (sym, m) in sd.types.iter() {
+        let n = sym.name;
+        let image = match m {
+            ContentModel::Pcdata => ContentModel::Pcdata,
+            ContentModel::Elements(r) => ContentModel::Elements(r.image()),
+        };
+        match models.get(&n) {
+            None => {
+                order.push(n);
+                models.insert(n, image);
+            }
+            Some(ContentModel::Pcdata) if image.is_pcdata() => {}
+            Some(ContentModel::Elements(a)) => {
+                let ContentModel::Elements(b) = image else {
+                    return None; // mixed PCDATA/element specializations
+                };
+                let unioned = Regex::alt([a.clone(), b]);
+                models.insert(n, ContentModel::Elements(unioned));
+            }
+            Some(ContentModel::Pcdata) => return None,
+        }
+    }
+    let mut dtd = Dtd::new(sd.doc_type.name);
+    for n in order {
+        dtd.types
+            .insert(n, models.remove(&n).expect("collected above"));
+    }
+    Some(dtd)
+}
+
+/// Result of a bounded s-DTD tightness check.
+#[derive(Debug)]
+pub enum SBoundedTightness {
+    /// Every document of `a` with ≤ `bound` nodes satisfies `b`.
+    TighterUpTo(usize),
+    /// A concrete document of `a` that violates `b`.
+    Witness(Box<Document>),
+    /// The enumeration cap was hit (or the image DTD is inexpressible) —
+    /// inconclusive.
+    Inconclusive,
+}
+
+impl SBoundedTightness {
+    /// Did the check succeed up to the bound?
+    pub fn holds(&self) -> bool {
+        matches!(self, SBoundedTightness::TighterUpTo(_))
+    }
+}
+
+/// Is every document of `a` (up to `max_size` nodes) also a document of
+/// `b`? Exact within the bound, up to `cap` enumerated candidates.
+pub fn sdtd_tighter_than_bounded(
+    a: &SDtd,
+    b: &SDtd,
+    max_size: usize,
+    cap: usize,
+) -> SBoundedTightness {
+    let Some(image) = sdtd_image_dtd(a) else {
+        return SBoundedTightness::Inconclusive;
+    };
+    let candidates = enumerate_documents(&image, max_size, cap);
+    let capped = candidates.len() >= cap;
+    let accept_a = SAcceptor::new(a);
+    let accept_b = SAcceptor::new(b);
+    for doc in candidates {
+        if accept_a.document_satisfies(&doc) && !accept_b.document_satisfies(&doc) {
+            return SBoundedTightness::Witness(Box::new(doc));
+        }
+    }
+    if capped {
+        SBoundedTightness::Inconclusive
+    } else {
+        SBoundedTightness::TighterUpTo(max_size)
+    }
+}
+
+/// Quick numeric necessary condition: if `a` is tighter than `b` then
+/// `a`'s document count never exceeds `b`'s at any size bound. Returns
+/// the first bound where the condition fails, if any. (Counts alone can
+/// never *certify* inclusion — two disjoint languages may have equal
+/// counts — but a violated count is a cheap disproof.)
+pub fn counting_necessary_condition(a: &SDtd, b: &SDtd, max_size: usize) -> Option<usize> {
+    (1..=max_size).find(|&s| count_sdocuments_upto(a, s) > count_sdocuments_upto(b, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_compact_sdtd;
+
+    fn sd(s: &str) -> SDtd {
+        parse_compact_sdtd(s).unwrap()
+    }
+
+    #[test]
+    fn tight_sdtd_is_tighter_than_merged_form() {
+        let tight = sd(
+            "{<v : professor>\
+              <professor : publication*, publication^1, publication*, publication^1, publication*>\
+              <publication : (journal | conference)>\
+              <publication^1 : journal>\
+              <journal : EMPTY> <conference : EMPTY>}",
+        );
+        let merged = sd(
+            "{<v : professor>\
+              <professor : publication, publication, publication*>\
+              <publication : (journal | conference)>\
+              <journal : EMPTY> <conference : EMPTY>}",
+        );
+        assert!(sdtd_tighter_than_bounded(&tight, &merged, 9, 100_000).holds());
+        // and not the other way: merged admits conference-only professors
+        match sdtd_tighter_than_bounded(&merged, &tight, 9, 100_000) {
+            SBoundedTightness::Witness(w) => {
+                let journals = w
+                    .root
+                    .walk()
+                    .filter(|e| e.name.as_str() == "journal")
+                    .count();
+                assert!(journals < 2, "unexpected witness: {w:?}");
+            }
+            other => panic!("expected a witness, got {other:?}"),
+        }
+        assert_eq!(counting_necessary_condition(&tight, &merged, 9), None);
+        assert!(counting_necessary_condition(&merged, &tight, 9).is_some());
+    }
+
+    #[test]
+    fn reflexive() {
+        let a = sd("{<v : x*> <x : PCDATA>}");
+        assert!(sdtd_tighter_than_bounded(&a, &a, 6, 10_000).holds());
+    }
+
+    #[test]
+    fn inconclusive_when_capped() {
+        let a = sd("{<v : (x | y)*> <x : PCDATA> <y : EMPTY>}");
+        let r = sdtd_tighter_than_bounded(&a, &a, 12, 5);
+        assert!(matches!(r, SBoundedTightness::Inconclusive));
+    }
+
+    #[test]
+    fn image_dtd_covers_the_sdtd() {
+        let s = sd(
+            "{<v : p^1, p*> <p : t?> <p^1 : t> <t : EMPTY>}",
+        );
+        let image = sdtd_image_dtd(&s).unwrap();
+        // every s-DTD document satisfies the image DTD
+        for doc in enumerate_documents(&image, 6, 10_000) {
+            // (trivially true by construction; spot-check acceptance works)
+            let _ = crate::sdtd::sdtd_satisfies(&s, &doc);
+        }
+        // p's image type is the union t? | t ≡ t?
+        let p = image.get(mix_relang::name("p")).unwrap().regex().unwrap();
+        assert!(mix_relang::equivalent(
+            p,
+            &mix_relang::parse_regex("t?").unwrap()
+        ));
+    }
+
+    #[test]
+    fn mixed_kind_specializations_are_inexpressible() {
+        let s = sd("{<v : x> <x : PCDATA> <x^1 : y?> <y : EMPTY>}");
+        assert!(sdtd_image_dtd(&s).is_none());
+        assert!(matches!(
+            sdtd_tighter_than_bounded(&s, &s, 5, 1000),
+            SBoundedTightness::Inconclusive
+        ));
+    }
+}

@@ -1,0 +1,340 @@
+//! Validation of elements and documents against a DTD (Definition 2.3/2.4).
+
+use crate::model::{ContentModel, Dtd};
+use mix_relang::symbol::Name;
+use mix_relang::Nfa;
+use mix_xml::{Content, Document, Element};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why an element failed validation, with the path from the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Element names from the root to the offending element.
+    pub path: Vec<Name>,
+    /// What went wrong there.
+    pub kind: ValidationErrorKind,
+}
+
+/// The kinds of validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationErrorKind {
+    /// The element's name has no type definition (Definition 2.3, cond. 1).
+    UndeclaredName(Name),
+    /// The root element is not the document type (Definition 2.4).
+    WrongDocType {
+        /// The expected document type.
+        expected: Name,
+        /// The actual root name.
+        actual: Name,
+    },
+    /// The child-name sequence is not in the type's language (cond. 2).
+    ContentMismatch {
+        /// The element whose content failed.
+        name: Name,
+        /// The observed child-name word.
+        found: Vec<Name>,
+    },
+    /// String content for a non-PCDATA type, or vice versa (cond. 3).
+    PcdataMismatch {
+        /// The element whose content failed.
+        name: Name,
+        /// True if the element had string content.
+        had_text: bool,
+    },
+    /// Two elements share an ID (validity, Appendix A).
+    DuplicateId(mix_xml::ElemId),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at /")?;
+        for (i, n) in self.path.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{n}")?;
+        }
+        match &self.kind {
+            ValidationErrorKind::UndeclaredName(n) => write!(f, ": undeclared name '{n}'"),
+            ValidationErrorKind::WrongDocType { expected, actual } => {
+                write!(f, ": document type is '{actual}', DTD requires '{expected}'")
+            }
+            ValidationErrorKind::ContentMismatch { name, found } => {
+                write!(f, ": content of '{name}' is [")?;
+                for (i, n) in found.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                write!(f, "], not in the declared model")
+            }
+            ValidationErrorKind::PcdataMismatch { name, had_text } => {
+                if *had_text {
+                    write!(f, ": '{name}' has string content but is not PCDATA")
+                } else {
+                    write!(f, ": '{name}' is PCDATA but has element content")
+                }
+            }
+            ValidationErrorKind::DuplicateId(id) => write!(f, ": duplicate id '{id}'"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// A validator with per-name compiled automata, reusable across many
+/// documents (the benches validate thousands).
+pub struct Validator<'d> {
+    dtd: &'d Dtd,
+    automata: HashMap<Name, Nfa>,
+}
+
+impl<'d> Validator<'d> {
+    /// Compiles every content model of `dtd`.
+    pub fn new(dtd: &'d Dtd) -> Validator<'d> {
+        let mut automata = HashMap::new();
+        for (n, m) in dtd.types.iter() {
+            if let ContentModel::Elements(r) = m {
+                automata.insert(n, Nfa::from_regex(r));
+            }
+        }
+        Validator { dtd, automata }
+    }
+
+    /// Checks `e |= D` (Definition 2.3), ignoring the document-type rule.
+    pub fn validate_element(&self, e: &Element) -> Result<(), ValidationError> {
+        let mut path = Vec::new();
+        self.go(e, &mut path)
+    }
+
+    /// Checks a full document: `e |= D`, root name = document type, and ID
+    /// uniqueness.
+    pub fn validate_document(&self, doc: &Document) -> Result<(), ValidationError> {
+        if doc.root.name != self.dtd.doc_type {
+            return Err(ValidationError {
+                path: vec![doc.root.name],
+                kind: ValidationErrorKind::WrongDocType {
+                    expected: self.dtd.doc_type,
+                    actual: doc.root.name,
+                },
+            });
+        }
+        if let Some(id) = doc.duplicate_id() {
+            return Err(ValidationError {
+                path: vec![doc.root.name],
+                kind: ValidationErrorKind::DuplicateId(id),
+            });
+        }
+        self.validate_element(&doc.root)
+    }
+
+    fn go(&self, e: &Element, path: &mut Vec<Name>) -> Result<(), ValidationError> {
+        path.push(e.name);
+        let fail = |path: &[Name], kind| Err(ValidationError {
+            path: path.to_vec(),
+            kind,
+        });
+        let Some(model) = self.dtd.get(e.name) else {
+            return fail(path, ValidationErrorKind::UndeclaredName(e.name));
+        };
+        match (&e.content, model) {
+            (Content::Text(_), ContentModel::Pcdata) => {}
+            (Content::Text(_), ContentModel::Elements(_)) => {
+                return fail(
+                    path,
+                    ValidationErrorKind::PcdataMismatch {
+                        name: e.name,
+                        had_text: true,
+                    },
+                );
+            }
+            (Content::Elements(_), ContentModel::Pcdata) => {
+                return fail(
+                    path,
+                    ValidationErrorKind::PcdataMismatch {
+                        name: e.name,
+                        had_text: false,
+                    },
+                );
+            }
+            (Content::Elements(children), ContentModel::Elements(_)) => {
+                let word: Vec<mix_relang::Sym> =
+                    children.iter().map(|c| c.name.untagged()).collect();
+                let nfa = self.automata.get(&e.name).expect("compiled with the DTD");
+                if !nfa.accepts(&word) {
+                    return fail(
+                        path,
+                        ValidationErrorKind::ContentMismatch {
+                            name: e.name,
+                            found: children.iter().map(|c| c.name).collect(),
+                        },
+                    );
+                }
+                for c in children {
+                    self.go(c, path)?;
+                }
+            }
+        }
+        path.pop();
+        Ok(())
+    }
+}
+
+/// One-shot element validation (`e |= D`, Definition 2.3).
+pub fn validate_element(dtd: &Dtd, e: &Element) -> Result<(), ValidationError> {
+    Validator::new(dtd).validate_element(e)
+}
+
+/// One-shot document validation (Definition 2.4 + ID uniqueness).
+pub fn validate_document(dtd: &Dtd, doc: &Document) -> Result<(), ValidationError> {
+    Validator::new(dtd).validate_document(doc)
+}
+
+/// Convenience used throughout the tests: `e |= D`?
+pub fn satisfies(dtd: &Dtd, doc: &Document) -> bool {
+    validate_document(dtd, doc).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::d1_department;
+    use mix_xml::parse_document;
+
+    fn dept_doc() -> Document {
+        parse_document(
+            "<department>\
+               <name>CS</name>\
+               <professor><firstName>Y</firstName><lastName>P</lastName>\
+                 <publication><title>t</title><author>a</author><journal/></publication>\
+                 <teaches/></professor>\
+               <gradStudent><firstName>P</firstName><lastName>V</lastName>\
+                 <publication><title>t2</title><author>a</author><conference/></publication>\
+               </gradStudent>\
+             </department>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_department_document() {
+        assert!(satisfies(&d1_department(), &dept_doc()));
+    }
+
+    #[test]
+    fn wrong_doc_type() {
+        let doc = parse_document("<professor><firstName>x</firstName></professor>").unwrap();
+        let err = validate_document(&d1_department(), &doc).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ValidationErrorKind::WrongDocType { .. }
+        ));
+    }
+
+    #[test]
+    fn content_mismatch_reports_path() {
+        // professor missing lastName
+        let doc = parse_document(
+            "<department><name>CS</name>\
+               <professor><firstName>Y</firstName>\
+                 <publication><title>t</title><author>a</author><journal/></publication>\
+                 <teaches/></professor>\
+               <gradStudent><firstName>P</firstName><lastName>V</lastName>\
+                 <publication><title>t</title><author>a</author><journal/></publication>\
+               </gradStudent>\
+             </department>",
+        )
+        .unwrap();
+        let err = validate_document(&d1_department(), &doc).unwrap_err();
+        match &err.kind {
+            ValidationErrorKind::ContentMismatch { name, .. } => {
+                assert_eq!(name.as_str(), "professor");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let shown = err.to_string();
+        assert!(shown.contains("department/professor"), "{shown}");
+    }
+
+    #[test]
+    fn pcdata_mismatch_both_directions() {
+        // journal is EMPTY (ε) but given text
+        let doc = parse_document(
+            "<department><name>CS</name>\
+               <professor><firstName>Y</firstName><lastName>P</lastName>\
+                 <publication><title>t</title><author>a</author>\
+                   <journal>VLDB J.</journal></publication>\
+                 <teaches/></professor>\
+               <gradStudent><firstName>P</firstName><lastName>V</lastName>\
+                 <publication><title>t</title><author>a</author><journal/></publication>\
+               </gradStudent>\
+             </department>",
+        )
+        .unwrap();
+        let err = validate_document(&d1_department(), &doc).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ValidationErrorKind::PcdataMismatch { had_text: true, .. }
+        ));
+        // name is PCDATA but given children
+        let doc = parse_document(
+            "<department><name><x/></name>\
+               <professor><firstName>Y</firstName><lastName>P</lastName>\
+                 <publication><title>t</title><author>a</author><journal/></publication>\
+                 <teaches/></professor>\
+               <gradStudent><firstName>P</firstName><lastName>V</lastName>\
+                 <publication><title>t</title><author>a</author><journal/></publication>\
+               </gradStudent>\
+             </department>",
+        )
+        .unwrap();
+        let err = validate_document(&d1_department(), &doc).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ValidationErrorKind::PcdataMismatch {
+                had_text: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn undeclared_name() {
+        let dtd = crate::parse::parse_compact("{<r : a?> <a : PCDATA>}").unwrap();
+        let doc = parse_document("<r><b>hm</b></r>").unwrap();
+        let err = validate_document(&dtd, &doc).unwrap_err();
+        // content model is checked first: b is not in a?'s language
+        assert!(matches!(
+            err.kind,
+            ValidationErrorKind::ContentMismatch { .. }
+        ));
+        // but a document whose *root* is undeclared reports UndeclaredName
+        let dtd2 = crate::parse::parse_compact("{<b : zzz?> <zzz : PCDATA>}").unwrap();
+        let doc2 = parse_document("<b><undeclared/></b>").unwrap();
+        let err2 = validate_document(&dtd2, &doc2).unwrap_err();
+        assert!(matches!(
+            err2.kind,
+            ValidationErrorKind::ContentMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_content_matches_epsilon_model() {
+        let dtd = crate::parse::parse_compact("{<r : a*> <a : EMPTY>}").unwrap();
+        let doc = parse_document("<r><a/><a/></r>").unwrap();
+        assert!(satisfies(&dtd, &doc));
+        let doc = parse_document("<r/>").unwrap();
+        assert!(satisfies(&dtd, &doc));
+    }
+
+    #[test]
+    fn validator_is_reusable() {
+        let dtd = d1_department();
+        let v = Validator::new(&dtd);
+        for _ in 0..3 {
+            assert!(v.validate_document(&dept_doc()).is_ok());
+        }
+    }
+}

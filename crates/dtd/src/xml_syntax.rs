@@ -1,0 +1,74 @@
+//! Serialization of DTDs back to real XML `<!DOCTYPE … [ <!ELEMENT …> ]>`
+//! syntax, so inferred view DTDs can be handed to standard XML tooling.
+//!
+//! Plain DTDs roundtrip exactly through [`crate::parse::parse_xml_dtd`].
+//! Specialized DTDs cannot be expressed in XML DTD syntax (tags are not
+//! names); use [`crate::model::SDtd`]'s display or merge first.
+
+use crate::model::{ContentModel, Dtd};
+use mix_relang::ast::Regex;
+use std::fmt::Write;
+
+/// Renders one content model in XML DTD syntax.
+fn model_to_xml(m: &ContentModel) -> String {
+    match m {
+        ContentModel::Pcdata => "(#PCDATA)".to_owned(),
+        ContentModel::Elements(Regex::Epsilon) => "EMPTY".to_owned(),
+        ContentModel::Elements(r) => {
+            // XML requires the model to be parenthesized
+            format!("({r})")
+        }
+    }
+}
+
+/// Serializes `d` as a `<!DOCTYPE>` declaration with an internal subset.
+pub fn to_xml_syntax(d: &Dtd) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<!DOCTYPE {} [", d.doc_type);
+    for (n, m) in d.types.iter() {
+        let _ = writeln!(out, "  <!ELEMENT {n} {}>", model_to_xml(m));
+    }
+    out.push_str("]>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_compact, parse_xml_dtd};
+    use crate::paper::d1_department;
+
+    #[test]
+    fn d1_roundtrips_through_xml_syntax() {
+        let d = d1_department();
+        let xml = to_xml_syntax(&d);
+        assert!(xml.starts_with("<!DOCTYPE department ["), "{xml}");
+        assert!(xml.contains(
+            "<!ELEMENT publication (title, author+, (journal | conference))>"
+        ));
+        assert!(xml.contains("<!ELEMENT teaches EMPTY>"));
+        assert!(xml.contains("<!ELEMENT firstName (#PCDATA)>"));
+        let again = parse_xml_dtd(&xml).expect("generated XML DTD parses");
+        assert_eq!(d, again);
+    }
+
+    #[test]
+    fn random_dtds_roundtrip() {
+        use crate::generate::{seeded_dtd, DtdGenConfig};
+        for seed in 0..40u64 {
+            let d = seeded_dtd(seed, &DtdGenConfig::default());
+            let xml = to_xml_syntax(&d);
+            let again = parse_xml_dtd(&xml)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{xml}"));
+            assert_eq!(d, again, "seed {seed} roundtrip mismatch");
+        }
+    }
+
+    #[test]
+    fn inferred_view_dtds_roundtrip() {
+        // the pipeline's merged output is a plain DTD and must export
+        let d = parse_compact("{<v : a*, b?> <a : PCDATA> <b : c+> <c : EMPTY>}").unwrap();
+        let xml = to_xml_syntax(&d);
+        assert_eq!(parse_xml_dtd(&xml).unwrap(), d);
+    }
+}

@@ -1,0 +1,553 @@
+//! Programmatic query construction for the DTD-based query interface.
+//!
+//! Section 1: the interface "displays the structure of the view elements
+//! and also provides fill-in windows and menus that allow the user to
+//! place conditions on the elements" [BGL+]. [`QueryBuilder`] is that
+//! workflow as an API: conditions are attached to *label paths* that are
+//! validated against the DTD as they are entered (a UI would grey out
+//! impossible menu entries; we return a typed error), and the builder
+//! assembles the final pick-element query.
+//!
+//! Requiring the same path twice produces two sibling conditions with an
+//! automatic `!=` pair — the Example 4.2 "two different publications"
+//! pattern. `require` returns a [`NodeRef`] handle, and
+//! [`QueryBuilder::require_under`] attaches further constraints *inside*
+//! a specific condition, so "two different publications, each with a
+//! journal" is expressible without ambiguity.
+
+use crate::interface::occurs;
+use mix_dtd::{ContentModel, Dtd};
+use mix_relang::symbol::Name;
+use mix_xmas::{Body, Condition, NameTest, Query, Var};
+use std::fmt;
+
+/// What a built condition requires at its path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// The element must exist.
+    Exists,
+    /// The element must exist with exactly this string content.
+    Text(String),
+}
+
+/// Errors raised while the query is being assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The first path step must be the DTD's document type.
+    RootMismatch {
+        /// What the path started with.
+        got: Name,
+        /// The document type.
+        expected: Name,
+    },
+    /// A step is not a possible child of its parent according to the DTD.
+    NotAChild {
+        /// The parent name.
+        parent: Name,
+        /// The impossible child.
+        child: Name,
+    },
+    /// A text constraint was placed on a non-PCDATA element.
+    NotPcdata(Name),
+    /// A structural constraint descends below a PCDATA element.
+    BelowPcdata(Name),
+    /// `pick` was never called.
+    NoPick,
+    /// The pick path is empty.
+    EmptyPath,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::RootMismatch { got, expected } => {
+                write!(f, "path must start at the document type '{expected}', got '{got}'")
+            }
+            BuildError::NotAChild { parent, child } => {
+                write!(f, "'{child}' cannot occur inside '{parent}' (per the DTD)")
+            }
+            BuildError::NotPcdata(n) => {
+                write!(f, "'{n}' has element content; a text condition is impossible")
+            }
+            BuildError::BelowPcdata(n) => {
+                write!(f, "'{n}' is PCDATA; nothing can be required inside it")
+            }
+            BuildError::NoPick => write!(f, "no pick path was chosen"),
+            BuildError::EmptyPath => write!(f, "paths must have at least one step"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A node of the under-construction condition tree.
+#[derive(Debug, Clone)]
+struct Node {
+    name: Name,
+    text: Option<String>,
+    id_var: Option<Var>,
+    is_pick: bool,
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn new(name: Name) -> Node {
+        Node {
+            name,
+            text: None,
+            id_var: None,
+            is_pick: false,
+            children: Vec::new(),
+        }
+    }
+}
+
+/// A handle to one condition node of the under-construction tree
+/// (child-index path from the root).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeRef(Vec<usize>);
+
+/// Builds pick-element queries interactively against a DTD.
+pub struct QueryBuilder<'d> {
+    dtd: &'d Dtd,
+    view_name: Name,
+    root: Node,
+    diseqs: Vec<(Var, Var)>,
+    next_id: u32,
+    has_pick: bool,
+}
+
+impl<'d> QueryBuilder<'d> {
+    /// Starts a query named `view_name` over `dtd`.
+    pub fn new(dtd: &'d Dtd, view_name: &str) -> QueryBuilder<'d> {
+        QueryBuilder {
+            dtd,
+            view_name: Name::intern(view_name),
+            root: Node::new(dtd.doc_type),
+            diseqs: Vec::new(),
+            next_id: 0,
+            has_pick: false,
+        }
+    }
+
+    /// The child names the DTD allows under `parent` — what a menu would
+    /// display, with occurrence bounds.
+    pub fn menu(&self, parent: Name) -> Vec<(Name, crate::interface::Occurs)> {
+        match self.dtd.get(parent) {
+            Some(ContentModel::Elements(r)) => {
+                let mut seen = Vec::new();
+                let mut out = Vec::new();
+                for s in r.syms_in_order() {
+                    if !seen.contains(&s.name) {
+                        seen.push(s.name);
+                        out.push((s.name, occurs(r, s.name)));
+                    }
+                }
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn check_path(&self, path: &[&str]) -> Result<Vec<Name>, BuildError> {
+        if path.is_empty() {
+            return Err(BuildError::EmptyPath);
+        }
+        let names: Vec<Name> = path.iter().map(|s| Name::intern(s)).collect();
+        if names[0] != self.dtd.doc_type {
+            return Err(BuildError::RootMismatch {
+                got: names[0],
+                expected: self.dtd.doc_type,
+            });
+        }
+        for w in names.windows(2) {
+            let (parent, child) = (w[0], w[1]);
+            match self.dtd.get(parent) {
+                Some(ContentModel::Elements(r)) if r.names().contains(&child) => {}
+                Some(ContentModel::Elements(_)) | None => {
+                    return Err(BuildError::NotAChild { parent, child })
+                }
+                Some(ContentModel::Pcdata) => return Err(BuildError::BelowPcdata(parent)),
+            }
+        }
+        Ok(names)
+    }
+
+    /// Descends to `path`, creating (or reusing) one condition node per
+    /// step; `fresh_leaf` forces a *new* sibling at the last step.
+    fn descend(&mut self, names: &[Name], fresh_leaf: bool) -> &mut Node {
+        // navigate immutably first to decide reuse, then rebuild mutably —
+        // simplest borrow-friendly approach: recursive helper
+        fn go<'n>(node: &'n mut Node, rest: &[Name], fresh_leaf: bool) -> &'n mut Node {
+            match rest.split_first() {
+                None => node,
+                Some((&step, tail)) => {
+                    let is_leaf = tail.is_empty();
+                    let reuse = if is_leaf && fresh_leaf {
+                        None
+                    } else {
+                        node.children.iter().position(|c| c.name == step)
+                    };
+                    let idx = match reuse {
+                        Some(i) => i,
+                        None => {
+                            node.children.push(Node::new(step));
+                            node.children.len() - 1
+                        }
+                    };
+                    go(&mut node.children[idx], tail, fresh_leaf)
+                }
+            }
+        }
+        go(&mut self.root, &names[1..], fresh_leaf)
+    }
+
+    /// Requires the element at `path` (which must start at the document
+    /// type) to exist, or to have the given text. Re-requiring the same
+    /// path adds a *distinct* sibling with automatic pairwise `!=`
+    /// constraints against every existing twin. Returns a handle to the
+    /// (possibly new) leaf condition for [`QueryBuilder::require_under`].
+    pub fn require(&mut self, path: &[&str], c: Constraint) -> Result<NodeRef, BuildError> {
+        let names = self.check_path(path)?;
+        let leaf_name = *names.last().expect("checked nonempty");
+        if let Constraint::Text(_) = &c {
+            if !matches!(self.dtd.get(leaf_name), Some(ContentModel::Pcdata)) {
+                return Err(BuildError::NotPcdata(leaf_name));
+            }
+        }
+        // a one-step path names the root itself: there is only one root,
+        // so only a text constraint can add anything
+        if names.len() == 1 {
+            if let Constraint::Text(t) = c {
+                self.root.text = Some(t);
+            }
+            return Ok(NodeRef(vec![]));
+        }
+        // does a node already exist at this exact path? then force a new
+        // distinct sibling and link it to *every* existing twin with !=
+        // (three requires of the same path ⇒ three pairwise constraints)
+        let node_ref;
+        if self.find_existing(&names).is_some() {
+            let twins = self.ensure_id_vars_at_all(&names);
+            self.descend(&names, true); // push the fresh sibling
+            self.next_id += 1;
+            let fresh_var = Var::new(&format!("Id{}", self.next_id));
+            node_ref = self.ref_of_last_fresh(&names);
+            let leaf = self.node_mut(&node_ref);
+            leaf.id_var = Some(fresh_var);
+            if let Constraint::Text(t) = c {
+                leaf.text = Some(t);
+            }
+            for v in twins {
+                self.diseqs.push((v, fresh_var));
+            }
+        } else {
+            self.descend(&names, false);
+            node_ref = self.ref_of_first(&names);
+            if let Constraint::Text(t) = c {
+                self.node_mut(&node_ref).text = Some(t);
+            }
+        }
+        Ok(node_ref)
+    }
+
+    /// Requires `subpath` *inside* the condition `base` (a handle from a
+    /// previous `require`), validated against the DTD from `base`'s name.
+    /// This is how "two different publications, each containing a
+    /// journal" is built: require the publication path twice and extend
+    /// each handle separately.
+    pub fn require_under(
+        &mut self,
+        base: &NodeRef,
+        subpath: &[&str],
+        c: Constraint,
+    ) -> Result<NodeRef, BuildError> {
+        if subpath.is_empty() {
+            return Err(BuildError::EmptyPath);
+        }
+        let base_name = self.node_mut(base).name;
+        // validate base_name → subpath chain
+        let names: Vec<Name> = std::iter::once(base_name)
+            .chain(subpath.iter().map(|s| Name::intern(s)))
+            .collect();
+        for w in names.windows(2) {
+            let (parent, child) = (w[0], w[1]);
+            match self.dtd.get(parent) {
+                Some(ContentModel::Elements(r)) if r.names().contains(&child) => {}
+                Some(ContentModel::Elements(_)) | None => {
+                    return Err(BuildError::NotAChild { parent, child })
+                }
+                Some(ContentModel::Pcdata) => return Err(BuildError::BelowPcdata(parent)),
+            }
+        }
+        let leaf_name = *names.last().expect("nonempty");
+        if let Constraint::Text(_) = &c {
+            if !matches!(self.dtd.get(leaf_name), Some(ContentModel::Pcdata)) {
+                return Err(BuildError::NotPcdata(leaf_name));
+            }
+        }
+        // descend under the base node, reusing prefixes
+        let mut here = base.clone();
+        for &step in &names[1..] {
+            let node = self.node_mut(&here);
+            let idx = match node.children.iter().position(|ch| ch.name == step) {
+                Some(i) => i,
+                None => {
+                    node.children.push(Node::new(step));
+                    node.children.len() - 1
+                }
+            };
+            here.0.push(idx);
+        }
+        if let Constraint::Text(t) = c {
+            self.node_mut(&here).text = Some(t);
+        }
+        Ok(here)
+    }
+
+    /// Chooses the pick path — the elements the view will contain.
+    pub fn pick(&mut self, path: &[&str]) -> Result<&mut Self, BuildError> {
+        let names = self.check_path(path)?;
+        let leaf = self.descend(&names, false);
+        leaf.is_pick = true;
+        self.has_pick = true;
+        Ok(self)
+    }
+
+    /// Marks the condition behind a handle as the pick.
+    pub fn pick_node(&mut self, node: &NodeRef) -> &mut Self {
+        self.node_mut(node).is_pick = true;
+        self.has_pick = true;
+        self
+    }
+
+    fn node_mut(&mut self, r: &NodeRef) -> &mut Node {
+        let mut cur = &mut self.root;
+        for &i in &r.0 {
+            cur = &mut cur.children[i];
+        }
+        cur
+    }
+
+    /// Handle of the first existing node at this path.
+    fn ref_of_first(&self, names: &[Name]) -> NodeRef {
+        let mut cur = &self.root;
+        let mut out = Vec::new();
+        for &step in &names[1..] {
+            let idx = cur
+                .children
+                .iter()
+                .position(|ch| ch.name == step)
+                .expect("descend created it");
+            out.push(idx);
+            cur = &cur.children[idx];
+        }
+        NodeRef(out)
+    }
+
+    /// Handle of the most recently pushed sibling at this path.
+    fn ref_of_last_fresh(&self, names: &[Name]) -> NodeRef {
+        let mut cur = &self.root;
+        let mut out = Vec::new();
+        for (k, &step) in names[1..].iter().enumerate() {
+            let is_leaf = k == names.len() - 2;
+            let idx = if is_leaf {
+                cur.children
+                    .iter()
+                    .rposition(|ch| ch.name == step)
+                    .expect("just pushed")
+            } else {
+                cur.children
+                    .iter()
+                    .position(|ch| ch.name == step)
+                    .expect("prefix exists")
+            };
+            out.push(idx);
+            cur = &cur.children[idx];
+        }
+        NodeRef(out)
+    }
+
+    fn find_existing(&self, names: &[Name]) -> Option<&Node> {
+        let mut cur = &self.root;
+        for &step in &names[1..] {
+            cur = cur.children.iter().find(|c| c.name == step)?;
+        }
+        Some(cur)
+    }
+
+    /// Id variables of every existing leaf at this exact path, assigning
+    /// fresh ones where missing.
+    fn ensure_id_vars_at_all(&mut self, names: &[Name]) -> Vec<Var> {
+        // navigate to the parent of the leaves
+        let mut cur = &mut self.root;
+        for &step in &names[1..names.len() - 1] {
+            let idx = cur
+                .children
+                .iter()
+                .position(|c| c.name == step)
+                .expect("prefix exists: find_existing succeeded");
+            cur = &mut cur.children[idx];
+        }
+        let leaf_name = *names.last().expect("nonempty");
+        let mut out = Vec::new();
+        for child in cur.children.iter_mut().filter(|c| c.name == leaf_name) {
+            let v = match child.id_var {
+                Some(v) => v,
+                None => {
+                    self.next_id += 1;
+                    let fresh = Var::new(&format!("Id{}", self.next_id));
+                    child.id_var = Some(fresh);
+                    fresh
+                }
+            };
+            out.push(v);
+        }
+        out
+    }
+
+    /// Assembles the query.
+    pub fn build(&self) -> Result<Query, BuildError> {
+        if !self.has_pick {
+            return Err(BuildError::NoPick);
+        }
+        fn convert(n: &Node) -> Condition {
+            let body = match &n.text {
+                Some(t) => Body::Text(t.clone()),
+                None => Body::Children(n.children.iter().map(convert).collect()),
+            };
+            Condition {
+                test: NameTest::name(n.name),
+                var: if n.is_pick { Some(Var::new("P")) } else { None },
+                id_var: n.id_var,
+                tag: 0,
+                body,
+            }
+        }
+        Ok(Query {
+            view_name: self.view_name,
+            pick: Var::new("P"),
+            root: convert(&self.root),
+            diseqs: self.diseqs.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_dtd::paper::d1_department;
+    use mix_xmas::{evaluate, normalize, parse_query};
+    use mix_xml::parse_document;
+
+    #[test]
+    fn builds_q2_equivalent() {
+        let d = d1_department();
+        let mut b = QueryBuilder::new(&d, "withJournals");
+        b.require(&["department", "name"], Constraint::Text("CS".into()))
+            .unwrap();
+        let pub1 = b
+            .require(&["department", "professor", "publication"], Constraint::Exists)
+            .unwrap();
+        b.require_under(&pub1, &["journal"], Constraint::Exists)
+            .unwrap();
+        let pub2 = b
+            .require(&["department", "professor", "publication"], Constraint::Exists)
+            .unwrap();
+        b.require_under(&pub2, &["journal"], Constraint::Exists)
+            .unwrap();
+        b.pick(&["department", "professor"]).unwrap();
+        let built = b.build().unwrap();
+        assert_eq!(built.diseqs.len(), 1);
+
+        // behaves like the hand-written professor-restricted Q2
+        let reference = parse_query(
+            "withJournals = SELECT P WHERE <department> <name>CS</name> \
+               P:<professor> \
+                 <publication id=A><journal/></publication> \
+                 <publication id=B><journal/></publication> \
+               </> </> AND A != B",
+        )
+        .unwrap();
+        let doc = parse_document(
+            "<department><name>CS</name>\
+               <professor><firstName>two</firstName><lastName>l</lastName>\
+                 <publication><title>a</title><author>x</author><journal/></publication>\
+                 <publication><title>b</title><author>x</author><journal/></publication>\
+                 <teaches/></professor>\
+               <professor><firstName>one</firstName><lastName>l</lastName>\
+                 <publication><title>c</title><author>x</author><journal/></publication>\
+                 <teaches/></professor>\
+               <gradStudent><firstName>g</firstName><lastName>l</lastName>\
+                 <publication><title>d</title><author>x</author><journal/></publication>\
+               </gradStudent></department>",
+        )
+        .unwrap();
+        let a = evaluate(&normalize(&built, &d).unwrap(), &doc);
+        let bref = evaluate(&normalize(&reference, &d).unwrap(), &doc);
+        assert!(mix_xml::same_structural_class(&a.root, &bref.root));
+        assert_eq!(a.root.children().len(), 1);
+    }
+
+    #[test]
+    fn invalid_paths_are_rejected_like_a_menu_would() {
+        let d = d1_department();
+        let mut b = QueryBuilder::new(&d, "v");
+        assert!(matches!(
+            b.require(&["professor"], Constraint::Exists),
+            Err(BuildError::RootMismatch { .. })
+        ));
+        assert!(matches!(
+            b.require(&["department", "journal"], Constraint::Exists),
+            Err(BuildError::NotAChild { .. })
+        ));
+        assert!(matches!(
+            b.require(&["department", "professor"], Constraint::Text("x".into())),
+            Err(BuildError::NotPcdata(_))
+        ));
+        assert!(matches!(
+            b.require(&["department", "name", "deeper"], Constraint::Exists),
+            Err(BuildError::BelowPcdata(_))
+        ));
+        assert!(matches!(b.require(&[], Constraint::Exists), Err(BuildError::EmptyPath)));
+    }
+
+    #[test]
+    fn build_requires_a_pick() {
+        let d = d1_department();
+        let mut b = QueryBuilder::new(&d, "v");
+        b.require(&["department", "name"], Constraint::Exists).unwrap();
+        assert!(matches!(b.build(), Err(BuildError::NoPick)));
+        b.pick(&["department", "professor"]).unwrap();
+        let q = b.build().unwrap();
+        assert!(normalize(&q, &d).is_ok());
+    }
+
+    #[test]
+    fn menu_lists_dtd_children_with_bounds() {
+        let d = d1_department();
+        let b = QueryBuilder::new(&d, "v");
+        let menu = b.menu(mix_relang::name("department"));
+        let labels: Vec<&str> = menu.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(labels, ["name", "professor", "gradStudent", "course"]);
+        assert!(b.menu(mix_relang::name("firstName")).is_empty());
+    }
+
+    #[test]
+    fn shared_prefixes_merge() {
+        let d = d1_department();
+        let mut b = QueryBuilder::new(&d, "v");
+        b.require(&["department", "professor", "teaches"], Constraint::Exists)
+            .unwrap();
+        b.require(
+            &["department", "professor", "firstName"],
+            Constraint::Text("Y".into()),
+        )
+        .unwrap();
+        b.pick(&["department", "professor"]).unwrap();
+        let q = b.build().unwrap();
+        // one professor condition with two children
+        assert_eq!(q.root.children().len(), 1);
+        assert_eq!(q.root.children()[0].children().len(), 2);
+    }
+}

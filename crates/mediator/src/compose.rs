@@ -1,0 +1,289 @@
+//! View–query composition.
+//!
+//! "It first combines the incoming query and the view into a query which
+//! refers directly to the source data" (Section 1, describing TSIMMIS —
+//! MIX inherits the architecture). For pick-element queries over
+//! pick-element views, composition grafts the user query's condition on
+//! the view's members onto the view definition's pick node, producing one
+//! query the wrapper can answer without materializing the view.
+//!
+//! Composition applies when the user query constrains a *single* view
+//! member (its root has exactly one child condition); multi-member
+//! correlations fall back to materialization — they can relate picked
+//! elements from unrelated positions of the source and are not expressible
+//! as one tree condition over the source.
+//!
+//! A second guard protects the distinct-sibling semantics (Section 4.2's
+//! "no two sibling conditions can bind to the same element"): merging the
+//! two queries' conditions under the pick node would force *distinct*
+//! witnesses even where evaluating over the materialized view lets the
+//! same child satisfy a view condition and a user condition. Composition
+//! therefore bails whenever a user condition's name test overlaps a view
+//! condition's name test at the pick level.
+
+use mix_relang::symbol::Name;
+use mix_xmas::{Body, Condition, NameTest, Query, Var};
+use std::collections::HashSet;
+
+/// Composes `user` (a query over the view's exported document) with
+/// `view` (the view definition over the source), returning a source-level
+/// query equivalent to evaluating `user` over the materialized view.
+/// `None` when composition does not apply.
+pub fn compose(view: &Query, user: &Query) -> Option<Query> {
+    // the user query must address the view by name at its root
+    if !user.root.test.matches(view.view_name) {
+        return None;
+    }
+    // root-level constraints other than a single member condition defeat
+    // composition
+    if user.root.var == Some(user.pick) || user.root.id_var.is_some() {
+        return None;
+    }
+    let member_cond = match &user.root.body {
+        Body::Children(v) if v.len() == 1 => &v[0],
+        Body::Children(v) if v.is_empty() => return None, // picks the root
+        _ => return None,
+    };
+    // the pick must live inside the member condition
+    member_cond.path_to_var(user.pick)?;
+    let view_pick = view.pick_node()?;
+    // intersect the name tests
+    let test = intersect(&view_pick.test, &member_cond.test)?;
+    // variables of the two queries must not collide (normalization would
+    // reject the merged tree); rename is possible but conservatively bail
+    let view_vars: HashSet<Var> = view.declared_vars().into_iter().collect();
+    if user
+        .declared_vars()
+        .into_iter()
+        .any(|v| view_vars.contains(&v))
+    {
+        return None;
+    }
+    // both sides must use children bodies on the pick/member node
+    let (Body::Children(view_kids), Body::Children(member_kids)) =
+        (&view_pick.body, &member_cond.body)
+    else {
+        // a Text body on either side: composable only if the other side
+        // has no children constraints
+        return compose_text(view, user, member_cond);
+    };
+    // distinct-sibling guard: overlapping name tests at the merge level
+    // would make the composed query stricter than the materialized plan
+    for vk in view_kids {
+        for mk in member_kids {
+            if overlaps(&vk.test, &mk.test) {
+                return None;
+            }
+        }
+    }
+    let mut merged_kids = view_kids.clone();
+    merged_kids.extend(member_kids.iter().cloned());
+    let merged_pick = Condition {
+        test,
+        var: member_cond.var.or(view_pick.var),
+        id_var: view_pick.id_var.or(member_cond.id_var),
+        tag: 0,
+        body: Body::Children(merged_kids),
+    };
+    let root = replace_pick(&view.root, view.pick, &merged_pick)?;
+    let mut diseqs = view.diseqs.clone();
+    diseqs.extend(user.diseqs.iter().copied());
+    Some(Query {
+        view_name: user.view_name,
+        pick: user.pick,
+        root,
+        diseqs,
+    })
+}
+
+/// Text-body corner: the member condition requires string content.
+fn compose_text(view: &Query, user: &Query, member_cond: &Condition) -> Option<Query> {
+    let view_pick = view.pick_node()?;
+    let Body::Children(view_kids) = &view_pick.body else {
+        return None;
+    };
+    if !view_kids.is_empty() {
+        // the view requires element children; a text member can't match
+        // — composition would need an unsatisfiable condition; bail to
+        // materialization which will return empty
+        return None;
+    }
+    let test = intersect(&view_pick.test, &member_cond.test)?;
+    let merged_pick = Condition {
+        test,
+        var: member_cond.var.or(view_pick.var),
+        id_var: view_pick.id_var.or(member_cond.id_var),
+        tag: 0,
+        body: member_cond.body.clone(),
+    };
+    let root = replace_pick(&view.root, view.pick, &merged_pick)?;
+    let mut diseqs = view.diseqs.clone();
+    diseqs.extend(user.diseqs.iter().copied());
+    Some(Query {
+        view_name: user.view_name,
+        pick: user.pick,
+        root,
+        diseqs,
+    })
+}
+
+fn overlaps(a: &NameTest, b: &NameTest) -> bool {
+    match (a, b) {
+        (NameTest::Wildcard, _) | (_, NameTest::Wildcard) => true,
+        (NameTest::Names(x), NameTest::Names(y)) => x.iter().any(|n| y.contains(n)),
+    }
+}
+
+fn intersect(a: &NameTest, b: &NameTest) -> Option<NameTest> {
+    match (a, b) {
+        (NameTest::Wildcard, other) | (other, NameTest::Wildcard) => Some(other.clone()),
+        (NameTest::Names(x), NameTest::Names(y)) => {
+            let out: Vec<Name> = x.iter().copied().filter(|n| y.contains(n)).collect();
+            if out.is_empty() {
+                None
+            } else {
+                Some(NameTest::Names(out))
+            }
+        }
+    }
+}
+
+/// Rebuilds the view condition tree with the node binding `pick` replaced.
+fn replace_pick(c: &Condition, pick: Var, replacement: &Condition) -> Option<Condition> {
+    if c.var == Some(pick) {
+        return Some(replacement.clone());
+    }
+    match &c.body {
+        Body::Text(_) => None,
+        Body::Children(kids) => {
+            let mut out = c.clone();
+            let Body::Children(out_kids) = &mut out.body else {
+                unreachable!("cloned children body");
+            };
+            for (i, k) in kids.iter().enumerate() {
+                if let Some(r) = replace_pick(k, pick, replacement) {
+                    out_kids[i] = r;
+                    return Some(out);
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_xmas::parse_query;
+
+    fn view() -> Query {
+        parse_query(
+            "withJournals = SELECT P WHERE <department> <name>CS</name> \
+               P:<professor | gradStudent> <publication><journal/></publication> </> </>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grafts_member_condition_onto_pick() {
+        let user = parse_query(
+            "ans = SELECT X WHERE <withJournals> X:<professor> <teaches/> </professor> </>",
+        )
+        .unwrap();
+        let composed = compose(&view(), &user).unwrap();
+        assert_eq!(composed.view_name.as_str(), "ans");
+        assert_eq!(composed.pick, Var::new("X"));
+        // composed root is over the source (department), pick narrowed to
+        // professor, with both the view's publication condition and the
+        // user's teaches condition
+        let pick = composed.pick_node().unwrap();
+        assert_eq!(pick.test.names(), &[mix_relang::name("professor")]);
+        assert_eq!(pick.children().len(), 2);
+        assert_eq!(
+            composed.root.test.names(),
+            &[mix_relang::name("department")]
+        );
+    }
+
+    #[test]
+    fn pick_deeper_than_member() {
+        let user = parse_query(
+            "ans = SELECT T WHERE <withJournals> <professor | gradStudent> \
+               T:<teaches/> </> </withJournals>",
+        )
+        .unwrap();
+        let composed = compose(&view(), &user).unwrap();
+        let path = composed.pick_path().unwrap();
+        assert_eq!(path.len(), 3); // department / pick / teaches
+    }
+
+    #[test]
+    fn overlapping_sibling_tests_do_not_compose() {
+        // the view already constrains a publication child; a user
+        // condition on publications would be forced onto a *different*
+        // publication if merged — bail to materialization instead
+        let user = parse_query(
+            "ans = SELECT T WHERE <withJournals> <professor | gradStudent> \
+               <publication> T:<title/> </publication> </> </withJournals>",
+        )
+        .unwrap();
+        assert!(compose(&view(), &user).is_none());
+    }
+
+    #[test]
+    fn disjoint_name_tests_do_not_compose() {
+        let user =
+            parse_query("ans = SELECT X WHERE <withJournals> X:<course/> </withJournals>")
+                .unwrap();
+        assert!(compose(&view(), &user).is_none());
+    }
+
+    #[test]
+    fn multi_member_queries_do_not_compose() {
+        let user = parse_query(
+            "ans = SELECT X WHERE <withJournals> X:<professor/> <gradStudent/> </withJournals>",
+        )
+        .unwrap();
+        assert!(compose(&view(), &user).is_none());
+    }
+
+    #[test]
+    fn picking_the_view_root_does_not_compose() {
+        let user = parse_query("ans = SELECT W WHERE W:<withJournals/>").unwrap();
+        assert!(compose(&view(), &user).is_none());
+    }
+
+    #[test]
+    fn wrong_view_name_does_not_compose() {
+        let user = parse_query("ans = SELECT X WHERE <other> X:<professor/> </other>").unwrap();
+        assert!(compose(&view(), &user).is_none());
+    }
+
+    #[test]
+    fn variable_collisions_do_not_compose() {
+        // the view also uses P
+        let user = parse_query(
+            "ans = SELECT P WHERE <withJournals> P:<professor/> </withJournals>",
+        )
+        .unwrap();
+        assert!(compose(&view(), &user).is_none());
+    }
+
+    #[test]
+    fn diseqs_are_carried_over() {
+        // a view without publication conditions, so the user's publication
+        // pair merges cleanly
+        let v = parse_query(
+            "people = SELECT P WHERE <department> <name>CS</name> \
+               P:<professor | gradStudent> <firstName/> </> </>",
+        )
+        .unwrap();
+        let user = parse_query(
+            "ans = SELECT X WHERE <people> X:<professor> \
+               <publication id=A/> <publication id=B/> </professor> </> AND A != B",
+        )
+        .unwrap();
+        let composed = compose(&v, &user).unwrap();
+        assert_eq!(composed.diseqs.len(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! The DTD-based query interface (Section 1): renders the structure of a
+//! (view) DTD as an indented tree with cardinality annotations, "which
+//! displays the structure of the view elements and also provides fill-in
+//! windows and menus that allow the user to place conditions on the
+//! elements". We produce the textual structure summary such an interface
+//! displays; cycles (recursive DTDs) are cut with a back-reference marker.
+
+use mix_dtd::{ContentModel, Dtd};
+use mix_relang::ast::Regex;
+use mix_relang::symbol::Name;
+use std::collections::HashSet;
+use std::fmt::Write;
+
+/// Occurrence bounds of a child name within a content model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occurs {
+    /// Minimum number of occurrences in any word.
+    pub min: u32,
+    /// Maximum number of occurrences (`None` = unbounded).
+    pub max: Option<u32>,
+}
+
+impl Occurs {
+    fn display(self) -> String {
+        match (self.min, self.max) {
+            (1, Some(1)) => String::new(),
+            (0, Some(1)) => " (0..1)".to_owned(),
+            (0, None) => " (0..*)".to_owned(),
+            (min, None) => format!(" ({min}..*)"),
+            (min, Some(max)) => format!(" ({min}..{max})"),
+        }
+    }
+}
+
+/// Syntactic occurrence bounds of `n` in `r` (exact for star-free parts;
+/// `min` takes the cheapest alternative, `max` the widest).
+pub fn occurs(r: &Regex, n: Name) -> Occurs {
+    fn go(r: &Regex, n: Name) -> (u32, Option<u32>) {
+        match r {
+            Regex::Empty | Regex::Epsilon => (0, Some(0)),
+            Regex::Sym(s) => {
+                if s.name == n {
+                    (1, Some(1))
+                } else {
+                    (0, Some(0))
+                }
+            }
+            Regex::Concat(v) => v.iter().fold((0, Some(0)), |(amin, amax), x| {
+                let (bmin, bmax) = go(x, n);
+                (
+                    amin + bmin,
+                    match (amax, bmax) {
+                        (Some(a), Some(b)) => Some(a + b),
+                        _ => None,
+                    },
+                )
+            }),
+            Regex::Alt(v) => v.iter().fold((u32::MAX, Some(0)), |(amin, amax), x| {
+                let (bmin, bmax) = go(x, n);
+                (
+                    amin.min(bmin),
+                    match (amax, bmax) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    },
+                )
+            }),
+            Regex::Star(g) => {
+                let (_, gmax) = go(g, n);
+                (0, if gmax == Some(0) { Some(0) } else { None })
+            }
+            Regex::Plus(g) => {
+                let (gmin, gmax) = go(g, n);
+                (gmin, if gmax == Some(0) { Some(0) } else { None })
+            }
+            Regex::Opt(g) => {
+                let (_, gmax) = go(g, n);
+                (0, gmax)
+            }
+        }
+    }
+    let (min, max) = go(r, n);
+    Occurs {
+        min: if min == u32::MAX { 0 } else { min },
+        max,
+    }
+}
+
+/// Renders the structure summary the DTD-based query interface displays.
+pub fn render_structure(dtd: &Dtd) -> String {
+    let mut out = String::new();
+    let mut path: HashSet<Name> = HashSet::new();
+    render(dtd, dtd.doc_type, 0, &mut path, &mut out);
+    out
+}
+
+fn render(dtd: &Dtd, n: Name, depth: usize, path: &mut HashSet<Name>, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match dtd.get(n) {
+        None => {
+            let _ = writeln!(out, "{pad}{n} (undeclared)");
+        }
+        Some(ContentModel::Pcdata) => {
+            let _ = writeln!(out, "{pad}{n}: PCDATA");
+        }
+        Some(ContentModel::Elements(r)) => {
+            let _ = writeln!(out, "{pad}{n}: {r}");
+            if path.contains(&n) {
+                let _ = writeln!(out, "{pad}  … (recursive)");
+                return;
+            }
+            path.insert(n);
+            let mut seen: Vec<Name> = Vec::new();
+            for s in r.syms() {
+                if seen.contains(&s.name) {
+                    continue;
+                }
+                seen.push(s.name);
+            }
+            for child in seen {
+                let o = occurs(r, child);
+                match dtd.get(child) {
+                    Some(ContentModel::Pcdata) => {
+                        let _ = writeln!(
+                            out,
+                            "{pad}  {child}: PCDATA{}",
+                            o.display()
+                        );
+                    }
+                    _ => {
+                        let before = out.len();
+                        render(dtd, child, depth + 1, path, out);
+                        // annotate cardinality on the line we just wrote
+                        if let Some(nl) = out[before..].find('\n') {
+                            out.insert_str(before + nl, &o.display());
+                        }
+                    }
+                }
+            }
+            path.remove(&n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_dtd::paper::{d1_department, section_recursive};
+    use mix_relang::parse_regex;
+    use mix_relang::symbol::name;
+
+    #[test]
+    fn occurrence_bounds() {
+        let r = parse_regex("name, professor+, gradStudent*, course?").unwrap();
+        assert_eq!(
+            occurs(&r, name("name")),
+            Occurs {
+                min: 1,
+                max: Some(1)
+            }
+        );
+        assert_eq!(occurs(&r, name("professor")), Occurs { min: 1, max: None });
+        assert_eq!(
+            occurs(&r, name("gradStudent")),
+            Occurs { min: 0, max: None }
+        );
+        assert_eq!(
+            occurs(&r, name("course")),
+            Occurs {
+                min: 0,
+                max: Some(1)
+            }
+        );
+        let r = parse_regex("(journal | conference)").unwrap();
+        assert_eq!(
+            occurs(&r, name("journal")),
+            Occurs {
+                min: 0,
+                max: Some(1)
+            }
+        );
+        let r = parse_regex("a, a, a*").unwrap();
+        assert_eq!(occurs(&r, name("a")), Occurs { min: 2, max: None });
+    }
+
+    #[test]
+    fn renders_department_structure() {
+        let s = render_structure(&d1_department());
+        assert!(s.starts_with("department:"), "{s}");
+        assert!(s.contains("professor:"));
+        assert!(s.contains("firstName: PCDATA"));
+        assert!(s.contains("(0..*)") || s.contains("(1..*)"), "{s}");
+    }
+
+    #[test]
+    fn recursive_dtds_terminate() {
+        let s = render_structure(&section_recursive());
+        assert!(s.contains("(recursive)"), "{s}");
+    }
+}

@@ -1,0 +1,30 @@
+//! # mix-mediator — the MIX mediator substrate
+//!
+//! The on-demand XML mediator architecture of Section 1: wrappers export
+//! XML data typed by DTDs ([`Wrapper`], [`XmlSource`]); the mediator
+//! registers XMAS views, runs the View DTD Inference module on
+//! registration, and answers user queries with a DTD-based query
+//! simplifier (pruning provably-empty queries) and view–query composition
+//! (avoiding materialization). Mediators stack: a [`ViewWrapper`] exports
+//! a view — with its *inferred* DTD — as a source for a higher mediator.
+//! [`render_structure`] is the structure summary of the DTD-based query
+//! interface.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod compose;
+pub mod interface;
+#[allow(clippy::module_inception)]
+pub mod mediator;
+pub mod simplifier;
+pub mod source;
+pub mod stack;
+
+pub use builder::{BuildError, Constraint, QueryBuilder};
+pub use compose::compose;
+pub use interface::{occurs, render_structure, Occurs};
+pub use mediator::{Answer, AnswerPath, Mediator, MediatorError, ProcessorConfig, UnionView, View};
+pub use simplifier::{simplify_query, SimplifyStats};
+pub use source::{Wrapper, XmlSource};
+pub use stack::ViewWrapper;

@@ -1,0 +1,602 @@
+//! The MIX mediator: view registration with DTD inference, and query
+//! answering with the DTD-based simplifier and view–query composition.
+
+use crate::compose::compose;
+use crate::source::Wrapper;
+use mix_infer::{
+    classify_query, infer_union_view_dtd, infer_view_dtd, InferredUnionView, InferredView,
+    Verdict,
+};
+use mix_relang::symbol::Name;
+use mix_xmas::{evaluate, normalize, NormalizeError, Query};
+use mix_xml::{Content, Document, ElemId, Element};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A registered view: its definition, its source, and its inferred DTDs.
+pub struct View {
+    /// The source the view is defined over.
+    pub source: String,
+    /// Everything the inference pipeline produced (normalized query,
+    /// s-DTD, merged DTD, verdict).
+    pub inferred: InferredView,
+}
+
+/// A registered *union* view over several sources (the intro's "union the
+/// structures exported by 100 sites" scenario): one pick-element query per
+/// source, members concatenated in registration order.
+pub struct UnionView {
+    /// The sources, in union order.
+    pub sources: Vec<String>,
+    /// The union inference result (s-DTD, merged DTD, verdict).
+    pub inferred: InferredUnionView,
+}
+
+enum AnyView {
+    Single(View),
+    Union(UnionView),
+}
+
+impl AnyView {
+    fn dtd(&self) -> &mix_dtd::Dtd {
+        match self {
+            AnyView::Single(v) => &v.inferred.dtd,
+            AnyView::Union(v) => &v.inferred.dtd,
+        }
+    }
+
+    /// Is the plain `dtd()` a *sound* description of the view? False only
+    /// for union views mixing PCDATA and element content for one name —
+    /// reasoning on the plain DTD is then disabled.
+    fn plain_dtd_is_sound(&self) -> bool {
+        match self {
+            AnyView::Single(_) => true,
+            AnyView::Union(v) => v.inferred.kind_conflicts.is_empty(),
+        }
+    }
+}
+
+/// Errors surfaced by the mediator API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MediatorError {
+    /// `add_source`/`register_view` referenced an unknown source.
+    UnknownSource(String),
+    /// A query's root does not name a registered view.
+    UnknownView(Name),
+    /// A view with that name already exists.
+    DuplicateView(Name),
+    /// The view/query failed normalization.
+    Normalize(NormalizeError),
+}
+
+impl fmt::Display for MediatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediatorError::UnknownSource(s) => write!(f, "unknown source '{s}'"),
+            MediatorError::UnknownView(n) => write!(f, "no view named '{n}'"),
+            MediatorError::DuplicateView(n) => write!(f, "view '{n}' already registered"),
+            MediatorError::Normalize(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MediatorError {}
+
+impl From<NormalizeError> for MediatorError {
+    fn from(e: NormalizeError) -> Self {
+        MediatorError::Normalize(e)
+    }
+}
+
+/// How a query was answered — surfaced so the ablation benches (X8/X9)
+/// and the examples can show the effect of each optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerPath {
+    /// The DTD-based simplifier proved the query unsatisfiable against the
+    /// view DTD; no source was contacted.
+    PrunedUnsatisfiable,
+    /// The query was composed with the view definition and shipped to the
+    /// source as one query (no view materialization).
+    Composed,
+    /// The view was materialized and the query evaluated over it.
+    Materialized,
+}
+
+/// An answered query.
+pub struct Answer {
+    /// The result document.
+    pub document: Document,
+    /// Which execution path produced it.
+    pub path: AnswerPath,
+}
+
+/// Knobs for the query processor (used by the ablation experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct ProcessorConfig {
+    /// Use the view DTD to prune unsatisfiable queries (Section 1: "the
+    /// query simplifier may employ the source DTDs to create a more
+    /// efficient plan").
+    pub use_simplifier: bool,
+    /// Compose queries with view definitions instead of materializing.
+    pub use_composition: bool,
+    /// Rewrite queries before evaluation: drop provably-valid conditions
+    /// and narrow dead disjuncts (see [`crate::simplifier`]).
+    pub use_condition_pruning: bool,
+}
+
+impl Default for ProcessorConfig {
+    fn default() -> Self {
+        ProcessorConfig {
+            use_simplifier: true,
+            use_composition: true,
+            use_condition_pruning: true,
+        }
+    }
+}
+
+/// The MIX mediator.
+pub struct Mediator {
+    sources: HashMap<String, Arc<dyn Wrapper>>,
+    views: HashMap<Name, AnyView>,
+    /// Registration order, for deterministic listings.
+    view_order: Vec<Name>,
+    config: ProcessorConfig,
+}
+
+impl Default for Mediator {
+    fn default() -> Self {
+        Mediator::new()
+    }
+}
+
+impl Mediator {
+    /// An empty mediator with the default processor configuration.
+    pub fn new() -> Mediator {
+        Mediator::with_config(ProcessorConfig::default())
+    }
+
+    /// An empty mediator with an explicit processor configuration.
+    pub fn with_config(config: ProcessorConfig) -> Mediator {
+        Mediator {
+            sources: HashMap::new(),
+            views: HashMap::new(),
+            view_order: Vec::new(),
+            config,
+        }
+    }
+
+    /// Registers a wrapper under a name.
+    pub fn add_source(&mut self, name: &str, wrapper: Arc<dyn Wrapper>) {
+        self.sources.insert(name.to_owned(), wrapper);
+    }
+
+    /// Defines a view over a source: runs the View DTD Inference module
+    /// and stores the result. Returns the inferred view for inspection.
+    pub fn register_view(&mut self, source: &str, q: &Query) -> Result<&View, MediatorError> {
+        let wrapper = self
+            .sources
+            .get(source)
+            .ok_or_else(|| MediatorError::UnknownSource(source.to_owned()))?;
+        if self.views.contains_key(&q.view_name) {
+            return Err(MediatorError::DuplicateView(q.view_name));
+        }
+        let inferred = infer_view_dtd(q, wrapper.dtd())?;
+        self.view_order.push(q.view_name);
+        self.views.insert(
+            q.view_name,
+            AnyView::Single(View {
+                source: source.to_owned(),
+                inferred,
+            }),
+        );
+        match &self.views[&q.view_name] {
+            AnyView::Single(v) => Ok(v),
+            AnyView::Union(_) => unreachable!("just inserted a single view"),
+        }
+    }
+
+    /// Defines a union view: one query per source, members concatenated in
+    /// the given order. The View DTD Inference module runs per part and
+    /// the results are combined (identical-schema sites fold together,
+    /// heterogeneous definitions stay apart as specializations).
+    pub fn register_union_view(
+        &mut self,
+        view_name: &str,
+        parts: &[(&str, Query)],
+    ) -> Result<&UnionView, MediatorError> {
+        let view_name = Name::intern(view_name);
+        if self.views.contains_key(&view_name) {
+            return Err(MediatorError::DuplicateView(view_name));
+        }
+        let mut pairs = Vec::new();
+        for (source, q) in parts {
+            let wrapper = self
+                .sources
+                .get(*source)
+                .ok_or_else(|| MediatorError::UnknownSource((*source).to_owned()))?;
+            pairs.push((q, wrapper.dtd()));
+        }
+        let refs: Vec<(&Query, &mix_dtd::Dtd)> =
+            pairs.iter().map(|(q, d)| (*q, *d)).collect();
+        let inferred = infer_union_view_dtd(view_name, &refs)?;
+        self.view_order.push(view_name);
+        self.views.insert(
+            view_name,
+            AnyView::Union(UnionView {
+                sources: parts.iter().map(|(s, _)| (*s).to_owned()).collect(),
+                inferred,
+            }),
+        );
+        match &self.views[&view_name] {
+            AnyView::Union(v) => Ok(v),
+            AnyView::Single(_) => unreachable!("just inserted a union view"),
+        }
+    }
+
+    /// The registered single-source view, if any.
+    pub fn view(&self, name: Name) -> Option<&View> {
+        match self.views.get(&name) {
+            Some(AnyView::Single(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The registered union view, if any.
+    pub fn union_view(&self, name: Name) -> Option<&UnionView> {
+        match self.views.get(&name) {
+            Some(AnyView::Union(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The inferred plain DTD of any registered view.
+    pub fn view_dtd(&self, name: Name) -> Option<&mix_dtd::Dtd> {
+        self.views.get(&name).map(AnyView::dtd)
+    }
+
+    /// Registered view names in registration order.
+    pub fn view_names(&self) -> &[Name] {
+        &self.view_order
+    }
+
+    /// Replaces a source's wrapper — the paper's "dynamic and unknown
+    /// information" scenario: a site changed its schema. Every view over
+    /// the source is re-inferred; the names of views whose *view DTD*
+    /// changed (as a document set) are returned, so higher layers (or
+    /// stacked mediators) know to re-infer in turn.
+    pub fn replace_source(
+        &mut self,
+        source: &str,
+        wrapper: Arc<dyn Wrapper>,
+    ) -> Result<Vec<Name>, MediatorError> {
+        if !self.sources.contains_key(source) {
+            return Err(MediatorError::UnknownSource(source.to_owned()));
+        }
+        self.sources.insert(source.to_owned(), wrapper);
+        let mut changed = Vec::new();
+        let names: Vec<Name> = self.view_order.clone();
+        for vname in names {
+            let uses_source = match &self.views[&vname] {
+                AnyView::Single(v) => v.source == source,
+                AnyView::Union(v) => v.sources.iter().any(|s| s == source),
+            };
+            if !uses_source {
+                continue;
+            }
+            let new_view = match &self.views[&vname] {
+                AnyView::Single(v) => {
+                    let w = &self.sources[&v.source];
+                    let inferred = infer_view_dtd(&v.inferred.query, w.dtd())?;
+                    AnyView::Single(View {
+                        source: v.source.clone(),
+                        inferred,
+                    })
+                }
+                AnyView::Union(v) => {
+                    let pairs: Vec<(&Query, &mix_dtd::Dtd)> = v
+                        .sources
+                        .iter()
+                        .zip(&v.inferred.queries)
+                        .map(|(s, q)| (q, self.sources[s].dtd()))
+                        .collect();
+                    let inferred = infer_union_view_dtd(vname, &pairs)?;
+                    AnyView::Union(UnionView {
+                        sources: v.sources.clone(),
+                        inferred,
+                    })
+                }
+            };
+            let old = &self.views[&vname];
+            let dtd_changed = !(old.plain_dtd_is_sound()
+                && new_view.plain_dtd_is_sound()
+                && mix_dtd::same_documents(old.dtd(), new_view.dtd()));
+            if dtd_changed {
+                changed.push(vname);
+            }
+            self.views.insert(vname, new_view);
+        }
+        Ok(changed)
+    }
+
+    /// Materializes a view by running its definition at the source(s).
+    pub fn materialize(&self, name: Name) -> Result<Document, MediatorError> {
+        match self
+            .views
+            .get(&name)
+            .ok_or(MediatorError::UnknownView(name))?
+        {
+            AnyView::Single(view) => {
+                let wrapper = self
+                    .sources
+                    .get(&view.source)
+                    .ok_or_else(|| MediatorError::UnknownSource(view.source.clone()))?;
+                Ok(wrapper.answer(&view.inferred.query))
+            }
+            AnyView::Union(view) => {
+                // resolve every wrapper up front so errors surface before
+                // any work is spawned
+                let mut parts: Vec<(Arc<dyn Wrapper>, &Query)> = Vec::new();
+                for (source, q) in view.sources.iter().zip(&view.inferred.queries) {
+                    let wrapper = self
+                        .sources
+                        .get(source)
+                        .ok_or_else(|| MediatorError::UnknownSource(source.clone()))?;
+                    parts.push((Arc::clone(wrapper), q));
+                }
+                // query the sources in parallel (wrappers are Send + Sync);
+                // member order stays the registration order
+                let answers: Vec<Document> = if parts.len() > 1 {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = parts
+                            .iter()
+                            .map(|(w, q)| scope.spawn(move || w.answer(q)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("source query panicked"))
+                            .collect()
+                    })
+                } else {
+                    parts.iter().map(|(w, q)| w.answer(q)).collect()
+                };
+                let mut members = Vec::new();
+                for part in answers {
+                    if let Content::Elements(kids) = part.root.content {
+                        members.extend(kids);
+                    }
+                }
+                Ok(Document::new(Element {
+                    name,
+                    id: ElemId::fresh(),
+                    content: Content::Elements(members),
+                }))
+            }
+        }
+    }
+
+    /// Answers a user query whose condition is rooted at a view name,
+    /// using (per configuration) the DTD-based simplifier and view–query
+    /// composition.
+    pub fn query(&self, q: &Query) -> Result<Answer, MediatorError> {
+        // find the view the query addresses
+        let view_name = q
+            .root
+            .test
+            .names()
+            .iter()
+            .copied()
+            .find(|n| self.views.contains_key(n))
+            .ok_or_else(|| {
+                MediatorError::UnknownView(
+                    q.root.test.names().first().copied().unwrap_or(q.view_name),
+                )
+            })?;
+        let any = &self.views[&view_name];
+        let view_dtd = any.dtd();
+        let dtd_sound = any.plain_dtd_is_sound();
+        // 1. DTD-based simplification: prune certainly-empty queries.
+        if self.config.use_simplifier && dtd_sound {
+            let nq = normalize(q, view_dtd)?;
+            if classify_query(&nq, view_dtd) == Verdict::Unsatisfiable {
+                return Ok(Answer {
+                    document: empty_answer(q.view_name),
+                    path: AnswerPath::PrunedUnsatisfiable,
+                });
+            }
+        }
+        // 2. composition with the view definition (single-source views).
+        if self.config.use_composition {
+            if let AnyView::Single(view) = any {
+                if let Some(composed) = compose(&view.inferred.query, q) {
+                    let wrapper = self
+                        .sources
+                        .get(&view.source)
+                        .ok_or_else(|| MediatorError::UnknownSource(view.source.clone()))?;
+                    return Ok(Answer {
+                        document: wrapper.answer(&composed),
+                        path: AnswerPath::Composed,
+                    });
+                }
+            }
+        }
+        // 3. fall back to materialize-then-evaluate (with DTD-guided
+        //    condition pruning when configured).
+        let materialized = self.materialize(view_name)?;
+        let mut nq = normalize(q, view_dtd)?;
+        if self.config.use_condition_pruning && dtd_sound {
+            let (pruned, _) = crate::simplifier::simplify_query(&nq, view_dtd);
+            nq = pruned;
+        }
+        Ok(Answer {
+            document: evaluate(&nq, &materialized),
+            path: AnswerPath::Materialized,
+        })
+    }
+}
+
+fn empty_answer(name: Name) -> Document {
+    Document::new(Element {
+        name,
+        id: ElemId::fresh(),
+        content: Content::Elements(vec![]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::XmlSource;
+    use mix_dtd::paper::d1_department;
+    use mix_relang::symbol::name;
+    use mix_xmas::parse_query;
+    use mix_xml::parse_document;
+
+    fn dept_doc() -> Document {
+        parse_document(
+            "<department><name>CS</name>\
+               <professor><firstName>Y</firstName><lastName>P</lastName>\
+                 <publication><title>a</title><author>x</author><journal/></publication>\
+                 <publication><title>b</title><author>x</author><journal/></publication>\
+                 <teaches/></professor>\
+               <professor><firstName>V</firstName><lastName>W</lastName>\
+                 <publication><title>c</title><author>x</author><conference/></publication>\
+                 <teaches/></professor>\
+               <gradStudent><firstName>P</firstName><lastName>V</lastName>\
+                 <publication><title>d</title><author>x</author><journal/></publication>\
+               </gradStudent></department>",
+        )
+        .unwrap()
+    }
+
+    fn mediator() -> Mediator {
+        let mut m = Mediator::new();
+        let src = XmlSource::new(d1_department(), dept_doc()).unwrap();
+        m.add_source("cs-dept", Arc::new(src));
+        let v = parse_query(
+            "withJournals = SELECT P WHERE <department> <name>CS</name> \
+               P:<professor | gradStudent> \
+                 <publication><journal/></publication> \
+               </> </>",
+        )
+        .unwrap();
+        m.register_view("cs-dept", &v).unwrap();
+        m
+    }
+
+    #[test]
+    fn register_infers_view_dtd() {
+        let m = mediator();
+        let v = m.view(name("withJournals")).unwrap();
+        assert_eq!(v.inferred.verdict, Verdict::Satisfiable);
+        assert!(v.inferred.dtd.types.contains(name("withJournals")));
+    }
+
+    #[test]
+    fn duplicate_view_rejected() {
+        let mut m = mediator();
+        let v = parse_query("withJournals = SELECT X WHERE <department> X:<professor/> </>")
+            .unwrap();
+        assert!(matches!(
+            m.register_view("cs-dept", &v),
+            Err(MediatorError::DuplicateView(_))
+        ));
+    }
+
+    #[test]
+    fn materialize_runs_the_view() {
+        let m = mediator();
+        let doc = m.materialize(name("withJournals")).unwrap();
+        // prof Y (journal), gradStudent P (journal); prof V has only a
+        // conference publication
+        assert_eq!(doc.root.children().len(), 2);
+    }
+
+    #[test]
+    fn query_composed_path() {
+        let m = mediator();
+        // professors in the view (drops the gradStudent)
+        let q = parse_query(
+            "ans = SELECT X WHERE <withJournals> X:<professor/> </withJournals>",
+        )
+        .unwrap();
+        let a = m.query(&q).unwrap();
+        assert_eq!(a.path, AnswerPath::Composed);
+        assert_eq!(a.document.root.children().len(), 1);
+        assert_eq!(
+            a.document.root.children()[0].children()[0].pcdata(),
+            Some("Y")
+        );
+    }
+
+    #[test]
+    fn query_pruned_by_simplifier() {
+        let m = mediator();
+        // view DTD knows a withJournals member has no 'course' children
+        let q = parse_query(
+            "ans = SELECT C WHERE <withJournals> <professor> C:<course/> </> </withJournals>",
+        )
+        .unwrap();
+        let a = m.query(&q).unwrap();
+        assert_eq!(a.path, AnswerPath::PrunedUnsatisfiable);
+        assert_eq!(a.document.root.children().len(), 0);
+    }
+
+    #[test]
+    fn composed_equals_materialized() {
+        let with = mediator();
+        let without = {
+            let mut m = Mediator::with_config(ProcessorConfig {
+                use_simplifier: false,
+                use_composition: false,
+                use_condition_pruning: false,
+            });
+            let src = XmlSource::new(d1_department(), dept_doc()).unwrap();
+            m.add_source("cs-dept", Arc::new(src));
+            let v = parse_query(
+                "withJournals = SELECT P WHERE <department> <name>CS</name> \
+                   P:<professor | gradStudent> \
+                     <publication><journal/></publication> \
+                   </> </>",
+            )
+            .unwrap();
+            m.register_view("cs-dept", &v).unwrap();
+            m
+        };
+        for src in [
+            "ans = SELECT P WHERE <withJournals> P:<professor/> </withJournals>",
+            "ans = SELECT T WHERE <withJournals> <professor | gradStudent> \
+               <publication> T:<title/> </publication> </> </withJournals>",
+            "ans = SELECT P WHERE <withJournals> P:<gradStudent> <publication/> </> </>",
+        ] {
+            let q = parse_query(src).unwrap();
+            let a = with.query(&q).unwrap();
+            let b = without.query(&q).unwrap();
+            assert_eq!(b.path, AnswerPath::Materialized);
+            // compare structures (IDs are fresh on both paths)
+            assert!(
+                mix_xml::same_structural_class(&a.document.root, &b.document.root),
+                "composed vs materialized mismatch for {src}:\n{:?}\nvs\n{:?}",
+                a.document,
+                b.document
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_view_error() {
+        let m = mediator();
+        let q = parse_query("ans = SELECT X WHERE <nope> X:<a/> </nope>").unwrap();
+        assert!(matches!(m.query(&q), Err(MediatorError::UnknownView(_))));
+    }
+
+    #[test]
+    fn unknown_source_error() {
+        let mut m = Mediator::new();
+        let v = parse_query("v = SELECT X WHERE X:<a/>").unwrap();
+        assert!(matches!(
+            m.register_view("ghost", &v),
+            Err(MediatorError::UnknownSource(_))
+        ));
+    }
+}

@@ -1,0 +1,114 @@
+//! Wrappers and sources.
+//!
+//! In the MIX architecture (Section 1) *wrappers* conceptually export the
+//! source data as XML together with a DTD, and answer queries against it.
+//! [`Wrapper`] is that interface; [`XmlSource`] is the standard
+//! implementation backed by an in-memory document (our stand-in for the
+//! paper's web sources and repositories); mediators themselves implement
+//! `Wrapper` for stacking ("mediators can be stacked on top of
+//! mediators").
+
+use mix_dtd::{validate_document, Dtd, ValidationError};
+use mix_xmas::{evaluate, normalize, Query};
+use mix_xml::Document;
+
+/// Anything that exports XML data typed by a DTD and answers pick-element
+/// queries about it.
+pub trait Wrapper: Send + Sync {
+    /// The DTD of the exported data.
+    fn dtd(&self) -> &Dtd;
+
+    /// The full exported document.
+    fn fetch(&self) -> Document;
+
+    /// Answers a query whose condition is rooted at this source's document
+    /// type. The default implementation evaluates over [`Wrapper::fetch`];
+    /// real wrappers would push the query to the underlying system.
+    fn answer(&self, q: &Query) -> Document {
+        let doc = self.fetch();
+        match normalize(q, self.dtd()) {
+            Ok(nq) => evaluate(&nq, &doc),
+            Err(_) => evaluate(q, &doc),
+        }
+    }
+}
+
+/// A source holding one valid XML document — the repository behind a
+/// wrapper.
+pub struct XmlSource {
+    dtd: Dtd,
+    document: Document,
+}
+
+impl XmlSource {
+    /// Creates a source, validating the document against the DTD.
+    pub fn new(dtd: Dtd, document: Document) -> Result<XmlSource, ValidationError> {
+        validate_document(&dtd, &document)?;
+        Ok(XmlSource { dtd, document })
+    }
+
+    /// Replaces the document (sources are dynamic), re-validating.
+    pub fn update(&mut self, document: Document) -> Result<(), ValidationError> {
+        validate_document(&self.dtd, &document)?;
+        self.document = document;
+        Ok(())
+    }
+}
+
+impl Wrapper for XmlSource {
+    fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    fn fetch(&self) -> Document {
+        self.document.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_dtd::paper::d1_department;
+    use mix_xmas::parse_query;
+    use mix_xml::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            "<department><name>CS</name>\
+               <professor><firstName>Y</firstName><lastName>P</lastName>\
+                 <publication><title>t</title><author>a</author><journal/></publication>\
+                 <teaches/></professor>\
+               <gradStudent><firstName>P</firstName><lastName>V</lastName>\
+                 <publication><title>u</title><author>a</author><conference/></publication>\
+               </gradStudent></department>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn source_validates_on_construction() {
+        assert!(XmlSource::new(d1_department(), doc()).is_ok());
+        let bad = parse_document("<department><name>CS</name></department>").unwrap();
+        assert!(XmlSource::new(d1_department(), bad).is_err());
+    }
+
+    #[test]
+    fn source_answers_queries() {
+        let s = XmlSource::new(d1_department(), doc()).unwrap();
+        let q = parse_query(
+            "profs = SELECT P WHERE <department> P:<professor/> </department>",
+        )
+        .unwrap();
+        let out = s.answer(&q);
+        assert_eq!(out.root.children().len(), 1);
+        assert_eq!(out.doc_type().as_str(), "profs");
+    }
+
+    #[test]
+    fn update_revalidates() {
+        let mut s = XmlSource::new(d1_department(), doc()).unwrap();
+        let bad = parse_document("<department/>").unwrap();
+        assert!(s.update(bad).is_err());
+        assert!(s.update(doc()).is_ok());
+    }
+}

@@ -1,0 +1,107 @@
+//! 1-unambiguity ("determinism") of content models.
+//!
+//! XML 1.0 requires content models to be *deterministic*: a SGML-inherited
+//! rule demanding that each input symbol decide the next position without
+//! lookahead — formally, that the Glushkov automaton is deterministic
+//! (Brüggemann-Klein & Wood). The paper ignores the rule (its inferred
+//! DTDs are used by a query processor, not fed back to an XML parser),
+//! but a view DTD handed to standard tooling must satisfy it, so the
+//! library reports it: inferred view DTDs are frequently 1-ambiguous
+//! right after `Merge` (e.g. the union of two interleavings) and become
+//! deterministic again after simplification.
+
+use crate::ast::Regex;
+use crate::nfa::Nfa;
+use crate::symbol::Sym;
+
+/// A witness that `r` is not 1-unambiguous: from some prefix, the next
+/// `symbol` could continue at two different positions of the expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ambiguity {
+    /// The symbol with competing positions.
+    pub symbol: Sym,
+    /// The two competing Glushkov positions (1-based leaf indices in
+    /// left-to-right order).
+    pub positions: (u32, u32),
+}
+
+/// Checks 1-unambiguity: `None` means the model is deterministic in the
+/// XML 1.0 sense; otherwise a witness is returned.
+pub fn ambiguity(r: &Regex) -> Option<Ambiguity> {
+    let nfa = Nfa::from_regex(r);
+    for transitions in &nfa.transitions {
+        for (i, &(sym_a, ta)) in transitions.iter().enumerate() {
+            for &(sym_b, tb) in &transitions[i + 1..] {
+                if sym_a == sym_b && ta != tb {
+                    return Some(Ambiguity {
+                        symbol: sym_a,
+                        positions: (ta.min(tb), ta.max(tb)),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Is the content model deterministic (1-unambiguous)?
+pub fn is_deterministic(r: &Regex) -> bool {
+    ambiguity(r).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_regex;
+
+    fn det(s: &str) -> bool {
+        is_deterministic(&parse_regex(s).unwrap())
+    }
+
+    #[test]
+    fn deterministic_models() {
+        assert!(det("a, b, c"));
+        assert!(det("(a | b)*"));
+        assert!(det("title, author+, (journal | conference)"));
+        assert!(det("firstName, lastName, publication+, teaches"));
+        assert!(det("publication, publication+")); // D2's "at least two"
+        assert!(det("a?, b"));
+    }
+
+    #[test]
+    fn classic_ambiguous_models() {
+        // the canonical example: (a, b) | (a, c) — after reading `a` the
+        // parser cannot decide which branch it is in
+        assert!(!det("(a, b) | (a, c)"));
+        // (a | ε), a  ≡ a?, a — ambiguous on `a`
+        assert!(!det("a?, a"));
+        // merge-style union of interleavings
+        assert!(!det("(x, j, c) | (x, c, j)"));
+    }
+
+    #[test]
+    fn witness_points_at_the_symbol() {
+        let r = parse_regex("(a, b) | (a, c)").unwrap();
+        let w = ambiguity(&r).unwrap();
+        assert_eq!(w.symbol, crate::symbol::sym("a"));
+        assert_ne!(w.positions.0, w.positions.1);
+    }
+
+    #[test]
+    fn factoring_restores_determinism() {
+        // the simplifier's union factoring turns the ambiguous form into
+        // the deterministic a, (b | c)
+        let r = parse_regex("(a, b) | (a, c)").unwrap();
+        let s = crate::simplify::simplify(&r);
+        assert!(is_deterministic(&s), "simplified to {s}");
+    }
+
+    #[test]
+    fn ambiguity_is_about_positions_not_language() {
+        // a, a* and a+ have the same language; both deterministic
+        assert!(det("a, a*"));
+        assert!(det("a+"));
+        // but b*, (b | c) is ambiguous on b despite a simple language
+        assert!(!det("b*, (b | c)"));
+    }
+}

@@ -1,0 +1,468 @@
+//! Deterministic automata: subset construction, completion, product,
+//! Moore minimization, and the word-counting dynamic program used by the
+//! tightness metrics.
+
+use crate::ast::Regex;
+use crate::nfa::Nfa;
+use crate::symbol::Sym;
+use std::collections::HashMap;
+
+/// A complete deterministic finite automaton over an explicit alphabet.
+///
+/// Every state has exactly one transition per alphabet symbol (a sink state
+/// is materialized during construction), so language-theoretic operations
+/// (complement, product, counting) are table walks.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// The symbols this automaton distinguishes. Symbols outside the
+    /// alphabet are rejected from any state.
+    pub alphabet: Vec<Sym>,
+    /// `transitions[s * alphabet.len() + a]` = successor of state `s` on
+    /// alphabet symbol index `a`.
+    pub transitions: Vec<u32>,
+    /// `accepting[s]` is true if `s` is final.
+    pub accepting: Vec<bool>,
+    /// The start state.
+    pub start: u32,
+}
+
+impl Dfa {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// True when there are no states (never constructed that way).
+    pub fn is_empty(&self) -> bool {
+        self.accepting.is_empty()
+    }
+
+    fn step(&self, state: u32, a: usize) -> u32 {
+        self.transitions[state as usize * self.alphabet.len() + a]
+    }
+
+    fn sym_index(&self, s: Sym) -> Option<usize> {
+        self.alphabet.iter().position(|&x| x == s)
+    }
+
+    /// Subset construction over the given alphabet.
+    ///
+    /// The alphabet must be a superset of the symbols the NFA uses; extra
+    /// symbols yield dead transitions. Passing a shared alphabet lets two
+    /// DFAs be combined with [`Dfa::product`].
+    pub fn from_nfa(nfa: &Nfa, alphabet: &[Sym]) -> Dfa {
+        let asz = alphabet.len();
+        let nsz = nfa.len();
+        // Map each subset (bitset as Vec<u64>) to a DFA state id.
+        let words = nsz.div_ceil(64);
+        let mut start = vec![0u64; words];
+        start[0] |= 1; // NFA state 0
+        let mut index: HashMap<Vec<u64>, u32> = HashMap::new();
+        index.insert(start.clone(), 0);
+        let mut order = vec![start];
+        let mut transitions: Vec<u32> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut frontier = 0usize;
+        while frontier < order.len() {
+            let set = order[frontier].clone();
+            frontier += 1;
+            accepting.push(
+                (0..nsz).any(|s| set[s / 64] >> (s % 64) & 1 == 1 && nfa.accepting[s]),
+            );
+            for &a in alphabet.iter() {
+                let mut next = vec![0u64; words];
+                for s in 0..nsz {
+                    if set[s / 64] >> (s % 64) & 1 == 1 {
+                        for &(sym, t) in &nfa.transitions[s] {
+                            if sym == a {
+                                next[t as usize / 64] |= 1 << (t % 64);
+                            }
+                        }
+                    }
+                }
+                let id = *index.entry(next.clone()).or_insert_with(|| {
+                    order.push(next);
+                    (order.len() - 1) as u32
+                });
+                transitions.push(id);
+            }
+        }
+        debug_assert_eq!(transitions.len(), order.len() * asz);
+        Dfa {
+            alphabet: alphabet.to_vec(),
+            transitions,
+            accepting,
+            start: 0,
+        }
+    }
+
+    /// Builds a minimized DFA for `r` over the union of `r`'s symbols and
+    /// `extra` alphabet symbols.
+    pub fn from_regex_with_alphabet(r: &Regex, extra: &[Sym]) -> Dfa {
+        let mut alphabet: Vec<Sym> = r.syms().into_iter().collect();
+        for &s in extra {
+            if !alphabet.contains(&s) {
+                alphabet.push(s);
+            }
+        }
+        alphabet.sort();
+        Dfa::from_nfa(&Nfa::from_regex(r), &alphabet).minimize()
+    }
+
+    /// Builds a minimized DFA for `r` over exactly `r`'s own symbols.
+    pub fn from_regex(r: &Regex) -> Dfa {
+        Dfa::from_regex_with_alphabet(r, &[])
+    }
+
+    /// Runs the automaton. Symbols outside the alphabet reject.
+    pub fn accepts(&self, word: &[Sym]) -> bool {
+        let mut s = self.start;
+        for &c in word {
+            match self.sym_index(c) {
+                Some(a) => s = self.step(s, a),
+                None => return false,
+            }
+        }
+        self.accepting[s as usize]
+    }
+
+    /// Complement (the DFA is complete by construction, so this just flips
+    /// accepting states). The complement is relative to the alphabet.
+    pub fn complement(&self) -> Dfa {
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions: self.transitions.clone(),
+            accepting: self.accepting.iter().map(|b| !b).collect(),
+            start: self.start,
+        }
+    }
+
+    /// Product automaton computing the *intersection* of two languages.
+    ///
+    /// Panics if the alphabets differ — build both sides with a shared
+    /// alphabet (see [`Dfa::from_regex_with_alphabet`]).
+    pub fn product(&self, other: &Dfa) -> Dfa {
+        assert_eq!(
+            self.alphabet, other.alphabet,
+            "product requires a shared alphabet"
+        );
+        let asz = self.alphabet.len();
+        let mut index: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut order = vec![(self.start, other.start)];
+        index.insert(order[0], 0);
+        let mut transitions = Vec::new();
+        let mut accepting = Vec::new();
+        let mut i = 0;
+        while i < order.len() {
+            let (p, q) = order[i];
+            i += 1;
+            accepting.push(self.accepting[p as usize] && other.accepting[q as usize]);
+            for a in 0..asz {
+                let next = (self.step(p, a), other.step(q, a));
+                let id = *index.entry(next).or_insert_with(|| {
+                    order.push(next);
+                    (order.len() - 1) as u32
+                });
+                transitions.push(id);
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions,
+            accepting,
+            start: 0,
+        }
+    }
+
+    /// Does the automaton accept any word at all?
+    pub fn language_is_empty(&self) -> bool {
+        // BFS from the start state.
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(s) = stack.pop() {
+            if self.accepting[s as usize] {
+                return false;
+            }
+            for a in 0..self.alphabet.len() {
+                let t = self.step(s, a);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Moore partition-refinement minimization (also prunes unreachable
+    /// states).
+    pub fn minimize(&self) -> Dfa {
+        let asz = self.alphabet.len();
+        // 1. restrict to reachable states
+        let mut reach: Vec<Option<u32>> = vec![None; self.len()];
+        let mut order = vec![self.start];
+        reach[self.start as usize] = Some(0);
+        let mut i = 0;
+        while i < order.len() {
+            let s = order[i];
+            i += 1;
+            for a in 0..asz {
+                let t = self.step(s, a);
+                if reach[t as usize].is_none() {
+                    reach[t as usize] = Some(order.len() as u32);
+                    order.push(t);
+                }
+            }
+        }
+        let n = order.len();
+        // 2. initial partition by acceptance
+        let mut class: Vec<u32> = order
+            .iter()
+            .map(|&s| u32::from(self.accepting[s as usize]))
+            .collect();
+        let mut nclasses = 2;
+        loop {
+            // signature of each state: (class, classes of successors)
+            let mut sig_index: HashMap<Vec<u32>, u32> = HashMap::new();
+            let mut next_class = vec![0u32; n];
+            let mut next_n = 0;
+            for (ri, &s) in order.iter().enumerate() {
+                let mut sig = Vec::with_capacity(asz + 1);
+                sig.push(class[ri]);
+                for a in 0..asz {
+                    let t = self.step(s, a);
+                    let rt = reach[t as usize].expect("successor reachable");
+                    sig.push(class[rt as usize]);
+                }
+                let id = *sig_index.entry(sig).or_insert_with(|| {
+                    next_n += 1;
+                    next_n - 1
+                });
+                next_class[ri] = id;
+            }
+            if next_n == nclasses {
+                class = next_class;
+                break;
+            }
+            nclasses = next_n;
+            class = next_class;
+        }
+        // 3. build the quotient
+        let mut transitions = vec![0u32; nclasses as usize * asz];
+        let mut accepting = vec![false; nclasses as usize];
+        let mut seen = vec![false; nclasses as usize];
+        for (ri, &s) in order.iter().enumerate() {
+            let c = class[ri] as usize;
+            if seen[c] {
+                continue;
+            }
+            seen[c] = true;
+            accepting[c] = self.accepting[s as usize];
+            for a in 0..asz {
+                let t = self.step(s, a);
+                let rt = reach[t as usize].expect("successor reachable");
+                transitions[c * asz + a] = class[rt as usize];
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions,
+            accepting,
+            start: class[0],
+        }
+    }
+
+    /// Counts accepted words of each length `0..=max_len`.
+    ///
+    /// Saturates at `u128::MAX`. This is the workhorse of the quantitative
+    /// tightness metric: the number of *sequences of children* a type allows.
+    pub fn count_words_by_len(&self, max_len: usize) -> Vec<u128> {
+        let asz = self.alphabet.len();
+        let mut counts = vec![0u128; self.len()];
+        counts[self.start as usize] = 1;
+        let mut out = Vec::with_capacity(max_len + 1);
+        let accept_sum = |c: &[u128]| {
+            c.iter()
+                .zip(&self.accepting)
+                .filter(|(_, acc)| **acc)
+                .fold(0u128, |s, (v, _)| s.saturating_add(*v))
+        };
+        out.push(accept_sum(&counts));
+        for _ in 0..max_len {
+            let mut next = vec![0u128; self.len()];
+            for (s, &v) in counts.iter().enumerate() {
+                if v == 0 {
+                    continue;
+                }
+                for a in 0..asz {
+                    let t = self.step(s as u32, a) as usize;
+                    next[t] = next[t].saturating_add(v);
+                }
+            }
+            counts = next;
+            out.push(accept_sum(&counts));
+        }
+        out
+    }
+
+    /// Enumerates accepted words of length ≤ `max_len`, up to `cap` words,
+    /// in length-lexicographic order.
+    pub fn enumerate_words(&self, max_len: usize, cap: usize) -> Vec<Vec<Sym>> {
+        let mut out = Vec::new();
+        let mut layer: Vec<(u32, Vec<Sym>)> = vec![(self.start, Vec::new())];
+        for len in 0..=max_len {
+            for (s, w) in &layer {
+                if self.accepting[*s as usize] {
+                    out.push(w.clone());
+                    if out.len() >= cap {
+                        return out;
+                    }
+                }
+            }
+            if len == max_len {
+                break;
+            }
+            let mut next = Vec::new();
+            for (s, w) in &layer {
+                for (a, &sym) in self.alphabet.iter().enumerate() {
+                    let t = self.step(*s, a);
+                    // Skip obvious dead branches: states from which no
+                    // accepting state is reachable would still be expanded;
+                    // keep it simple and rely on `cap`/`max_len` to bound.
+                    let mut w2 = w.clone();
+                    w2.push(sym);
+                    next.push((t, w2));
+                }
+            }
+            layer = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_regex;
+    use crate::symbol::sym;
+
+    fn dfa(s: &str) -> Dfa {
+        Dfa::from_regex(&parse_regex(s).unwrap())
+    }
+
+    fn accepts(d: &Dfa, word: &[&str]) -> bool {
+        let w: Vec<_> = word.iter().map(|s| sym(s)).collect();
+        d.accepts(&w)
+    }
+
+    #[test]
+    fn determinization_agrees_with_nfa() {
+        let sources = [
+            "a",
+            "a, b",
+            "a | b",
+            "(a | b)*, c",
+            "title, author+, (journal | conference)",
+            "(a?, b)*",
+            "a+, a+",
+        ];
+        let words: Vec<Vec<&str>> = vec![
+            vec![],
+            vec!["a"],
+            vec!["b"],
+            vec!["a", "b"],
+            vec!["a", "a"],
+            vec!["a", "b", "c"],
+            vec!["title", "author", "journal"],
+            vec!["a", "a", "a", "a"],
+            vec!["b", "a"],
+        ];
+        for src in sources {
+            let r = parse_regex(src).unwrap();
+            let nfa = Nfa::from_regex(&r);
+            let d = Dfa::from_regex(&r);
+            for w in &words {
+                let ws: Vec<_> = w.iter().map(|s| sym(s)).collect();
+                assert_eq!(
+                    nfa.accepts(&ws),
+                    d.accepts(&ws),
+                    "mismatch for {src} on {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complement_flips() {
+        let d = dfa("a, b");
+        let c = d.complement();
+        assert!(accepts(&d, &["a", "b"]));
+        assert!(!accepts(&c, &["a", "b"]));
+        assert!(!accepts(&d, &["a"]));
+        assert!(accepts(&c, &["a"]));
+    }
+
+    #[test]
+    fn product_intersects() {
+        let alpha: Vec<Sym> = vec![sym("a"), sym("b")];
+        let d1 = Dfa::from_regex_with_alphabet(&parse_regex("a*, b*").unwrap(), &alpha);
+        let d2 = Dfa::from_regex_with_alphabet(&parse_regex("(a, a)* , b*").unwrap(), &alpha);
+        let p = d1.product(&d2);
+        assert!(accepts(&p, &["a", "a", "b"]));
+        assert!(!accepts(&p, &["a", "b"]));
+        assert!(accepts(&p, &[]));
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Dfa::from_regex(&Regex::Empty).language_is_empty());
+        assert!(!dfa("a?").language_is_empty());
+        // a ∩ b = ∅
+        let alpha: Vec<Sym> = vec![sym("a"), sym("b")];
+        let d1 = Dfa::from_regex_with_alphabet(&parse_regex("a").unwrap(), &alpha);
+        let d2 = Dfa::from_regex_with_alphabet(&parse_regex("b").unwrap(), &alpha);
+        assert!(d1.product(&d2).language_is_empty());
+    }
+
+    #[test]
+    fn minimize_collapses_equivalent_states() {
+        // a|a, (a) and a should all minimize to the same 2+sink machine.
+        let d1 = dfa("a | a").minimize();
+        let d2 = dfa("a").minimize();
+        assert_eq!(d1.len(), d2.len());
+        // p*,p,p* has the same language as p+.
+        let d3 = dfa("p*, p, p*").minimize();
+        let d4 = dfa("p+").minimize();
+        assert_eq!(d3.len(), d4.len());
+    }
+
+    #[test]
+    fn counting_words() {
+        // (a|b)* has 2^n words of length n.
+        let d = dfa("(a | b)*");
+        let c = d.count_words_by_len(5);
+        assert_eq!(c, vec![1, 2, 4, 8, 16, 32]);
+        // a? has one word of length 0 and one of length 1.
+        let d = dfa("a?");
+        assert_eq!(d.count_words_by_len(3), vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn counting_saturates() {
+        let d = dfa("(a | b)*");
+        let c = d.count_words_by_len(200);
+        assert_eq!(*c.last().unwrap(), u128::MAX.saturating_mul(1)); // saturated? 2^200 > u128::MAX
+        assert_eq!(c[200], u128::MAX);
+    }
+
+    #[test]
+    fn enumerate_small() {
+        let d = dfa("a, b | c");
+        let mut words = d.enumerate_words(2, 100);
+        words.sort();
+        assert_eq!(words.len(), 2);
+        assert!(words.contains(&vec![sym("c")]));
+        assert!(words.contains(&vec![sym("a"), sym("b")]));
+    }
+}

@@ -1,0 +1,115 @@
+//! Pretty-printing of content-model regexes in the paper's notation:
+//! `,` for sequence, `|` for union, postfix `*`, `+`, `?`, with minimal
+//! parentheses (`|` binds loosest, then `,`, then the postfix operators).
+
+use crate::ast::Regex;
+use std::fmt;
+
+/// Operator precedence levels used when printing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Alt = 0,
+    Concat = 1,
+    Postfix = 2,
+}
+
+fn prec(r: &Regex) -> Prec {
+    match r {
+        Regex::Alt(_) => Prec::Alt,
+        Regex::Concat(_) => Prec::Concat,
+        _ => Prec::Postfix,
+    }
+}
+
+fn write_at(r: &Regex, min: Prec, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let needs_parens = prec(r) < min;
+    if needs_parens {
+        write!(f, "(")?;
+    }
+    match r {
+        Regex::Empty => write!(f, "∅")?,
+        Regex::Epsilon => write!(f, "ε")?,
+        Regex::Sym(s) => write!(f, "{s}")?,
+        Regex::Concat(v) => {
+            for (i, x) in v.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_at(x, Prec::Concat, f)?;
+            }
+        }
+        Regex::Alt(v) => {
+            for (i, x) in v.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write_at(x, Prec::Alt, f)?;
+            }
+        }
+        Regex::Star(x) => {
+            write_at(x, Prec::Postfix, f)?;
+            write!(f, "*")?;
+        }
+        Regex::Plus(x) => {
+            write_at(x, Prec::Postfix, f)?;
+            write!(f, "+")?;
+        }
+        Regex::Opt(x) => {
+            write_at(x, Prec::Postfix, f)?;
+            write!(f, "?")?;
+        }
+    }
+    if needs_parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_at(self, Prec::Alt, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    fn r(s: &str) -> Regex {
+        crate::parser::parse_regex(s).expect("test regex parses")
+    }
+
+    #[test]
+    fn minimal_parens() {
+        assert_eq!(r("a, b | c").to_string(), "a, b | c");
+        assert_eq!(r("a, (b | c)").to_string(), "a, (b | c)");
+        assert_eq!(r("(a, b)*").to_string(), "(a, b)*");
+        assert_eq!(r("a*, b+").to_string(), "a*, b+");
+        assert_eq!(r("(a | b)?").to_string(), "(a | b)?");
+    }
+
+    #[test]
+    fn atoms() {
+        assert_eq!(Regex::Empty.to_string(), "∅");
+        assert_eq!(Regex::Epsilon.to_string(), "ε");
+        assert_eq!(Regex::Sym(sym("x")).to_string(), "x");
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        for src in [
+            "a",
+            "a, b, c",
+            "a | b | c",
+            "(a, b) | c",
+            "a, (b | c), d*",
+            "((a | b)+, c?)*",
+            "name, (journal | conference)*",
+        ] {
+            let once = r(src);
+            let again = crate::parser::parse_regex(&once.to_string()).expect("reparses");
+            assert_eq!(once, again, "display/parse roundtrip for {src}");
+        }
+    }
+}

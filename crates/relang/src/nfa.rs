@@ -1,0 +1,288 @@
+//! Glushkov (position) automaton construction.
+//!
+//! The Glushkov NFA of a regex has one state per symbol *position* plus a
+//! start state, and no ε-transitions, which makes simulation and subset
+//! construction straightforward. This automaton family is also the classic
+//! execution model for DTD content models (XML's determinism rule is
+//! 1-unambiguity of exactly this automaton — we do not *enforce* that rule,
+//! since inferred view DTDs are frequently non-deterministic before
+//! simplification).
+
+use crate::ast::Regex;
+use crate::symbol::Sym;
+
+/// A non-deterministic finite automaton over [`Sym`]s without ε-transitions.
+///
+/// State `0` is the start state; states `1..=positions` each correspond to a
+/// symbol occurrence of the source regex.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// `transitions[s]` lists `(symbol, target)` edges out of state `s`.
+    pub transitions: Vec<Vec<(Sym, u32)>>,
+    /// `accepting[s]` is true if `s` is final.
+    pub accepting: Vec<bool>,
+}
+
+/// Glushkov bookkeeping for one subexpression.
+struct Info {
+    nullable: bool,
+    first: Vec<u32>,
+    last: Vec<u32>,
+}
+
+struct Builder {
+    /// Symbol of each position (1-based; index 0 unused).
+    sym_of: Vec<Sym>,
+    /// `follow[p]` = positions that may follow position `p`.
+    follow: Vec<Vec<u32>>,
+}
+
+impl Builder {
+    fn fresh(&mut self, s: Sym) -> u32 {
+        self.sym_of.push(s);
+        self.follow.push(Vec::new());
+        (self.sym_of.len() - 1) as u32
+    }
+
+    fn link(&mut self, from: &[u32], to: &[u32]) {
+        for &p in from {
+            for &q in to {
+                if !self.follow[p as usize].contains(&q) {
+                    self.follow[p as usize].push(q);
+                }
+            }
+        }
+    }
+
+    fn walk(&mut self, r: &Regex) -> Info {
+        match r {
+            Regex::Empty => Info {
+                nullable: false,
+                first: vec![],
+                last: vec![],
+            },
+            Regex::Epsilon => Info {
+                nullable: true,
+                first: vec![],
+                last: vec![],
+            },
+            Regex::Sym(s) => {
+                let p = self.fresh(*s);
+                Info {
+                    nullable: false,
+                    first: vec![p],
+                    last: vec![p],
+                }
+            }
+            Regex::Concat(parts) => {
+                let mut acc = Info {
+                    nullable: true,
+                    first: vec![],
+                    last: vec![],
+                };
+                for part in parts {
+                    let i = self.walk(part);
+                    self.link(&acc.last, &i.first);
+                    if acc.nullable {
+                        acc.first.extend_from_slice(&i.first);
+                    }
+                    if i.nullable {
+                        acc.last.extend_from_slice(&i.last);
+                    } else {
+                        acc.last = i.last;
+                    }
+                    acc.nullable &= i.nullable;
+                }
+                acc
+            }
+            Regex::Alt(parts) => {
+                let mut acc = Info {
+                    nullable: false,
+                    first: vec![],
+                    last: vec![],
+                };
+                for part in parts {
+                    let i = self.walk(part);
+                    acc.nullable |= i.nullable;
+                    acc.first.extend(i.first);
+                    acc.last.extend(i.last);
+                }
+                acc
+            }
+            Regex::Star(inner) => {
+                let mut i = self.walk(inner);
+                self.link(&i.last.clone(), &i.first.clone());
+                i.nullable = true;
+                i
+            }
+            Regex::Plus(inner) => {
+                // `+` adds the loop edges but keeps the body's nullability.
+                let i = self.walk(inner);
+                self.link(&i.last.clone(), &i.first.clone());
+                i
+            }
+            Regex::Opt(inner) => {
+                let mut i = self.walk(inner);
+                i.nullable = true;
+                i
+            }
+        }
+    }
+}
+
+impl Nfa {
+    /// Builds the Glushkov automaton of `r`.
+    pub fn from_regex(r: &Regex) -> Nfa {
+        let mut b = Builder {
+            sym_of: vec![Sym {
+                // placeholder for unused index 0 (the start state)
+                name: crate::symbol::Name::intern("\u{0}start"),
+                tag: 0,
+            }],
+            follow: vec![Vec::new()],
+        };
+        let info = b.walk(r);
+        let n = b.sym_of.len();
+        let mut transitions = vec![Vec::new(); n];
+        for &p in &info.first {
+            transitions[0].push((b.sym_of[p as usize], p));
+        }
+        for (p, follow) in b.follow.iter().enumerate().skip(1) {
+            for &q in follow {
+                transitions[p].push((b.sym_of[q as usize], q));
+            }
+        }
+        let mut accepting = vec![false; n];
+        accepting[0] = info.nullable;
+        for &p in &info.last {
+            accepting[p as usize] = true;
+        }
+        Nfa {
+            transitions,
+            accepting,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True if the automaton has no states (never: there is always a start).
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Simulates the NFA on `word`.
+    pub fn accepts(&self, word: &[Sym]) -> bool {
+        let mut current = vec![false; self.len()];
+        current[0] = true;
+        let mut next = vec![false; self.len()];
+        for &c in word {
+            next.iter_mut().for_each(|b| *b = false);
+            let mut any = false;
+            for (s, live) in current.iter().enumerate() {
+                if !live {
+                    continue;
+                }
+                for &(sym, t) in &self.transitions[s] {
+                    if sym == c {
+                        next[t as usize] = true;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                return false;
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        current
+            .iter()
+            .zip(&self.accepting)
+            .any(|(live, acc)| *live && *acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_regex;
+    use crate::symbol::sym;
+
+    fn accepts(re: &str, word: &[&str]) -> bool {
+        let r = parse_regex(re).unwrap();
+        let w: Vec<_> = word.iter().map(|s| sym(s)).collect();
+        Nfa::from_regex(&r).accepts(&w)
+    }
+
+    #[test]
+    fn atoms() {
+        assert!(accepts("a", &["a"]));
+        assert!(!accepts("a", &[]));
+        assert!(!accepts("a", &["b"]));
+        assert!(!accepts("a", &["a", "a"]));
+    }
+
+    #[test]
+    fn concat_alt() {
+        assert!(accepts("a, b", &["a", "b"]));
+        assert!(!accepts("a, b", &["b", "a"]));
+        assert!(accepts("a | b", &["b"]));
+        assert!(!accepts("a | b", &["a", "b"]));
+    }
+
+    #[test]
+    fn closures() {
+        assert!(accepts("a*", &[]));
+        assert!(accepts("a*", &["a", "a", "a"]));
+        assert!(!accepts("a+", &[]));
+        assert!(accepts("a+", &["a"]));
+        assert!(accepts("a?", &[]));
+        assert!(accepts("a?", &["a"]));
+        assert!(!accepts("a?", &["a", "a"]));
+    }
+
+    #[test]
+    fn paper_publication_model() {
+        let m = "title, author+, (journal | conference)";
+        assert!(accepts(m, &["title", "author", "journal"]));
+        assert!(accepts(m, &["title", "author", "author", "conference"]));
+        assert!(!accepts(m, &["title", "journal"]));
+        assert!(!accepts(m, &["title", "author", "journal", "conference"]));
+    }
+
+    #[test]
+    fn nested_star_group() {
+        let m = "(a, b)*";
+        assert!(accepts(m, &[]));
+        assert!(accepts(m, &["a", "b", "a", "b"]));
+        assert!(!accepts(m, &["a", "b", "a"]));
+    }
+
+    #[test]
+    fn plus_of_nullable_body() {
+        // (a?)+ accepts everything a* does.
+        let m = "(a?)+";
+        assert!(accepts(m, &[]));
+        assert!(accepts(m, &["a", "a"]));
+    }
+
+    #[test]
+    fn empty_language() {
+        let nfa = Nfa::from_regex(&Regex::Empty);
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts(&[sym("a")]));
+    }
+
+    #[test]
+    fn tagged_syms_are_distinct_letters() {
+        let r = parse_regex("a^1, a").unwrap();
+        let nfa = Nfa::from_regex(&r);
+        let a0 = sym("a");
+        let a1 = crate::symbol::name("a").tagged(1);
+        assert!(nfa.accepts(&[a1, a0]));
+        assert!(!nfa.accepts(&[a0, a1]));
+        assert!(!nfa.accepts(&[a0, a0]));
+    }
+}

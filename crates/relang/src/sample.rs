@@ -1,0 +1,173 @@
+//! Random sampling of words from a regex language.
+//!
+//! Used by the document generator (`mix-dtd`) to produce random valid
+//! documents for soundness experiments, and by the benches as a workload
+//! generator. Sampling is *budget-steered*: loops prefer to stop and unions
+//! prefer cheap branches once the remaining budget is low, so generation of
+//! recursive structures terminates.
+
+use crate::ast::Regex;
+use crate::ops::min_word_len;
+use crate::symbol::Sym;
+use rand::Rng;
+
+/// Knobs for [`sample_word`].
+#[derive(Debug, Clone, Copy)]
+pub struct SampleConfig {
+    /// Probability of taking another iteration of `*`/`+` while budget
+    /// remains.
+    pub loop_continue: f64,
+    /// Soft limit on the sampled word length; loops stop and unions choose
+    /// their cheapest branch once exceeded.
+    pub max_len: usize,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            loop_continue: 0.5,
+            max_len: 32,
+        }
+    }
+}
+
+/// Samples a random word of `L(r)`, or `None` when the language is empty.
+///
+/// The word always belongs to the language; `cfg.max_len` is a soft bound
+/// (mandatory structure can exceed it).
+pub fn sample_word(r: &Regex, rng: &mut impl Rng, cfg: SampleConfig) -> Option<Vec<Sym>> {
+    min_word_len(r)?;
+    let mut out = Vec::new();
+    go(r, rng, cfg, &mut out);
+    Some(out)
+}
+
+fn remaining(cfg: SampleConfig, out: &[Sym]) -> usize {
+    cfg.max_len.saturating_sub(out.len())
+}
+
+fn go(r: &Regex, rng: &mut impl Rng, cfg: SampleConfig, out: &mut Vec<Sym>) {
+    match r {
+        Regex::Empty => unreachable!("sample_word checks emptiness up front"),
+        Regex::Epsilon => {}
+        Regex::Sym(s) => out.push(*s),
+        Regex::Concat(v) => {
+            for part in v {
+                go(part, rng, cfg, out);
+            }
+        }
+        Regex::Alt(v) => {
+            let viable: Vec<&Regex> = v
+                .iter()
+                .filter(|x| min_word_len(x).is_some())
+                .collect();
+            debug_assert!(!viable.is_empty(), "nonempty alt has a viable branch");
+            let budget = remaining(cfg, out);
+            let affordable: Vec<&&Regex> = viable
+                .iter()
+                .filter(|x| min_word_len(x).unwrap_or(usize::MAX) <= budget)
+                .collect();
+            let pick: &Regex = if affordable.is_empty() {
+                // Over budget: take the globally cheapest branch.
+                viable
+                    .iter()
+                    .min_by_key(|x| min_word_len(x).unwrap_or(usize::MAX))
+                    .expect("viable nonempty")
+            } else {
+                affordable[rng.gen_range(0..affordable.len())]
+            };
+            go(pick, rng, cfg, out);
+        }
+        Regex::Star(x) => {
+            if min_word_len(x).is_none() {
+                return;
+            }
+            while remaining(cfg, out) > 0 && rng.gen_bool(cfg.loop_continue) {
+                go(x, rng, cfg, out);
+            }
+        }
+        Regex::Plus(x) => {
+            go(x, rng, cfg, out);
+            while remaining(cfg, out) > 0 && rng.gen_bool(cfg.loop_continue) {
+                go(x, rng, cfg, out);
+            }
+        }
+        Regex::Opt(x) => {
+            if min_word_len(x).is_some() && remaining(cfg, out) > 0 && rng.gen_bool(0.5) {
+                go(x, rng, cfg, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matches;
+    use crate::parser::parse_regex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_members() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for src in [
+            "a",
+            "a*",
+            "a+, b?",
+            "title, author+, (journal | conference)",
+            "(a, b)* | c+",
+            "name, professor+, gradStudent+, course*",
+        ] {
+            let r = parse_regex(src).unwrap();
+            for _ in 0..200 {
+                let w = sample_word(&r, &mut rng, SampleConfig::default())
+                    .expect("nonempty language");
+                assert!(matches(&r, &w), "sampled non-member {w:?} of {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_language_yields_none() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(sample_word(&Regex::Empty, &mut rng, SampleConfig::default()).is_none());
+    }
+
+    #[test]
+    fn budget_steering_keeps_words_short() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let r = parse_regex("(a | b | c)*").unwrap();
+        let cfg = SampleConfig {
+            loop_continue: 0.9,
+            max_len: 8,
+        };
+        for _ in 0..100 {
+            let w = sample_word(&r, &mut rng, cfg).unwrap();
+            assert!(w.len() <= 8, "soft budget exceeded on a pure loop");
+        }
+    }
+
+    #[test]
+    fn mandatory_structure_can_exceed_budget() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = parse_regex("a, a, a, a").unwrap();
+        let cfg = SampleConfig {
+            loop_continue: 0.5,
+            max_len: 2,
+        };
+        let w = sample_word(&r, &mut rng, cfg).unwrap();
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn alt_with_one_empty_branch_avoids_it() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Build (∅ | a) manually — smart constructors would drop ∅.
+        let r = Regex::Alt(vec![Regex::Empty, parse_regex("a").unwrap()]);
+        for _ in 0..50 {
+            let w = sample_word(&r, &mut rng, SampleConfig::default()).unwrap();
+            assert_eq!(w.len(), 1);
+        }
+    }
+}

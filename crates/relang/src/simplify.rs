@@ -1,0 +1,322 @@
+//! Language-preserving regex simplification.
+//!
+//! The Merge algorithm (Section 4.3) produces verbose unions such as
+//!
+//! ```text
+//! (publication*, publication, publication*, publication, publication*)
+//!   | (publication*, publication, publication*, publication, publication*)
+//! ```
+//!
+//! which the paper notes "can be simplified to the DTD (D2)". This module
+//! implements that simplification step as a terminating rewrite system:
+//!
+//! 1. smart-constructor normalization (flattening, unit/zero laws,
+//!    `r|ε → r?`, `(r+)? → r*`, …),
+//! 2. *counted-factor collapse*: maximal runs of concatenation factors that
+//!    share a base `b` (`b`, `b*`, `b+`, `b?`) are replaced by the minimal
+//!    `{min,max}` rendering (`b, b, b*` for "at least two", …),
+//! 3. common prefix/suffix factoring of unions (`(a,b) | (a,c) → a, (b|c)`),
+//! 4. union-branch subsumption via exact language inclusion (bounded by
+//!    regex size so pathological inputs stay cheap).
+//!
+//! Every rule preserves the language; `simplify` additionally
+//! `debug_assert!`s equivalence with the input.
+
+use crate::ast::Regex;
+use crate::ops::{equivalent, is_subset};
+
+/// Size bound above which the (automata-based) subsumption rule is skipped.
+const SUBSUMPTION_SIZE_LIMIT: usize = 512;
+/// Fixpoint iteration cap; rewriting is strictly size-reducing in practice
+/// but we bound it defensively.
+const MAX_PASSES: usize = 16;
+
+/// The `(min, max)` occurrence count of a factor run; `None` = unbounded.
+#[derive(Clone, Copy)]
+struct Count {
+    min: u32,
+    max: Option<u32>,
+}
+
+/// The base and count of a single concat factor.
+fn factor_base(r: &Regex) -> (&Regex, Count) {
+    match r {
+        Regex::Star(b) => (b, Count { min: 0, max: None }),
+        Regex::Plus(b) => (b, Count { min: 1, max: None }),
+        Regex::Opt(b) => (
+            b,
+            Count {
+                min: 0,
+                max: Some(1),
+            },
+        ),
+        other => (
+            other,
+            Count {
+                min: 1,
+                max: Some(1),
+            },
+        ),
+    }
+}
+
+fn render_counted(base: &Regex, c: Count) -> Regex {
+    let mut parts: Vec<Regex> = Vec::new();
+    for _ in 0..c.min {
+        parts.push(base.clone());
+    }
+    match c.max {
+        None => {
+            if c.min == 0 {
+                parts.push(Regex::star(base.clone()));
+            } else {
+                // render the last mandatory copy as b+ for compactness
+                parts.pop();
+                parts.push(Regex::plus(base.clone()));
+            }
+        }
+        Some(max) => {
+            for _ in c.min..max {
+                parts.push(Regex::opt(base.clone()));
+            }
+        }
+    }
+    Regex::concat(parts)
+}
+
+/// Collapses runs of same-base factors inside a (already simplified) concat.
+fn collapse_concat(parts: Vec<Regex>) -> Regex {
+    let mut out: Vec<Regex> = Vec::new();
+    let mut run: Option<(Regex, Count)> = None;
+    let flush = |run: &mut Option<(Regex, Count)>, out: &mut Vec<Regex>| {
+        if let Some((base, c)) = run.take() {
+            out.push(render_counted(&base, c));
+        }
+    };
+    for p in parts {
+        let (base, c) = factor_base(&p);
+        match &mut run {
+            Some((rb, rc)) if rb == base => {
+                rc.min += c.min;
+                rc.max = match (rc.max, c.max) {
+                    (Some(a), Some(b)) => Some(a + b),
+                    _ => None,
+                };
+            }
+            _ => {
+                flush(&mut run, &mut out);
+                run = Some((base.clone(), c));
+            }
+        }
+    }
+    flush(&mut run, &mut out);
+    Regex::concat(out)
+}
+
+fn as_factors(r: &Regex) -> Vec<Regex> {
+    match r {
+        Regex::Concat(v) => v.clone(),
+        Regex::Epsilon => vec![],
+        other => vec![other.clone()],
+    }
+}
+
+/// Factors the longest common prefix and suffix out of a union's branches
+/// when *all* branches share them. `(a,b)|(a,c) → a,(b|c)`.
+fn factor_union(branches: &[Regex]) -> Option<Regex> {
+    if branches.len() < 2 {
+        return None;
+    }
+    let factored: Vec<Vec<Regex>> = branches.iter().map(as_factors).collect();
+    let min_len = factored.iter().map(Vec::len).min().unwrap_or(0);
+    let mut prefix = 0;
+    while prefix < min_len
+        && factored
+            .iter()
+            .all(|f| f[prefix] == factored[0][prefix])
+    {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < min_len - prefix
+        && factored
+            .iter()
+            .all(|f| f[f.len() - 1 - suffix] == factored[0][factored[0].len() - 1 - suffix])
+    {
+        suffix += 1;
+    }
+    if prefix == 0 && suffix == 0 {
+        return None;
+    }
+    let head = Regex::concat(factored[0][..prefix].iter().cloned());
+    let tail = Regex::concat(
+        factored[0][factored[0].len() - suffix..]
+            .iter()
+            .cloned(),
+    );
+    let middle = Regex::alt(
+        factored
+            .iter()
+            .map(|f| Regex::concat(f[prefix..f.len() - suffix].iter().cloned())),
+    );
+    Some(Regex::concat([head, middle, tail]))
+}
+
+/// Drops union branches whose language is included in another branch.
+fn subsume_union(branches: Vec<Regex>) -> Vec<Regex> {
+    let total: usize = branches.iter().map(Regex::size).sum();
+    if total > SUBSUMPTION_SIZE_LIMIT {
+        return branches;
+    }
+    let mut keep: Vec<Regex> = Vec::new();
+    'outer: for (i, b) in branches.iter().enumerate() {
+        for (j, other) in branches.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // Drop b if it is included in a *different* branch; ties (equal
+            // languages) are broken by index so exactly one survives.
+            if is_subset(b, other) && (!is_subset(other, b) || j < i) {
+                continue 'outer;
+            }
+        }
+        keep.push(b.clone());
+    }
+    if keep.is_empty() {
+        branches
+    } else {
+        keep
+    }
+}
+
+fn pass(r: &Regex) -> Regex {
+    match r {
+        Regex::Empty | Regex::Epsilon | Regex::Sym(_) => r.clone(),
+        Regex::Concat(v) => {
+            let parts: Vec<Regex> = v.iter().map(pass).collect();
+            match Regex::concat(parts) {
+                Regex::Concat(parts) => collapse_concat(parts),
+                other => other,
+            }
+        }
+        Regex::Alt(v) => {
+            let parts: Vec<Regex> = v.iter().map(pass).collect();
+            match Regex::alt(parts) {
+                Regex::Alt(parts) => {
+                    let parts = subsume_union(parts);
+                    if let Some(f) = factor_union(&parts) {
+                        return f;
+                    }
+                    Regex::alt(parts)
+                }
+                other => other,
+            }
+        }
+        Regex::Star(x) => Regex::star(pass(x)),
+        Regex::Plus(x) => Regex::plus(pass(x)),
+        Regex::Opt(x) => {
+            let inner = pass(x);
+            // (r)? where r is nullable is just r.
+            if inner.nullable() {
+                inner
+            } else {
+                Regex::opt(inner)
+            }
+        }
+    }
+}
+
+/// Simplifies `r` to a language-equivalent, usually smaller regex.
+pub fn simplify(r: &Regex) -> Regex {
+    let mut cur = r.clone();
+    for _ in 0..MAX_PASSES {
+        let next = pass(&cur);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    debug_assert!(
+        equivalent(r, &cur),
+        "simplify changed the language of {r} into {cur}"
+    );
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_regex;
+
+    fn s(src: &str) -> String {
+        simplify(&parse_regex(src).unwrap()).to_string()
+    }
+
+    #[test]
+    fn counted_collapse() {
+        assert_eq!(s("p*, p, p*"), "p+");
+        assert_eq!(s("p*, p, p*, p, p*"), "p, p+");
+        assert_eq!(s("p?, p?"), "p?, p?"); // {0,2} has no shorter rendering
+        assert_eq!(s("p, p*"), "p+");
+        assert_eq!(s("p*, p*"), "p*");
+        assert_eq!(s("p+, p+"), "p, p+");
+        assert_eq!(s("p+, p*"), "p+");
+    }
+
+    #[test]
+    fn paper_merge_output_simplifies_to_d2_type() {
+        // Example 4.3: the merged professor type collapses to "≥2 publications".
+        let merged = "(publication*, publication, publication*, publication, publication*) \
+                      | (publication*, publication, publication*, publication, publication*)";
+        assert_eq!(s(merged), "publication, publication+");
+    }
+
+    #[test]
+    fn union_subsumption() {
+        assert_eq!(s("a | a*"), "a*");
+        assert_eq!(s("a, b | a, b"), "a, b");
+        assert_eq!(s("(a | b) | a"), "a | b");
+        assert_eq!(s("a+ | a*"), "a*");
+    }
+
+    #[test]
+    fn union_factoring() {
+        assert_eq!(s("(a, b) | (a, c)"), "a, (b | c)");
+        assert_eq!(s("(x, a, y) | (x, b, y)"), "x, (a | b), y");
+        assert_eq!(s("(a, b) | a"), "a, b?");
+    }
+
+    #[test]
+    fn opt_of_nullable() {
+        assert_eq!(s("(a*)?"), "a*");
+        assert_eq!(s("(a?, b?)?"), "a?, b?");
+    }
+
+    #[test]
+    fn preserves_language_on_paper_types() {
+        for src in [
+            "name, (journal | conference)*",
+            "title, author+, (journal | conference)",
+            "firstName, lastName, publication*, publication^1, publication*, teaches",
+            "(name, professor+, gradStudent+, course*)?",
+            "(a | b)*, (a, b)+ | c?",
+        ] {
+            let r = parse_regex(src).unwrap();
+            let simp = simplify(&r);
+            assert!(
+                equivalent(&r, &simp),
+                "language changed: {src} vs {simp}"
+            );
+            assert!(simp.size() <= r.size(), "simplify grew {src} to {simp}");
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        for src in ["p*, p, p*", "(a, b) | (a, c)", "a | a*", "(a?)+"] {
+            let once = simplify(&parse_regex(src).unwrap());
+            let twice = simplify(&once);
+            assert_eq!(once, twice);
+        }
+    }
+}

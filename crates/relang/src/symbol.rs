@@ -1,0 +1,201 @@
+//! Interned element names and tagged names.
+//!
+//! The paper's model (Definition 2.2) works with a finite set `N` of element
+//! names; specialized DTDs (Definition 3.8) extend it to tagged names
+//! `n^i` where the *tag* `i` is a non-negative integer and `n^0` is written
+//! simply `n`. Names are hot: every regex leaf, every automaton transition,
+//! every DTD lookup touches them, so we intern them once into a global table
+//! and pass around a `u32` index.
+
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned element name (the `n` of the paper).
+///
+/// Two `Name`s are equal iff the underlying strings are equal; comparison and
+/// hashing are integer operations on the intern index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(u32);
+
+/// The tag of a specialized name: `0` means "untagged" (`n` is shorthand for
+/// `n^0`, Section 3.3).
+pub type Tag = u32;
+
+/// A tagged name `n^T` — a member of the set `N^+` of Definition 3.8.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym {
+    /// The underlying element name `n`.
+    pub name: Name,
+    /// The specialization tag `T` (`0` = untagged).
+    pub tag: Tag,
+}
+
+struct Interner {
+    names: Vec<&'static str>,
+    index: std::collections::HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            index: std::collections::HashMap::new(),
+        })
+    })
+}
+
+impl Name {
+    /// Interns `s` and returns its `Name`. Idempotent.
+    pub fn intern(s: &str) -> Name {
+        {
+            let g = interner().read();
+            if let Some(&i) = g.index.get(s) {
+                return Name(i);
+            }
+        }
+        let mut g = interner().write();
+        if let Some(&i) = g.index.get(s) {
+            return Name(i);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let i = g.names.len() as u32;
+        g.names.push(leaked);
+        g.index.insert(leaked, i);
+        Name(i)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().names[self.0 as usize]
+    }
+
+    /// The raw intern index (useful as a dense array key).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// This name as an untagged symbol (`n^0`).
+    pub fn untagged(self) -> Sym {
+        Sym { name: self, tag: 0 }
+    }
+
+    /// This name with tag `t`.
+    pub fn tagged(self, t: Tag) -> Sym {
+        Sym { name: self, tag: t }
+    }
+}
+
+impl Sym {
+    /// Whether this is an untagged symbol (`n^0`).
+    pub fn is_untagged(self) -> bool {
+        self.tag == 0
+    }
+
+    /// The *image* of this symbol: the name with the tag projected out
+    /// (Definition 3.9).
+    pub fn image(self) -> Name {
+        self.name
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.tag == 0 {
+            write!(f, "{}", self.name)
+        } else {
+            write!(f, "{}^{}", self.name, self.tag)
+        }
+    }
+}
+
+impl From<Name> for Sym {
+    fn from(n: Name) -> Sym {
+        n.untagged()
+    }
+}
+
+/// Convenience: intern a name.
+pub fn name(s: &str) -> Name {
+    Name::intern(s)
+}
+
+/// Convenience: intern a name as an untagged symbol.
+pub fn sym(s: &str) -> Sym {
+    Name::intern(s).untagged()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Name::intern("professor");
+        let b = Name::intern("professor");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "professor");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_names() {
+        assert_ne!(Name::intern("journal"), Name::intern("conference"));
+    }
+
+    #[test]
+    fn tags_distinguish_syms() {
+        let n = Name::intern("publication");
+        assert_ne!(n.untagged(), n.tagged(1));
+        assert_eq!(n.tagged(1).image(), n);
+        assert!(n.untagged().is_untagged());
+        assert!(!n.tagged(2).is_untagged());
+    }
+
+    #[test]
+    fn display_forms() {
+        let n = Name::intern("pub");
+        assert_eq!(n.untagged().to_string(), "pub");
+        assert_eq!(n.tagged(3).to_string(), "pub^3");
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut v = Vec::new();
+                    for k in 0..100 {
+                        v.push(Name::intern(&format!("name-{}", (i * 7 + k) % 50)));
+                    }
+                    v
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Name>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Same string interned from different threads must agree.
+        for row in &all {
+            for n in row {
+                assert_eq!(Name::intern(n.as_str()), *n);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Pretty-printing of queries in the paper's syntax (reparseable).
+
+use crate::ast::{Body, Condition, NameTest, Query};
+use std::fmt;
+
+impl fmt::Display for NameTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameTest::Wildcard => write!(f, "*"),
+            NameTest::Names(v) => {
+                for (i, n) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn write_cond(c: &Condition, indent: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    write!(f, "{pad}")?;
+    if let Some(v) = c.var {
+        write!(f, "{v}:")?;
+    }
+    write!(f, "<{}", c.test)?;
+    if let Some(v) = c.id_var {
+        write!(f, " id={v}")?;
+    }
+    match &c.body {
+        Body::Children(kids) if kids.is_empty() => write!(f, "/>"),
+        Body::Children(kids) => {
+            writeln!(f, ">")?;
+            for k in kids {
+                write_cond(k, indent + 1, f)?;
+                writeln!(f)?;
+            }
+            write!(f, "{pad}</>")
+        }
+        Body::Text(s) => write!(f, ">{s}</>"),
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_cond(self, 0, f)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} = SELECT {}", self.view_name, self.pick)?;
+        writeln!(f, "WHERE")?;
+        write_cond(&self.root, 1, f)?;
+        for (a, b) in &self.diseqs {
+            write!(f, "\nAND {a} != {b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_query;
+
+    #[test]
+    fn display_reparses() {
+        for src in [
+            "v = SELECT X WHERE X:<a/>",
+            "v = SELECT P WHERE <department> <name>CS</name> \
+               P:<professor | gradStudent> \
+                 <publication id=Pub1><journal/></publication> \
+                 <publication id=Pub2><journal/></publication> \
+               </> </> AND Pub1 != Pub2",
+            "papers = SELECT P WHERE D:<department> G:<gradStudent> \
+               X:<publication> P:<title | author/> </> </> </>",
+        ] {
+            let q = parse_query(src).unwrap();
+            let shown = q.to_string();
+            let again = parse_query(&shown).unwrap_or_else(|e| {
+                panic!("display of {src} did not reparse: {e}\n{shown}")
+            });
+            assert_eq!(q, again);
+        }
+    }
+}

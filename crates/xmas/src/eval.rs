@@ -1,0 +1,362 @@
+//! Evaluation of pick-element queries (the semantics walked through for
+//! (Q1) in Section 2.1).
+//!
+//! * The tree condition is **root-anchored**: its outermost node must match
+//!   the document root (this is the reading the InferList algorithm of
+//!   Section 4.4 requires).
+//! * Sibling conditions have containment semantics: each must be satisfied
+//!   by a *distinct* child, in any order and position ("we assume that no
+//!   two sibling conditions can bind to the same element", Section 4.2).
+//! * `A != B` requires the elements bound to the two id variables to
+//!   differ.
+//! * The view document contains, under a root named by the query, a copy
+//!   of every element the pick variable can bind to, **in depth-first
+//!   left-to-right document order** and with duplicates removed.
+
+use crate::ast::{Body, Condition, Query, Var};
+use mix_xml::{Document, ElemId, Element};
+use std::collections::{HashMap, HashSet};
+
+/// A (projected) binding of relevant variables to element IDs.
+type Binding = Vec<(Var, ElemId)>;
+
+/// Evaluates `q` on `doc`, producing the view document.
+///
+/// ```
+/// use mix_xmas::{parse_query, evaluate};
+/// let q = parse_query("profs = SELECT P WHERE <dept> P:<prof/> </dept>").unwrap();
+/// let doc = mix_xml::parse_document("<dept><prof/><student/><prof/></dept>").unwrap();
+/// let view = evaluate(&q, &doc);
+/// assert_eq!(view.doc_type().as_str(), "profs");
+/// assert_eq!(view.root.children().len(), 2);
+/// ```
+pub fn evaluate(q: &Query, doc: &Document) -> Document {
+    let picked = pick_bindings(q, doc);
+    let children = picked
+        .into_iter()
+        .map(|e| e.deep_clone_fresh())
+        .collect::<Vec<_>>();
+    Document::new(Element {
+        name: q.view_name,
+        id: ElemId::fresh(),
+        content: mix_xml::Content::Elements(children),
+    })
+}
+
+/// The elements the pick variable binds to, in document order, deduplicated.
+pub fn pick_bindings<'d>(q: &Query, doc: &'d Document) -> Vec<&'d Element> {
+    // Only the pick variable and variables mentioned in diseqs influence
+    // the answer; project bindings onto them to keep the enumeration small.
+    let mut relevant: HashSet<Var> = HashSet::new();
+    relevant.insert(q.pick);
+    for &(a, b) in &q.diseqs {
+        relevant.insert(a);
+        relevant.insert(b);
+    }
+    let matcher = Matcher {
+        relevant,
+        diseqs: &q.diseqs,
+    };
+    let embeddings = matcher.embeddings(&q.root, &doc.root);
+    let mut picked: HashSet<ElemId> = HashSet::new();
+    for b in embeddings {
+        if matcher.diseqs_hold(&b) {
+            if let Some(&(_, id)) = b.iter().find(|(v, _)| *v == q.pick) {
+                picked.insert(id);
+            }
+        }
+    }
+    // document order
+    let mut out = Vec::new();
+    for e in doc.root.walk() {
+        if picked.contains(&e.id) {
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Does `doc` satisfy the query at all (non-empty answer)?
+pub fn any_match(q: &Query, doc: &Document) -> bool {
+    !pick_bindings(q, doc).is_empty()
+}
+
+struct Matcher<'q> {
+    relevant: HashSet<Var>,
+    diseqs: &'q [(Var, Var)],
+}
+
+impl Matcher<'_> {
+    fn diseqs_hold(&self, b: &Binding) -> bool {
+        let lookup: HashMap<Var, ElemId> = b.iter().copied().collect();
+        self.diseqs.iter().all(|&(x, y)| {
+            match (lookup.get(&x), lookup.get(&y)) {
+                (Some(a), Some(b)) => a != b,
+                // a diseq over a variable not bound in this embedding can
+                // not be violated (it cannot happen for normalized queries:
+                // both sides are always bound when the embedding is total)
+                _ => true,
+            }
+        })
+    }
+
+    /// All (projected, deduplicated) bindings under which `e` satisfies the
+    /// condition subtree `c`.
+    fn embeddings(&self, c: &Condition, e: &Element) -> Vec<Binding> {
+        if !c.test.matches(e.name) {
+            return Vec::new();
+        }
+        let mut base: Binding = Vec::new();
+        if let Some(v) = c.var {
+            if self.relevant.contains(&v) {
+                base.push((v, e.id));
+            }
+        }
+        if let Some(v) = c.id_var {
+            if self.relevant.contains(&v) {
+                base.push((v, e.id));
+            }
+        }
+        match &c.body {
+            Body::Text(s) => {
+                if e.pcdata() == Some(s.as_str()) {
+                    vec![base]
+                } else {
+                    Vec::new()
+                }
+            }
+            Body::Children(conds) => {
+                if conds.is_empty() {
+                    return vec![base];
+                }
+                // For each child condition, the per-child embedding lists.
+                let children = e.children();
+                let mut per_cond: Vec<Vec<(usize, Vec<Binding>)>> = Vec::new();
+                for cond in conds {
+                    let mut options = Vec::new();
+                    for (i, child) in children.iter().enumerate() {
+                        let embs = self.embeddings(cond, child);
+                        if !embs.is_empty() {
+                            options.push((i, embs));
+                        }
+                    }
+                    if options.is_empty() {
+                        return Vec::new(); // some condition is unsatisfiable here
+                    }
+                    per_cond.push(options);
+                }
+                // injective product over distinct children
+                let mut out: HashSet<Binding> = HashSet::new();
+                let mut used: HashSet<usize> = HashSet::new();
+                let mut acc = base.clone();
+                self.product(&per_cond, 0, &mut used, &mut acc, &mut out);
+                out.into_iter().collect()
+            }
+        }
+    }
+
+    fn product(
+        &self,
+        per_cond: &[Vec<(usize, Vec<Binding>)>],
+        k: usize,
+        used: &mut HashSet<usize>,
+        acc: &mut Binding,
+        out: &mut HashSet<Binding>,
+    ) {
+        if k == per_cond.len() {
+            let mut b = acc.clone();
+            b.sort();
+            b.dedup();
+            out.insert(b);
+            return;
+        }
+        for (child_idx, embs) in &per_cond[k] {
+            if used.contains(child_idx) {
+                continue;
+            }
+            used.insert(*child_idx);
+            for emb in embs {
+                let len = acc.len();
+                acc.extend(emb.iter().copied());
+                self.product(per_cond, k + 1, used, acc, out);
+                acc.truncate(len);
+            }
+            used.remove(child_idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use mix_xml::parse_document;
+
+    fn dept() -> Document {
+        parse_document(
+            "<department><name>CS</name>\
+               <professor id='prof1'><firstName>Yannis</firstName><lastName>P</lastName>\
+                 <publication id='p1'><title>a</title><author>x</author><journal/></publication>\
+                 <publication id='p2'><title>b</title><author>x</author><journal/></publication>\
+                 <teaches/></professor>\
+               <professor id='prof2'><firstName>Victor</firstName><lastName>V</lastName>\
+                 <publication id='p3'><title>c</title><author>x</author><journal/></publication>\
+                 <teaches/></professor>\
+               <gradStudent id='gs1'><firstName>Pavel</firstName><lastName>V</lastName>\
+                 <publication id='p4'><title>d</title><author>x</author><journal/></publication>\
+                 <publication id='p5'><title>e</title><author>x</author><conference/></publication>\
+               </gradStudent>\
+             </department>",
+        )
+        .unwrap()
+    }
+
+    fn names_of(doc: &Document) -> Vec<&'static str> {
+        doc.root
+            .children()
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect()
+    }
+
+    fn ids_of(doc: &Document, level: usize) -> Vec<String> {
+        let _ = level;
+        doc.root
+            .children()
+            .iter()
+            .map(|e| e.id.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn q2_two_distinct_journal_publications() {
+        // prof1 has two journal publications; prof2 only one; gs1 has one
+        // journal and one conference.
+        let q = parse_query(
+            "withJournals = SELECT P WHERE <department> <name>CS</name> \
+               P:<professor | gradStudent> \
+                 <publication id=Pub1><journal/></publication> \
+                 <publication id=Pub2><journal/></publication> \
+               </> </> AND Pub1 != Pub2",
+        )
+        .unwrap();
+        let out = evaluate(&q, &dept());
+        assert_eq!(out.doc_type().as_str(), "withJournals");
+        assert_eq!(names_of(&out), ["professor"]);
+        // the picked professor is prof1 — check content survived the copy
+        assert_eq!(
+            out.root.children()[0].children()[0].pcdata(),
+            Some("Yannis")
+        );
+    }
+
+    #[test]
+    fn without_diseq_one_publication_suffices_conditionally() {
+        // Same query but *without* the inequality: both conditions may bind
+        // to… distinct children still (sibling distinctness), so still only
+        // prof1 qualifies.
+        let q = parse_query(
+            "v = SELECT P WHERE <department> \
+               P:<professor | gradStudent> \
+                 <publication id=Pub1><journal/></publication> \
+                 <publication id=Pub2><journal/></publication> \
+               </> </>",
+        )
+        .unwrap();
+        let out = evaluate(&q, &dept());
+        assert_eq!(names_of(&out), ["professor"]);
+    }
+
+    #[test]
+    fn single_publication_condition_matches_everyone() {
+        let q = parse_query(
+            "v = SELECT P WHERE <department> \
+               P:<professor | gradStudent> <publication><journal/></publication> </> </>",
+        )
+        .unwrap();
+        let out = evaluate(&q, &dept());
+        // document order: professors before gradStudents
+        assert_eq!(names_of(&out), ["professor", "professor", "gradStudent"]);
+    }
+
+    #[test]
+    fn string_condition_filters() {
+        let q = parse_query(
+            "v = SELECT P WHERE <department> <name>EE</name> P:<professor/> </>",
+        )
+        .unwrap();
+        assert_eq!(evaluate(&q, &dept()).root.children().len(), 0);
+        let q = parse_query(
+            "v = SELECT P WHERE <department> <name>CS</name> P:<professor/> </>",
+        )
+        .unwrap();
+        assert_eq!(evaluate(&q, &dept()).root.children().len(), 2);
+    }
+
+    #[test]
+    fn picks_are_in_document_order_and_deduplicated() {
+        let q = parse_query(
+            "pubs = SELECT P WHERE <department> <professor | gradStudent> \
+               P:<publication/> </> </department>",
+        )
+        .unwrap();
+        let out = evaluate(&q, &dept());
+        // all five publications, in document order p1..p5
+        let titles: Vec<&str> = out
+            .root
+            .children()
+            .iter()
+            .map(|p| p.children()[0].pcdata().unwrap())
+            .collect();
+        assert_eq!(titles, ["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn root_anchoring() {
+        // condition rooted at professor does not match a department doc
+        let q = parse_query("v = SELECT P WHERE P:<professor/>").unwrap();
+        assert_eq!(evaluate(&q, &dept()).root.children().len(), 0);
+    }
+
+    #[test]
+    fn pick_may_be_the_root() {
+        let q = parse_query("v = SELECT D WHERE D:<department> <name>CS</name> </>").unwrap();
+        let out = evaluate(&q, &dept());
+        assert_eq!(names_of(&out), ["department"]);
+    }
+
+    #[test]
+    fn wildcard_after_normalization() {
+        use crate::normalize::normalize;
+        let q = parse_query("v = SELECT X WHERE <department> <professor> X:<*/> </> </>")
+            .unwrap();
+        let q = normalize(&q, &mix_dtd::paper::d1_department()).unwrap();
+        let out = evaluate(&q, &dept());
+        // every direct child of each professor: 5 for prof1, 4 for prof2
+        assert_eq!(out.root.children().len(), 9);
+    }
+
+    #[test]
+    fn view_ids_are_fresh_and_unique() {
+        let q = parse_query(
+            "pubs = SELECT P WHERE <department> <professor | gradStudent> \
+               P:<publication/> </> </department>",
+        )
+        .unwrap();
+        let out = evaluate(&q, &dept());
+        assert!(out.duplicate_id().is_none());
+        assert!(ids_of(&out, 1).iter().all(|id| id.starts_with('#')));
+    }
+
+    #[test]
+    fn three_way_distinctness() {
+        let q = parse_query(
+            "v = SELECT P WHERE <department> P:<professor | gradStudent> \
+               <publication id=A/> <publication id=B/> <publication id=C/> </> </> \
+             AND A != B AND B != C AND A != C",
+        )
+        .unwrap();
+        // nobody has three publications
+        assert_eq!(evaluate(&q, &dept()).root.children().len(), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's query fixtures (Q2, Q3, Q12 — the queries whose inference
+//! the paper works through), shared by tests, examples, and benches.
+
+use crate::ast::Query;
+use crate::parser::parse_query;
+
+/// (Q2) — people of the CS department with two *different* journal
+/// publications (Examples 3.1, 3.4, 4.3).
+pub fn q2_with_journals() -> Query {
+    parse_query(
+        "withJournals = SELECT P \
+         WHERE <department> <name>CS</name> \
+           P:<professor | gradStudent> \
+             <publication id=Pub1><journal/></publication> \
+             <publication id=Pub2><journal/></publication> \
+           </> \
+         </> \
+         AND Pub1 != Pub2",
+    )
+    .expect("Q2 parses")
+}
+
+/// (Q3) — every journal publication of the CS department (Example 3.2).
+pub fn q3_publist() -> Query {
+    parse_query(
+        "publist = SELECT P \
+         WHERE <department> <name>CS</name> \
+           <professor | gradStudent> P:<publication><journal/></publication> </> \
+         </>",
+    )
+    .expect("Q3 parses")
+}
+
+/// (Q12) — titles and authors of gradStudent publications (Example 4.4).
+pub fn q12_papers() -> Query {
+    parse_query(
+        "papers = SELECT P WHERE D:<department> G:<gradStudent> \
+           X:<publication> P:<title | author/> </> </> </>",
+    )
+    .expect("Q12 parses")
+}
+
+/// (Q6) — professors with a journal publication, over (D9)
+/// (Example 4.1).
+pub fn q6_answer() -> Query {
+    parse_query("answer = SELECT X WHERE X:<professor><journal/></professor>")
+        .expect("Q6 parses")
+}
+
+/// (Q7) — professors with two *different* journal publications, over (D9)
+/// (Example 4.2).
+pub fn q7_answer() -> Query {
+    parse_query(
+        "answer = SELECT X WHERE X:<professor> <journal id=J1/> <journal id=J2/> </> \
+         AND J1 != J2",
+    )
+    .expect("Q7 parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_dtd::paper::{d1_department, d11_department, d9_professor};
+
+    #[test]
+    fn fixtures_normalize_against_their_dtds() {
+        use crate::normalize::normalize;
+        for (q, d) in [
+            (q2_with_journals(), d1_department()),
+            (q3_publist(), d1_department()),
+            (q12_papers(), d11_department()),
+            (q6_answer(), d9_professor()),
+            (q7_answer(), d9_professor()),
+        ] {
+            normalize(&q, &d).unwrap_or_else(|e| panic!("{}: {e}", q.view_name));
+        }
+    }
+
+    #[test]
+    fn q7_on_d9_is_unsatisfiable() {
+        // D9's professor has (journal | conference)* — two *distinct*
+        // journals are possible, so Q7 is satisfiable there…
+        use crate::normalize::normalize;
+        let d = d9_professor();
+        let q = normalize(&q7_answer(), &d).unwrap();
+        // sanity: both journal conditions survived normalization
+        assert_eq!(q.pick_node().unwrap().children().len(), 2);
+        assert_eq!(q.diseqs.len(), 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! The abstract XML element model (Definition 2.1).
+//!
+//! An element is a triple of a name, a unique ID attribute, and content
+//! that is either a sequence of elements or a PCDATA string. Per the paper's
+//! simplifications (Section 2) there are no other attributes, no mixed
+//! content, and no entities.
+
+use mix_relang::symbol::Name;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The ID attribute of an element — unique within a document.
+///
+/// Parsed documents carry their textual IDs; programmatically built elements
+/// get fresh `#` IDs from a process-wide counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElemId(Name);
+
+static NEXT_AUTO_ID: AtomicU64 = AtomicU64::new(1);
+
+impl ElemId {
+    /// An ID from explicit text (as written in `id="…"`).
+    pub fn named(s: &str) -> ElemId {
+        ElemId(Name::intern(s))
+    }
+
+    /// A fresh, process-unique ID.
+    pub fn fresh() -> ElemId {
+        let n = NEXT_AUTO_ID.fetch_add(1, Ordering::Relaxed);
+        ElemId(Name::intern(&format!("#{n}")))
+    }
+
+    /// The textual form of the ID.
+    pub fn as_str(self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// Whether this ID was auto-generated.
+    pub fn is_auto(self) -> bool {
+        self.as_str().starts_with('#')
+    }
+}
+
+impl fmt::Debug for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Element content: a sequence of elements or a PCDATA string.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Content {
+    /// Element content — possibly empty (an empty list is *not* an XML
+    /// `EMPTY` element, see Appendix A).
+    Elements(Vec<Element>),
+    /// Character content.
+    Text(String),
+}
+
+/// An XML element (Definition 2.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Element {
+    /// The element name.
+    pub name: Name,
+    /// The unique ID attribute.
+    pub id: ElemId,
+    /// The content.
+    pub content: Content,
+}
+
+impl Element {
+    /// A new element with element content and a fresh ID.
+    pub fn new(name: &str, children: Vec<Element>) -> Element {
+        Element {
+            name: Name::intern(name),
+            id: ElemId::fresh(),
+            content: Content::Elements(children),
+        }
+    }
+
+    /// A new element with character content and a fresh ID.
+    pub fn text(name: &str, value: &str) -> Element {
+        Element {
+            name: Name::intern(name),
+            id: ElemId::fresh(),
+            content: Content::Text(value.to_owned()),
+        }
+    }
+
+    /// Replaces the ID (builder-style), e.g. to mirror a parsed `id="…"`.
+    pub fn with_id(mut self, id: &str) -> Element {
+        self.id = ElemId::named(id);
+        self
+    }
+
+    /// The element's children; empty for character content.
+    pub fn children(&self) -> &[Element] {
+        match &self.content {
+            Content::Elements(v) => v,
+            Content::Text(_) => &[],
+        }
+    }
+
+    /// The PCDATA value, if this element has character content.
+    pub fn pcdata(&self) -> Option<&str> {
+        match &self.content {
+            Content::Text(s) => Some(s),
+            Content::Elements(_) => None,
+        }
+    }
+
+    /// The sequence of child names — the word checked against the DTD type
+    /// (Definition 2.3, condition 2).
+    pub fn child_names(&self) -> Vec<Name> {
+        self.children().iter().map(|c| c.name).collect()
+    }
+
+    /// Depth-first, left-to-right traversal (self first) — the document
+    /// order the paper uses for view content.
+    pub fn walk(&self) -> Walk<'_> {
+        Walk { stack: vec![self] }
+    }
+
+    /// Number of element nodes in this subtree.
+    pub fn size(&self) -> usize {
+        self.walk().count()
+    }
+
+    /// Maximum nesting depth (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(Element::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Finds the (first) element with the given ID in this subtree.
+    pub fn find_by_id(&self, id: ElemId) -> Option<&Element> {
+        self.walk().find(|e| e.id == id)
+    }
+
+    /// Clones the subtree, giving every node a fresh ID. Useful when the
+    /// same source element must appear twice in a constructed document
+    /// without violating ID uniqueness.
+    pub fn deep_clone_fresh(&self) -> Element {
+        Element {
+            name: self.name,
+            id: ElemId::fresh(),
+            content: match &self.content {
+                Content::Text(s) => Content::Text(s.clone()),
+                Content::Elements(v) => {
+                    Content::Elements(v.iter().map(Element::deep_clone_fresh).collect())
+                }
+            },
+        }
+    }
+}
+
+/// Iterator of [`Element::walk`].
+pub struct Walk<'a> {
+    stack: Vec<&'a Element>,
+}
+
+impl<'a> Iterator for Walk<'a> {
+    type Item = &'a Element;
+
+    fn next(&mut self) -> Option<&'a Element> {
+        let e = self.stack.pop()?;
+        // Push children in reverse so they pop left-to-right.
+        self.stack.extend(e.children().iter().rev());
+        Some(e)
+    }
+}
+
+/// A document: a root element (Definition 2.4 minus the DTD, which lives in
+/// `mix-dtd`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Document {
+    /// The root element; its name is the document type.
+    pub root: Element,
+}
+
+impl Document {
+    /// Wraps a root element.
+    pub fn new(root: Element) -> Document {
+        Document { root }
+    }
+
+    /// The document type `d_root` — the name of the root element.
+    pub fn doc_type(&self) -> Name {
+        self.root.name
+    }
+
+    /// Checks that no two elements share an ID (validity requirement 1 of
+    /// Appendix A). Returns the first duplicated ID if any.
+    pub fn duplicate_id(&self) -> Option<ElemId> {
+        let mut seen = std::collections::HashSet::new();
+        self.root.walk().find(|e| !seen.insert(e.id)).map(|e| e.id)
+    }
+
+    /// Number of element nodes.
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new(
+            "professor",
+            vec![
+                Element::text("firstName", "Yannis"),
+                Element::text("lastName", "P"),
+                Element::new(
+                    "publication",
+                    vec![
+                        Element::text("title", "DTD inference"),
+                        Element::new("journal", vec![]),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn fresh_ids_are_unique() {
+        let a = ElemId::fresh();
+        let b = ElemId::fresh();
+        assert_ne!(a, b);
+        assert!(a.is_auto());
+    }
+
+    #[test]
+    fn named_ids_compare_by_text() {
+        assert_eq!(ElemId::named("p1"), ElemId::named("p1"));
+        assert_ne!(ElemId::named("p1"), ElemId::named("p2"));
+        assert!(!ElemId::named("p1").is_auto());
+    }
+
+    #[test]
+    fn child_names_order() {
+        let e = sample();
+        let names: Vec<&str> = e.child_names().iter().map(|n| n.as_str()).collect();
+        assert_eq!(names, ["firstName", "lastName", "publication"]);
+    }
+
+    #[test]
+    fn walk_is_depth_first_left_to_right() {
+        let e = sample();
+        let order: Vec<&str> = e.walk().map(|x| x.name.as_str()).collect();
+        assert_eq!(
+            order,
+            [
+                "professor",
+                "firstName",
+                "lastName",
+                "publication",
+                "title",
+                "journal"
+            ]
+        );
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let e = sample();
+        assert_eq!(e.size(), 6);
+        assert_eq!(e.depth(), 3);
+        assert_eq!(Element::new("x", vec![]).depth(), 1);
+    }
+
+    #[test]
+    fn find_by_id() {
+        let e = sample();
+        let pubid = e.children()[2].id;
+        assert_eq!(e.find_by_id(pubid).unwrap().name.as_str(), "publication");
+        assert!(e.find_by_id(ElemId::named("nope")).is_none());
+    }
+
+    #[test]
+    fn deep_clone_fresh_changes_all_ids() {
+        let e = sample();
+        let c = e.deep_clone_fresh();
+        let old: Vec<ElemId> = e.walk().map(|x| x.id).collect();
+        let new: Vec<ElemId> = c.walk().map(|x| x.id).collect();
+        assert_eq!(old.len(), new.len());
+        for id in new {
+            assert!(!old.contains(&id));
+        }
+    }
+
+    #[test]
+    fn duplicate_id_detection() {
+        let dup = Element::new("a", vec![]).with_id("x");
+        let doc = Document::new(Element::new("root", vec![dup.clone(), dup]));
+        assert_eq!(doc.duplicate_id(), Some(ElemId::named("x")));
+        let ok = Document::new(sample());
+        assert!(ok.duplicate_id().is_none());
+    }
+
+    #[test]
+    fn empty_content_is_not_text() {
+        let e = Element::new("teaches", vec![]);
+        assert!(e.pcdata().is_none());
+        assert_eq!(e.children().len(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # mix-xml — the abstract XML model of the MIX mediator
+//!
+//! Implements the XML fragment of Section 2 of the paper: elements with a
+//! name, a unique ID, and either element content or PCDATA (no other
+//! attributes, no mixed content, no entities). Ships a from-scratch parser
+//! and serializer for that fragment and the structural-class abstraction of
+//! Definition 3.5.
+
+#![warn(missing_docs)]
+
+pub mod element;
+pub mod parser;
+pub mod skeleton;
+pub mod writer;
+
+pub use element::{Content, Document, ElemId, Element};
+pub use parser::{parse_document, parse_element, XmlError};
+pub use skeleton::{same_structural_class, Skeleton};
+pub use writer::{write_document, write_element, WriteConfig};

@@ -1,0 +1,110 @@
+//! Structural classes of documents (Definition 3.5).
+//!
+//! Two documents are in the same structural class when a bijection on
+//! string values and a bijection on IDs turns one into the other. Since IDs
+//! are pairwise distinct inside a document, the class of a document is
+//! fully described by (a) its element-name tree shape and (b) the
+//! *equality pattern* of its PCDATA strings. [`Skeleton`] canonicalizes
+//! exactly that: strings are replaced by their first-occurrence index in
+//! depth-first order.
+
+use crate::element::{Content, Element};
+use mix_relang::symbol::Name;
+use std::collections::HashMap;
+
+/// The canonical representative of a structural class.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Skeleton {
+    /// An element with element content.
+    Node(Name, Vec<Skeleton>),
+    /// An element with character content; the `usize` is the canonical
+    /// index of the string value (equal strings share an index).
+    Text(Name, usize),
+}
+
+impl Skeleton {
+    /// Computes the structural class of `e`.
+    pub fn of(e: &Element) -> Skeleton {
+        let mut interner: HashMap<String, usize> = HashMap::new();
+        Self::build(e, &mut interner)
+    }
+
+    fn build(e: &Element, interner: &mut HashMap<String, usize>) -> Skeleton {
+        match &e.content {
+            Content::Text(t) => {
+                let next = interner.len();
+                let idx = *interner.entry(t.clone()).or_insert(next);
+                Skeleton::Text(e.name, idx)
+            }
+            Content::Elements(v) => Skeleton::Node(
+                e.name,
+                v.iter().map(|c| Self::build(c, interner)).collect(),
+            ),
+        }
+    }
+
+    /// Number of element nodes in the class representative.
+    pub fn size(&self) -> usize {
+        match self {
+            Skeleton::Text(..) => 1,
+            Skeleton::Node(_, v) => 1 + v.iter().map(Skeleton::size).sum::<usize>(),
+        }
+    }
+}
+
+/// Are `a` and `b` in the same structural class (Definition 3.5)?
+pub fn same_structural_class(a: &Element, b: &Element) -> bool {
+    Skeleton::of(a) == Skeleton::of(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_do_not_matter() {
+        let a = Element::new("x", vec![Element::new("y", vec![])]).with_id("one");
+        let b = Element::new("x", vec![Element::new("y", vec![])]).with_id("two");
+        assert!(same_structural_class(&a, &b));
+    }
+
+    #[test]
+    fn strings_map_bijectively() {
+        // ("A","A") and ("B","B") share a class; ("A","B") does not.
+        let aa = Element::new("p", vec![Element::text("n", "A"), Element::text("n", "A")]);
+        let bb = Element::new("p", vec![Element::text("n", "B"), Element::text("n", "B")]);
+        let ab = Element::new("p", vec![Element::text("n", "A"), Element::text("n", "B")]);
+        assert!(same_structural_class(&aa, &bb));
+        assert!(!same_structural_class(&aa, &ab));
+    }
+
+    #[test]
+    fn shape_matters() {
+        let flat = Element::new("x", vec![Element::new("y", vec![]), Element::new("z", vec![])]);
+        let nested = Element::new("x", vec![Element::new("y", vec![Element::new("z", vec![])])]);
+        assert!(!same_structural_class(&flat, &nested));
+    }
+
+    #[test]
+    fn order_matters() {
+        let yz = Element::new("x", vec![Element::new("y", vec![]), Element::new("z", vec![])]);
+        let zy = Element::new("x", vec![Element::new("z", vec![]), Element::new("y", vec![])]);
+        assert!(!same_structural_class(&yz, &zy));
+    }
+
+    #[test]
+    fn empty_element_content_differs_from_text() {
+        let empty = Element::new("x", vec![]);
+        let text = Element::text("x", "");
+        assert!(!same_structural_class(&empty, &text));
+    }
+
+    #[test]
+    fn skeleton_size() {
+        let e = Element::new(
+            "a",
+            vec![Element::text("b", "v"), Element::new("c", vec![])],
+        );
+        assert_eq!(Skeleton::of(&e).size(), 3);
+    }
+}

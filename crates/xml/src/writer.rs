@@ -1,0 +1,137 @@
+//! Serialization of elements back to XML text.
+
+use crate::element::{Content, Document, Element};
+use crate::parser::escape;
+use std::fmt::Write;
+
+/// Serialization options.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteConfig {
+    /// Pretty-print with this indent width; `None` writes compact XML.
+    pub indent: Option<usize>,
+    /// Emit `id="…"` attributes (auto-generated IDs are always skipped).
+    pub write_ids: bool,
+}
+
+impl Default for WriteConfig {
+    fn default() -> Self {
+        WriteConfig {
+            indent: Some(2),
+            write_ids: true,
+        }
+    }
+}
+
+fn write_elem(e: &Element, cfg: WriteConfig, level: usize, out: &mut String) {
+    let pad = |out: &mut String, level: usize| {
+        if let Some(w) = cfg.indent {
+            for _ in 0..level * w {
+                out.push(' ');
+            }
+        }
+    };
+    let nl = |out: &mut String| {
+        if cfg.indent.is_some() {
+            out.push('\n');
+        }
+    };
+    pad(out, level);
+    let _ = write!(out, "<{}", e.name);
+    if cfg.write_ids && !e.id.is_auto() {
+        let _ = write!(out, " id=\"{}\"", escape(e.id.as_str()));
+    }
+    match &e.content {
+        Content::Elements(v) if v.is_empty() => {
+            out.push_str("/>");
+            nl(out);
+        }
+        Content::Elements(v) => {
+            out.push('>');
+            nl(out);
+            for c in v {
+                write_elem(c, cfg, level + 1, out);
+            }
+            pad(out, level);
+            let _ = write!(out, "</{}>", e.name);
+            nl(out);
+        }
+        Content::Text(t) => {
+            let _ = write!(out, ">{}</{}>", escape(t), e.name);
+            nl(out);
+        }
+    }
+}
+
+/// Serializes an element.
+pub fn write_element(e: &Element, cfg: WriteConfig) -> String {
+    let mut out = String::new();
+    write_elem(e, cfg, 0, &mut out);
+    if cfg.indent.is_some() {
+        // drop the trailing newline for symmetric roundtrips
+        out.truncate(out.trim_end().len());
+    }
+    out
+}
+
+/// Serializes a document.
+pub fn write_document(d: &Document, cfg: WriteConfig) -> String {
+    write_element(&d.root, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_element;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"<professor id="p1"><firstName>Yannis</firstName><teaches/></professor>"#;
+        let e = parse_element(src).unwrap();
+        let cfg = WriteConfig {
+            indent: None,
+            write_ids: true,
+        };
+        let out = write_element(&e, cfg);
+        assert_eq!(out, src);
+        // write(parse(write(x))) == write(x)  (IDs of id-less elements are
+        // freshly generated on each parse, so compare serialized forms)
+        assert_eq!(write_element(&parse_element(&out).unwrap(), cfg), out);
+    }
+
+    #[test]
+    fn roundtrip_pretty() {
+        let src = "<a><b><c/></b><d>txt</d></a>";
+        let e = parse_element(src).unwrap();
+        let pretty = write_element(&e, WriteConfig::default());
+        assert!(pretty.contains('\n'));
+        let reparsed = parse_element(&pretty).unwrap();
+        assert_eq!(write_element(&reparsed, WriteConfig::default()), pretty);
+    }
+
+    #[test]
+    fn auto_ids_not_written() {
+        let e = Element::new("x", vec![]);
+        let out = write_element(
+            &e,
+            WriteConfig {
+                indent: None,
+                write_ids: true,
+            },
+        );
+        assert_eq!(out, "<x/>");
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let e = Element::text("t", "a < b & c");
+        let out = write_element(
+            &e,
+            WriteConfig {
+                indent: None,
+                write_ids: false,
+            },
+        );
+        assert_eq!(out, "<t>a &lt; b &amp; c</t>");
+        assert_eq!(parse_element(&out).unwrap().pcdata(), Some("a < b & c"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Multi-source integration with stacked mediators — the "mediators can
+//! be stacked on top of mediators" scenario of Section 1: two department
+//! sources, one lower mediator per department exporting a journal-paper
+//! view, and an upper mediator whose source *is* a lower mediator's view
+//! (with its inferred DTD).
+//!
+//! ```sh
+//! cargo run --example bibliography_integration
+//! ```
+
+use mix::dtd::paper::d1_department;
+use mix::prelude::*;
+use mix::relang::symbol::name;
+use std::sync::Arc;
+
+fn dept(professors: &[(&str, &[&str])]) -> Document {
+    let profs: String = professors
+        .iter()
+        .map(|(who, pubs)| {
+            let pubs: String = pubs
+                .iter()
+                .map(|t| {
+                    format!(
+                        "<publication><title>{t}</title><author>{who}</author><journal/></publication>"
+                    )
+                })
+                .collect();
+            format!(
+                "<professor><firstName>{who}</firstName><lastName>X</lastName>{pubs}<teaches/></professor>"
+            )
+        })
+        .collect();
+    parse_document(&format!(
+        "<department><name>CS</name>{profs}\
+         <gradStudent><firstName>g</firstName><lastName>Y</lastName>\
+           <publication><title>thesis</title><author>g</author><conference/></publication>\
+         </gradStudent></department>"
+    ))
+    .expect("synthesized department parses")
+}
+
+fn main() {
+    // Two source departments with different contents, same schema (D1).
+    let ucsd = dept(&[("yannis", &["Mediators", "MIX"]), ("victor", &["Views"])]);
+    let stanford = dept(&[("jennifer", &["Lore", "DataGuides"])]);
+
+    // One lower mediator per campus, each exporting a journal-papers view.
+    let mut lower_ucsd = Mediator::new();
+    lower_ucsd.add_source(
+        "ucsd",
+        Arc::new(XmlSource::new(d1_department(), ucsd).unwrap()),
+    );
+    let papers_view = parse_query(
+        "papers = SELECT X WHERE <department> <professor | gradStudent> \
+           X:<publication><journal/></publication> </> </>",
+    )
+    .unwrap();
+    let v = lower_ucsd.register_view("ucsd", &papers_view).unwrap();
+    println!("UCSD lower mediator view DTD:\n{}\n", v.inferred.dtd);
+
+    let mut lower_stanford = Mediator::new();
+    lower_stanford.add_source(
+        "stanford",
+        Arc::new(XmlSource::new(d1_department(), stanford).unwrap()),
+    );
+    lower_stanford
+        .register_view("stanford", &papers_view)
+        .unwrap();
+
+    // The upper mediator treats each lower view as a source. Its view DTD
+    // inference runs against the *inferred* lower view DTDs.
+    let mut upper = Mediator::new();
+    upper.add_source(
+        "ucsd-papers",
+        Arc::new(ViewWrapper::new(Arc::new(lower_ucsd), name("papers")).unwrap()),
+    );
+    upper.add_source(
+        "stanford-papers",
+        Arc::new(ViewWrapper::new(Arc::new(lower_stanford), name("papers")).unwrap()),
+    );
+
+    let titles_view =
+        parse_query("titles = SELECT T WHERE <papers> <publication> T:<title/> </> </papers>")
+            .unwrap();
+    let tv = upper.register_view("ucsd-papers", &titles_view).unwrap();
+    println!("Upper mediator view DTD (inferred over a view DTD):\n{}\n", tv.inferred.dtd);
+
+    // Query through both levels.
+    let q = parse_query("ans = SELECT T WHERE <titles> T:<title/> </titles>").unwrap();
+    let a = upper.query(&q).unwrap();
+    let titles: Vec<&str> = a
+        .document
+        .root
+        .children()
+        .iter()
+        .filter_map(|e| e.pcdata())
+        .collect();
+    println!("journal-paper titles at UCSD, via two mediator levels: {titles:?}");
+    assert_eq!(titles, ["Mediators", "MIX", "Views"]);
+
+    // Consolidation across sources, first class: a *union view* over both
+    // campuses (the intro's "union the structures exported by N sites" —
+    // now with an inferred DTD).
+    let titles_view2 = parse_query(
+        "titles2 = SELECT T WHERE <papers> <publication> T:<title/> </> </papers>",
+    )
+    .unwrap();
+    let union = upper
+        .register_union_view(
+            "bibliography",
+            &[
+                ("ucsd-papers", titles_view2.clone()),
+                ("stanford-papers", titles_view2),
+            ],
+        )
+        .unwrap();
+    println!(
+        "Union view DTD (both campuses folded together):\n{}\n",
+        union.inferred.dtd
+    );
+    let all = upper
+        .materialize(mix::relang::name("bibliography"))
+        .unwrap();
+    let integrated: Vec<&str> = all
+        .root
+        .children()
+        .iter()
+        .filter_map(|e| e.pcdata())
+        .collect();
+    println!("Integrated bibliography: {integrated:?}");
+    assert_eq!(
+        integrated,
+        ["Mediators", "MIX", "Views", "Lore", "DataGuides"]
+    );
+}

@@ -1,0 +1,97 @@
+//! The DTD-based query interface as a workflow: structure summary →
+//! menu-driven query construction (validated against the DTD at every
+//! step) → classification → execution. This is the [BGL+] interface of
+//! Section 1 with stdout instead of fill-in windows.
+//!
+//! ```sh
+//! cargo run --example interactive_interface
+//! ```
+
+use mix::dtd::paper::d1_department;
+use mix::mediator::{Constraint, QueryBuilder};
+use mix::prelude::*;
+use mix::relang::symbol::name;
+use std::sync::Arc;
+
+fn main() {
+    let dtd = d1_department();
+
+    // 1. The interface first shows the user what the data looks like.
+    println!("── structure summary (what the interface displays) ──");
+    println!("{}", render_structure(&dtd));
+
+    // 2. The user opens the "department" menu; the interface lists the
+    //    possible children with their cardinalities.
+    let builder = QueryBuilder::new(&dtd, "withJournals");
+    println!("── menu under <department> ──");
+    for (child, occ) in builder.menu(name("department")) {
+        println!("  {child}  (min {} / max {})", occ.min, match occ.max {
+            None => "∞".to_owned(),
+            Some(m) => m.to_string(),
+        });
+    }
+    println!();
+
+    // 3. The user clicks a query together. Every step is validated: an
+    //    impossible path is rejected immediately, like a greyed-out menu.
+    let mut b = QueryBuilder::new(&dtd, "withJournals");
+    let err = b
+        .require(&["department", "journal"], Constraint::Exists)
+        .unwrap_err();
+    println!("trying to require department/journal → {err}\n");
+
+    b.require(&["department", "name"], Constraint::Text("CS".into()))
+        .expect("name is a PCDATA child");
+    let pub1 = b
+        .require(
+            &["department", "professor", "publication"],
+            Constraint::Exists,
+        )
+        .expect("professor/publication path exists");
+    b.require_under(&pub1, &["journal"], Constraint::Exists)
+        .expect("journal inside publication");
+    let pub2 = b
+        .require(
+            &["department", "professor", "publication"],
+            Constraint::Exists,
+        )
+        .expect("a second, distinct publication");
+    b.require_under(&pub2, &["journal"], Constraint::Exists)
+        .expect("journal inside the second publication");
+    b.pick(&["department", "professor"]).expect("pick professors");
+    let query = b.build().expect("pick chosen");
+    println!("── the query the interface built ──\n{query}\n");
+
+    // 4. Before running anything the classification is shown.
+    let nq = normalize(&query, &dtd).unwrap();
+    println!("classification against the source DTD: {:?}\n", classify_query(&nq, &dtd));
+
+    // 5. Run it through a mediator.
+    let doc = parse_document(
+        "<department><name>CS</name>\
+           <professor><firstName>Yannis</firstName><lastName>P</lastName>\
+             <publication><title>a</title><author>x</author><journal/></publication>\
+             <publication><title>b</title><author>x</author><journal/></publication>\
+             <teaches/></professor>\
+           <professor><firstName>One</firstName><lastName>J</lastName>\
+             <publication><title>c</title><author>x</author><journal/></publication>\
+             <teaches/></professor>\
+           <gradStudent><firstName>G</firstName><lastName>S</lastName>\
+             <publication><title>d</title><author>x</author><journal/></publication>\
+           </gradStudent></department>",
+    )
+    .unwrap();
+    let mut mediator = Mediator::new();
+    mediator.add_source("cs", Arc::new(XmlSource::new(dtd, doc).unwrap()));
+    let registered = mediator.register_view("cs", &query).unwrap();
+    println!(
+        "── inferred view DTD shown back to the user ──\n{}\n",
+        registered.inferred.dtd
+    );
+    let view = mediator.materialize(name("withJournals")).unwrap();
+    println!(
+        "── the view itself ──\n{}",
+        write_document(&view, WriteConfig::default())
+    );
+    assert_eq!(view.root.children().len(), 1); // only the 2-journal professor
+}

@@ -1,0 +1,84 @@
+//! Experiment X1: quantifying tightness.
+//!
+//! For the paper's running views, counts — exactly — how many structural
+//! documents of each size the three inferable view DTDs describe:
+//!
+//! * the naive view DTD (Example 3.1's baseline),
+//! * the tight merged view DTD (the algorithm's plain-DTD output),
+//! * the specialized view DTD (Section 3.3).
+//!
+//! Fewer described structures = tighter = more useful to the query
+//! interface and the query simplifier. The table regenerates the numbers
+//! recorded in `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release --example tightness_lab
+//! ```
+
+use mix::dtd::paper::d1_department;
+use mix::infer::metrics::{realization_coverage, soundness_check, tightness_counts};
+use mix::prelude::*;
+
+fn show(label: &str, q: &Query, max: usize) {
+    println!("\n── {label} ──");
+    let rows = tightness_counts(q, &d1_department(), max);
+    println!("{:>5} {:>16} {:>16} {:>16}", "size", "naive", "tight DTD", "s-DTD");
+    let mut tn = 0u128;
+    let mut tm = 0u128;
+    let mut ts = 0u128;
+    for r in rows {
+        tn = tn.saturating_add(r.naive);
+        tm = tm.saturating_add(r.merged);
+        ts = ts.saturating_add(r.specialized);
+        if r.naive + r.merged + r.specialized > 0 {
+            println!(
+                "{:>5} {:>16} {:>16} {:>16}",
+                r.size, r.naive, r.merged, r.specialized
+            );
+        }
+    }
+    println!("{:>5} {tn:>16} {tm:>16} {ts:>16}", "Σ");
+    if ts > 0 {
+        println!(
+            "looseness factors at size ≤ {max}: naive/tight = {:.2}×, tight/s-DTD = {:.2}×",
+            tn as f64 / tm.max(1) as f64,
+            tm as f64 / ts.max(1) as f64,
+        );
+    }
+}
+
+fn main() {
+    let q2 = parse_query(
+        "withJournals = SELECT P WHERE <department> <name>CS</name> \
+           P:<professor | gradStudent> \
+             <publication id=Pub1><journal/></publication> \
+             <publication id=Pub2><journal/></publication> \
+           </> </> AND Pub1 != Pub2",
+    )
+    .unwrap();
+    let q3 = parse_query(
+        "publist = SELECT P WHERE <department> <name>CS</name> \
+           <professor | gradStudent> P:<publication><journal/></publication> </> </>",
+    )
+    .unwrap();
+
+    show("Q2 (withJournals) on D1", &q2, 20);
+    show("Q3 (publist) on D1", &q3, 16);
+
+    println!("\n── soundness over random sources (X2 spot check) ──");
+    for (label, q) in [("Q2", &q2), ("Q3", &q3)] {
+        let r = soundness_check(q, &d1_department(), 300, 1, Default::default());
+        println!(
+            "{label}: {} samples, {} non-empty views, {} DTD violations, {} s-DTD violations",
+            r.samples, r.nonempty_views, r.dtd_violations, r.sdtd_violations
+        );
+        assert_eq!(r.dtd_violations + r.sdtd_violations, 0);
+    }
+
+    println!("\n── realization coverage (how much of the s-DTD gets exercised) ──");
+    let c = realization_coverage(&q3, &d1_department(), 400, 11, 9);
+    println!(
+        "Q3: {} of {} described structures (size ≤ 9) realized by 400 random sources",
+        c.observed, c.described
+    );
+}

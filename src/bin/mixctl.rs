@@ -1,0 +1,274 @@
+//! `mixctl` — command-line front end for the MIX view-DTD inference
+//! library.
+//!
+//! ```text
+//! mixctl infer      --dtd D1.dtd --query Q2.xmas     infer the view DTDs
+//! mixctl classify   --dtd D1.dtd --query Q2.xmas     valid/satisfiable/unsat
+//! mixctl validate   --dtd D1.dtd --doc dept.xml      validate a document
+//! mixctl eval       --dtd D1.dtd --doc dept.xml --query Q2.xmas
+//! mixctl structure  --dtd D1.dtd                     query-interface summary
+//! mixctl tightness  --dtd D1.dtd --query Q2.xmas --max-size 16
+//! mixctl union      --part D1.dtd:Q3.xmas --part D1b.dtd:Q3.xmas
+//! ```
+//!
+//! DTD files may use real `<!ELEMENT …>` syntax or the paper's compact
+//! `<name : model>` notation (auto-detected).
+
+use mix::infer::metrics::tightness_counts;
+use mix::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mixctl <infer|classify|validate|eval|structure|tightness> \
+         [--dtd FILE] [--query FILE] [--doc FILE] [--max-size N]\n\
+         run `mixctl help` for details"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    command: String,
+    dtd: Option<String>,
+    query: Option<String>,
+    doc: Option<String>,
+    parts: Vec<(String, String)>,
+    name: String,
+    max_size: usize,
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| usage());
+    let mut args = Args {
+        command,
+        dtd: None,
+        query: None,
+        doc: None,
+        parts: Vec::new(),
+        name: "view".to_owned(),
+        max_size: 16,
+    };
+    while let Some(flag) = argv.next() {
+        let mut grab = || argv.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--dtd" => args.dtd = Some(grab()),
+            "--query" => args.query = Some(grab()),
+            "--doc" => args.doc = Some(grab()),
+            "--max-size" => {
+                args.max_size = grab().parse().unwrap_or_else(|_| usage());
+            }
+            "--name" => args.name = grab(),
+            "--part" => {
+                let spec = grab();
+                match spec.split_once(':') {
+                    Some((d, q)) => args.parts.push((d.to_owned(), q.to_owned())),
+                    None => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("mixctl: cannot read '{path}': {e}");
+        std::process::exit(1)
+    })
+}
+
+fn load_dtd_path(path: &str) -> Dtd {
+    let text = read(path);
+    let parsed = if text.trim_start().starts_with("<!") {
+        parse_xml_dtd(&text)
+    } else {
+        parse_compact(&text)
+    };
+    parsed.unwrap_or_else(|e| {
+        eprintln!("mixctl: {path}: {e}");
+        std::process::exit(1)
+    })
+}
+
+fn load_dtd(args: &Args) -> Dtd {
+    load_dtd_path(args.dtd.as_deref().unwrap_or_else(|| usage()))
+}
+
+fn load_query(args: &Args) -> Query {
+    let path = args.query.as_deref().unwrap_or_else(|| usage());
+    parse_query(&read(path)).unwrap_or_else(|e| {
+        eprintln!("mixctl: {path}: {e}");
+        std::process::exit(1)
+    })
+}
+
+fn load_doc(args: &Args) -> Document {
+    let path = args.doc.as_deref().unwrap_or_else(|| usage());
+    parse_document(&read(path)).unwrap_or_else(|e| {
+        eprintln!("mixctl: {path}: {e}");
+        std::process::exit(1)
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!(
+                "mixctl — view DTD inference for XML mediators (ICDE 1999)\n\n\
+                 commands:\n\
+                 \x20 infer      --dtd F --query F   infer the specialized + merged view DTDs\n\
+                 \x20 classify   --dtd F --query F   valid | satisfiable | unsatisfiable\n\
+                 \x20 validate   --dtd F --doc F     validate a document (exit 1 on failure)\n\
+                 \x20 eval       --dtd F --doc F --query F   run the query, print the view\n\
+                 \x20 structure  --dtd F             the DTD-based query-interface summary\n\
+                 \x20 tightness  --dtd F --query F [--max-size N]   exact tightness counts\n\
+                 \x20 union      [--name N] --part DTD:QUERY …      infer a union view DTD"
+            );
+            ExitCode::SUCCESS
+        }
+        "infer" => {
+            let dtd = load_dtd(&args);
+            let q = load_query(&args);
+            match infer_view_dtd(&q, &dtd) {
+                Ok(iv) => {
+                    println!("verdict: {:?}\n", iv.verdict);
+                    println!("specialized view DTD:\n{}\n", iv.sdtd);
+                    println!("merged view DTD:\n{}", iv.dtd);
+                    if !iv.merged_names.is_empty() {
+                        println!(
+                            "\nnon-tightness introduced by merging on: {}",
+                            iv.merged_names
+                                .iter()
+                                .map(|n| n.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                    }
+                    let nondet = mix::dtd::nondeterministic_names(&iv.dtd);
+                    if !nondet.is_empty() {
+                        println!(
+                            "note: content models of {} are not 1-unambiguous \
+                             (XML 1.0 determinism rule)",
+                            nondet
+                                .iter()
+                                .map(|n| n.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("mixctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "classify" => {
+            let dtd = load_dtd(&args);
+            let q = load_query(&args);
+            match normalize(&q, &dtd) {
+                Ok(nq) => {
+                    println!("{:?}", classify_query(&nq, &dtd));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("mixctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "validate" => {
+            let dtd = load_dtd(&args);
+            let doc = load_doc(&args);
+            match validate_document(&dtd, &doc) {
+                Ok(()) => {
+                    println!("valid");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    println!("invalid: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "eval" => {
+            let dtd = load_dtd(&args);
+            let doc = load_doc(&args);
+            let q = load_query(&args);
+            match normalize(&q, &dtd) {
+                Ok(nq) => {
+                    let out = evaluate(&nq, &doc);
+                    println!("{}", write_document(&out, WriteConfig::default()));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("mixctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "structure" => {
+            let dtd = load_dtd(&args);
+            print!("{}", render_structure(&dtd));
+            ExitCode::SUCCESS
+        }
+        "union" => {
+            if args.parts.is_empty() {
+                usage();
+            }
+            let mut loaded = Vec::new();
+            for (dtd_path, query_path) in &args.parts {
+                let dtd = load_dtd_path(dtd_path);
+                let q = parse_query(&read(query_path)).unwrap_or_else(|e| {
+                    eprintln!("mixctl: {query_path}: {e}");
+                    std::process::exit(1)
+                });
+                loaded.push((q, dtd));
+            }
+            let refs: Vec<(&Query, &Dtd)> = loaded.iter().map(|(q, d)| (q, d)).collect();
+            match mix::infer::infer_union_view_dtd(name(&args.name), &refs) {
+                Ok(u) => {
+                    println!("verdict: {:?}\n", u.verdict);
+                    println!("specialized union view DTD:\n{}\n", u.sdtd);
+                    println!("merged union view DTD:\n{}", u.dtd);
+                    if !u.kind_conflicts.is_empty() {
+                        println!(
+                            "\nWARNING: {} mix PCDATA and element content across sites; \
+                             the merged plain DTD is not sound for them (use the s-DTD)",
+                            u.kind_conflicts
+                                .iter()
+                                .map(|n| n.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("mixctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "tightness" => {
+            let dtd = load_dtd(&args);
+            let q = load_query(&args);
+            let rows = tightness_counts(&q, &dtd, args.max_size);
+            println!("{:>5} {:>16} {:>16} {:>16}", "size", "naive", "tight", "s-DTD");
+            for r in rows {
+                if r.naive + r.merged + r.specialized > 0 {
+                    println!(
+                        "{:>5} {:>16} {:>16} {:>16}",
+                        r.size, r.naive, r.merged, r.specialized
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,66 @@
+//! # MIX — view DTD inference for XML mediators
+//!
+//! A from-scratch Rust reproduction of *"Enhancing Semistructured Data
+//! Mediators with Document Type Definitions"* (Papakonstantinou &
+//! Velikhov, ICDE 1999) — the MIX mediator's View DTD Inference module and
+//! every substrate it rests on.
+//!
+//! ```
+//! use mix::prelude::*;
+//!
+//! // the paper's department DTD (D1) and query (Q3)
+//! let source = mix::dtd::paper::d1_department();
+//! let q = parse_query(
+//!     "publist = SELECT P WHERE <department> <name>CS</name> \
+//!        <professor | gradStudent> P:<publication><journal/></publication> </> </>",
+//! ).unwrap();
+//! let view = infer_view_dtd(&q, &source).unwrap();
+//! // the inferred view DTD removed the (journal | conference) disjunction
+//! let publication = view.dtd.get(name("publication")).unwrap();
+//! assert_eq!(publication.to_string(), "title, author+, journal");
+//! ```
+//!
+//! The crates:
+//!
+//! * [`relang`] — regular expressions over element names + automata,
+//! * [`xml`] — the paper's XML abstraction (parser, serializer),
+//! * [`dtd`] — DTDs & specialized DTDs: validation, comparison, counting,
+//! * [`xmas`] — the pick-element XMAS query language,
+//! * [`infer`] — refine / tighten / merge / InferList (the contribution),
+//! * [`mediator`] — the MIX mediator: views, simplifier, composition,
+//!   stacking,
+//! * [`dataguide`] — strong DataGuides for the Section 5 related-work
+//!   comparison.
+
+pub use mix_dataguide as dataguide;
+pub use mix_dtd as dtd;
+pub use mix_infer as infer;
+pub use mix_mediator as mediator;
+pub use mix_relang as relang;
+pub use mix_xmas as xmas;
+pub use mix_xml as xml;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use mix_dtd::{
+        count_documents_by_size, count_sdocuments_by_size, parse_compact, parse_compact_sdtd,
+        parse_xml_dtd, sdtd_satisfies, tighter_than, validate_document, ContentModel, Dtd,
+        SDtd,
+    };
+    pub use mix_infer::{
+        classify_query, infer_view_dtd, merge, naive_view_dtd, refine, tighten, InferredView,
+        NaiveMode, Verdict,
+    };
+    pub use mix_infer::metrics::{
+        non_tight_witnesses, realization_coverage, soundness_check, tightness_counts,
+    };
+    pub use mix_mediator::{
+        compose, render_structure, Answer, AnswerPath, Mediator, MediatorError,
+        ProcessorConfig, UnionView, ViewWrapper, Wrapper, XmlSource,
+    };
+    pub use mix_dataguide::DataGuide;
+    pub use mix_relang::{equivalent, is_subset, parse_regex, simplify, Regex};
+    pub use mix_relang::symbol::{name, sym, Name, Sym};
+    pub use mix_xmas::{evaluate, normalize, parse_query, Query};
+    pub use mix_xml::{parse_document, write_document, Document, Element, WriteConfig};
+}

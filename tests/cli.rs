@@ -1,0 +1,178 @@
+//! End-to-end tests of the `mixctl` binary (deliverable b's tool face).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mixctl-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write fixture");
+    path
+}
+
+fn mixctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mixctl"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+const D1: &str = "{<department : name, professor+, gradStudent+, course*>\
+  <professor : firstName, lastName, publication+, teaches>\
+  <gradStudent : firstName, lastName, publication+>\
+  <publication : title, author+, (journal | conference)>\
+  <teaches : EMPTY> <journal : EMPTY> <conference : EMPTY> <course : EMPTY>}";
+
+const Q2: &str = "withJournals = SELECT P WHERE <department> <name>CS</name> \
+  P:<professor | gradStudent> \
+    <publication id=Pub1><journal/></publication> \
+    <publication id=Pub2><journal/></publication> \
+  </> </> AND Pub1 != Pub2";
+
+const DOC: &str = "<department><name>CS</name>\
+  <professor><firstName>Y</firstName><lastName>P</lastName>\
+    <publication><title>a</title><author>x</author><journal/></publication>\
+    <publication><title>b</title><author>x</author><journal/></publication>\
+    <teaches/></professor>\
+  <gradStudent><firstName>G</firstName><lastName>S</lastName>\
+    <publication><title>c</title><author>x</author><conference/></publication>\
+  </gradStudent></department>";
+
+#[test]
+fn infer_prints_view_dtds() {
+    let dtd = fixture("d1.dtd", D1);
+    let q = fixture("q2.xmas", Q2);
+    let out = mixctl(&[
+        "infer",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--query",
+        q.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verdict: Satisfiable"), "{text}");
+    assert!(text.contains("publication^1 : title, author+, journal"), "{text}");
+    assert!(text.contains("non-tightness introduced by merging on: publication"));
+}
+
+#[test]
+fn classify_and_eval() {
+    let dtd = fixture("d1b.dtd", D1);
+    let q = fixture("q2b.xmas", Q2);
+    let doc = fixture("dept.xml", DOC);
+    let out = mixctl(&[
+        "classify",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--query",
+        q.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "Satisfiable");
+
+    let out = mixctl(&[
+        "eval",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--doc",
+        doc.to_str().unwrap(),
+        "--query",
+        q.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("<withJournals>"));
+    assert!(text.contains("<professor>"));
+    assert!(!text.contains("<gradStudent>")); // only one journal pub
+}
+
+#[test]
+fn validate_both_ways() {
+    let dtd = fixture("d1c.dtd", D1);
+    let good = fixture("good.xml", DOC);
+    let bad = fixture("bad.xml", "<department><name>CS</name></department>");
+    let out = mixctl(&[
+        "validate",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--doc",
+        good.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = mixctl(&[
+        "validate",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--doc",
+        bad.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("invalid"));
+}
+
+#[test]
+fn structure_and_tightness() {
+    let dtd = fixture("d1d.dtd", D1);
+    let q = fixture("q2d.xmas", Q2);
+    let out = mixctl(&["structure", "--dtd", dtd.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("professor"));
+
+    let out = mixctl(&[
+        "tightness",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--query",
+        q.to_str().unwrap(),
+        "--max-size",
+        "12",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("naive"), "{text}");
+}
+
+#[test]
+fn xml_dtd_syntax_is_autodetected() {
+    let dtd = fixture(
+        "d1.xmldtd",
+        "<!DOCTYPE department [\
+           <!ELEMENT department (name, professor+, gradStudent+, course*)>\
+           <!ELEMENT professor (firstName, lastName, publication+, teaches)>\
+           <!ELEMENT gradStudent (firstName, lastName, publication+)>\
+           <!ELEMENT publication (title, author+, (journal | conference))>\
+           <!ELEMENT teaches EMPTY> <!ELEMENT journal EMPTY>\
+           <!ELEMENT conference EMPTY> <!ELEMENT course EMPTY>\
+         ]>",
+    );
+    let out = mixctl(&["structure", "--dtd", dtd.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("department"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    assert!(!mixctl(&[]).status.success());
+    assert!(!mixctl(&["nonsense"]).status.success());
+    assert!(!mixctl(&["infer"]).status.success());
+    assert!(mixctl(&["help"]).status.success());
+}
+
+
+#[test]
+fn union_subcommand() {
+    let dtd = fixture("du.dtd", D1);
+    let q = fixture("qu.xmas",
+        "publist = SELECT P WHERE <department> <name>CS</name> \
+           <professor | gradStudent> P:<publication><journal/></publication> </> </>");
+    let part = format!("{}:{}", dtd.to_str().unwrap(), q.to_str().unwrap());
+    let out = mixctl(&["union", "--name", "allPubs", "--part", &part, "--part", &part]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("allPubs"), "{text}");
+    assert!(text.contains("publication"), "{text}");
+    // no parts → usage error
+    assert!(!mixctl(&["union"]).status.success());
+}

@@ -1,0 +1,300 @@
+//! The paper's worked examples as cross-crate integration tests, through
+//! the public facade API only (experiments E1–E11 of DESIGN.md §4).
+
+use mix::dtd::paper::{d1_department, d11_department, d9_professor};
+use mix::infer::metrics::non_tight_witnesses;
+use mix::infer::refine::refine1;
+use mix::prelude::*;
+
+fn q2() -> Query {
+    parse_query(
+        "withJournals = SELECT P WHERE <department> <name>CS</name> \
+           P:<professor | gradStudent> \
+             <publication id=Pub1><journal/></publication> \
+             <publication id=Pub2><journal/></publication> \
+           </> </> AND Pub1 != Pub2",
+    )
+    .unwrap()
+}
+
+/// E1 — Q2's evaluation semantics on a hand-built department.
+#[test]
+fn q2_semantics() {
+    let doc = parse_document(
+        "<department><name>CS</name>\
+           <professor><firstName>two</firstName><lastName>L</lastName>\
+             <publication><title>a</title><author>x</author><journal/></publication>\
+             <publication><title>b</title><author>x</author><journal/></publication>\
+             <teaches/></professor>\
+           <professor><firstName>one</firstName><lastName>L</lastName>\
+             <publication><title>c</title><author>x</author><journal/></publication>\
+             <teaches/></professor>\
+           <gradStudent><firstName>gs</firstName><lastName>L</lastName>\
+             <publication><title>d</title><author>x</author><journal/></publication>\
+             <publication><title>e</title><author>x</author><journal/></publication>\
+           </gradStudent>\
+         </department>",
+    )
+    .unwrap();
+    let q = normalize(&q2(), &d1_department()).unwrap();
+    let out = evaluate(&q, &doc);
+    let members: Vec<&str> = out
+        .root
+        .children()
+        .iter()
+        .map(|e| e.name.as_str())
+        .collect();
+    // document order: the qualifying professor before the gradStudent
+    assert_eq!(members, ["professor", "gradStudent"]);
+    assert_eq!(out.root.children()[0].children()[0].pcdata(), Some("two"));
+}
+
+/// E2 — Example 3.1: the naive DTD vs the reconstructed (D2).
+#[test]
+fn example_3_1() {
+    let d = d1_department();
+    let iv = infer_view_dtd(&q2(), &d).unwrap();
+    let naive = naive_view_dtd(&iv.query, &d, NaiveMode::Sound);
+    assert!(mix::dtd::strictly_tighter(&iv.dtd, &naive));
+    // (D2), reconstructed
+    let d2 = parse_compact(
+        "{<withJournals : professor*, gradStudent*>\
+          <professor : firstName, lastName, publication, publication+, teaches>\
+          <gradStudent : firstName, lastName, publication, publication+>\
+          <publication : title, author+, (journal | conference)>\
+          <teaches : EMPTY> <journal : EMPTY> <conference : EMPTY>}",
+    )
+    .unwrap();
+    assert!(mix::dtd::same_documents(&iv.dtd, &d2), "inferred:\n{}", iv.dtd);
+}
+
+/// E2b — the paper-literal naive root `(…)+` is unsound: a source with no
+/// qualifying member yields an empty view the DTD rejects.
+#[test]
+fn paper_literal_naive_is_unsound() {
+    let d = d1_department();
+    let q = normalize(&q2(), &d).unwrap();
+    let naive_plus = naive_view_dtd(&q, &d, NaiveMode::PaperLiteral);
+    let naive_star = naive_view_dtd(&q, &d, NaiveMode::Sound);
+    // a department where nobody has two journal publications
+    let doc = parse_document(
+        "<department><name>CS</name>\
+           <professor><firstName>a</firstName><lastName>b</lastName>\
+             <publication><title>t</title><author>x</author><conference/></publication>\
+             <teaches/></professor>\
+           <gradStudent><firstName>c</firstName><lastName>d</lastName>\
+             <publication><title>u</title><author>x</author><journal/></publication>\
+           </gradStudent></department>",
+    )
+    .unwrap();
+    let view = evaluate(&q, &doc);
+    assert!(view.root.children().is_empty());
+    assert!(validate_document(&naive_star, &view).is_ok());
+    assert!(validate_document(&naive_plus, &view).is_err());
+}
+
+/// E3 — Example 3.2: (Q3) yields (D3) with the disjunction removed.
+#[test]
+fn example_3_2() {
+    let q3 = parse_query(
+        "publist = SELECT P WHERE <department> <name>CS</name> \
+           <professor | gradStudent> P:<publication><journal/></publication> </> </>",
+    )
+    .unwrap();
+    let iv = infer_view_dtd(&q3, &d1_department()).unwrap();
+    let d3 = parse_compact(
+        "{<publist : publication*>\
+          <publication : title, author+, journal>\
+          <title : PCDATA> <author : PCDATA> <journal : EMPTY>}",
+    )
+    .unwrap();
+    assert!(mix::dtd::same_documents(&iv.dtd, &d3), "inferred:\n{}", iv.dtd);
+}
+
+/// E4 — Section 3.2: D2 admits structures the view can never produce.
+#[test]
+fn d2_not_structurally_tight() {
+    let iv = infer_view_dtd(&q2(), &d1_department()).unwrap();
+    let witnesses = non_tight_witnesses(&iv, 14, 40_000);
+    assert!(!witnesses.is_empty());
+    // and indeed: the witness has a member with fewer than two journal
+    // publications
+    let w = &witnesses[0];
+    let journals = w
+        .root
+        .walk()
+        .filter(|e| e.name.as_str() == "journal")
+        .count();
+    assert!(journals < 2 * w.root.children().len());
+}
+
+/// E5 — Example 3.4: the inferred s-DTD is the paper's (D4).
+#[test]
+fn example_3_4() {
+    let iv = infer_view_dtd(&q2(), &d1_department()).unwrap();
+    let d4 = parse_compact_sdtd(
+        "{<withJournals : professor*, gradStudent*>\
+          <professor : firstName, lastName, publication*, publication^1, \
+                       publication*, publication^1, publication*, teaches>\
+          <gradStudent : firstName, lastName, publication*, publication^1, \
+                       publication*, publication^1, publication*>\
+          <publication : title, author+, (journal | conference)>\
+          <publication^1 : title, author+, journal>\
+          <teaches : EMPTY> <journal : EMPTY> <conference : EMPTY>}",
+    )
+    .unwrap();
+    // same names & specializations, with language-equivalent types
+    for (sym, model) in d4.types.iter() {
+        let ours = iv
+            .sdtd
+            .get(sym)
+            .unwrap_or_else(|| panic!("missing {sym} in inferred s-DTD:\n{}", iv.sdtd));
+        match (model, ours) {
+            (ContentModel::Pcdata, ContentModel::Pcdata) => {}
+            (ContentModel::Elements(a), ContentModel::Elements(b)) => {
+                assert!(equivalent(a, b), "{sym}: expected {a}, inferred {b}");
+            }
+            other => panic!("model kind mismatch at {sym}: {other:?}"),
+        }
+    }
+    // behaviourally: accepts two-journal members, rejects one-journal ones
+    let ok = parse_document(
+        "<withJournals><gradStudent><firstName>g</firstName><lastName>l</lastName>\
+           <publication><title>a</title><author>x</author><journal/></publication>\
+           <publication><title>b</title><author>x</author><journal/></publication>\
+         </gradStudent></withJournals>",
+    )
+    .unwrap();
+    assert!(sdtd_satisfies(&iv.sdtd, &ok));
+    let bad = parse_document(
+        "<withJournals><gradStudent><firstName>g</firstName><lastName>l</lastName>\
+           <publication><title>a</title><author>x</author><journal/></publication>\
+         </gradStudent></withJournals>",
+    )
+    .unwrap();
+    assert!(!sdtd_satisfies(&iv.sdtd, &bad));
+}
+
+/// E6 — Example 3.5: the strictly increasing tightness chain for the
+/// recursive startsAndEnds view.
+#[test]
+fn example_3_5_chain() {
+    let mut prev = parse_regex("(prolog | conclusion)*").unwrap();
+    // T_{k+1} = (prolog, T_k, conclusion)?  — each step is strictly tighter
+    for _ in 0..4 {
+        let next = Regex::opt(Regex::concat([
+            Regex::name(name("prolog")),
+            prev.clone(),
+            Regex::name(name("conclusion")),
+        ]));
+        assert!(is_subset(&next, &prev));
+        assert!(!is_subset(&prev, &next));
+        prev = next;
+    }
+}
+
+/// E7/E8 — the refine traces of Examples 4.1 and 4.2.
+#[test]
+fn refine_traces() {
+    let d9 = d9_professor();
+    let prof = d9.get(name("professor")).unwrap().regex().unwrap();
+    let r1 = refine1(prof, name("journal"), 0);
+    assert!(equivalent(
+        &r1,
+        &parse_regex("name, (journal | conference)*, journal, (journal | conference)*").unwrap()
+    ));
+    let tagged = refine1(&refine1(prof, name("journal"), 1), name("journal"), 2);
+    assert!(equivalent(
+        &tagged.image(),
+        &parse_regex(
+            "name, (journal | conference)*, journal, (journal | conference)*, journal, \
+             (journal | conference)*"
+        )
+        .unwrap()
+    ));
+}
+
+/// E9 — Example 4.3: merging the inferred s-DTD signals on publication and
+/// simplifies the professor type to the (D2) form.
+#[test]
+fn example_4_3() {
+    let iv = infer_view_dtd(&q2(), &d1_department()).unwrap();
+    assert_eq!(
+        iv.merged_names
+            .iter()
+            .map(|n| n.as_str())
+            .collect::<Vec<_>>(),
+        ["publication"]
+    );
+    assert_eq!(
+        iv.dtd.get(name("professor")).unwrap().to_string(),
+        "firstName, lastName, publication, publication+, teaches"
+    );
+}
+
+/// E10 — Example 4.4: the InferList chain on (D11)/(Q12).
+#[test]
+fn example_4_4() {
+    let q12 = parse_query(
+        "papers = SELECT P WHERE D:<department> G:<gradStudent> \
+           X:<publication> P:<title | author/> </> </> </>",
+    )
+    .unwrap();
+    let iv = infer_view_dtd(&q12, &d11_department()).unwrap();
+    assert!(equivalent(
+        &iv.list_type.image(),
+        &parse_regex("(title, author*)*").unwrap()
+    ));
+    // and the view DTD follows
+    let root = iv.dtd.get(name("papers")).unwrap().regex().unwrap();
+    assert!(equivalent(root, &parse_regex("(title, author*)*").unwrap()));
+    assert!(iv.dtd.get(name("title")).unwrap().is_pcdata());
+}
+
+/// XML 1.0 conformance of the inferred outputs: both running examples
+/// yield *deterministic* (1-unambiguous) content models after
+/// simplification, so the view DTDs can be handed to standard validators.
+#[test]
+fn inferred_view_dtds_are_xml_deterministic() {
+    let d = d1_department();
+    for q in [
+        q2(),
+        parse_query(
+            "publist = SELECT P WHERE <department> <name>CS</name> \
+               <professor | gradStudent> P:<publication><journal/></publication> </> </>",
+        )
+        .unwrap(),
+    ] {
+        let iv = infer_view_dtd(&q, &d).unwrap();
+        let bad = mix::dtd::nondeterministic_names(&iv.dtd);
+        assert!(
+            bad.is_empty(),
+            "non-deterministic content models in the inferred view DTD: {bad:?}\n{}",
+            iv.dtd
+        );
+    }
+}
+
+/// E11 — the classification side effect across all three outcomes.
+#[test]
+fn verdicts() {
+    let d = d1_department();
+    let cases = [
+        (
+            "v = SELECT P WHERE <department> P:<professor/> </>",
+            Verdict::Valid,
+        ),
+        (
+            "v = SELECT P WHERE <department> <name>CS</name> P:<professor/> </>",
+            Verdict::Satisfiable,
+        ),
+        (
+            "v = SELECT P WHERE <department> P:<publication/> </>",
+            Verdict::Unsatisfiable,
+        ),
+    ];
+    for (src, expected) in cases {
+        let q = normalize(&parse_query(src).unwrap(), &d).unwrap();
+        assert_eq!(classify_query(&q, &d), expected, "for {src}");
+    }
+}

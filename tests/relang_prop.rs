@@ -1,0 +1,178 @@
+//! Property suites for the regular-language substrate: the decision
+//! procedures behind tightness must agree with each other and with brute
+//! force on random regexes.
+
+use mix::prelude::*;
+use mix::relang::dfa::Dfa;
+use mix::relang::nfa::Nfa;
+use mix::relang::sample::{sample_word, SampleConfig};
+use mix::relang::Sym;
+use proptest::prelude::*;
+
+/// A strategy producing random content-model regexes over a small
+/// alphabet.
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        4 => prop::sample::select(vec!["a", "b", "c"]).prop_map(|s| Regex::Sym(sym(s))),
+        1 => Just(Regex::Epsilon),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::star),
+            inner.clone().prop_map(Regex::plus),
+            inner.prop_map(Regex::opt),
+        ]
+    })
+}
+
+fn alphabet() -> Vec<Sym> {
+    vec![sym("a"), sym("b"), sym("c")]
+}
+
+/// All words over {a,b,c} of length ≤ 4 (121 words) — small enough to
+/// brute-force every property.
+fn all_words() -> Vec<Vec<Sym>> {
+    let alpha = alphabet();
+    let mut out: Vec<Vec<Sym>> = vec![vec![]];
+    let mut layer: Vec<Vec<Sym>> = vec![vec![]];
+    for _ in 0..4 {
+        let mut next = Vec::new();
+        for w in &layer {
+            for &s in &alpha {
+                let mut w2 = w.clone();
+                w2.push(s);
+                next.push(w2);
+            }
+        }
+        out.extend(next.iter().cloned());
+        layer = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// NFA simulation and determinized DFA agree word-by-word.
+    #[test]
+    fn nfa_and_dfa_agree(r in arb_regex()) {
+        let nfa = Nfa::from_regex(&r);
+        let dfa = Dfa::from_regex_with_alphabet(&r, &alphabet());
+        for w in all_words() {
+            prop_assert_eq!(nfa.accepts(&w), dfa.accepts(&w), "word {:?} of {}", w, r);
+        }
+    }
+
+    /// `simplify` never changes the language and never grows the regex.
+    #[test]
+    fn simplify_preserves_language(r in arb_regex()) {
+        let s = simplify(&r);
+        prop_assert!(equivalent(&r, &s), "{r} vs {s}");
+        prop_assert!(s.size() <= r.size(), "{r} grew to {s}");
+    }
+
+    /// Inclusion agrees with brute-force word checking.
+    #[test]
+    fn subset_agrees_with_bruteforce(a in arb_regex(), b in arb_regex()) {
+        let claim = is_subset(&a, &b);
+        let na = Nfa::from_regex(&a);
+        let nb = Nfa::from_regex(&b);
+        let brute_counterexample = all_words()
+            .into_iter()
+            .find(|w| na.accepts(w) && !nb.accepts(w));
+        if let Some(w) = &brute_counterexample {
+            prop_assert!(!claim, "claimed {a} ⊆ {b} but {w:?} separates them");
+        }
+        // (no counterexample up to length 4 does not prove inclusion, so
+        // only the one-sided check is possible here)
+    }
+
+    /// `refine` computes exactly the containing sublanguage (Definition
+    /// 4.1), verified by brute force.
+    #[test]
+    fn refine_is_exact(r in arb_regex()) {
+        let n = name("a");
+        let refined = mix::infer::refine1(&r, n, 0);
+        let nr = Nfa::from_regex(&r);
+        let nref = Nfa::from_regex(&refined);
+        for w in all_words() {
+            let expected = nr.accepts(&w) && w.iter().any(|s| s.name == n);
+            prop_assert_eq!(
+                nref.accepts(&w),
+                expected,
+                "refine({}, a) wrong on {:?} (got {})",
+                &r, &w, &refined
+            );
+        }
+    }
+
+    /// Sampled words are members; nullable regexes can sample ε.
+    #[test]
+    fn sampled_words_are_members(r in arb_regex(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        if let Some(w) = sample_word(&r, &mut rng, SampleConfig::default()) {
+            prop_assert!(mix::relang::matches(&r, &w), "sampled {:?} ∉ L({})", w, r);
+        } else {
+            prop_assert!(r.is_empty_lang());
+        }
+    }
+
+    /// Counting agrees with brute force on lengths ≤ 4.
+    #[test]
+    fn counting_agrees_with_bruteforce(r in arb_regex()) {
+        let counts = mix::relang::count_words_by_len(&r, 4);
+        let nfa = Nfa::from_regex(&r);
+        let mut brute = vec![0u128; 5];
+        for w in all_words() {
+            if nfa.accepts(&w) {
+                brute[w.len()] += 1;
+            }
+        }
+        prop_assert_eq!(counts, brute, "counting mismatch for {}", r);
+    }
+
+    /// Brzozowski derivatives agree with the Glushkov NFA — two
+    /// independent matchers cross-validating every membership decision.
+    #[test]
+    fn derivatives_agree_with_nfa(r in arb_regex()) {
+        let nfa = Nfa::from_regex(&r);
+        for w in all_words() {
+            prop_assert_eq!(
+                nfa.accepts(&w),
+                mix::relang::matches_by_derivative(&r, &w),
+                "matcher disagreement on {:?} of {}", w, r
+            );
+        }
+    }
+
+    /// The Glushkov invariant: smart constructors never nest Empty.
+    #[test]
+    fn smart_constructors_keep_empty_at_top(r in arb_regex()) {
+        fn no_inner_empty(r: &Regex) -> bool {
+            match r {
+                Regex::Empty | Regex::Epsilon | Regex::Sym(_) => true,
+                Regex::Concat(v) | Regex::Alt(v) => {
+                    v.iter().all(|x| !x.is_empty_lang() && no_inner_empty(x))
+                }
+                Regex::Star(x) | Regex::Plus(x) | Regex::Opt(x) => {
+                    !x.is_empty_lang() && no_inner_empty(x)
+                }
+            }
+        }
+        prop_assert!(no_inner_empty(&r));
+    }
+
+    /// Minimization preserves the language and never adds states.
+    #[test]
+    fn minimize_preserves_language(r in arb_regex()) {
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&r), &alphabet());
+        let min = dfa.minimize();
+        prop_assert!(min.len() <= dfa.len());
+        for w in all_words() {
+            prop_assert_eq!(dfa.accepts(&w), min.accepts(&w));
+        }
+    }
+}

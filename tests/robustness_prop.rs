@@ -1,0 +1,210 @@
+//! Robustness properties: no parser in the workspace may panic on
+//! arbitrary input, and the exact counters must agree with brute force
+//! (enumerate + accept) on random s-DTDs.
+
+use mix::dtd::enumerate::enumerate_documents;
+use mix::dtd::generate::{seeded_dtd, DtdGenConfig};
+use mix::dtd::sdtd::SAcceptor;
+use mix::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The regex parser returns Ok or Err — never panics, and successful
+    /// parses display+reparse to the same AST.
+    #[test]
+    fn regex_parser_total(input in "\\PC{0,60}") {
+        if let Ok(r) = parse_regex(&input) {
+            let shown = r.to_string();
+            let again = parse_regex(&shown)
+                .unwrap_or_else(|e| panic!("display of {input:?} unparseable: {e}"));
+            prop_assert_eq!(r, again);
+        }
+    }
+
+    /// Same for the XML parser.
+    #[test]
+    fn xml_parser_total(input in "\\PC{0,120}") {
+        let _ = parse_document(&input);
+    }
+
+    /// And for structured-ish XML-like inputs built from tag fragments.
+    #[test]
+    fn xml_parser_total_on_taglike(parts in prop::collection::vec(
+        prop::sample::select(vec![
+            "<a>", "</a>", "<b/>", "<a id=\"x\">", "text", "&amp;", "<", ">", "</",
+            "<!--", "-->", "<?xml?>", "\"", "id=", " ",
+        ]),
+        0..24,
+    )) {
+        let input: String = parts.concat();
+        if let Ok(doc) = parse_document(&input) {
+            // anything accepted must re-serialize and re-parse
+            let text = write_document(&doc, WriteConfig::default());
+            prop_assert!(parse_document(&text).is_ok(), "reserialization broke: {text}");
+        }
+    }
+
+    /// The query parser is total too.
+    #[test]
+    fn query_parser_total(input in "\\PC{0,120}") {
+        if let Ok(q) = parse_query(&input) {
+            let shown = q.to_string();
+            prop_assert!(parse_query(&shown).is_ok(), "display unparseable:\n{shown}");
+        }
+    }
+
+    /// DTD parsers (both syntaxes) are total.
+    #[test]
+    fn dtd_parsers_total(input in "\\PC{0,120}") {
+        let _ = parse_compact(&input);
+        let _ = parse_compact_sdtd(&input);
+        let _ = parse_xml_dtd(&input);
+    }
+}
+
+/// The subset-construction s-DTD counter agrees with brute force:
+/// enumerate every document of the *merged* DTD and count how many the
+/// s-DTD accepts.
+#[test]
+fn sdtd_counting_agrees_with_enumeration() {
+    use mix::xmas::gen::{random_query, QueryGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut checked = 0;
+    for seed in 0..40u64 {
+        let source = seeded_dtd(
+            seed,
+            &DtdGenConfig {
+                names: 6,
+                regex_depth: 2,
+                ..DtdGenConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = random_query(&source, &mut rng, &QueryGenConfig::default());
+        let iv = infer_view_dtd(&q, &source).expect("normalizes");
+        let max = 7;
+        // brute force: all merged-DTD documents, filtered by s-DTD acceptance
+        let docs = enumerate_documents(&iv.dtd, max, 400_000);
+        if docs.len() >= 400_000 {
+            continue; // enumeration capped: comparison not exact
+        }
+        let acceptor = SAcceptor::new(&iv.sdtd);
+        let brute = docs
+            .iter()
+            .filter(|d| acceptor.document_satisfies(d))
+            .count() as u128;
+        let counted: u128 = count_sdocuments_by_size(&iv.sdtd, max).iter().sum();
+        assert_eq!(
+            counted, brute,
+            "s-DTD counting mismatch (seed {seed})\nquery:\n{q}\ns-DTD:\n{}",
+            iv.sdtd
+        );
+        checked += 1;
+    }
+    assert!(checked >= 30, "too few exact comparisons ran: {checked}");
+}
+
+/// The dataguide counter agrees with brute force on guide-conforming
+/// documents drawn from a DTD enumeration.
+#[test]
+fn dataguide_counting_agrees_with_enumeration() {
+    use mix::dataguide::DataGuide;
+    for seed in 0..20u64 {
+        let dtd = seeded_dtd(
+            seed,
+            &DtdGenConfig {
+                names: 5,
+                regex_depth: 2,
+                ..DtdGenConfig::default()
+            },
+        );
+        let docs = mix::dtd::sample::sample_documents(&dtd, 5, seed, Default::default());
+        let Some(guide) = DataGuide::of_documents(&docs) else {
+            continue;
+        };
+        // truly independent brute force: enumerate *all* element trees of
+        // size ≤ max over the guide's label alphabet (with and without
+        // text leaves) and count those `describes` accepts
+        let max = 4;
+        let counted: u128 = guide.count_conforming_by_size(max).iter().sum();
+        let alphabet: Vec<mix::relang::Name> = {
+            let mut v: Vec<_> = guide.paths().into_iter().flatten().collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        if alphabet.len() > 6 {
+            continue; // keep the exponential brute force tiny
+        }
+        let mut brute = 0u128;
+        for s in 1..=max {
+            for t in all_trees(guide.root_name, &alphabet, s) {
+                if guide.describes(&mix::xml::Document::new(t)) {
+                    brute += 1;
+                }
+            }
+        }
+        assert_eq!(counted, brute, "seed {seed}\nguide:\n{guide}");
+    }
+}
+
+/// All element trees with the given root name and exactly `size` nodes,
+/// with inner labels drawn from `alphabet`. Leaves come in two shapes:
+/// empty-element and text.
+fn all_trees(
+    root: mix::relang::Name,
+    alphabet: &[mix::relang::Name],
+    size: usize,
+) -> Vec<mix::xml::Element> {
+    use mix::xml::{Content, ElemId, Element};
+    if size == 0 {
+        return vec![];
+    }
+    if size == 1 {
+        return vec![
+            Element {
+                name: root,
+                id: ElemId::fresh(),
+                content: Content::Elements(vec![]),
+            },
+            Element {
+                name: root,
+                id: ElemId::fresh(),
+                content: Content::Text("s".to_owned()),
+            },
+        ];
+    }
+    // sequences of subtrees totalling size-1 nodes
+    fn seqs(
+        alphabet: &[mix::relang::Name],
+        budget: usize,
+    ) -> Vec<Vec<mix::xml::Element>> {
+        if budget == 0 {
+            return vec![vec![]];
+        }
+        let mut out = Vec::new();
+        for &first_name in alphabet {
+            for k in 1..=budget {
+                for first in all_trees(first_name, alphabet, k) {
+                    for rest in seqs(alphabet, budget - k) {
+                        let mut v = vec![first.deep_clone_fresh()];
+                        v.extend(rest);
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+    seqs(alphabet, size - 1)
+        .into_iter()
+        .map(|children| mix::xml::Element {
+            name: root,
+            id: mix::xml::ElemId::fresh(),
+            content: mix::xml::Content::Elements(children),
+        })
+        .collect()
+}
