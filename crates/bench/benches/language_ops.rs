@@ -15,20 +15,28 @@ fn bench_ops(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("is_subset", size), &size, |bch, _| {
             bch.iter(|| is_subset(&a, &b))
         });
-        g.bench_with_input(BenchmarkId::new("equivalent_self", size), &size, |bch, _| {
-            // the common case in the pipeline: validity checks compare a
-            // type against its own refinement
-            bch.iter(|| equivalent(&a, &a))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("equivalent_self", size),
+            &size,
+            |bch, _| {
+                // the common case in the pipeline: validity checks compare a
+                // type against its own refinement
+                bch.iter(|| equivalent(&a, &a))
+            },
+        );
         g.bench_with_input(BenchmarkId::new("simplify", size), &size, |bch, _| {
             bch.iter(|| simplify(&a))
         });
-        g.bench_with_input(BenchmarkId::new("determinize+minimize", size), &size, |bch, _| {
-            bch.iter(|| Dfa::from_regex(&a).len())
-        });
-        g.bench_with_input(BenchmarkId::new("count_words_≤12", size), &size, |bch, _| {
-            bch.iter(|| count_words_upto(&a, 12))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("determinize+minimize", size),
+            &size,
+            |bch, _| bch.iter(|| Dfa::from_regex(&a).len()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("count_words_≤12", size),
+            &size,
+            |bch, _| bch.iter(|| count_words_upto(&a, 12)),
+        );
     }
     g.finish();
 }

@@ -6,11 +6,15 @@
 //! * X9: answering a member query by view–query composition vs. by
 //!   materializing the view;
 //! * X9b: materialized evaluation with vs. without DTD-guided condition
-//!   pruning (dropping provably-valid subconditions before matching).
+//!   pruning (dropping provably-valid subconditions before matching);
+//! * X14: the degraded path — a union query over 10 sources with 0%,
+//!   10%, and 50% of calls failing (seeded injection), measuring what
+//!   retries, breaker accounting, and partial-answer assembly cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mix_bench::{d1, department_of_size};
-use mix_mediator::{AnswerPath, Mediator, ProcessorConfig, XmlSource};
+use mix_mediator::{AnswerPath, FaultInjector, Mediator, ProcessorConfig, XmlSource};
+use mix_relang::symbol::name;
 use mix_xmas::parse_query;
 use std::sync::Arc;
 use std::time::Duration;
@@ -125,5 +129,45 @@ fn bench_mediator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mediator);
+/// A 10-source union federation with the given per-call fault rate
+/// injected in front of every site.
+fn build_federation(professors: usize, rate: f64) -> Mediator {
+    let mut m = Mediator::new();
+    let q = parse_query("fed = SELECT P WHERE <department> P:<professor/> </department>")
+        .expect("parses");
+    let names: Vec<String> = (0..10).map(|i| format!("site{i}")).collect();
+    let mut parts = Vec::new();
+    for (i, n) in names.iter().enumerate() {
+        let src = Arc::new(XmlSource::new(d1(), department_of_size(professors)).expect("valid"));
+        let inj = FaultInjector::seeded(src, 0xFED0 + i as u64, rate);
+        m.add_source(n, Arc::new(inj));
+        parts.push((n.clone(), q.clone()));
+    }
+    let refs: Vec<(&str, mix_xmas::Query)> =
+        parts.iter().map(|(s, q)| (s.as_str(), q.clone())).collect();
+    m.register_union_view("fed", &refs).expect("registers");
+    m
+}
+
+/// X14: materializing a degraded union — the price of resilience at
+/// increasing failure rates.
+fn bench_degraded_union(c: &mut Criterion) {
+    let mut g = c.benchmark_group("degraded_union");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for pct in [0u32, 10, 50] {
+        let m = build_federation(32, pct as f64 / 100.0);
+        // warm the snapshots so failures degrade to stale serving instead
+        // of shrinking the answer (steady-state shape of a federation)
+        let _ = m.materialize_with_report(name("fed"));
+        g.bench_with_input(BenchmarkId::new("fail_rate_pct", pct), &pct, |b, _| {
+            b.iter(|| {
+                m.materialize_with_report(name("fed"))
+                    .expect("some member always survives")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mediator, bench_degraded_union);
 criterion_main!(benches);

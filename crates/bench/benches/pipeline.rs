@@ -40,9 +40,11 @@ fn bench_pipeline(c: &mut Criterion) {
             &dtd,
         )
         .expect("normalizes");
-        g.bench_with_input(BenchmarkId::new("tighten_dtd_names", names), &names, |b, _| {
-            b.iter(|| tighten(&q, &dtd))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("tighten_dtd_names", names),
+            &names,
+            |b, _| b.iter(|| tighten(&q, &dtd)),
+        );
         g.bench_with_input(
             BenchmarkId::new("full_pipeline_dtd_names", names),
             &names,
@@ -63,9 +65,11 @@ fn bench_pipeline(c: &mut Criterion) {
     // X10: InferList vs pick-path depth
     for depth in [2usize, 4, 8, 16] {
         let (dtd, q) = chain_workload(depth);
-        g.bench_with_input(BenchmarkId::new("pipeline_path_depth", depth), &depth, |b, _| {
-            b.iter(|| infer_view_dtd(&q, &dtd).expect("infers"))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("pipeline_path_depth", depth),
+            &depth,
+            |b, _| b.iter(|| infer_view_dtd(&q, &dtd).expect("infers")),
+        );
     }
     g.finish();
 }

@@ -52,10 +52,7 @@ pub fn regex_of_size(size: usize, alphabet: usize, seed: u64) -> Regex {
             return Regex::name(names[rng.gen_range(0..names.len())]);
         }
         let split = rng.gen_range(1..budget);
-        let (l, r) = (
-            build(split, names, rng),
-            build(budget - split, names, rng),
-        );
+        let (l, r) = (build(split, names, rng), build(budget - split, names, rng));
         let combined = if rng.gen_bool(0.5) {
             l.then(r)
         } else {

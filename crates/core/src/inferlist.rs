@@ -115,7 +115,7 @@ fn verdict_of(tightened: &Tightened, cond: &Condition, n: Name) -> Verdict {
 mod tests {
     use super::*;
     use crate::tighten::tighten;
-    use mix_dtd::paper::{d1_department, d11_department};
+    use mix_dtd::paper::{d11_department, d1_department};
     use mix_relang::{equivalent, parse_regex};
     use mix_xmas::{normalize, parse_query};
 
@@ -137,7 +137,10 @@ mod tests {
             &d,
         );
         assert!(
-            equivalent(&t.image(), &parse_regex("professor*, gradStudent*").unwrap()),
+            equivalent(
+                &t.image(),
+                &parse_regex("professor*, gradStudent*").unwrap()
+            ),
             "got {t}"
         );
     }
@@ -254,10 +257,7 @@ mod tests {
         // project ("could match" semantics, Appendix B)
         let r = parse_regex("a^3, a, b").unwrap();
         let p = project(&r, &[name("a")], 9);
-        assert!(equivalent(
-            &p,
-            &parse_regex("a^9, a^9").unwrap()
-        ));
+        assert!(equivalent(&p, &parse_regex("a^9, a^9").unwrap()));
     }
 
     #[test]

@@ -21,11 +21,9 @@ use crate::pipeline::{infer_view_dtd, InferredView};
 use mix_dtd::sample::{DocConfig, DocSampler};
 use mix_dtd::sdtd::SAcceptor;
 use mix_dtd::validate::Validator;
-use mix_dtd::{
-    count_documents_by_size, count_sdocuments_by_size, enumerate_documents, Dtd,
-};
-use mix_xml::{Document, Skeleton};
+use mix_dtd::{count_documents_by_size, count_sdocuments_by_size, enumerate_documents, Dtd};
 use mix_xmas::{evaluate, Query};
+use mix_xml::{Document, Skeleton};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -212,7 +210,11 @@ mod tests {
         let mut strict_merged = false;
         let mut strict_spec = false;
         for r in &rows {
-            assert!(r.merged <= r.naive, "merged looser than naive at {}", r.size);
+            assert!(
+                r.merged <= r.naive,
+                "merged looser than naive at {}",
+                r.size
+            );
             assert!(
                 r.specialized <= r.merged,
                 "specialized looser than merged at {}",
@@ -263,7 +265,10 @@ mod tests {
                X:<publication/> </> </>",
         )
         .unwrap();
-        let c = realization_coverage(&q, &d1_department(), 100, 7, 9);
+        // the size bound must be loose enough that the sampler's stream
+        // realizes at least one small view (a publication list with a
+        // couple of entries is ~12–16 nodes)
+        let c = realization_coverage(&q, &d1_department(), 100, 7, 16);
         assert!(c.observed > 0);
         assert!(c.described >= c.observed as u128);
     }

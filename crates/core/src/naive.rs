@@ -111,7 +111,13 @@ mod tests {
         assert!(!n.types.contains(name("course")));
         assert!(!n.types.contains(name("name")));
         // but everything under professor/gradStudent is kept, unrefined
-        for kept in ["professor", "gradStudent", "publication", "journal", "teaches"] {
+        for kept in [
+            "professor",
+            "gradStudent",
+            "publication",
+            "journal",
+            "teaches",
+        ] {
             assert!(n.types.contains(name(kept)), "missing {kept}");
         }
         let publ = n.get(name("publication")).unwrap().regex().unwrap();
@@ -126,8 +132,7 @@ mod tests {
     fn pick_names_missing_from_source_are_dropped() {
         let d = d1_department();
         let q = normalize(
-            &parse_query("v = SELECT X WHERE <department> X:<professor | unicorn/> </>")
-                .unwrap(),
+            &parse_query("v = SELECT X WHERE <department> X:<professor | unicorn/> </>").unwrap(),
             &d,
         )
         .unwrap();

@@ -129,10 +129,9 @@ pub(crate) fn collapse_equivalent(sdtd: SDtd) -> SDtd {
                 }
                 let equal = match (current.types.get(a), current.types.get(b)) {
                     (Some(ContentModel::Pcdata), Some(ContentModel::Pcdata)) => true,
-                    (
-                        Some(ContentModel::Elements(ra)),
-                        Some(ContentModel::Elements(rb)),
-                    ) => ra == rb || equivalent(ra, rb),
+                    (Some(ContentModel::Elements(ra)), Some(ContentModel::Elements(rb))) => {
+                        ra == rb || equivalent(ra, rb)
+                    }
                     _ => false,
                 };
                 if equal {
@@ -160,9 +159,9 @@ fn apply_rename(sdtd: &SDtd, rename: &HashMap<Sym, Sym>) -> SDtd {
         }
         let model = match m {
             ContentModel::Pcdata => ContentModel::Pcdata,
-            ContentModel::Elements(r) => ContentModel::Elements(simplify(
-                &r.map_syms(&mut |x| Regex::Sym(map(x))),
-            )),
+            ContentModel::Elements(r) => {
+                ContentModel::Elements(simplify(&r.map_syms(&mut |x| Regex::Sym(map(x)))))
+            }
         };
         out.types.insert(key, model);
     }
@@ -211,8 +210,8 @@ fn renumber(sdtd: SDtd) -> SDtd {
 mod tests {
     use super::*;
     use mix_dtd::paper::d1_department;
-    use mix_relang::symbol::name;
     use mix_relang::parse_regex;
+    use mix_relang::symbol::name;
     use mix_xmas::parse_query;
 
     fn q2_src() -> Query {
@@ -257,10 +256,8 @@ mod tests {
         let pr = iv.sdtd.get(prof).unwrap().regex().unwrap();
         assert!(equivalent(
             &pr.image(),
-            &parse_regex(
-                "firstName, lastName, publication, publication, publication*, teaches"
-            )
-            .unwrap()
+            &parse_regex("firstName, lastName, publication, publication, publication*, teaches")
+                .unwrap()
         ));
     }
 
@@ -281,10 +278,8 @@ mod tests {
         let prof = iv.dtd.get(name("professor")).unwrap().regex().unwrap();
         assert!(equivalent(
             prof,
-            &parse_regex(
-                "firstName, lastName, publication, publication, publication*, teaches"
-            )
-            .unwrap()
+            &parse_regex("firstName, lastName, publication, publication, publication*, teaches")
+                .unwrap()
         ));
         let publ = iv.dtd.get(name("publication")).unwrap().regex().unwrap();
         assert!(equivalent(
@@ -328,7 +323,7 @@ mod tests {
     }
 
     #[test]
-    fn inferred_sdtd_has_no_dangling_references(){
+    fn inferred_sdtd_has_no_dangling_references() {
         let d = d1_department();
         let iv = infer_view_dtd(&q2_src(), &d).unwrap();
         for (_, m) in iv.sdtd.types.iter() {

@@ -115,10 +115,7 @@ mod tests {
         // First refinement with j^1, then j^2: the two witnesses must be
         // distinct occurrences; the result is the union of interleavings.
         let step1 = refine1(&r("n, (j | c)*"), name("j"), 1);
-        assert!(equivalent(
-            &step1.image(),
-            &r("n, (j | c)*, j, (j | c)*")
-        ));
+        assert!(equivalent(&step1.image(), &r("n, (j | c)*, j, (j | c)*")));
         let step2 = refine1(&step1, name("j"), 2);
         assert!(!step2.is_empty_lang());
         // Image: sequences with at least two j's.

@@ -128,9 +128,7 @@ fn tighten_body(
         (ContentModel::Pcdata, Body::Children(conds)) if conds.is_empty() => {
             (ContentModel::Pcdata, Verdict::Valid)
         }
-        (ContentModel::Pcdata, Body::Children(_)) => {
-            (ContentModel::Pcdata, Verdict::Unsatisfiable)
-        }
+        (ContentModel::Pcdata, Body::Children(_)) => (ContentModel::Pcdata, Verdict::Unsatisfiable),
         (ContentModel::Elements(_), Body::Text(_)) => {
             // an element-content element never has string content
             (model.clone(), Verdict::Unsatisfiable)
@@ -221,8 +219,8 @@ pub fn classify_query(q: &Query, dtd: &Dtd) -> Verdict {
 mod tests {
     use super::*;
     use mix_dtd::paper::{d1_department, d9_professor};
-    use mix_relang::symbol::name;
     use mix_relang::parse_regex;
+    use mix_relang::symbol::name;
     use mix_xmas::{normalize, parse_query};
 
     fn prep(src: &str, dtd: &Dtd) -> Query {
@@ -233,7 +231,10 @@ mod tests {
     fn q6_on_d9_refines_professor() {
         // Example 4.1: professors with a journal publication.
         let d = d9_professor();
-        let q = prep("answer = SELECT X WHERE X:<professor><journal/></professor>", &d);
+        let q = prep(
+            "answer = SELECT X WHERE X:<professor><journal/></professor>",
+            &d,
+        );
         let t = tighten(&q, &d);
         assert_eq!(t.verdict, Verdict::Satisfiable);
         let prof_tag = q.root.tag;
@@ -277,7 +278,10 @@ mod tests {
     fn verdict_unsatisfiable_for_impossible_structure() {
         let d = d1_department();
         // departments have no direct journal children
-        let q = prep("v = SELECT J WHERE <department> J:<journal/> </department>", &d);
+        let q = prep(
+            "v = SELECT J WHERE <department> J:<journal/> </department>",
+            &d,
+        );
         assert_eq!(classify_query(&q, &d), Verdict::Unsatisfiable);
         // a publication can have journal or conference but not... two
         // journals (only one (journal|conference) group):
@@ -302,7 +306,10 @@ mod tests {
         let q = prep("v = SELECT D WHERE D:<department> <name>CS</name> </>", &d);
         assert_eq!(classify_query(&q, &d), Verdict::Satisfiable);
         // but a string condition on an element-content name is unsat
-        let q = prep("v = SELECT D WHERE D:<department> <professor>CS</professor> </>", &d);
+        let q = prep(
+            "v = SELECT D WHERE D:<department> <professor>CS</professor> </>",
+            &d,
+        );
         assert_eq!(classify_query(&q, &d), Verdict::Unsatisfiable);
     }
 

@@ -18,13 +18,13 @@
 //!   loss, as in Section 4.3.
 
 use crate::merge::{merge, Merged};
-use std::collections::HashMap;
 use crate::pipeline::{collapse_equivalent, infer_view_dtd};
 use crate::tighten::Verdict;
 use mix_dtd::{ContentModel, Dtd, SDtd};
 use mix_relang::ast::Regex;
 use mix_relang::symbol::{Name, Sym};
 use mix_xmas::{NormalizeError, Query};
+use std::collections::HashMap;
 
 /// The inference result for a union view.
 #[derive(Debug, Clone)]
@@ -140,11 +140,17 @@ mod tests {
         let u = infer_union_view_dtd(name("allPubs"), &parts).unwrap();
         // root: publication* three times — per-site order preserved
         let root = u.dtd.get(name("allPubs")).unwrap().regex().unwrap();
-        assert!(equivalent(root, &parse_regex("publication*").unwrap()), "got {root}");
+        assert!(
+            equivalent(root, &parse_regex("publication*").unwrap()),
+            "got {root}"
+        );
         // the three identical publication definitions collapsed into one
         assert_eq!(u.sdtd.specializations(name("publication")).len(), 1);
         let p = u.dtd.get(name("publication")).unwrap().regex().unwrap();
-        assert!(equivalent(p, &parse_regex("title, author+, journal").unwrap()));
+        assert!(equivalent(
+            p,
+            &parse_regex("title, author+, journal").unwrap()
+        ));
         assert!(u.dtd.undefined_names().is_empty());
     }
 
@@ -161,8 +167,8 @@ mod tests {
               <title : PCDATA> <venue : PCDATA> <doi : PCDATA>}",
         )
         .unwrap();
-        let q = mix_xmas::parse_query("pubs = SELECT P WHERE <site> P:<publication/> </site>")
-            .unwrap();
+        let q =
+            mix_xmas::parse_query("pubs = SELECT P WHERE <site> P:<publication/> </site>").unwrap();
         let u = infer_union_view_dtd(name("catalog"), &[(&q, &d_a), (&q, &d_b)]).unwrap();
         assert!(u.kind_conflicts.is_empty());
         // the s-DTD keeps the two publication shapes apart …
@@ -222,16 +228,14 @@ mod kind_conflict_tests {
         // site A: <item>text</item>; site B: <item><part/></item>
         let d_a = parse_compact("{<site : item*> <item : PCDATA>}").unwrap();
         let d_b = parse_compact("{<site : item*> <item : part?> <part : EMPTY>}").unwrap();
-        let q = mix_xmas::parse_query("items = SELECT P WHERE <site> P:<item/> </site>")
-            .unwrap();
+        let q = mix_xmas::parse_query("items = SELECT P WHERE <site> P:<item/> </site>").unwrap();
         let u = infer_union_view_dtd(name("all"), &[(&q, &d_a), (&q, &d_b)]).unwrap();
         assert_eq!(u.kind_conflicts, vec![name("item")]);
         // the specialized DTD accepts a union document with both shapes …
         let doc = parse_document("<all><item>text</item><item><part/></item></all>").unwrap();
         assert!(sdtd_satisfies(&u.sdtd, &doc));
         // … and still rejects shape-swapped members
-        let swapped =
-            parse_document("<all><item><part/></item><item>text</item></all>").unwrap();
+        let swapped = parse_document("<all><item><part/></item><item>text</item></all>").unwrap();
         assert!(!sdtd_satisfies(&u.sdtd, &swapped));
     }
 }

@@ -130,18 +130,23 @@ mod tests {
         let dtd = parse_compact("{<a : b> <b : EMPTY>}").unwrap();
         let accepted = parse_document("<a><b/></a>").unwrap();
         let confused = parse_document("<a><b/><b/></a>").unwrap();
-        assert!(is_blindness_witness(&dtd, &BlindnessWitness { accepted, confused }));
+        assert!(is_blindness_witness(
+            &dtd,
+            &BlindnessWitness { accepted, confused }
+        ));
     }
 
     #[test]
     fn sibling_blindness() {
         // DTD: either (b and c) or (d) — a sibling constraint.
-        let dtd =
-            parse_compact("{<a : (b, c) | d> <b : EMPTY> <c : EMPTY> <d : EMPTY>}").unwrap();
+        let dtd = parse_compact("{<a : (b, c) | d> <b : EMPTY> <c : EMPTY> <d : EMPTY>}").unwrap();
         let accepted = parse_document("<a><b/><c/></a>").unwrap();
         // b alone is describable by the guide (paths ⊆ {b,c}) but invalid
         let confused = parse_document("<a><b/></a>").unwrap();
-        assert!(is_blindness_witness(&dtd, &BlindnessWitness { accepted, confused }));
+        assert!(is_blindness_witness(
+            &dtd,
+            &BlindnessWitness { accepted, confused }
+        ));
     }
 
     #[test]
@@ -168,10 +173,9 @@ mod tests {
         let doc = parse_document("<r><x><b><c/></b></x><y><b><d/></b></y></r>").unwrap();
         let guide = DataGuide::of_document(&doc);
         // the best plain DTD for this document needs b : (c | d)? or looser
-        let dtd = parse_compact(
-            "{<r : x, y> <x : b> <y : b> <b : (c | d)?> <c : EMPTY> <d : EMPTY>}",
-        )
-        .unwrap();
+        let dtd =
+            parse_compact("{<r : x, y> <x : b> <y : b> <b : (c | d)?> <c : EMPTY> <d : EMPTY>}")
+                .unwrap();
         let v = Validator::new(&dtd);
         assert!(v.validate_document(&doc).is_ok());
         // the mixed-context document: DTD accepts, guide rejects

@@ -235,18 +235,11 @@ mod tests {
 
     #[test]
     fn trie_of_label_paths() {
-        let g = DataGuide::of_document(&doc(
-            "<a><b><d>t</d></b><b><e/></b><c/></a>",
-        ));
+        let g = DataGuide::of_document(&doc("<a><b><d>t</d></b><b><e/></b><c/></a>"));
         let paths: Vec<String> = g
             .paths()
             .iter()
-            .map(|p| {
-                p.iter()
-                    .map(|n| n.as_str())
-                    .collect::<Vec<_>>()
-                    .join("/")
-            })
+            .map(|p| p.iter().map(|n| n.as_str()).collect::<Vec<_>>().join("/"))
             .collect();
         assert_eq!(paths, ["b", "b/d", "b/e", "c"]);
         // every label path appears exactly once even though b appears twice

@@ -80,8 +80,7 @@ pub fn usable(d: &Dtd) -> HashSet<Name> {
     while let Some(n) = frontier.pop() {
         if let Some(ContentModel::Elements(r)) = d.get(n) {
             for child in r.names() {
-                if !out.contains(&child) && prod.contains(&child) && can_occur(r, child, &prod)
-                {
+                if !out.contains(&child) && prod.contains(&child) && can_occur(r, child, &prod) {
                     out.insert(child);
                     frontier.push(child);
                 }

@@ -115,16 +115,12 @@ mod tests {
     #[test]
     fn refined_cardinality_is_strictly_tighter() {
         // Example 3.1's key refinement: at least two publications.
-        let tight = dtd(
-            "{<v : professor*>\
+        let tight = dtd("{<v : professor*>\
               <professor : publication, publication, publication*>\
-              <publication : PCDATA>}",
-        );
-        let loose = dtd(
-            "{<v : professor*>\
+              <publication : PCDATA>}");
+        let loose = dtd("{<v : professor*>\
               <professor : publication+>\
-              <publication : PCDATA>}",
-        );
+              <publication : PCDATA>}");
         assert!(strictly_tighter(&tight, &loose));
     }
 
@@ -132,10 +128,8 @@ mod tests {
     fn disjunction_removal_is_strictly_tighter() {
         // Example 3.2: journal-only publications.
         let tight = dtd("{<p : title, journal> <title : PCDATA> <journal : EMPTY>}");
-        let loose = dtd(
-            "{<p : title, (journal | conference)>\
-              <title : PCDATA> <journal : EMPTY> <conference : EMPTY>}",
-        );
+        let loose = dtd("{<p : title, (journal | conference)>\
+              <title : PCDATA> <journal : EMPTY> <conference : EMPTY>}");
         assert!(strictly_tighter(&tight, &loose));
     }
 
@@ -194,23 +188,17 @@ mod tests {
     fn paper_d3_tighter_than_naive_publist() {
         // Example 3.2's view DTD (D3) vs a naive one keeping the
         // disjunction.
-        let d3 = dtd(
-            "{<publist : publication*>\
+        let d3 = dtd("{<publist : publication*>\
               <publication : title, author*, journal>\
-              <journal : EMPTY>}",
-        );
-        let naive = dtd(
-            "{<publist : publication*>\
+              <journal : EMPTY>}");
+        let naive = dtd("{<publist : publication*>\
               <publication : title, author+, (journal | conference)>\
-              <journal : EMPTY> <conference : EMPTY>}",
-        );
+              <journal : EMPTY> <conference : EMPTY>}");
         // d3 with author* is NOT tighter than naive (author+ required);
         // with the paper's D1 source author+ is kept, check that variant:
-        let d3_authors_plus = dtd(
-            "{<publist : publication*>\
+        let d3_authors_plus = dtd("{<publist : publication*>\
               <publication : title, author+, journal>\
-              <journal : EMPTY>}",
-        );
+              <journal : EMPTY>}");
         assert!(strictly_tighter(&d3_authors_plus, &naive));
         assert!(!tighter_than(&d3, &naive).holds());
     }

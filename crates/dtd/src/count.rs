@@ -114,10 +114,8 @@ pub fn count_sdocuments_by_size(sd: &SDtd, max_size: usize) -> Vec<u128> {
         v.dedup();
         v
     };
-    let specs: HashMap<Name, Vec<Sym>> = names
-        .iter()
-        .map(|&n| (n, sd.specializations(n)))
-        .collect();
+    let specs: HashMap<Name, Vec<Sym>> =
+        names.iter().map(|&n| (n, sd.specializations(n))).collect();
     let nfas: HashMap<Sym, Nfa> = sd
         .types
         .iter()
@@ -356,10 +354,9 @@ mod tests {
 
     #[test]
     fn sdtd_counting_matches_plain_when_untagged() {
-        let d = parse_compact(
-            "{<r : a*, b?> <a : (x | y)?> <b : PCDATA> <x : EMPTY> <y : PCDATA>}",
-        )
-        .unwrap();
+        let d =
+            parse_compact("{<r : a*, b?> <a : (x | y)?> <b : PCDATA> <x : EMPTY> <y : PCDATA>}")
+                .unwrap();
         let sd = crate::model::SDtd::from_dtd(&d);
         let plain = count_documents_by_size(&d, 8);
         let specialized = count_sdocuments_by_size(&sd, 8);
@@ -370,8 +367,7 @@ mod tests {
     fn sdtd_counting_no_double_count_on_ambiguity() {
         // x accepts both x (anything) and x^1 (only empty): an empty x
         // satisfies both; it must be counted once.
-        let sd = parse_compact_sdtd("{<r : x | x^1> <x : y?> <x^1 : EMPTY> <y : EMPTY>}")
-            .unwrap();
+        let sd = parse_compact_sdtd("{<r : x | x^1> <x : y?> <x^1 : EMPTY> <y : EMPTY>}").unwrap();
         let c = count_sdocuments_by_size(&sd, 3);
         // size 2: r with one child x: either empty x (1 shape) or x with y
         // (that's size 3). So c[2] == 1, c[3] == 1.

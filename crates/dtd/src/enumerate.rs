@@ -43,11 +43,7 @@ impl Enumerator<'_> {
                 content: Content::Text(PLACEHOLDER.to_owned()),
             }],
             Some(ContentModel::Elements(_)) => {
-                let dfa = self
-                    .dfas
-                    .get(&name)
-                    .expect("compiled with the DTD")
-                    .clone();
+                let dfa = self.dfas.get(&name).expect("compiled with the DTD").clone();
                 let words = dfa.enumerate_words(budget - 1, self.cap * 4);
                 let mut shapes = Vec::new();
                 'words: for w in words {
@@ -131,8 +127,7 @@ mod tests {
 
     #[test]
     fn enumerated_documents_are_valid_and_distinct() {
-        let d = parse_compact("{<r : (a | b)*, c?> <a : PCDATA> <b : EMPTY> <c : b*>}")
-            .unwrap();
+        let d = parse_compact("{<r : (a | b)*, c?> <a : PCDATA> <b : EMPTY> <c : b*>}").unwrap();
         let docs = enumerate_documents(&d, 5, 10_000);
         for doc in &docs {
             assert!(satisfies(&d, doc), "invalid enumerated doc");

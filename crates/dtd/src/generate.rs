@@ -73,12 +73,7 @@ fn pick_ref(rng: &mut impl Rng, cfg: &DtdGenConfig, names: &[Name], layer: usize
     Regex::name(names[idx])
 }
 
-fn random_model(
-    rng: &mut impl Rng,
-    cfg: &DtdGenConfig,
-    names: &[Name],
-    layer: usize,
-) -> Regex {
+fn random_model(rng: &mut impl Rng, cfg: &DtdGenConfig, names: &[Name], layer: usize) -> Regex {
     fn go(
         rng: &mut impl Rng,
         cfg: &DtdGenConfig,
@@ -91,12 +86,12 @@ fn random_model(
         }
         match rng.gen_range(0..6) {
             0 => pick_ref(rng, cfg, names, layer),
-            1 => Regex::concat((0..rng.gen_range(2..4)).map(|_| {
-                go(rng, cfg, names, layer, depth - 1)
-            })),
-            2 => Regex::alt((0..rng.gen_range(2..4)).map(|_| {
-                go(rng, cfg, names, layer, depth - 1)
-            })),
+            1 => Regex::concat(
+                (0..rng.gen_range(2..4)).map(|_| go(rng, cfg, names, layer, depth - 1)),
+            ),
+            2 => {
+                Regex::alt((0..rng.gen_range(2..4)).map(|_| go(rng, cfg, names, layer, depth - 1)))
+            }
             3 => Regex::star(go(rng, cfg, names, layer, depth - 1)),
             4 => Regex::plus(go(rng, cfg, names, layer, depth - 1)),
             _ => Regex::opt(go(rng, cfg, names, layer, depth - 1)),

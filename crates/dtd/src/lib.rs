@@ -35,18 +35,18 @@ pub mod xml_syntax;
 pub use analysis::{describes_some_document, nondeterministic_names, productive, restrict, usable};
 pub use compare::{same_documents, strictly_tighter, tighter_than, Tightness};
 pub use count::{
-    count_documents_by_size, count_documents_upto, count_sdocuments_by_size,
-    count_sdocuments_upto,
+    count_documents_by_size, count_documents_upto, count_sdocuments_by_size, count_sdocuments_upto,
 };
 pub use enumerate::enumerate_documents;
 pub use generate::{random_dtd, seeded_dtd, DtdGenConfig};
 pub use model::{ContentModel, Dtd, SDtd, TypeMap};
 pub use parse::{parse_compact, parse_compact_sdtd, parse_xml_dtd, DtdError};
 pub use sample::{sample_documents, DocConfig, DocSampler};
-pub use scompare::{counting_necessary_condition, sdtd_image_dtd, sdtd_tighter_than_bounded, SBoundedTightness};
-pub use sdtd::{sdtd_satisfies, SAcceptor};
-pub use xml_syntax::to_xml_syntax;
-pub use validate::{
-    satisfies, validate_document, validate_element, ValidationError, ValidationErrorKind,
-    Validator,
+pub use scompare::{
+    counting_necessary_condition, sdtd_image_dtd, sdtd_tighter_than_bounded, SBoundedTightness,
 };
+pub use sdtd::{sdtd_satisfies, SAcceptor};
+pub use validate::{
+    satisfies, validate_document, validate_element, ValidationError, ValidationErrorKind, Validator,
+};
+pub use xml_syntax::to_xml_syntax;

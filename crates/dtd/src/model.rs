@@ -105,10 +105,7 @@ impl<K: Copy + Eq + Hash> TypeMap<K> {
 impl<K: Copy + Eq + Hash> PartialEq for TypeMap<K> {
     /// Structural equality *ignoring insertion order*.
     fn eq(&self, other: &Self) -> bool {
-        self.len() == other.len()
-            && self
-                .iter()
-                .all(|(k, m)| other.get(k) == Some(m))
+        self.len() == other.len() && self.iter().all(|(k, m)| other.get(k) == Some(m))
     }
 }
 
@@ -225,8 +222,8 @@ impl SDtd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mix_relang::symbol::name;
     use mix_relang::parse_regex;
+    use mix_relang::symbol::name;
 
     fn model(s: &str) -> ContentModel {
         ContentModel::Elements(parse_regex(s).unwrap())

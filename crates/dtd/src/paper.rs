@@ -83,7 +83,11 @@ mod tests {
         assert_eq!(d.doc_type, name("department"));
         assert!(d.get(name("firstName")).unwrap().is_pcdata());
         assert_eq!(
-            d.get(name("publication")).unwrap().regex().unwrap().to_string(),
+            d.get(name("publication"))
+                .unwrap()
+                .regex()
+                .unwrap()
+                .to_string(),
             "title, author+, (journal | conference)"
         );
     }

@@ -331,10 +331,7 @@ mod tests {
         assert_eq!(s.doc_type, name("withJournals").untagged());
         assert_eq!(s.specializations(name("publication")).len(), 2);
         // plain parse of the same text must fail
-        assert!(parse_compact(
-            "{<a : b^1> <b^1 : PCDATA>}"
-        )
-        .is_err());
+        assert!(parse_compact("{<a : b^1> <b^1 : PCDATA>}").is_err());
     }
 
     #[test]

@@ -146,9 +146,7 @@ fn minimal_sizes(
             }
             let v = match m {
                 ContentModel::Pcdata => Some(1),
-                ContentModel::Elements(_) => {
-                    min_cost(&restricted[&n], &sizes).map(|c| c + 1)
-                }
+                ContentModel::Elements(_) => min_cost(&restricted[&n], &sizes).map(|c| c + 1),
             };
             if let Some(v) = v {
                 sizes.insert(n, v);
@@ -243,8 +241,8 @@ mod tests {
 
     #[test]
     fn unproductive_branch_is_never_taken() {
-        let d = crate::parse::parse_compact("{<r : (loop | a)+> <loop : loop> <a : PCDATA>}")
-            .unwrap();
+        let d =
+            crate::parse::parse_compact("{<r : (loop | a)+> <loop : loop> <a : PCDATA>}").unwrap();
         for doc in sample_documents(&d, 50, 3, DocConfig::default()) {
             assert!(satisfies(&d, &doc));
             assert!(doc.root.walk().all(|e| e.name.as_str() != "loop"));

@@ -122,19 +122,15 @@ mod tests {
 
     #[test]
     fn tight_sdtd_is_tighter_than_merged_form() {
-        let tight = sd(
-            "{<v : professor>\
+        let tight = sd("{<v : professor>\
               <professor : publication*, publication^1, publication*, publication^1, publication*>\
               <publication : (journal | conference)>\
               <publication^1 : journal>\
-              <journal : EMPTY> <conference : EMPTY>}",
-        );
-        let merged = sd(
-            "{<v : professor>\
+              <journal : EMPTY> <conference : EMPTY>}");
+        let merged = sd("{<v : professor>\
               <professor : publication, publication, publication*>\
               <publication : (journal | conference)>\
-              <journal : EMPTY> <conference : EMPTY>}",
-        );
+              <journal : EMPTY> <conference : EMPTY>}");
         assert!(sdtd_tighter_than_bounded(&tight, &merged, 9, 100_000).holds());
         // and not the other way: merged admits conference-only professors
         match sdtd_tighter_than_bounded(&merged, &tight, 9, 100_000) {
@@ -167,9 +163,7 @@ mod tests {
 
     #[test]
     fn image_dtd_covers_the_sdtd() {
-        let s = sd(
-            "{<v : p^1, p*> <p : t?> <p^1 : t> <t : EMPTY>}",
-        );
+        let s = sd("{<v : p^1, p*> <p : t?> <p^1 : t> <t : EMPTY>}");
         let image = sdtd_image_dtd(&s).unwrap();
         // every s-DTD document satisfies the image DTD
         for doc in enumerate_documents(&image, 6, 10_000) {

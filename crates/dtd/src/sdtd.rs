@@ -145,8 +145,8 @@ mod tests {
         assert!(sdtd_satisfies(&s, &doc));
         let doc = parse_document(&prof(&["conference", "journal", "journal"])).unwrap();
         assert!(sdtd_satisfies(&s, &doc));
-        let doc = parse_document(&prof(&["journal", "conference", "journal", "conference"]))
-            .unwrap();
+        let doc =
+            parse_document(&prof(&["journal", "conference", "journal", "conference"])).unwrap();
         assert!(sdtd_satisfies(&s, &doc));
     }
 

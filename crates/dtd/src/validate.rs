@@ -58,7 +58,10 @@ impl fmt::Display for ValidationError {
         match &self.kind {
             ValidationErrorKind::UndeclaredName(n) => write!(f, ": undeclared name '{n}'"),
             ValidationErrorKind::WrongDocType { expected, actual } => {
-                write!(f, ": document type is '{actual}', DTD requires '{expected}'")
+                write!(
+                    f,
+                    ": document type is '{actual}', DTD requires '{expected}'"
+                )
             }
             ValidationErrorKind::ContentMismatch { name, found } => {
                 write!(f, ": content of '{name}' is [")?;
@@ -132,10 +135,12 @@ impl<'d> Validator<'d> {
 
     fn go(&self, e: &Element, path: &mut Vec<Name>) -> Result<(), ValidationError> {
         path.push(e.name);
-        let fail = |path: &[Name], kind| Err(ValidationError {
-            path: path.to_vec(),
-            kind,
-        });
+        let fail = |path: &[Name], kind| {
+            Err(ValidationError {
+                path: path.to_vec(),
+                kind,
+            })
+        };
         let Some(model) = self.dtd.get(e.name) else {
             return fail(path, ValidationErrorKind::UndeclaredName(e.name));
         };
@@ -227,10 +232,7 @@ mod tests {
     fn wrong_doc_type() {
         let doc = parse_document("<professor><firstName>x</firstName></professor>").unwrap();
         let err = validate_document(&d1_department(), &doc).unwrap_err();
-        assert!(matches!(
-            err.kind,
-            ValidationErrorKind::WrongDocType { .. }
-        ));
+        assert!(matches!(err.kind, ValidationErrorKind::WrongDocType { .. }));
     }
 
     #[test]

@@ -35,17 +35,15 @@ pub fn to_xml_syntax(d: &Dtd) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parse::{parse_compact, parse_xml_dtd};
     use crate::paper::d1_department;
+    use crate::parse::{parse_compact, parse_xml_dtd};
 
     #[test]
     fn d1_roundtrips_through_xml_syntax() {
         let d = d1_department();
         let xml = to_xml_syntax(&d);
         assert!(xml.starts_with("<!DOCTYPE department ["), "{xml}");
-        assert!(xml.contains(
-            "<!ELEMENT publication (title, author+, (journal | conference))>"
-        ));
+        assert!(xml.contains("<!ELEMENT publication (title, author+, (journal | conference))>"));
         assert!(xml.contains("<!ELEMENT teaches EMPTY>"));
         assert!(xml.contains("<!ELEMENT firstName (#PCDATA)>"));
         let again = parse_xml_dtd(&xml).expect("generated XML DTD parses");
@@ -58,8 +56,7 @@ mod tests {
         for seed in 0..40u64 {
             let d = seeded_dtd(seed, &DtdGenConfig::default());
             let xml = to_xml_syntax(&d);
-            let again = parse_xml_dtd(&xml)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{xml}"));
+            let again = parse_xml_dtd(&xml).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{xml}"));
             assert_eq!(d, again, "seed {seed} roundtrip mismatch");
         }
     }

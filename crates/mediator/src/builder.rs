@@ -61,13 +61,19 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::RootMismatch { got, expected } => {
-                write!(f, "path must start at the document type '{expected}', got '{got}'")
+                write!(
+                    f,
+                    "path must start at the document type '{expected}', got '{got}'"
+                )
             }
             BuildError::NotAChild { parent, child } => {
                 write!(f, "'{child}' cannot occur inside '{parent}' (per the DTD)")
             }
             BuildError::NotPcdata(n) => {
-                write!(f, "'{n}' has element content; a text condition is impossible")
+                write!(
+                    f,
+                    "'{n}' has element content; a text condition is impossible"
+                )
             }
             BuildError::BelowPcdata(n) => {
                 write!(f, "'{n}' is PCDATA; nothing can be required inside it")
@@ -447,12 +453,18 @@ mod tests {
         b.require(&["department", "name"], Constraint::Text("CS".into()))
             .unwrap();
         let pub1 = b
-            .require(&["department", "professor", "publication"], Constraint::Exists)
+            .require(
+                &["department", "professor", "publication"],
+                Constraint::Exists,
+            )
             .unwrap();
         b.require_under(&pub1, &["journal"], Constraint::Exists)
             .unwrap();
         let pub2 = b
-            .require(&["department", "professor", "publication"], Constraint::Exists)
+            .require(
+                &["department", "professor", "publication"],
+                Constraint::Exists,
+            )
             .unwrap();
         b.require_under(&pub2, &["journal"], Constraint::Exists)
             .unwrap();
@@ -509,14 +521,18 @@ mod tests {
             b.require(&["department", "name", "deeper"], Constraint::Exists),
             Err(BuildError::BelowPcdata(_))
         ));
-        assert!(matches!(b.require(&[], Constraint::Exists), Err(BuildError::EmptyPath)));
+        assert!(matches!(
+            b.require(&[], Constraint::Exists),
+            Err(BuildError::EmptyPath)
+        ));
     }
 
     #[test]
     fn build_requires_a_pick() {
         let d = d1_department();
         let mut b = QueryBuilder::new(&d, "v");
-        b.require(&["department", "name"], Constraint::Exists).unwrap();
+        b.require(&["department", "name"], Constraint::Exists)
+            .unwrap();
         assert!(matches!(b.build(), Err(BuildError::NoPick)));
         b.pick(&["department", "professor"]).unwrap();
         let q = b.build().unwrap();

@@ -233,8 +233,7 @@ mod tests {
     #[test]
     fn disjoint_name_tests_do_not_compose() {
         let user =
-            parse_query("ans = SELECT X WHERE <withJournals> X:<course/> </withJournals>")
-                .unwrap();
+            parse_query("ans = SELECT X WHERE <withJournals> X:<course/> </withJournals>").unwrap();
         assert!(compose(&view(), &user).is_none());
     }
 
@@ -262,10 +261,9 @@ mod tests {
     #[test]
     fn variable_collisions_do_not_compose() {
         // the view also uses P
-        let user = parse_query(
-            "ans = SELECT P WHERE <withJournals> P:<professor/> </withJournals>",
-        )
-        .unwrap();
+        let user =
+            parse_query("ans = SELECT P WHERE <withJournals> P:<professor/> </withJournals>")
+                .unwrap();
         assert!(compose(&view(), &user).is_none());
     }
 

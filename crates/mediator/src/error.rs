@@ -1,0 +1,121 @@
+//! The fault model of the source layer.
+//!
+//! The paper's headline scenario unions "the structures exported by 100
+//! sites" — and real sites time out, ship malformed XML, or emit documents
+//! that no longer validate against their advertised DTD. [`SourceError`]
+//! is the closed set of ways a wrapper call can fail; the mediator's
+//! resilience layer (see [`crate::resilience`]) keys its retry and
+//! circuit-breaker decisions off [`SourceError::is_transient`].
+
+use mix_dtd::ValidationError;
+use mix_xmas::NormalizeError;
+use std::fmt;
+
+/// Why a wrapper call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// A transient fault (connection reset, mid-air reconfiguration):
+    /// retrying the same call may succeed.
+    Transient(String),
+    /// The source did not answer within its budget. Timeouts are treated
+    /// as transient: the next attempt may land inside the budget.
+    Timeout {
+        /// The (virtual) budget that elapsed, in milliseconds.
+        millis: u64,
+    },
+    /// The source answered with text that does not parse as XML.
+    MalformedXml(String),
+    /// The source answered with a well-formed document that violates its
+    /// advertised DTD.
+    DtdInvalid(String),
+    /// The source is down, unreachable, or refusing service.
+    Unavailable(String),
+    /// The query itself is ill-formed for this source (normalization
+    /// failed). Not a source fault: retries and breaker accounting skip
+    /// it.
+    Query(NormalizeError),
+}
+
+impl SourceError {
+    /// Whether retrying the identical call can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SourceError::Transient(_) | SourceError::Timeout { .. }
+        )
+    }
+
+    /// Whether the failure counts against the *source's* health (breaker
+    /// accounting). Query errors are the caller's fault, not the
+    /// source's.
+    pub fn is_source_fault(&self) -> bool {
+        !matches!(self, SourceError::Query(_))
+    }
+
+    /// A short stable label for reports and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SourceError::Transient(_) => "transient",
+            SourceError::Timeout { .. } => "timeout",
+            SourceError::MalformedXml(_) => "malformed-xml",
+            SourceError::DtdInvalid(_) => "dtd-invalid",
+            SourceError::Unavailable(_) => "unavailable",
+            SourceError::Query(_) => "query",
+        }
+    }
+
+    /// A DTD-invalid error carrying the validator's diagnosis.
+    pub fn invalid(e: &ValidationError) -> SourceError {
+        SourceError::DtdInvalid(e.to_string())
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Transient(msg) => write!(f, "transient fault: {msg}"),
+            SourceError::Timeout { millis } => write!(f, "timed out after {millis}ms"),
+            SourceError::MalformedXml(msg) => write!(f, "malformed XML: {msg}"),
+            SourceError::DtdInvalid(msg) => {
+                write!(f, "document violates the advertised DTD: {msg}")
+            }
+            SourceError::Unavailable(msg) => write!(f, "source unavailable: {msg}"),
+            SourceError::Query(e) => write!(f, "query rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<NormalizeError> for SourceError {
+    fn from(e: NormalizeError) -> Self {
+        SourceError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(SourceError::Transient("reset".into()).is_transient());
+        assert!(SourceError::Timeout { millis: 50 }.is_transient());
+        assert!(!SourceError::MalformedXml("eof".into()).is_transient());
+        assert!(!SourceError::DtdInvalid("bad".into()).is_transient());
+        assert!(!SourceError::Unavailable("down".into()).is_transient());
+    }
+
+    #[test]
+    fn query_errors_are_not_source_faults() {
+        let e = SourceError::Query(NormalizeError::SelfDiseq(mix_xmas::Var::new("X")));
+        assert!(!e.is_source_fault());
+        assert!(SourceError::Unavailable("down".into()).is_source_fault());
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(SourceError::Timeout { millis: 1 }.kind(), "timeout");
+        assert_eq!(SourceError::Transient(String::new()).kind(), "transient");
+    }
+}

@@ -121,11 +121,7 @@ fn render(dtd: &Dtd, n: Name, depth: usize, path: &mut HashSet<Name>, out: &mut 
                 let o = occurs(r, child);
                 match dtd.get(child) {
                     Some(ContentModel::Pcdata) => {
-                        let _ = writeln!(
-                            out,
-                            "{pad}  {child}: PCDATA{}",
-                            o.display()
-                        );
+                        let _ = writeln!(out, "{pad}  {child}: PCDATA{}", o.display());
                     }
                     _ => {
                         let before = out.len();

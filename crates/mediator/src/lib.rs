@@ -9,22 +9,38 @@
 //! a view — with its *inferred* DTD — as a source for a higher mediator.
 //! [`render_structure`] is the structure summary of the DTD-based query
 //! interface.
+//!
+//! The source layer is fallible and fault-tolerant: wrapper calls return
+//! [`SourceError`], the mediator wraps every call in a per-source
+//! resilience layer ([`ResiliencePolicy`]: bounded retries, a circuit
+//! breaker, last-known-good snapshots), union views degrade gracefully to
+//! partial answers with a [`DegradationReport`], and the deterministic
+//! seeded [`FaultInjector`] exercises all of it reproducibly.
 
 #![warn(missing_docs)]
 
 pub mod builder;
 pub mod compose;
+pub mod error;
+pub mod fault;
 pub mod interface;
 #[allow(clippy::module_inception)]
 pub mod mediator;
+pub mod resilience;
 pub mod simplifier;
 pub mod source;
 pub mod stack;
 
 pub use builder::{BuildError, Constraint, QueryBuilder};
 pub use compose::compose;
+pub use error::SourceError;
+pub use fault::{Fault, FaultInjector, FaultPlan};
 pub use interface::{occurs, render_structure, Occurs};
 pub use mediator::{Answer, AnswerPath, Mediator, MediatorError, ProcessorConfig, UnionView, View};
+pub use resilience::{
+    resilient_answer, BreakerState, DegradationReport, FetchStatus, Health, ResiliencePolicy,
+    SourceOutcome,
+};
 pub use simplifier::{simplify_query, SimplifyStats};
 pub use source::{Wrapper, XmlSource};
 pub use stack::ViewWrapper;

@@ -2,17 +2,21 @@
 //! answering with the DTD-based simplifier and view–query composition.
 
 use crate::compose::compose;
+use crate::error::SourceError;
+use crate::resilience::{
+    resilient_answer, BreakerState, DegradationReport, FetchStatus, Health, ResiliencePolicy,
+    SourceOutcome,
+};
 use crate::source::Wrapper;
 use mix_infer::{
-    classify_query, infer_union_view_dtd, infer_view_dtd, InferredUnionView, InferredView,
-    Verdict,
+    classify_query, infer_union_view_dtd, infer_view_dtd, InferredUnionView, InferredView, Verdict,
 };
 use mix_relang::symbol::Name;
 use mix_xmas::{evaluate, normalize, NormalizeError, Query};
 use mix_xml::{Content, Document, ElemId, Element};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A registered view: its definition, its source, and its inferred DTDs.
 pub struct View {
@@ -68,6 +72,17 @@ pub enum MediatorError {
     DuplicateView(Name),
     /// The view/query failed normalization.
     Normalize(NormalizeError),
+    /// A single-source view's only source failed (after retries, breaker
+    /// gating, and — when enabled — the stale-snapshot fallback).
+    Source {
+        /// The failed source's registered name.
+        source: String,
+        /// Why its last call failed.
+        error: SourceError,
+    },
+    /// Every member source of a union view failed; not even a degraded
+    /// partial answer could be assembled.
+    AllSourcesFailed(Name),
 }
 
 impl fmt::Display for MediatorError {
@@ -77,6 +92,12 @@ impl fmt::Display for MediatorError {
             MediatorError::UnknownView(n) => write!(f, "no view named '{n}'"),
             MediatorError::DuplicateView(n) => write!(f, "view '{n}' already registered"),
             MediatorError::Normalize(e) => write!(f, "{e}"),
+            MediatorError::Source { source, error } => {
+                write!(f, "source '{source}' failed: {error}")
+            }
+            MediatorError::AllSourcesFailed(n) => {
+                write!(f, "every source of view '{n}' failed")
+            }
         }
     }
 }
@@ -109,6 +130,12 @@ pub struct Answer {
     pub document: Document,
     /// Which execution path produced it.
     pub path: AnswerPath,
+    /// How the sources behind the answer fared. `Some` whenever sources
+    /// were contacted through the resilience layer with something to
+    /// report: always for materialized answers, and for composed answers
+    /// that had to degrade. `None` for pruned queries and clean composed
+    /// answers.
+    pub degradation: Option<DegradationReport>,
 }
 
 /// Knobs for the query processor (used by the ablation experiments).
@@ -142,6 +169,10 @@ pub struct Mediator {
     /// Registration order, for deterministic listings.
     view_order: Vec<Name>,
     config: ProcessorConfig,
+    policy: ResiliencePolicy,
+    /// Per-source health (breaker + snapshot), shared across the parallel
+    /// union materialization threads.
+    health: HashMap<String, Arc<Mutex<Health>>>,
 }
 
 impl Default for Mediator {
@@ -163,12 +194,37 @@ impl Mediator {
             views: HashMap::new(),
             view_order: Vec::new(),
             config,
+            policy: ResiliencePolicy::default(),
+            health: HashMap::new(),
         }
     }
 
-    /// Registers a wrapper under a name.
+    /// Registers a wrapper under a name, with fresh health (breaker
+    /// closed, no snapshot).
     pub fn add_source(&mut self, name: &str, wrapper: Arc<dyn Wrapper>) {
         self.sources.insert(name.to_owned(), wrapper);
+        self.health
+            .insert(name.to_owned(), Arc::new(Mutex::new(Health::new())));
+    }
+
+    /// The resilience policy in force.
+    pub fn resilience_policy(&self) -> &ResiliencePolicy {
+        &self.policy
+    }
+
+    /// Replaces the resilience policy (retry budget, breaker thresholds,
+    /// stale serving). Existing breaker states and snapshots are kept.
+    pub fn set_resilience_policy(&mut self, policy: ResiliencePolicy) {
+        self.policy = policy;
+    }
+
+    /// The circuit-breaker state of a registered source.
+    pub fn breaker_state(&self, source: &str) -> Option<BreakerState> {
+        self.health.get(source).map(|h| {
+            h.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .state()
+        })
     }
 
     /// Defines a view over a source: runs the View DTD Inference module
@@ -217,8 +273,7 @@ impl Mediator {
                 .ok_or_else(|| MediatorError::UnknownSource((*source).to_owned()))?;
             pairs.push((q, wrapper.dtd()));
         }
-        let refs: Vec<(&Query, &mix_dtd::Dtd)> =
-            pairs.iter().map(|(q, d)| (*q, *d)).collect();
+        let refs: Vec<(&Query, &mix_dtd::Dtd)> = pairs.iter().map(|(q, d)| (*q, *d)).collect();
         let inferred = infer_union_view_dtd(view_name, &refs)?;
         self.view_order.push(view_name);
         self.views.insert(
@@ -274,6 +329,10 @@ impl Mediator {
             return Err(MediatorError::UnknownSource(source.to_owned()));
         }
         self.sources.insert(source.to_owned(), wrapper);
+        // a replaced source is a new deployment: breaker closed, failure
+        // history and stale snapshot dropped
+        self.health
+            .insert(source.to_owned(), Arc::new(Mutex::new(Health::new())));
         let mut changed = Vec::new();
         let names: Vec<Name> = self.view_order.clone();
         for vname in names {
@@ -320,37 +379,74 @@ impl Mediator {
     }
 
     /// Materializes a view by running its definition at the source(s).
+    /// Equivalent to [`Mediator::materialize_with_report`] without the
+    /// degradation report.
     pub fn materialize(&self, name: Name) -> Result<Document, MediatorError> {
+        self.materialize_with_report(name).map(|(doc, _)| doc)
+    }
+
+    /// Materializes a view through the resilience layer and reports how
+    /// every member source fared.
+    ///
+    /// A single-source view fails ([`MediatorError::Source`]) only when
+    /// its one source fails with no snapshot to degrade to. A union view
+    /// degrades gracefully: as long as at least one member is served
+    /// (fresh or stale) the partial answer is returned, with the
+    /// [`DegradationReport`] naming each failed source, its last error,
+    /// and its breaker state; only when *every* member fails does it
+    /// error ([`MediatorError::AllSourcesFailed`]).
+    pub fn materialize_with_report(
+        &self,
+        name: Name,
+    ) -> Result<(Document, DegradationReport), MediatorError> {
         match self
             .views
             .get(&name)
             .ok_or(MediatorError::UnknownView(name))?
         {
             AnyView::Single(view) => {
-                let wrapper = self
-                    .sources
-                    .get(&view.source)
-                    .ok_or_else(|| MediatorError::UnknownSource(view.source.clone()))?;
-                Ok(wrapper.answer(&view.inferred.query))
+                let (doc, outcome) = self.call_source(&view.source, &view.inferred.query)?;
+                match doc {
+                    Some(document) => {
+                        let covers = mix_dtd::satisfies(&view.inferred.dtd, &document);
+                        let report = DegradationReport {
+                            view: name.to_string(),
+                            outcomes: vec![outcome],
+                            union_dtd_covers_survivors: covers,
+                        };
+                        Ok((document, report))
+                    }
+                    None => Err(MediatorError::Source {
+                        source: view.source.clone(),
+                        error: outcome
+                            .error
+                            .unwrap_or_else(|| SourceError::Unavailable("unknown".into())),
+                    }),
+                }
             }
             AnyView::Union(view) => {
-                // resolve every wrapper up front so errors surface before
-                // any work is spawned
-                let mut parts: Vec<(Arc<dyn Wrapper>, &Query)> = Vec::new();
+                // resolve every wrapper (and its health record) up front so
+                // configuration errors surface before any work is spawned
+                type Part<'a> = (&'a str, Arc<dyn Wrapper>, Arc<Mutex<Health>>, &'a Query);
+                let mut parts: Vec<Part<'_>> = Vec::new();
                 for (source, q) in view.sources.iter().zip(&view.inferred.queries) {
                     let wrapper = self
                         .sources
                         .get(source)
                         .ok_or_else(|| MediatorError::UnknownSource(source.clone()))?;
-                    parts.push((Arc::clone(wrapper), q));
+                    let health = Arc::clone(&self.health[source]);
+                    parts.push((source.as_str(), Arc::clone(wrapper), health, q));
                 }
                 // query the sources in parallel (wrappers are Send + Sync);
                 // member order stays the registration order
-                let answers: Vec<Document> = if parts.len() > 1 {
+                let policy = &self.policy;
+                let answers: Vec<(Option<Document>, SourceOutcome)> = if parts.len() > 1 {
                     std::thread::scope(|scope| {
                         let handles: Vec<_> = parts
                             .iter()
-                            .map(|(w, q)| scope.spawn(move || w.answer(q)))
+                            .map(|(s, w, h, q)| {
+                                scope.spawn(move || resilient_answer(s, w.as_ref(), q, policy, h))
+                            })
                             .collect();
                         handles
                             .into_iter()
@@ -358,21 +454,69 @@ impl Mediator {
                             .collect()
                     })
                 } else {
-                    parts.iter().map(|(w, q)| w.answer(q)).collect()
+                    parts
+                        .iter()
+                        .map(|(s, w, h, q)| resilient_answer(s, w.as_ref(), q, policy, h))
+                        .collect()
                 };
                 let mut members = Vec::new();
-                for part in answers {
-                    if let Content::Elements(kids) = part.root.content {
-                        members.extend(kids);
+                let mut outcomes = Vec::new();
+                let mut served = 0usize;
+                for (doc, outcome) in answers {
+                    if let Some(part) = doc {
+                        served += 1;
+                        if let Content::Elements(kids) = part.root.content {
+                            members.extend(kids);
+                        }
                     }
+                    outcomes.push(outcome);
                 }
-                Ok(Document::new(Element {
+                if served == 0 {
+                    return Err(MediatorError::AllSourcesFailed(name));
+                }
+                let document = Document::new(Element {
                     name,
                     id: ElemId::fresh(),
                     content: Content::Elements(members),
-                }))
+                });
+                // Does the inferred union DTD still soundly describe the
+                // partial answer? (A failed member whose contribution the
+                // root model *requires* breaks coverage.) Kind-conflicted
+                // unions have no sound plain DTD, so the check runs on the
+                // specialized DTD instead.
+                let covers = if view.inferred.kind_conflicts.is_empty() {
+                    mix_dtd::satisfies(&view.inferred.dtd, &document)
+                } else {
+                    mix_dtd::sdtd_satisfies(&view.inferred.sdtd, &document)
+                };
+                let report = DegradationReport {
+                    view: name.to_string(),
+                    outcomes,
+                    union_dtd_covers_survivors: covers,
+                };
+                Ok((document, report))
             }
         }
+    }
+
+    /// One resilient call to a registered source.
+    fn call_source(
+        &self,
+        source: &str,
+        q: &Query,
+    ) -> Result<(Option<Document>, SourceOutcome), MediatorError> {
+        let wrapper = self
+            .sources
+            .get(source)
+            .ok_or_else(|| MediatorError::UnknownSource(source.to_owned()))?;
+        let health = &self.health[source];
+        Ok(resilient_answer(
+            source,
+            wrapper.as_ref(),
+            q,
+            &self.policy,
+            health,
+        ))
     }
 
     /// Answers a user query whose condition is rooted at a view name,
@@ -402,27 +546,48 @@ impl Mediator {
                 return Ok(Answer {
                     document: empty_answer(q.view_name),
                     path: AnswerPath::PrunedUnsatisfiable,
+                    degradation: None,
                 });
             }
         }
         // 2. composition with the view definition (single-source views).
+        //    The composed query ships to the source through the resilience
+        //    layer, so retries, the breaker, and the stale snapshot apply
+        //    here exactly as on the materialization path.
         if self.config.use_composition {
             if let AnyView::Single(view) = any {
                 if let Some(composed) = compose(&view.inferred.query, q) {
-                    let wrapper = self
-                        .sources
-                        .get(&view.source)
-                        .ok_or_else(|| MediatorError::UnknownSource(view.source.clone()))?;
-                    return Ok(Answer {
-                        document: wrapper.answer(&composed),
-                        path: AnswerPath::Composed,
-                    });
+                    let (doc, outcome) = self.call_source(&view.source, &composed)?;
+                    return match doc {
+                        Some(document) => {
+                            let degradation = if outcome.status == FetchStatus::Fresh {
+                                None
+                            } else {
+                                Some(DegradationReport {
+                                    view: view_name.to_string(),
+                                    outcomes: vec![outcome],
+                                    union_dtd_covers_survivors: true,
+                                })
+                            };
+                            Ok(Answer {
+                                document,
+                                path: AnswerPath::Composed,
+                                degradation,
+                            })
+                        }
+                        None => Err(MediatorError::Source {
+                            source: view.source.clone(),
+                            error: outcome
+                                .error
+                                .unwrap_or_else(|| SourceError::Unavailable("unknown".into())),
+                        }),
+                    };
                 }
             }
         }
         // 3. fall back to materialize-then-evaluate (with DTD-guided
         //    condition pruning when configured).
-        let materialized = self.materialize(view_name)?;
+        let (materialized, report) = self.materialize_with_report(view_name)?;
         let mut nq = normalize(q, view_dtd)?;
         if self.config.use_condition_pruning && dtd_sound {
             let (pruned, _) = crate::simplifier::simplify_query(&nq, view_dtd);
@@ -431,6 +596,7 @@ impl Mediator {
         Ok(Answer {
             document: evaluate(&nq, &materialized),
             path: AnswerPath::Materialized,
+            degradation: Some(report),
         })
     }
 }
@@ -495,8 +661,8 @@ mod tests {
     #[test]
     fn duplicate_view_rejected() {
         let mut m = mediator();
-        let v = parse_query("withJournals = SELECT X WHERE <department> X:<professor/> </>")
-            .unwrap();
+        let v =
+            parse_query("withJournals = SELECT X WHERE <department> X:<professor/> </>").unwrap();
         assert!(matches!(
             m.register_view("cs-dept", &v),
             Err(MediatorError::DuplicateView(_))
@@ -516,10 +682,8 @@ mod tests {
     fn query_composed_path() {
         let m = mediator();
         // professors in the view (drops the gradStudent)
-        let q = parse_query(
-            "ans = SELECT X WHERE <withJournals> X:<professor/> </withJournals>",
-        )
-        .unwrap();
+        let q = parse_query("ans = SELECT X WHERE <withJournals> X:<professor/> </withJournals>")
+            .unwrap();
         let a = m.query(&q).unwrap();
         assert_eq!(a.path, AnswerPath::Composed);
         assert_eq!(a.document.root.children().len(), 1);

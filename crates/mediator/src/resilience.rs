@@ -1,0 +1,575 @@
+//! Per-source resilience: retries, circuit breakers, last-known-good
+//! snapshots, and the degradation report for partial union answers.
+//!
+//! Everything here is deterministic. Retry backoff is *virtual* — the
+//! would-have-slept milliseconds are recorded in the outcome, never
+//! slept. Breaker cooldown is measured in rejected calls *to that
+//! source*, not wall time, so the state machine advances identically no
+//! matter how fast (or parallel) the callers are. Combined with the
+//! seeded [`crate::fault::FaultInjector`], a federation run with a fixed
+//! seed produces the same [`DegradationReport`] byte for byte, every
+//! time.
+//!
+//! The call path ([`resilient_answer`]) deliberately does *not* trust the
+//! wrapper's own `answer`: it fetches, validates the fetched document
+//! against the advertised DTD (catching silently-corrupted exports as
+//! [`SourceError::DtdInvalid`]), and evaluates the normalized query
+//! locally. That makes validation a property of the mediator's edge, not
+//! of each wrapper's good behavior.
+
+use crate::error::SourceError;
+use crate::source::Wrapper;
+use mix_xmas::{evaluate, normalize, Query};
+use mix_xml::Document;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Knobs for the per-source resilience machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct ResiliencePolicy {
+    /// Extra attempts after the first, for *transient* errors only.
+    pub max_retries: u32,
+    /// Virtual backoff before retry `n` is `backoff_base_ms << (n-1)`
+    /// milliseconds; recorded, never slept.
+    pub backoff_base_ms: u64,
+    /// Consecutive source faults that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Calls rejected while open before the breaker half-opens and lets
+    /// one probe through.
+    pub cooldown_calls: u32,
+    /// Validate every fetched document against the wrapper's advertised
+    /// DTD; a violation is a [`SourceError::DtdInvalid`] failure.
+    pub validate_fetches: bool,
+    /// On failure, serve the last-known-good snapshot (marked
+    /// [`FetchStatus::Stale`]) instead of failing the member outright.
+    pub serve_stale: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            max_retries: 2,
+            backoff_base_ms: 10,
+            failure_threshold: 3,
+            cooldown_calls: 2,
+            validate_fetches: true,
+            serve_stale: true,
+        }
+    }
+}
+
+/// The circuit breaker's state for one source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow through.
+    Closed,
+    /// Tripped: calls are rejected without contacting the source.
+    Open,
+    /// Cooled down: the next call is a probe; success re-closes, failure
+    /// re-opens.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// Mutable per-source health, shared by every call that targets the
+/// source.
+#[derive(Debug)]
+pub struct Health {
+    state: BreakerState,
+    consecutive_failures: u32,
+    rejected_while_open: u32,
+    snapshot: Option<Document>,
+}
+
+impl Health {
+    /// A fresh, closed, snapshot-less health record.
+    pub fn new() -> Health {
+        Health {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            rejected_while_open: 0,
+            snapshot: None,
+        }
+    }
+
+    /// Current breaker state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether a last-known-good snapshot is held.
+    pub fn has_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+}
+
+impl Default for Health {
+    fn default() -> Self {
+        Health::new()
+    }
+}
+
+/// How a member's data was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchStatus {
+    /// Served from a live, validated fetch.
+    Fresh,
+    /// The live call failed; served from the last-known-good snapshot.
+    Stale,
+    /// The live call failed and no snapshot was available: this member
+    /// contributed nothing.
+    Failed,
+}
+
+impl fmt::Display for FetchStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FetchStatus::Fresh => "fresh",
+            FetchStatus::Stale => "stale",
+            FetchStatus::Failed => "failed",
+        })
+    }
+}
+
+/// What happened on one resilient call to one source.
+#[derive(Debug, Clone)]
+pub struct SourceOutcome {
+    /// The source's registered name.
+    pub source: String,
+    /// How (whether) the member was served.
+    pub status: FetchStatus,
+    /// Retries actually used (0 = first attempt decided it).
+    pub retries: u32,
+    /// Total virtual backoff recorded across those retries, in ms.
+    pub backoff_ms: u64,
+    /// The last error, if the live call ultimately failed.
+    pub error: Option<SourceError>,
+    /// Breaker state *after* the call.
+    pub breaker: BreakerState,
+    /// True when the breaker rejected the call without contacting the
+    /// source at all.
+    pub short_circuited: bool,
+}
+
+/// The structured account of a degraded (or clean) view materialization:
+/// one [`SourceOutcome`] per member source, in registration order.
+#[derive(Debug, Clone)]
+pub struct DegradationReport {
+    /// The view that was materialized.
+    pub view: String,
+    /// Per-source outcomes, in registration (union) order.
+    pub outcomes: Vec<SourceOutcome>,
+    /// Whether the inferred union view DTD still soundly covers the
+    /// partial answer assembled from the surviving members. `false` means
+    /// a consumer reasoning with the advertised view DTD could draw
+    /// unsound conclusions about this particular answer.
+    pub union_dtd_covers_survivors: bool,
+}
+
+impl DegradationReport {
+    /// True when every member was served fresh.
+    pub fn is_clean(&self) -> bool {
+        self.outcomes.iter().all(|o| o.status == FetchStatus::Fresh)
+    }
+
+    /// The sources that contributed nothing.
+    pub fn failed_sources(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == FetchStatus::Failed)
+            .map(|o| o.source.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let served = self
+            .outcomes
+            .iter()
+            .filter(|o| o.status != FetchStatus::Failed)
+            .count();
+        writeln!(
+            f,
+            "view '{}': {}/{} sources served, union DTD covers survivors: {}",
+            self.view,
+            served,
+            self.outcomes.len(),
+            if self.union_dtd_covers_survivors {
+                "yes"
+            } else {
+                "no"
+            }
+        )?;
+        for o in &self.outcomes {
+            write!(
+                f,
+                "  {:<12} {:<6} breaker={}",
+                o.source,
+                o.status.to_string(),
+                o.breaker
+            )?;
+            if o.retries > 0 {
+                write!(f, " retries={} backoff={}ms", o.retries, o.backoff_ms)?;
+            }
+            if o.short_circuited {
+                write!(f, " short-circuited")?;
+            }
+            if let Some(e) = &o.error {
+                write!(f, " error[{}]: {}", e.kind(), e)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// One resilient answer call: breaker check, bounded retry with virtual
+/// backoff, fetch validation, snapshot capture, and stale fallback.
+///
+/// Returns the answer document (when status is not [`FetchStatus::Failed`])
+/// plus the outcome record. `source` is only used to label the outcome.
+pub fn resilient_answer(
+    source: &str,
+    wrapper: &dyn Wrapper,
+    query: &Query,
+    policy: &ResiliencePolicy,
+    health: &Mutex<Health>,
+) -> (Option<Document>, SourceOutcome) {
+    let mut outcome = SourceOutcome {
+        source: source.to_owned(),
+        status: FetchStatus::Failed,
+        retries: 0,
+        backoff_ms: 0,
+        error: None,
+        breaker: BreakerState::Closed,
+        short_circuited: false,
+    };
+
+    // The query must normalize against this source's DTD before anything
+    // else; a rejection is the caller's fault and never touches the
+    // breaker or the source.
+    let nq = match normalize(query, wrapper.dtd()) {
+        Ok(nq) => nq,
+        Err(e) => {
+            let mut h = health
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            outcome.error = Some(SourceError::Query(e));
+            outcome.breaker = h.state;
+            // no normalized form exists, so no snapshot evaluation either
+            return serve_stale_or_fail(&None, &mut h, policy, outcome);
+        }
+    };
+
+    // Breaker gate.
+    {
+        let mut h = health
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if h.state == BreakerState::Open {
+            h.rejected_while_open += 1;
+            if h.rejected_while_open >= policy.cooldown_calls {
+                // cooled down: let this call through as the probe
+                h.state = BreakerState::HalfOpen;
+            } else {
+                outcome.error = Some(SourceError::Unavailable(format!(
+                    "circuit open for '{source}'"
+                )));
+                outcome.breaker = h.state;
+                outcome.short_circuited = true;
+                return serve_stale_or_fail(&Some(nq), &mut h, policy, outcome);
+            }
+        }
+    }
+
+    // Attempt loop: the first attempt plus up to `max_retries` retries,
+    // retrying only transient errors. Half-open probes get exactly one
+    // attempt — a flapping source must prove itself without the benefit
+    // of retries.
+    let probing = health
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .state
+        == BreakerState::HalfOpen;
+    let budget = if probing { 0 } else { policy.max_retries };
+    let mut last_err: SourceError;
+    loop {
+        match checked_fetch(wrapper, policy) {
+            Ok(doc) => {
+                let answer = evaluate(&nq, &doc);
+                let mut h = health
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                h.snapshot = Some(doc);
+                h.consecutive_failures = 0;
+                h.rejected_while_open = 0;
+                h.state = BreakerState::Closed;
+                outcome.status = FetchStatus::Fresh;
+                outcome.breaker = h.state;
+                return (Some(answer), outcome);
+            }
+            Err(e) => {
+                let retryable = e.is_transient();
+                last_err = e;
+                if retryable && outcome.retries < budget {
+                    outcome.retries += 1;
+                    outcome.backoff_ms += policy.backoff_base_ms << (outcome.retries - 1);
+                    continue;
+                }
+                break;
+            }
+        }
+    }
+
+    // The call failed for good: account it against the breaker, then
+    // degrade to the snapshot if allowed.
+    let mut h = health
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if last_err.is_source_fault() {
+        h.consecutive_failures += 1;
+        if h.state == BreakerState::HalfOpen || h.consecutive_failures >= policy.failure_threshold {
+            h.state = BreakerState::Open;
+            h.rejected_while_open = 0;
+        }
+    }
+    outcome.error = Some(last_err);
+    outcome.breaker = h.state;
+    serve_stale_or_fail(&Some(nq), &mut h, policy, outcome)
+}
+
+/// Fetch once, optionally validating the document against the wrapper's
+/// advertised DTD.
+fn checked_fetch(
+    wrapper: &dyn Wrapper,
+    policy: &ResiliencePolicy,
+) -> Result<Document, SourceError> {
+    let doc = wrapper.fetch()?;
+    if policy.validate_fetches {
+        mix_dtd::validate_document(wrapper.dtd(), &doc).map_err(|e| SourceError::invalid(&e))?;
+    }
+    Ok(doc)
+}
+
+/// Degrade to the last-known-good snapshot when policy and state allow,
+/// otherwise report the member failed.
+fn serve_stale_or_fail(
+    nq: &Option<Query>,
+    h: &mut Health,
+    policy: &ResiliencePolicy,
+    mut outcome: SourceOutcome,
+) -> (Option<Document>, SourceOutcome) {
+    if policy.serve_stale {
+        if let (Some(nq), Some(snap)) = (nq, &h.snapshot) {
+            outcome.status = FetchStatus::Stale;
+            return (Some(evaluate(nq, snap)), outcome);
+        }
+    }
+    outcome.status = FetchStatus::Failed;
+    (None, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Fault, FaultInjector, FaultPlan};
+    use crate::source::XmlSource;
+    use mix_dtd::parse_compact;
+    use mix_xmas::parse_query;
+    use mix_xml::parse_document;
+    use std::sync::Arc;
+
+    fn base() -> Arc<XmlSource> {
+        let dtd = parse_compact("{<r : a*> <a : PCDATA>}").unwrap();
+        let doc = parse_document("<r><a>1</a><a>2</a></r>").unwrap();
+        Arc::new(XmlSource::new(dtd, doc).unwrap())
+    }
+
+    fn query() -> Query {
+        parse_query("ans = SELECT X WHERE <r> X:<a/> </r>").unwrap()
+    }
+
+    fn call(
+        w: &dyn Wrapper,
+        policy: &ResiliencePolicy,
+        health: &Mutex<Health>,
+    ) -> (Option<Document>, SourceOutcome) {
+        resilient_answer("s", w, &query(), policy, health)
+    }
+
+    #[test]
+    fn clean_source_serves_fresh() {
+        let w = base();
+        let health = Mutex::new(Health::new());
+        let (doc, o) = call(w.as_ref(), &ResiliencePolicy::default(), &health);
+        assert_eq!(o.status, FetchStatus::Fresh);
+        assert_eq!(o.breaker, BreakerState::Closed);
+        assert_eq!(o.retries, 0);
+        assert_eq!(doc.unwrap().root.children().len(), 2);
+        assert!(health.lock().unwrap().has_snapshot());
+    }
+
+    #[test]
+    fn transient_errors_are_retried_with_virtual_backoff() {
+        // faults on calls 0 and 1; call 2 succeeds — inside the default
+        // 2-retry budget
+        let w = FaultInjector::new(
+            base(),
+            FaultPlan::Script(vec![Some(Fault::Transient), Some(Fault::Timeout), None]),
+        );
+        let health = Mutex::new(Health::new());
+        let (doc, o) = call(&w, &ResiliencePolicy::default(), &health);
+        assert_eq!(o.status, FetchStatus::Fresh);
+        assert_eq!(o.retries, 2);
+        assert_eq!(o.backoff_ms, 10 + 20);
+        assert!(doc.is_some());
+        // success resets the failure count
+        assert_eq!(health.lock().unwrap().consecutive_failures, 0);
+    }
+
+    #[test]
+    fn non_transient_errors_are_not_retried() {
+        let w = FaultInjector::new(
+            base(),
+            FaultPlan::Script(vec![Some(Fault::MalformedXml), None]),
+        );
+        let health = Mutex::new(Health::new());
+        let policy = ResiliencePolicy {
+            serve_stale: false,
+            ..ResiliencePolicy::default()
+        };
+        let (doc, o) = call(&w, &policy, &health);
+        assert_eq!(o.status, FetchStatus::Failed);
+        assert_eq!(o.retries, 0);
+        assert!(doc.is_none());
+        assert_eq!(w.calls(), 1, "must not have retried a permanent error");
+    }
+
+    #[test]
+    fn corrupted_fetch_is_caught_by_validation() {
+        let w = FaultInjector::new(base(), FaultPlan::Script(vec![Some(Fault::DtdViolate)]));
+        let health = Mutex::new(Health::new());
+        let policy = ResiliencePolicy {
+            serve_stale: false,
+            ..ResiliencePolicy::default()
+        };
+        let (_, o) = call(&w, &policy, &health);
+        assert_eq!(o.status, FetchStatus::Failed);
+        assert!(matches!(o.error, Some(SourceError::DtdInvalid(_))));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_half_opens_after_cooldown() {
+        // an unbroken run of hard outages (a seeded rate-1.0 plan could
+        // deal a Truncate, which `a*` happens to still cover)
+        let w = FaultInjector::new(
+            base(),
+            FaultPlan::Script(vec![Some(Fault::Unavailable); 10]),
+        );
+        let health = Mutex::new(Health::new());
+        let policy = ResiliencePolicy {
+            max_retries: 0,
+            failure_threshold: 3,
+            cooldown_calls: 2,
+            serve_stale: false,
+            ..ResiliencePolicy::default()
+        };
+        // three failing calls trip the breaker
+        for i in 0..3 {
+            let (_, o) = call(&w, &policy, &health);
+            assert_eq!(o.status, FetchStatus::Failed, "call {i}");
+            assert!(!o.short_circuited);
+        }
+        assert_eq!(health.lock().unwrap().state(), BreakerState::Open);
+        let contacted = w.calls();
+        // next (cooldown_calls - 1) calls are rejected without contact
+        let (_, o) = call(&w, &policy, &health);
+        assert!(o.short_circuited);
+        assert_eq!(o.breaker, BreakerState::Open);
+        assert_eq!(
+            w.calls(),
+            contacted,
+            "open breaker must not contact the source"
+        );
+        // the cooldown-completing call goes through as a half-open probe;
+        // the source still faults, so the breaker re-opens
+        let (_, o) = call(&w, &policy, &health);
+        assert!(!o.short_circuited);
+        assert_eq!(w.calls(), contacted + 1);
+        assert_eq!(o.breaker, BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_probe_success_recloses() {
+        // fail 3 times (trip), then the probe succeeds
+        let w = FaultInjector::new(
+            base(),
+            FaultPlan::Script(vec![
+                Some(Fault::Unavailable),
+                Some(Fault::Unavailable),
+                Some(Fault::Unavailable),
+                None,
+            ]),
+        );
+        let health = Mutex::new(Health::new());
+        let policy = ResiliencePolicy {
+            max_retries: 0,
+            failure_threshold: 3,
+            cooldown_calls: 1,
+            serve_stale: false,
+            ..ResiliencePolicy::default()
+        };
+        for _ in 0..3 {
+            call(&w, &policy, &health);
+        }
+        assert_eq!(health.lock().unwrap().state(), BreakerState::Open);
+        // cooldown_calls = 1 → this very call becomes the probe
+        let (doc, o) = call(&w, &policy, &health);
+        assert_eq!(o.status, FetchStatus::Fresh);
+        assert_eq!(o.breaker, BreakerState::Closed);
+        assert!(doc.is_some());
+    }
+
+    #[test]
+    fn snapshot_serves_stale_answers_after_failure() {
+        // call 0 succeeds (captures the snapshot), everything after fails
+        let mut script = vec![None];
+        script.extend(vec![Some(Fault::Unavailable); 10]);
+        let w = FaultInjector::new(base(), FaultPlan::Script(script));
+        let health = Mutex::new(Health::new());
+        let policy = ResiliencePolicy::default();
+        let (_, o) = call(&w, &policy, &health);
+        assert_eq!(o.status, FetchStatus::Fresh);
+        let (doc, o) = call(&w, &policy, &health);
+        assert_eq!(o.status, FetchStatus::Stale);
+        assert!(o.error.is_some());
+        assert_eq!(
+            doc.unwrap().root.children().len(),
+            2,
+            "stale answer still full"
+        );
+    }
+
+    #[test]
+    fn query_errors_never_touch_the_breaker() {
+        let w = base();
+        let health = Mutex::new(Health::new());
+        let bad = parse_query("ans = SELECT Z WHERE <r> X:<a/> </r>").unwrap();
+        let (_, o) = resilient_answer("s", w.as_ref(), &bad, &ResiliencePolicy::default(), &health);
+        assert_eq!(o.status, FetchStatus::Failed);
+        assert!(matches!(o.error, Some(SourceError::Query(_))));
+        let h = health.lock().unwrap();
+        assert_eq!(h.state(), BreakerState::Closed);
+        assert_eq!(h.consecutive_failures, 0);
+    }
+}

@@ -62,8 +62,7 @@ pub fn simplify_query(q: &Query, dtd: &Dtd) -> (Query, SimplifyStats) {
 /// Does this subtree bind any variable the query still needs?
 fn binds_needed(c: &Condition, needed: &HashSet<Var>) -> bool {
     c.walk().iter().any(|x| {
-        x.var.is_some_and(|v| needed.contains(&v))
-            || x.id_var.is_some_and(|v| needed.contains(&v))
+        x.var.is_some_and(|v| needed.contains(&v)) || x.id_var.is_some_and(|v| needed.contains(&v))
     })
 }
 
@@ -117,9 +116,7 @@ fn rewrite(
     let body = match &c.body {
         Body::Text(s) => Body::Text(s.clone()),
         Body::Children(kids) => {
-            let all_valid = kids
-                .iter()
-                .all(|k| step_verdict(k, t) == Verdict::Valid);
+            let all_valid = kids.iter().all(|k| step_verdict(k, t) == Verdict::Valid);
             let mut out = Vec::new();
             for (i, k) in kids.iter().enumerate() {
                 let droppable = !binds_needed(k, needed)
@@ -258,11 +255,7 @@ mod tests {
         for seed in 0..30u64 {
             let d = seeded_dtd(seed, &DtdGenConfig::default());
             let mut rng = StdRng::seed_from_u64(seed);
-            let q = normalize(
-                &random_query(&d, &mut rng, &QueryGenConfig::default()),
-                &d,
-            )
-            .unwrap();
+            let q = normalize(&random_query(&d, &mut rng, &QueryGenConfig::default()), &d).unwrap();
             let (s, _) = simplify_query(&q, &d);
             for doc in sample_documents(&d, 6, seed * 7, DocConfig::default()) {
                 let a = evaluate(&q, &doc);

@@ -7,7 +7,14 @@
 //! paper's web sources and repositories); mediators themselves implement
 //! `Wrapper` for stacking ("mediators can be stacked on top of
 //! mediators").
+//!
+//! Both operations are fallible — real sources time out, emit malformed
+//! XML, or ship documents that stopped validating against their
+//! advertised DTD — and return [`SourceError`]. The mediator's resilience
+//! layer ([`crate::resilience`]) decides what a failure means for the
+//! overall answer.
 
+use crate::error::SourceError;
 use mix_dtd::{validate_document, Dtd, ValidationError};
 use mix_xmas::{evaluate, normalize, Query};
 use mix_xml::Document;
@@ -19,17 +26,20 @@ pub trait Wrapper: Send + Sync {
     fn dtd(&self) -> &Dtd;
 
     /// The full exported document.
-    fn fetch(&self) -> Document;
+    fn fetch(&self) -> Result<Document, SourceError>;
 
     /// Answers a query whose condition is rooted at this source's document
     /// type. The default implementation evaluates over [`Wrapper::fetch`];
     /// real wrappers would push the query to the underlying system.
-    fn answer(&self, q: &Query) -> Document {
-        let doc = self.fetch();
-        match normalize(q, self.dtd()) {
-            Ok(nq) => evaluate(&nq, &doc),
-            Err(_) => evaluate(q, &doc),
-        }
+    ///
+    /// A query that fails normalization is *rejected* (as
+    /// [`SourceError::Query`]) rather than evaluated unnormalized: the
+    /// unnormalized form has unexpanded wildcards and unassigned tags, so
+    /// "guessing" with it could silently return wrong members.
+    fn answer(&self, q: &Query) -> Result<Document, SourceError> {
+        let nq = normalize(q, self.dtd())?;
+        let doc = self.fetch()?;
+        Ok(evaluate(&nq, &doc))
     }
 }
 
@@ -47,11 +57,18 @@ impl XmlSource {
         Ok(XmlSource { dtd, document })
     }
 
-    /// Replaces the document (sources are dynamic), re-validating.
+    /// Replaces the document (sources are dynamic), re-validating. On
+    /// failure the previous document — the last known good one — stays in
+    /// place and keeps serving fetches.
     pub fn update(&mut self, document: Document) -> Result<(), ValidationError> {
         validate_document(&self.dtd, &document)?;
         self.document = document;
         Ok(())
+    }
+
+    /// The currently served document.
+    pub fn document(&self) -> &Document {
+        &self.document
     }
 }
 
@@ -60,8 +77,8 @@ impl Wrapper for XmlSource {
         &self.dtd
     }
 
-    fn fetch(&self) -> Document {
-        self.document.clone()
+    fn fetch(&self) -> Result<Document, SourceError> {
+        Ok(self.document.clone())
     }
 }
 
@@ -95,20 +112,36 @@ mod tests {
     #[test]
     fn source_answers_queries() {
         let s = XmlSource::new(d1_department(), doc()).unwrap();
-        let q = parse_query(
-            "profs = SELECT P WHERE <department> P:<professor/> </department>",
-        )
-        .unwrap();
-        let out = s.answer(&q);
+        let q = parse_query("profs = SELECT P WHERE <department> P:<professor/> </department>")
+            .unwrap();
+        let out = s.answer(&q).unwrap();
         assert_eq!(out.root.children().len(), 1);
         assert_eq!(out.doc_type().as_str(), "profs");
     }
 
     #[test]
-    fn update_revalidates() {
+    fn update_revalidates_and_keeps_last_good() {
         let mut s = XmlSource::new(d1_department(), doc()).unwrap();
         let bad = parse_document("<department/>").unwrap();
         assert!(s.update(bad).is_err());
+        // the rejected update did not poison the source: the last known
+        // good document still serves
+        let served = s.fetch().unwrap();
+        assert_eq!(served.root.children().len(), 3);
         assert!(s.update(doc()).is_ok());
+    }
+
+    #[test]
+    fn unnormalizable_query_is_rejected_not_guessed() {
+        let s = XmlSource::new(d1_department(), doc()).unwrap();
+        // SELECT over a variable no condition binds: normalization fails,
+        // and `answer` must surface that instead of evaluating the raw
+        // query
+        let q = parse_query("profs = SELECT Z WHERE <department> P:<professor/> </department>")
+            .unwrap();
+        match s.answer(&q) {
+            Err(SourceError::Query(_)) => {}
+            other => panic!("expected Query error, got {other:?}"),
+        }
     }
 }

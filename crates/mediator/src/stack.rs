@@ -7,13 +7,24 @@
 //! materialized view, and it answers queries through the lower mediator's
 //! query processor (simplifier + composition included).
 
-use crate::mediator::Mediator;
+use crate::error::SourceError;
+use crate::mediator::{Mediator, MediatorError};
 use crate::source::Wrapper;
 use mix_dtd::Dtd;
 use mix_relang::symbol::Name;
 use mix_xmas::Query;
 use mix_xml::Document;
 use std::sync::Arc;
+
+/// Folds a lower mediator's failure into the source fault model the
+/// upper mediator understands: the wrapped view *is* a source up there.
+fn as_source_error(e: MediatorError) -> SourceError {
+    match e {
+        MediatorError::Source { error, .. } => error,
+        MediatorError::Normalize(e) => SourceError::Query(e),
+        other => SourceError::Unavailable(other.to_string()),
+    }
+}
 
 /// One view of a lower-level mediator, exported as a source for a
 /// higher-level mediator.
@@ -38,20 +49,26 @@ impl Wrapper for ViewWrapper {
             .expect("checked at construction")
     }
 
-    fn fetch(&self) -> Document {
+    fn fetch(&self) -> Result<Document, SourceError> {
         self.mediator
             .materialize(self.view)
-            .expect("view registered and source present")
+            .map_err(as_source_error)
     }
 
-    fn answer(&self, q: &Query) -> Document {
+    fn answer(&self, q: &Query) -> Result<Document, SourceError> {
         match self.mediator.query(q) {
-            Ok(a) => a.document,
+            Ok(a) => Ok(a.document),
+            // lower-source failures propagate up as source faults of this
+            // wrapper, so a stacked mediator's own resilience layer can
+            // retry / trip / degrade on them
+            Err(e @ MediatorError::Source { .. }) | Err(e @ MediatorError::AllSourcesFailed(_)) => {
+                Err(as_source_error(e))
+            }
             // queries the lower mediator cannot route (e.g. root test not
             // naming the view) evaluate over the materialized document
             Err(_) => {
-                let doc = self.fetch();
-                mix_xmas::evaluate(q, &doc)
+                let doc = self.fetch()?;
+                Ok(mix_xmas::evaluate(q, &doc))
             }
         }
     }
@@ -101,10 +118,9 @@ mod tests {
 
         let mut upper = Mediator::new();
         upper.add_source("low", Arc::new(wrapper));
-        let v2 = parse_query(
-            "profOnly = SELECT X WHERE <withJournals> X:<professor/> </withJournals>",
-        )
-        .unwrap();
+        let v2 =
+            parse_query("profOnly = SELECT X WHERE <withJournals> X:<professor/> </withJournals>")
+                .unwrap();
         let view2 = upper.register_view("low", &v2).unwrap();
         // the upper mediator inferred a DTD over the *view* DTD
         let root = view2

@@ -84,7 +84,11 @@ mod tests {
             ("a?, b", vec!["a", "b"], true),
             ("(a | b)*, c", vec!["b", "a", "c"], true),
             ("(a | b)*, c", vec!["c", "a"], false),
-            ("title, author+, (journal | conference)", vec!["title", "author", "journal"], true),
+            (
+                "title, author+, (journal | conference)",
+                vec!["title", "author", "journal"],
+                true,
+            ),
         ] {
             let r = parse_regex(re).unwrap();
             let word = w(&word);

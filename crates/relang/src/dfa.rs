@@ -66,9 +66,7 @@ impl Dfa {
         while frontier < order.len() {
             let set = order[frontier].clone();
             frontier += 1;
-            accepting.push(
-                (0..nsz).any(|s| set[s / 64] >> (s % 64) & 1 == 1 && nfa.accepting[s]),
-            );
+            accepting.push((0..nsz).any(|s| set[s / 64] >> (s % 64) & 1 == 1 && nfa.accepting[s]));
             for &a in alphabet.iter() {
                 let mut next = vec![0u64; words];
                 for s in 0..nsz {

@@ -39,8 +39,8 @@ pub use determinism::{ambiguity, is_deterministic, Ambiguity};
 pub use dfa::Dfa;
 pub use nfa::Nfa;
 pub use ops::{
-    count_words_by_len, count_words_upto, enumerate_words, equivalent, is_proper_subset,
-    is_subset, language_is_empty, matches, min_word_len,
+    count_words_by_len, count_words_upto, enumerate_words, equivalent, is_proper_subset, is_subset,
+    language_is_empty, matches, min_word_len,
 };
 pub use parser::{parse_regex, ParseError};
 pub use sample::{sample_word, SampleConfig};

@@ -245,7 +245,10 @@ mod tests {
             parse_regex("a | b").unwrap(),
             Regex::Sym(sym("a")).or(Regex::Sym(sym("b")))
         );
-        assert_eq!(parse_regex("a*").unwrap(), Regex::star(Regex::Sym(sym("a"))));
+        assert_eq!(
+            parse_regex("a*").unwrap(),
+            Regex::star(Regex::Sym(sym("a")))
+        );
     }
 
     #[test]
@@ -296,7 +299,10 @@ mod tests {
     fn epsilon_and_empty_literals() {
         assert_eq!(parse_regex("ε").unwrap(), Regex::Epsilon);
         assert_eq!(parse_regex("∅").unwrap(), Regex::Empty);
-        assert_eq!(parse_regex("a | ε").unwrap(), Regex::opt(Regex::Sym(sym("a"))));
+        assert_eq!(
+            parse_regex("a | ε").unwrap(),
+            Regex::opt(Regex::Sym(sym("a")))
+        );
     }
 
     #[test]

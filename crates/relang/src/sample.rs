@@ -57,10 +57,7 @@ fn go(r: &Regex, rng: &mut impl Rng, cfg: SampleConfig, out: &mut Vec<Sym>) {
             }
         }
         Regex::Alt(v) => {
-            let viable: Vec<&Regex> = v
-                .iter()
-                .filter(|x| min_word_len(x).is_some())
-                .collect();
+            let viable: Vec<&Regex> = v.iter().filter(|x| min_word_len(x).is_some()).collect();
             debug_assert!(!viable.is_empty(), "nonempty alt has a viable branch");
             let budget = remaining(cfg, out);
             let affordable: Vec<&&Regex> = viable
@@ -121,8 +118,8 @@ mod tests {
         ] {
             let r = parse_regex(src).unwrap();
             for _ in 0..200 {
-                let w = sample_word(&r, &mut rng, SampleConfig::default())
-                    .expect("nonempty language");
+                let w =
+                    sample_word(&r, &mut rng, SampleConfig::default()).expect("nonempty language");
                 assert!(matches(&r, &w), "sampled non-member {w:?} of {src}");
             }
         }

@@ -130,11 +130,7 @@ fn factor_union(branches: &[Regex]) -> Option<Regex> {
     let factored: Vec<Vec<Regex>> = branches.iter().map(as_factors).collect();
     let min_len = factored.iter().map(Vec::len).min().unwrap_or(0);
     let mut prefix = 0;
-    while prefix < min_len
-        && factored
-            .iter()
-            .all(|f| f[prefix] == factored[0][prefix])
-    {
+    while prefix < min_len && factored.iter().all(|f| f[prefix] == factored[0][prefix]) {
         prefix += 1;
     }
     let mut suffix = 0;
@@ -149,11 +145,7 @@ fn factor_union(branches: &[Regex]) -> Option<Regex> {
         return None;
     }
     let head = Regex::concat(factored[0][..prefix].iter().cloned());
-    let tail = Regex::concat(
-        factored[0][factored[0].len() - suffix..]
-            .iter()
-            .cloned(),
-    );
+    let tail = Regex::concat(factored[0][factored[0].len() - suffix..].iter().cloned());
     let middle = Regex::alt(
         factored
             .iter()
@@ -303,10 +295,7 @@ mod tests {
         ] {
             let r = parse_regex(src).unwrap();
             let simp = simplify(&r);
-            assert!(
-                equivalent(&r, &simp),
-                "language changed: {src} vs {simp}"
-            );
+            assert!(equivalent(&r, &simp), "language changed: {src} vs {simp}");
             assert!(simp.size() <= r.size(), "simplify grew {src} to {simp}");
         }
     }

@@ -239,10 +239,7 @@ mod tests {
     fn path_to_pick() {
         let q = sample();
         let path = q.pick_path().unwrap();
-        let names: Vec<&str> = path
-            .iter()
-            .map(|c| c.test.names()[0].as_str())
-            .collect();
+        let names: Vec<&str> = path.iter().map(|c| c.test.names()[0].as_str()).collect();
         assert_eq!(names, ["department", "gradStudent", "publication"]);
         assert_eq!(q.pick_node().unwrap().var, Some(q.pick));
     }

@@ -80,9 +80,8 @@ mod tests {
         ] {
             let q = parse_query(src).unwrap();
             let shown = q.to_string();
-            let again = parse_query(&shown).unwrap_or_else(|e| {
-                panic!("display of {src} did not reparse: {e}\n{shown}")
-            });
+            let again = parse_query(&shown)
+                .unwrap_or_else(|e| panic!("display of {src} did not reparse: {e}\n{shown}"));
             assert_eq!(q, again);
         }
     }

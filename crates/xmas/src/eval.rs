@@ -281,15 +281,11 @@ mod tests {
 
     #[test]
     fn string_condition_filters() {
-        let q = parse_query(
-            "v = SELECT P WHERE <department> <name>EE</name> P:<professor/> </>",
-        )
-        .unwrap();
+        let q = parse_query("v = SELECT P WHERE <department> <name>EE</name> P:<professor/> </>")
+            .unwrap();
         assert_eq!(evaluate(&q, &dept()).root.children().len(), 0);
-        let q = parse_query(
-            "v = SELECT P WHERE <department> <name>CS</name> P:<professor/> </>",
-        )
-        .unwrap();
+        let q = parse_query("v = SELECT P WHERE <department> <name>CS</name> P:<professor/> </>")
+            .unwrap();
         assert_eq!(evaluate(&q, &dept()).root.children().len(), 2);
     }
 
@@ -328,8 +324,7 @@ mod tests {
     #[test]
     fn wildcard_after_normalization() {
         use crate::normalize::normalize;
-        let q = parse_query("v = SELECT X WHERE <department> <professor> X:<*/> </> </>")
-            .unwrap();
+        let q = parse_query("v = SELECT X WHERE <department> <professor> X:<*/> </> </>").unwrap();
         let q = normalize(&q, &mix_dtd::paper::d1_department()).unwrap();
         let out = evaluate(&q, &dept());
         // every direct child of each professor: 5 for prof1, 4 for prof2

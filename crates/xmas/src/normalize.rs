@@ -143,8 +143,8 @@ mod tests {
 
     #[test]
     fn idempotent() {
-        let q = parse_query("v = SELECT X WHERE <department> X:<professor/> </department>")
-            .unwrap();
+        let q =
+            parse_query("v = SELECT X WHERE <department> X:<professor/> </department>").unwrap();
         let d = d1_department();
         let once = normalize(&q, &d).unwrap();
         let twice = normalize(&once, &d).unwrap();
@@ -171,8 +171,7 @@ mod tests {
 
     #[test]
     fn diseq_checks() {
-        let q =
-            parse_query("v = SELECT X WHERE X:<a> <b id=B/> </a> AND B != C").unwrap();
+        let q = parse_query("v = SELECT X WHERE X:<a> <b id=B/> </a> AND B != C").unwrap();
         assert!(matches!(
             normalize(&q, &d1_department()),
             Err(NormalizeError::UnknownDiseqVar(_))

@@ -43,8 +43,7 @@ pub fn q12_papers() -> Query {
 /// (Q6) — professors with a journal publication, over (D9)
 /// (Example 4.1).
 pub fn q6_answer() -> Query {
-    parse_query("answer = SELECT X WHERE X:<professor><journal/></professor>")
-        .expect("Q6 parses")
+    parse_query("answer = SELECT X WHERE X:<professor><journal/></professor>").expect("Q6 parses")
 }
 
 /// (Q7) — professors with two *different* journal publications, over (D9)
@@ -60,7 +59,7 @@ pub fn q7_answer() -> Query {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mix_dtd::paper::{d1_department, d11_department, d9_professor};
+    use mix_dtd::paper::{d11_department, d1_department, d9_professor};
 
     #[test]
     fn fixtures_normalize_against_their_dtds() {

@@ -224,9 +224,7 @@ impl<'a> P<'a> {
         if self.peek() != Some('>') {
             let t = self.nametest()?;
             if &t != open {
-                return Err(
-                    self.err("close tag does not repeat the opening name test")
-                );
+                return Err(self.err("close tag does not repeat the opening name test"));
             }
             self.skip_ws();
         }
@@ -315,10 +313,7 @@ mod tests {
         assert_eq!(kids[0].body, Body::Text("CS".into()));
         let pick = &kids[1];
         assert_eq!(pick.var, Some(Var::new("P")));
-        assert_eq!(
-            pick.test.names(),
-            &[name("professor"), name("gradStudent")]
-        );
+        assert_eq!(pick.test.names(), &[name("professor"), name("gradStudent")]);
         assert_eq!(pick.children().len(), 2);
         assert_eq!(pick.children()[0].id_var, Some(Var::new("Pub1")));
         assert_eq!(
@@ -364,9 +359,7 @@ mod tests {
         assert!(parse_query("v = SELECT X WHERE X:<a></b>").is_err());
         assert!(parse_query("v = SELECT X WHERE X:<a></a>").is_ok());
         // disjunctive close repeats the open test
-        assert!(
-            parse_query("v = SELECT X WHERE X:<a|b></a|b>").is_ok()
-        );
+        assert!(parse_query("v = SELECT X WHERE X:<a|b></a|b>").is_ok());
     }
 
     #[test]

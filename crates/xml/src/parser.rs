@@ -152,7 +152,9 @@ impl<'a> P<'a> {
                     break;
                 }
                 _ => {
-                    let attr = self.name().map_err(|_| self.err("expected attribute, '/>' or '>'"))?;
+                    let attr = self
+                        .name()
+                        .map_err(|_| self.err("expected attribute, '/>' or '>'"))?;
                     self.skip_ws();
                     if !self.eat_str("=") {
                         return Err(self.err("expected '=' after attribute name"));
@@ -356,8 +358,7 @@ mod tests {
 
     #[test]
     fn prolog_and_comments_tolerated() {
-        let d = parse_document("<?xml version=\"1.0\"?>\n<!-- dept -->\n<a><b/></a>")
-            .unwrap();
+        let d = parse_document("<?xml version=\"1.0\"?>\n<!-- dept -->\n<a><b/></a>").unwrap();
         assert_eq!(d.doc_type().as_str(), "a");
         let d = parse_document("<a><!-- inside --><b/></a>").unwrap();
         assert_eq!(d.root.children().len(), 1);

@@ -36,10 +36,9 @@ impl Skeleton {
                 let idx = *interner.entry(t.clone()).or_insert(next);
                 Skeleton::Text(e.name, idx)
             }
-            Content::Elements(v) => Skeleton::Node(
-                e.name,
-                v.iter().map(|c| Self::build(c, interner)).collect(),
-            ),
+            Content::Elements(v) => {
+                Skeleton::Node(e.name, v.iter().map(|c| Self::build(c, interner)).collect())
+            }
         }
     }
 
@@ -80,15 +79,27 @@ mod tests {
 
     #[test]
     fn shape_matters() {
-        let flat = Element::new("x", vec![Element::new("y", vec![]), Element::new("z", vec![])]);
-        let nested = Element::new("x", vec![Element::new("y", vec![Element::new("z", vec![])])]);
+        let flat = Element::new(
+            "x",
+            vec![Element::new("y", vec![]), Element::new("z", vec![])],
+        );
+        let nested = Element::new(
+            "x",
+            vec![Element::new("y", vec![Element::new("z", vec![])])],
+        );
         assert!(!same_structural_class(&flat, &nested));
     }
 
     #[test]
     fn order_matters() {
-        let yz = Element::new("x", vec![Element::new("y", vec![]), Element::new("z", vec![])]);
-        let zy = Element::new("x", vec![Element::new("z", vec![]), Element::new("y", vec![])]);
+        let yz = Element::new(
+            "x",
+            vec![Element::new("y", vec![]), Element::new("z", vec![])],
+        );
+        let zy = Element::new(
+            "x",
+            vec![Element::new("z", vec![]), Element::new("y", vec![])],
+        );
         assert!(!same_structural_class(&yz, &zy));
     }
 

@@ -83,7 +83,10 @@ fn main() {
         parse_query("titles = SELECT T WHERE <papers> <publication> T:<title/> </> </papers>")
             .unwrap();
     let tv = upper.register_view("ucsd-papers", &titles_view).unwrap();
-    println!("Upper mediator view DTD (inferred over a view DTD):\n{}\n", tv.inferred.dtd);
+    println!(
+        "Upper mediator view DTD (inferred over a view DTD):\n{}\n",
+        tv.inferred.dtd
+    );
 
     // Query through both levels.
     let q = parse_query("ans = SELECT T WHERE <titles> T:<title/> </titles>").unwrap();
@@ -101,10 +104,9 @@ fn main() {
     // Consolidation across sources, first class: a *union view* over both
     // campuses (the intro's "union the structures exported by N sites" —
     // now with an inferred DTD).
-    let titles_view2 = parse_query(
-        "titles2 = SELECT T WHERE <papers> <publication> T:<title/> </> </papers>",
-    )
-    .unwrap();
+    let titles_view2 =
+        parse_query("titles2 = SELECT T WHERE <papers> <publication> T:<title/> </> </papers>")
+            .unwrap();
     let union = upper
         .register_union_view(
             "bibliography",

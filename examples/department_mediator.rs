@@ -64,10 +64,8 @@ fn main() {
     assert_eq!(a.path, AnswerPath::PrunedUnsatisfiable);
 
     // Path 2: a member query composes with the view definition.
-    let professors = parse_query(
-        "ans = SELECT X WHERE <withJournals> X:<professor/> </withJournals>",
-    )
-    .unwrap();
+    let professors =
+        parse_query("ans = SELECT X WHERE <withJournals> X:<professor/> </withJournals>").unwrap();
     let a = mediator.query(&professors).unwrap();
     println!(
         "query for professors in the view → {:?} ({} results)",

@@ -25,10 +25,14 @@ fn main() {
     let builder = QueryBuilder::new(&dtd, "withJournals");
     println!("── menu under <department> ──");
     for (child, occ) in builder.menu(name("department")) {
-        println!("  {child}  (min {} / max {})", occ.min, match occ.max {
-            None => "∞".to_owned(),
-            Some(m) => m.to_string(),
-        });
+        println!(
+            "  {child}  (min {} / max {})",
+            occ.min,
+            match occ.max {
+                None => "∞".to_owned(),
+                Some(m) => m.to_string(),
+            }
+        );
     }
     println!();
 
@@ -58,13 +62,17 @@ fn main() {
         .expect("a second, distinct publication");
     b.require_under(&pub2, &["journal"], Constraint::Exists)
         .expect("journal inside the second publication");
-    b.pick(&["department", "professor"]).expect("pick professors");
+    b.pick(&["department", "professor"])
+        .expect("pick professors");
     let query = b.build().expect("pick chosen");
     println!("── the query the interface built ──\n{query}\n");
 
     // 4. Before running anything the classification is shown.
     let nq = normalize(&query, &dtd).unwrap();
-    println!("classification against the source DTD: {:?}\n", classify_query(&nq, &dtd));
+    println!(
+        "classification against the source DTD: {:?}\n",
+        classify_query(&nq, &dtd)
+    );
 
     // 5. Run it through a mediator.
     let doc = parse_document(

@@ -6,7 +6,7 @@
 //! cargo run --example paper_walkthrough
 //! ```
 
-use mix::dtd::paper::{d1_department, d11_department, d9_professor, section_recursive};
+use mix::dtd::paper::{d11_department, d1_department, d9_professor, section_recursive};
 use mix::infer::metrics::non_tight_witnesses;
 use mix::infer::refine::refine1;
 use mix::prelude::*;
@@ -94,13 +94,15 @@ fn main() {
     assert!(!sdtd_satisfies(&iv.sdtd, &bad));
     println!("conference-only professor: D2 accepts, D4 rejects ✓");
 
-    heading("E6", "Example 3.5 — no tightest DTD for the recursive view (T6 ⊋ T7 ⊋ T8)");
+    heading(
+        "E6",
+        "Example 3.5 — no tightest DTD for the recursive view (T6 ⊋ T7 ⊋ T8)",
+    );
     let _sections = section_recursive();
     let t6 = parse_regex("(prolog | conclusion)*").unwrap();
     let t7 = parse_regex("(prolog, (prolog | conclusion)*, conclusion)?").unwrap();
-    let t8 =
-        parse_regex("(prolog, (prolog, (prolog | conclusion)*, conclusion)?, conclusion)?")
-            .unwrap();
+    let t8 = parse_regex("(prolog, (prolog, (prolog | conclusion)*, conclusion)?, conclusion)?")
+        .unwrap();
     assert!(is_subset(&t7, &t6) && !is_subset(&t6, &t7));
     assert!(is_subset(&t8, &t7) && !is_subset(&t7, &t8));
     println!("T8 ⊊ T7 ⊊ T6 verified — the chain never reaches a tightest type");
@@ -112,11 +114,13 @@ fn main() {
     println!("refine({prof}, journal) = {}", simplify(&refined));
     assert!(equivalent(
         &refined,
-        &parse_regex("name, (journal | conference)*, journal, (journal | conference)*")
-            .unwrap()
+        &parse_regex("name, (journal | conference)*, journal, (journal | conference)*").unwrap()
     ));
 
-    heading("E8", "Example 4.2 — tagged refinement for two distinct journals");
+    heading(
+        "E8",
+        "Example 4.2 — tagged refinement for two distinct journals",
+    );
     let step1 = refine1(prof, name("journal"), 1);
     let step2 = refine1(&step1, name("journal"), 2);
     println!("after j^1, j^2: {}", simplify(&step2));

@@ -37,7 +37,10 @@ fn main() {
     let view = infer_view_dtd(&q2, &source).expect("inference succeeds");
 
     println!("Query classification: {:?}\n", view.verdict);
-    println!("Tight specialized view DTD (the paper's D4):\n{}\n", view.sdtd);
+    println!(
+        "Tight specialized view DTD (the paper's D4):\n{}\n",
+        view.sdtd
+    );
     println!("Merged plain view DTD (the paper's D2):\n{}\n", view.dtd);
     if !view.merged_names.is_empty() {
         println!(

@@ -26,10 +26,7 @@ fn main() {
     let iv = infer_view_dtd(&view, &d1).unwrap();
 
     let sources = sample_documents(&d1, 600, 7, Default::default());
-    let views: Vec<_> = sources
-        .iter()
-        .map(|doc| evaluate(&iv.query, doc))
-        .collect();
+    let views: Vec<_> = sources.iter().map(|doc| evaluate(&iv.query, doc)).collect();
     let guide = DataGuide::of_documents(&views).expect("views share a root");
     println!("dataguide of 600 view instances:\n{guide}\n");
 
@@ -39,7 +36,10 @@ fn main() {
     // 1. The paper's §5 claim, quantified: the guide admits far more
     //    structures than the view DTD (order/cardinality/siblings lost).
     println!("described structures per size (fewer = tighter):");
-    println!("{:>5} {:>14} {:>14} {:>14}", "size", "dataguide", "view DTD", "s-DTD");
+    println!(
+        "{:>5} {:>14} {:>14} {:>14}",
+        "size", "dataguide", "view DTD", "s-DTD"
+    );
     let gd = guide.count_conforming_by_size(16);
     let dt = count_documents_by_size(&iv.dtd, 16);
     let sd = count_sdocuments_by_size(&iv.sdtd, 16);

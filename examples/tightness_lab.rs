@@ -22,7 +22,10 @@ use mix::prelude::*;
 fn show(label: &str, q: &Query, max: usize) {
     println!("\n── {label} ──");
     let rows = tightness_counts(q, &d1_department(), max);
-    println!("{:>5} {:>16} {:>16} {:>16}", "size", "naive", "tight DTD", "s-DTD");
+    println!(
+        "{:>5} {:>16} {:>16} {:>16}",
+        "size", "naive", "tight DTD", "s-DTD"
+    );
     let mut tn = 0u128;
     let mut tm = 0u128;
     let mut ts = 0u128;

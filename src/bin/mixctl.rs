@@ -9,6 +9,8 @@
 //! mixctl structure  --dtd D1.dtd                     query-interface summary
 //! mixctl tightness  --dtd D1.dtd --query Q2.xmas --max-size 16
 //! mixctl union      --part D1.dtd:Q3.xmas --part D1b.dtd:Q3.xmas
+//! mixctl federate   --dtd D1.dtd --query Q3.xmas --doc a.xml --doc b.xml \
+//!                   --fail-rate 0.3 --fault-seed 7
 //! ```
 //!
 //! DTD files may use real `<!ELEMENT …>` syntax or the paper's compact
@@ -20,7 +22,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mixctl <infer|classify|validate|eval|structure|tightness> \
+        "usage: mixctl <infer|classify|validate|eval|structure|tightness|union|federate> \
          [--dtd FILE] [--query FILE] [--doc FILE] [--max-size N]\n\
          run `mixctl help` for details"
     );
@@ -31,10 +33,13 @@ struct Args {
     command: String,
     dtd: Option<String>,
     query: Option<String>,
-    doc: Option<String>,
+    docs: Vec<String>,
     parts: Vec<(String, String)>,
     name: String,
     max_size: usize,
+    fail_rate: f64,
+    fault_seed: u64,
+    retries: u32,
 }
 
 fn parse_args() -> Args {
@@ -44,19 +49,35 @@ fn parse_args() -> Args {
         command,
         dtd: None,
         query: None,
-        doc: None,
+        docs: Vec::new(),
         parts: Vec::new(),
         name: "view".to_owned(),
         max_size: 16,
+        fail_rate: 0.0,
+        fault_seed: 0,
+        retries: 2,
     };
     while let Some(flag) = argv.next() {
         let mut grab = || argv.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--dtd" => args.dtd = Some(grab()),
             "--query" => args.query = Some(grab()),
-            "--doc" => args.doc = Some(grab()),
+            "--doc" => args.docs.push(grab()),
             "--max-size" => {
                 args.max_size = grab().parse().unwrap_or_else(|_| usage());
+            }
+            "--fail-rate" => {
+                args.fail_rate = grab().parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&args.fail_rate) {
+                    eprintln!("mixctl: --fail-rate must be in [0, 1]");
+                    std::process::exit(2)
+                }
+            }
+            "--fault-seed" => {
+                args.fault_seed = grab().parse().unwrap_or_else(|_| usage());
+            }
+            "--retries" => {
+                args.retries = grab().parse().unwrap_or_else(|_| usage());
             }
             "--name" => args.name = grab(),
             "--part" => {
@@ -104,12 +125,20 @@ fn load_query(args: &Args) -> Query {
     })
 }
 
-fn load_doc(args: &Args) -> Document {
-    let path = args.doc.as_deref().unwrap_or_else(|| usage());
+fn load_doc_path(path: &str) -> Document {
     parse_document(&read(path)).unwrap_or_else(|e| {
         eprintln!("mixctl: {path}: {e}");
         std::process::exit(1)
     })
+}
+
+fn load_doc(args: &Args) -> Document {
+    load_doc_path(
+        args.docs
+            .first()
+            .map(String::as_str)
+            .unwrap_or_else(|| usage()),
+    )
 }
 
 fn main() -> ExitCode {
@@ -125,7 +154,10 @@ fn main() -> ExitCode {
                  \x20 eval       --dtd F --doc F --query F   run the query, print the view\n\
                  \x20 structure  --dtd F             the DTD-based query-interface summary\n\
                  \x20 tightness  --dtd F --query F [--max-size N]   exact tightness counts\n\
-                 \x20 union      [--name N] --part DTD:QUERY …      infer a union view DTD"
+                 \x20 union      [--name N] --part DTD:QUERY …      infer a union view DTD\n\
+                 \x20 federate   --dtd F --query F --doc F … [--fail-rate R] [--fault-seed S]\n\
+                 \x20            [--retries N]    union the docs as N sources under injected\n\
+                 \x20            faults; print the (partial) answer + degradation report"
             );
             ExitCode::SUCCESS
         }
@@ -254,11 +286,64 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "federate" => {
+            let dtd = load_dtd(&args);
+            let q = load_query(&args);
+            if args.docs.is_empty() {
+                usage();
+            }
+            let mut m = Mediator::new();
+            m.set_resilience_policy(ResiliencePolicy {
+                max_retries: args.retries,
+                ..ResiliencePolicy::default()
+            });
+            let mut parts = Vec::new();
+            let names: Vec<String> = (0..args.docs.len()).map(|i| format!("site{i}")).collect();
+            for (i, path) in args.docs.iter().enumerate() {
+                let doc = load_doc_path(path);
+                let source = XmlSource::new(dtd.clone(), doc).unwrap_or_else(|e| {
+                    eprintln!("mixctl: {path}: {e}");
+                    std::process::exit(1)
+                });
+                // one independent, seeded schedule per site
+                let injector = FaultInjector::seeded(
+                    std::sync::Arc::new(source),
+                    args.fault_seed.wrapping_add(i as u64),
+                    args.fail_rate,
+                );
+                m.add_source(&names[i], std::sync::Arc::new(injector));
+                parts.push((names[i].as_str(), q.clone()));
+            }
+            if let Err(e) = m.register_union_view(&args.name, &parts) {
+                eprintln!("mixctl: {e}");
+                return ExitCode::FAILURE;
+            }
+            match m.materialize_with_report(name(&args.name)) {
+                Ok((doc, report)) => {
+                    println!("{}", write_document(&doc, WriteConfig::default()));
+                    print!("{report}");
+                    if report.is_clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        // degraded but served: distinguishable from both
+                        // success and hard failure
+                        ExitCode::from(3)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("mixctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "tightness" => {
             let dtd = load_dtd(&args);
             let q = load_query(&args);
             let rows = tightness_counts(&q, &dtd, args.max_size);
-            println!("{:>5} {:>16} {:>16} {:>16}", "size", "naive", "tight", "s-DTD");
+            println!(
+                "{:>5} {:>16} {:>16} {:>16}",
+                "size", "naive", "tight", "s-DTD"
+            );
             for r in rows {
                 if r.naive + r.merged + r.specialized > 0 {
                     println!(

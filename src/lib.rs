@@ -42,25 +42,25 @@ pub use mix_xml as xml;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use mix_dataguide::DataGuide;
     pub use mix_dtd::{
         count_documents_by_size, count_sdocuments_by_size, parse_compact, parse_compact_sdtd,
-        parse_xml_dtd, sdtd_satisfies, tighter_than, validate_document, ContentModel, Dtd,
-        SDtd,
+        parse_xml_dtd, sdtd_satisfies, tighter_than, validate_document, ContentModel, Dtd, SDtd,
+    };
+    pub use mix_infer::metrics::{
+        non_tight_witnesses, realization_coverage, soundness_check, tightness_counts,
     };
     pub use mix_infer::{
         classify_query, infer_view_dtd, merge, naive_view_dtd, refine, tighten, InferredView,
         NaiveMode, Verdict,
     };
-    pub use mix_infer::metrics::{
-        non_tight_witnesses, realization_coverage, soundness_check, tightness_counts,
-    };
     pub use mix_mediator::{
-        compose, render_structure, Answer, AnswerPath, Mediator, MediatorError,
-        ProcessorConfig, UnionView, ViewWrapper, Wrapper, XmlSource,
+        compose, render_structure, Answer, AnswerPath, BreakerState, DegradationReport, Fault,
+        FaultInjector, FaultPlan, FetchStatus, Mediator, MediatorError, ProcessorConfig,
+        ResiliencePolicy, SourceError, SourceOutcome, UnionView, ViewWrapper, Wrapper, XmlSource,
     };
-    pub use mix_dataguide::DataGuide;
-    pub use mix_relang::{equivalent, is_subset, parse_regex, simplify, Regex};
     pub use mix_relang::symbol::{name, sym, Name, Sym};
+    pub use mix_relang::{equivalent, is_subset, parse_regex, simplify, Regex};
     pub use mix_xmas::{evaluate, normalize, parse_query, Query};
     pub use mix_xml::{parse_document, write_document, Document, Element, WriteConfig};
 }

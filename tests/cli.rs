@@ -53,7 +53,10 @@ fn infer_prints_view_dtds() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("verdict: Satisfiable"), "{text}");
-    assert!(text.contains("publication^1 : title, author+, journal"), "{text}");
+    assert!(
+        text.contains("publication^1 : title, author+, journal"),
+        "{text}"
+    );
     assert!(text.contains("non-tightness introduced by merging on: publication"));
 }
 
@@ -160,16 +163,23 @@ fn bad_usage_exits_nonzero() {
     assert!(mixctl(&["help"]).status.success());
 }
 
-
 #[test]
 fn union_subcommand() {
     let dtd = fixture("du.dtd", D1);
-    let q = fixture("qu.xmas",
+    let q = fixture(
+        "qu.xmas",
         "publist = SELECT P WHERE <department> <name>CS</name> \
-           <professor | gradStudent> P:<publication><journal/></publication> </> </>");
+           <professor | gradStudent> P:<publication><journal/></publication> </> </>",
+    );
     let part = format!("{}:{}", dtd.to_str().unwrap(), q.to_str().unwrap());
-    let out = mixctl(&["union", "--name", "allPubs", "--part", &part, "--part", &part]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = mixctl(&[
+        "union", "--name", "allPubs", "--part", &part, "--part", &part,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("allPubs"), "{text}");
     assert!(text.contains("publication"), "{text}");

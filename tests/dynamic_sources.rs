@@ -41,15 +41,13 @@ fn schema_evolution_reinfers_affected_views() {
         Arc::new(XmlSource::new(d1_department(), dept_doc()).unwrap()),
     );
     // view 1: gradStudent publications — its DTD depends on the evolved part
-    let v1 = parse_query(
-        "gsPubs = SELECT X WHERE <department> <gradStudent> X:<publication/> </> </>",
-    )
-    .unwrap();
+    let v1 =
+        parse_query("gsPubs = SELECT X WHERE <department> <gradStudent> X:<publication/> </> </>")
+            .unwrap();
     // view 2: professor first names — unaffected by the evolution
-    let v2 = parse_query(
-        "profNames = SELECT F WHERE <department> <professor> F:<firstName/> </> </>",
-    )
-    .unwrap();
+    let v2 =
+        parse_query("profNames = SELECT F WHERE <department> <professor> F:<firstName/> </> </>")
+            .unwrap();
     m.register_view("cs", &v1).unwrap();
     m.register_view("cs", &v2).unwrap();
 
@@ -67,7 +65,11 @@ fn schema_evolution_reinfers_affected_views() {
             Arc::new(XmlSource::new(d1_evolved(), dept_doc()).unwrap()),
         )
         .unwrap();
-    assert_eq!(changed, vec![name("gsPubs")], "only the affected view changes");
+    assert_eq!(
+        changed,
+        vec![name("gsPubs")],
+        "only the affected view changes"
+    );
 
     let after = m.view(name("gsPubs")).unwrap().inferred.dtd.clone();
     assert!(equivalent(
@@ -93,13 +95,17 @@ fn union_views_reinfer_on_part_evolution() {
         "b",
         Arc::new(XmlSource::new(d1_department(), dept_doc()).unwrap()),
     );
-    let q = parse_query(
-        "pubs = SELECT X WHERE <department> <gradStudent> X:<publication/> </> </>",
-    )
-    .unwrap();
+    let q =
+        parse_query("pubs = SELECT X WHERE <department> <gradStudent> X:<publication/> </> </>")
+            .unwrap();
     m.register_union_view("allGsPubs", &[("a", q.clone()), ("b", q)])
         .unwrap();
-    let before = m.union_view(name("allGsPubs")).unwrap().inferred.dtd.clone();
+    let before = m
+        .union_view(name("allGsPubs"))
+        .unwrap()
+        .inferred
+        .dtd
+        .clone();
     assert!(equivalent(
         before.get(name("allGsPubs")).unwrap().regex().unwrap(),
         &parse_regex("publication+, publication+").unwrap()
@@ -111,7 +117,12 @@ fn union_views_reinfer_on_part_evolution() {
         )
         .unwrap();
     assert_eq!(changed, vec![name("allGsPubs")]);
-    let after = m.union_view(name("allGsPubs")).unwrap().inferred.dtd.clone();
+    let after = m
+        .union_view(name("allGsPubs"))
+        .unwrap()
+        .inferred
+        .dtd
+        .clone();
     assert!(equivalent(
         after.get(name("allGsPubs")).unwrap().regex().unwrap(),
         &parse_regex("publication+, publication*").unwrap()
@@ -135,10 +146,9 @@ fn unchanged_swap_reports_nothing() {
         "cs",
         Arc::new(XmlSource::new(d1_department(), dept_doc()).unwrap()),
     );
-    let v = parse_query(
-        "profNames = SELECT F WHERE <department> <professor> F:<firstName/> </> </>",
-    )
-    .unwrap();
+    let v =
+        parse_query("profNames = SELECT F WHERE <department> <professor> F:<firstName/> </> </>")
+            .unwrap();
     m.register_view("cs", &v).unwrap();
     // same schema, different document: the DTD is unchanged
     let changed = m

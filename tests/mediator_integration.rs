@@ -156,8 +156,7 @@ fn three_level_stack() {
         Arc::new(ViewWrapper::new(m2, mix::relang::name("pubs")).unwrap()),
     );
     let v3 =
-        parse_query("titles = SELECT T WHERE <pubs> <publication> T:<title/> </> </pubs>")
-            .unwrap();
+        parse_query("titles = SELECT T WHERE <pubs> <publication> T:<title/> </> </pubs>").unwrap();
     let reg = m3.register_view("pubs", &v3).unwrap();
     // the DTD inferred across three levels still knows titles are PCDATA
     // under a list root

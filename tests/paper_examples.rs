@@ -1,7 +1,7 @@
 //! The paper's worked examples as cross-crate integration tests, through
 //! the public facade API only (experiments E1–E11 of DESIGN.md §4).
 
-use mix::dtd::paper::{d1_department, d11_department, d9_professor};
+use mix::dtd::paper::{d11_department, d1_department, d9_professor};
 use mix::infer::metrics::non_tight_witnesses;
 use mix::infer::refine::refine1;
 use mix::prelude::*;
@@ -65,7 +65,11 @@ fn example_3_1() {
           <teaches : EMPTY> <journal : EMPTY> <conference : EMPTY>}",
     )
     .unwrap();
-    assert!(mix::dtd::same_documents(&iv.dtd, &d2), "inferred:\n{}", iv.dtd);
+    assert!(
+        mix::dtd::same_documents(&iv.dtd, &d2),
+        "inferred:\n{}",
+        iv.dtd
+    );
 }
 
 /// E2b — the paper-literal naive root `(…)+` is unsound: a source with no
@@ -108,7 +112,11 @@ fn example_3_2() {
           <title : PCDATA> <author : PCDATA> <journal : EMPTY>}",
     )
     .unwrap();
-    assert!(mix::dtd::same_documents(&iv.dtd, &d3), "inferred:\n{}", iv.dtd);
+    assert!(
+        mix::dtd::same_documents(&iv.dtd, &d3),
+        "inferred:\n{}",
+        iv.dtd
+    );
 }
 
 /// E4 — Section 3.2: D2 admits structures the view can never produce.

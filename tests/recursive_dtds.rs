@@ -21,7 +21,10 @@ fn fixed_depth_queries_on_recursive_dtds_infer() {
     let iv = infer_view_dtd(&q, &d).unwrap();
     assert_eq!(iv.verdict, Verdict::Valid); // every section has a prolog
     let root = iv.dtd.get(name("prologs")).unwrap().regex().unwrap();
-    assert!(equivalent(root, &parse_regex("prolog").unwrap()), "got {root}");
+    assert!(
+        equivalent(root, &parse_regex("prolog").unwrap()),
+        "got {root}"
+    );
 }
 
 #[test]
@@ -36,7 +39,10 @@ fn second_level_picks_on_recursive_dtds() {
     let iv = infer_view_dtd(&q, &d).unwrap();
     assert_eq!(iv.verdict, Verdict::Satisfiable); // a section may have no subsections
     let root = iv.dtd.get(name("subPrologs")).unwrap().regex().unwrap();
-    assert!(equivalent(root, &parse_regex("prolog*").unwrap()), "got {root}");
+    assert!(
+        equivalent(root, &parse_regex("prolog*").unwrap()),
+        "got {root}"
+    );
 }
 
 #[test]
@@ -53,16 +59,18 @@ fn recursive_pick_type_pulls_the_recursive_definition() {
     assert!(iv.dtd.undefined_names().is_empty());
     // the refined pick type still requires prolog … conclusion
     let s = iv.dtd.get(name("section")).unwrap().regex().unwrap();
-    assert!(is_subset(s, &parse_regex("prolog, section*, conclusion").unwrap()));
+    assert!(is_subset(
+        s,
+        &parse_regex("prolog, section*, conclusion").unwrap()
+    ));
 }
 
 #[test]
 fn soundness_holds_on_recursive_sources() {
     let d = section_recursive();
-    let q = parse_query(
-        "subs = SELECT S WHERE <section> S:<section> <prolog/> </section> </section>",
-    )
-    .unwrap();
+    let q =
+        parse_query("subs = SELECT S WHERE <section> S:<section> <prolog/> </section> </section>")
+            .unwrap();
     let iv = infer_view_dtd(&q, &d).unwrap();
     let cfg = DocConfig {
         max_nodes: 80,
@@ -80,16 +88,16 @@ fn soundness_holds_on_recursive_sources() {
         assert!(validator.validate_document(&view).is_ok());
         assert!(acceptor.document_satisfies(&view));
     }
-    assert!(nonempty > 0, "the experiment never exercised a non-empty view");
+    assert!(
+        nonempty > 0,
+        "the experiment never exercised a non-empty view"
+    );
 }
 
 #[test]
 fn counting_on_recursive_view_dtds_terminates() {
     let d = section_recursive();
-    let q = parse_query(
-        "subs = SELECT S WHERE <section> S:<section/> </section>",
-    )
-    .unwrap();
+    let q = parse_query("subs = SELECT S WHERE <section> S:<section/> </section>").unwrap();
     let rows = mix::infer::metrics::tightness_counts(&q, &d, 12);
     // sections of every size exist, and the ladder holds
     assert!(rows.iter().any(|r| r.specialized > 0));

@@ -1,12 +1,15 @@
 //! Robustness properties: no parser in the workspace may panic on
-//! arbitrary input, and the exact counters must agree with brute force
-//! (enumerate + accept) on random s-DTDs.
+//! arbitrary input, the exact counters must agree with brute force
+//! (enumerate + accept) on random s-DTDs, and the fault-tolerant source
+//! layer must be deterministic, panic-free, and lossless for surviving
+//! union members.
 
 use mix::dtd::enumerate::enumerate_documents;
 use mix::dtd::generate::{seeded_dtd, DtdGenConfig};
 use mix::dtd::sdtd::SAcceptor;
 use mix::prelude::*;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -61,6 +64,138 @@ proptest! {
         let _ = parse_compact(&input);
         let _ = parse_compact_sdtd(&input);
         let _ = parse_xml_dtd(&input);
+    }
+
+    /// A seeded fault schedule replays identically: two injectors built
+    /// from the same (seed, rate) over the same source produce the same
+    /// outcome sequence, call for call.
+    #[test]
+    fn fault_schedule_replays_identically(seed in 0u64..100_000, pct in 0u64..=100) {
+        let rate = pct as f64 / 100.0;
+        let make = || {
+            let dtd = parse_compact("{<r : a*> <a : PCDATA>}").unwrap();
+            let doc = parse_document("<r><a>1</a></r>").unwrap();
+            FaultInjector::seeded(
+                Arc::new(XmlSource::new(dtd, doc).unwrap()),
+                seed,
+                rate,
+            )
+        };
+        let (a, b) = (make(), make());
+        for call in 0..64u64 {
+            let (ra, rb) = (a.fetch(), b.fetch());
+            let sig = |r: &Result<Document, SourceError>| match r {
+                Ok(d) => format!("ok:{}", d.root.children().len()),
+                Err(e) => format!("err:{}", e.kind()),
+            };
+            prop_assert_eq!(sig(&ra), sig(&rb), "diverged at call {}", call);
+        }
+    }
+
+    /// The mediator never panics while materializing a union view over
+    /// generated DTD/document pairs under an arbitrary seeded fault
+    /// schedule — every outcome is an `Ok` partial answer or a clean
+    /// error.
+    #[test]
+    fn mediator_never_panics_under_faults(
+        dtd_seed in 0u64..500,
+        fault_seed in 0u64..100_000,
+        pct in 0u64..=100,
+    ) {
+        use mix::xmas::gen::{random_query, QueryGenConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let dtd = seeded_dtd(
+            dtd_seed,
+            &DtdGenConfig { names: 5, regex_depth: 2, ..DtdGenConfig::default() },
+        );
+        let docs = mix::dtd::sample::sample_documents(&dtd, 3, dtd_seed, Default::default());
+        let mut rng = StdRng::seed_from_u64(dtd_seed);
+        let q = random_query(&dtd, &mut rng, &QueryGenConfig::default());
+        let mut m = Mediator::new();
+        let names = ["s0", "s1", "s2"];
+        for (i, doc) in docs.into_iter().enumerate() {
+            let src = Arc::new(XmlSource::new(dtd.clone(), doc).unwrap());
+            let inj = FaultInjector::seeded(
+                src,
+                fault_seed.wrapping_add(i as u64),
+                pct as f64 / 100.0,
+            );
+            m.add_source(names[i], Arc::new(inj));
+        }
+        let parts: Vec<(&str, Query)> =
+            names.iter().map(|s| (*s, q.clone())).collect();
+        if m.register_union_view("u", &parts).is_ok() {
+            // two rounds: the second exercises breakers tripped and
+            // snapshots captured by the first
+            for _ in 0..2 {
+                match m.materialize_with_report(name("u")) {
+                    Ok((_, report)) => prop_assert_eq!(report.outcomes.len(), 3),
+                    Err(MediatorError::AllSourcesFailed(_)) => {}
+                    Err(e) => prop_assert!(false, "unexpected error class: {}", e),
+                }
+            }
+        }
+    }
+
+    /// With k < N sources hard-down, the union answer still contains
+    /// *every* member the surviving sources contribute, in registration
+    /// order — degradation loses exactly the failed members, nothing
+    /// else.
+    #[test]
+    fn union_survivors_are_lossless(mask in 0u32..32) {
+        const N: usize = 5;
+        let dtd = parse_compact("{<r : a*> <a : PCDATA>}").unwrap();
+        let q = parse_query("u = SELECT X WHERE <r> X:<a/> </r>").unwrap();
+        let mut m = Mediator::new();
+        let names: Vec<String> = (0..N).map(|i| format!("site{i}")).collect();
+        for (i, n) in names.iter().enumerate() {
+            let doc = parse_document(&format!(
+                "<r><a>m{i}.0</a><a>m{i}.1</a></r>"
+            ))
+            .unwrap();
+            let src: Arc<dyn Wrapper> =
+                Arc::new(XmlSource::new(dtd.clone(), doc).unwrap());
+            // masked sites are hard-down: every call is an outage
+            let plan = if mask & (1 << i) != 0 {
+                FaultPlan::Script(vec![Some(Fault::Unavailable); 64])
+            } else {
+                FaultPlan::None
+            };
+            m.add_source(n, Arc::new(FaultInjector::new(src, plan)));
+        }
+        let parts: Vec<(&str, Query)> =
+            names.iter().map(|n| (n.as_str(), q.clone())).collect();
+        m.register_union_view("u", &parts).unwrap();
+        let expected: Vec<String> = (0..N)
+            .filter(|i| mask & (1 << i) == 0)
+            .flat_map(|i| vec![format!("m{i}.0"), format!("m{i}.1")])
+            .collect();
+        match m.materialize_with_report(name("u")) {
+            Ok((doc, report)) => {
+                let got: Vec<String> = doc
+                    .root
+                    .children()
+                    .iter()
+                    .map(|c| c.pcdata().unwrap_or("").to_owned())
+                    .collect();
+                prop_assert_eq!(got, expected);
+                let failed: Vec<String> = (0..N)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| format!("site{i}"))
+                    .collect();
+                let reported: Vec<String> = report
+                    .failed_sources()
+                    .iter()
+                    .map(|s| (*s).to_owned())
+                    .collect();
+                prop_assert_eq!(reported, failed);
+            }
+            Err(MediatorError::AllSourcesFailed(_)) => {
+                prop_assert_eq!(mask, 31, "only the all-down mask may hard-fail");
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {}", e),
+        }
     }
 }
 
@@ -178,10 +313,7 @@ fn all_trees(
         ];
     }
     // sequences of subtrees totalling size-1 nodes
-    fn seqs(
-        alphabet: &[mix::relang::Name],
-        budget: usize,
-    ) -> Vec<Vec<mix::xml::Element>> {
+    fn seqs(alphabet: &[mix::relang::Name], budget: usize) -> Vec<Vec<mix::xml::Element>> {
         if budget == 0 {
             return vec![vec![]];
         }

@@ -15,9 +15,7 @@ fn dept(prefix: &str, kinds: &[&str]) -> Document {
         .iter()
         .enumerate()
         .map(|(i, k)| {
-            format!(
-                "<publication><title>{prefix}{i}</title><author>a</author><{k}/></publication>"
-            )
+            format!("<publication><title>{prefix}{i}</title><author>a</author><{k}/></publication>")
         })
         .collect();
     parse_document(&format!(
@@ -49,10 +47,25 @@ fn union_view_end_to_end() {
         )
         .unwrap();
     // inferred DTD: journal-only publications, any number
-    let root = reg.inferred.dtd.get(name("allPubs")).unwrap().regex().unwrap();
+    let root = reg
+        .inferred
+        .dtd
+        .get(name("allPubs"))
+        .unwrap()
+        .regex()
+        .unwrap();
     assert!(equivalent(root, &parse_regex("publication*").unwrap()));
-    let publ = reg.inferred.dtd.get(name("publication")).unwrap().regex().unwrap();
-    assert!(equivalent(publ, &parse_regex("title, author+, journal").unwrap()));
+    let publ = reg
+        .inferred
+        .dtd
+        .get(name("publication"))
+        .unwrap()
+        .regex()
+        .unwrap();
+    assert!(equivalent(
+        publ,
+        &parse_regex("title, author+, journal").unwrap()
+    ));
 
     // materialization concatenates in source order and satisfies the DTDs
     let sdtd = reg.inferred.sdtd.clone();
@@ -69,8 +82,7 @@ fn union_view_end_to_end() {
     assert!(SAcceptor::new(&sdtd).document_satisfies(&doc));
 
     // querying through the union view works, including simplifier pruning
-    let q = parse_query("ans = SELECT T WHERE <allPubs> <publication> T:<title/> </> </>")
-        .unwrap();
+    let q = parse_query("ans = SELECT T WHERE <allPubs> <publication> T:<title/> </> </>").unwrap();
     let a = m.query(&q).unwrap();
     assert_eq!(a.document.root.children().len(), 4);
     let impossible =
@@ -147,8 +159,8 @@ fn union_views_stack() {
         "pubs",
         Arc::new(ViewWrapper::new(lower, name("allPubs")).unwrap()),
     );
-    let v = parse_query("titles = SELECT T WHERE <allPubs> <publication> T:<title/> </> </>")
-        .unwrap();
+    let v =
+        parse_query("titles = SELECT T WHERE <allPubs> <publication> T:<title/> </> </>").unwrap();
     let reg = upper.register_view("pubs", &v).unwrap();
     assert_eq!(
         reg.inferred.dtd.get(name("titles")).unwrap().to_string(),
@@ -184,7 +196,6 @@ fn union_errors() {
     ));
 }
 
-
 /// Union views are sound on random workloads: every materialization
 /// satisfies both inferred union DTDs, across random per-site schemas,
 /// queries, and documents.
@@ -211,10 +222,8 @@ fn union_views_are_sound_on_random_workloads() {
             m.add_source(&label, Arc::new(XmlSource::new(dtd, doc).unwrap()));
             parts.push((label, q));
         }
-        let part_refs: Vec<(&str, Query)> = parts
-            .iter()
-            .map(|(s, q)| (s.as_str(), q.clone()))
-            .collect();
+        let part_refs: Vec<(&str, Query)> =
+            parts.iter().map(|(s, q)| (s.as_str(), q.clone())).collect();
         let reg = match m.register_union_view("u", &part_refs) {
             Ok(r) => r,
             Err(e) => panic!("seed {seed}: registration failed: {e}"),

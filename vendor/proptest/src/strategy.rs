@@ -1,0 +1,412 @@
+//! Strategies: deterministic value generators, plus the combinators the
+//! workspace's suites use.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// The generator driving every strategy. Seeded from the test name so a
+/// failing case reproduces on every run without a persistence file.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The generator for the named test.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the test name: stable across runs and platforms
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// A uniform index in `range`.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        if range.is_empty() {
+            return range.start;
+        }
+        self.0.gen_range(range)
+    }
+
+    /// A uniform `u64` below `bound`.
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        self.0.gen_range(0..bound.max(1))
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds recursive values: `recurse` receives a strategy for the
+    /// smaller structure and returns the strategy for the larger one;
+    /// recursion bottoms out at `self` after `depth` levels. The
+    /// `_desired_size`/`_expected_branch_size` knobs of upstream proptest
+    /// are accepted but unused (depth alone bounds our generation).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let recurse = Arc::new(recurse);
+        Recursive {
+            base: self.boxed(),
+            levels: depth,
+            recurse: Arc::new(move |inner: BoxedStrategy<Self::Value>| recurse(inner).boxed()),
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe view used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    levels: u32,
+    recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+struct RecursiveAt<T> {
+    base: BoxedStrategy<T>,
+    recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    level: u32,
+}
+
+impl<T: 'static> Strategy for RecursiveAt<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        if self.level == 0 {
+            return self.base.generate(rng);
+        }
+        let smaller = RecursiveAt {
+            base: self.base.clone(),
+            recurse: Arc::clone(&self.recurse),
+            level: self.level - 1,
+        }
+        .boxed();
+        (self.recurse)(smaller).generate(rng)
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // vary the depth per case so small and large structures both appear
+        let level = rng.usize_in(0..(self.levels as usize + 1)) as u32;
+        RecursiveAt {
+            base: self.base.clone(),
+            recurse: Arc::clone(&self.recurse),
+            level,
+        }
+        .generate(rng)
+    }
+}
+
+/// The result of `prop::sample::select`.
+#[derive(Clone)]
+pub struct Select<T: Clone> {
+    pub(crate) options: Vec<T>,
+}
+
+/// The result of `prop::collection::vec`.
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: Range<usize>,
+}
+
+/// The result of [`prop_oneof!`]: a weighted choice among strategies.
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a choice over weighted, boxed arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w).sum::<u32>();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.u64_below(u64::from(self.total)) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights covered")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.u64_below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (self.end() - self.start()) as u64 + 1;
+                self.start() + rng.u64_below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+    fn generate(&self, rng: &mut TestRng) -> i32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (i64::from(self.end) - i64::from(self.start)) as u64;
+        (i64::from(self.start) + rng.u64_below(span) as i64) as i32
+    }
+}
+
+/// Pattern-string strategies: `"\\PC{lo,hi}"`-style inputs generate a
+/// string of `lo..=hi` characters drawn from the class. Supported classes
+/// (the ones the workspace's suites use):
+///
+/// * `\PC` — any char that is *not* a control character, weighted toward
+///   ASCII with some multibyte/π-adjacent unicode mixed in;
+/// * `.`  — same class.
+///
+/// Unsupported patterns panic loudly rather than silently generating the
+/// wrong distribution.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_char_class_pattern(self).unwrap_or_else(|| {
+            panic!(
+                "the offline proptest stand-in supports only \\PC{{lo,hi}} / .{{lo,hi}} \
+                 pattern strategies, got {self:?} (see vendor/README.md)"
+            )
+        });
+        let n = lo + rng.u64_below((hi - lo + 1) as u64) as usize;
+        (0..n).map(|_| non_control_char(rng)).collect()
+    }
+}
+
+/// Parses `\PC{lo,hi}` or `.{lo,hi}`, returning the length bounds.
+fn parse_char_class_pattern(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern
+        .strip_prefix("\\PC")
+        .or_else(|| pattern.strip_prefix('.'))?;
+    let rest = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// A non-control character: mostly printable ASCII (the interesting cases
+/// for parsers of XML-ish text), with markup metacharacters over-weighted
+/// and a sprinkle of multibyte unicode.
+fn non_control_char(rng: &mut TestRng) -> char {
+    const MARKUP: &[char] = &[
+        '<', '>', '/', '&', ';', '"', '\'', '=', ' ', '!', '?', '-', ':', ',', '{', '}', '(', ')',
+        '|', '*', '+', '^',
+    ];
+    const UNICODE: &[char] = &['é', 'π', '漢', '🦀', 'Ω', '\u{00A0}', '𝔛'];
+    match rng.u64_below(10) {
+        0..=3 => MARKUP[rng.usize_in(0..MARKUP.len())],
+        4..=7 => {
+            // letters and digits
+            let pool = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+            pool[rng.usize_in(0..pool.len())] as char
+        }
+        8 => UNICODE[rng.usize_in(0..UNICODE.len())],
+        _ => {
+            // any printable ASCII
+            (0x20u8 + rng.u64_below(0x5F) as u8) as char
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("vendor_proptest_unit")
+    }
+
+    #[test]
+    fn ranges_and_just() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = (3u64..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+        }
+        assert_eq!(Just(7).generate(&mut r), 7);
+    }
+
+    #[test]
+    fn map_select_vec_oneof() {
+        let mut r = rng();
+        let s = crate::prop::sample::select(vec![1, 2, 3]).prop_map(|x| x * 10);
+        for _ in 0..50 {
+            assert!([10, 20, 30].contains(&s.generate(&mut r)));
+        }
+        let v = crate::prop::collection::vec(0u32..5, 2..4);
+        for _ in 0..50 {
+            let xs = v.generate(&mut r);
+            assert!(xs.len() == 2 || xs.len() == 3);
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+        let one = crate::prop_oneof![3 => Just("a"), 1 => Just("b")];
+        let mut saw_b = false;
+        for _ in 0..200 {
+            let x = one.generate(&mut r);
+            assert!(x == "a" || x == "b");
+            saw_b |= x == "b";
+        }
+        assert!(saw_b);
+    }
+
+    #[test]
+    fn recursion_bottoms_out() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(v) => 1 + v.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = Just(Tree::Leaf).prop_recursive(4, 24, 3, |inner| {
+            crate::prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut r = rng();
+        let mut max_seen = 0;
+        for _ in 0..200 {
+            let t = s.generate(&mut r);
+            let d = depth(&t);
+            assert!(d <= 4, "depth {d} exceeds bound");
+            max_seen = max_seen.max(d);
+        }
+        assert!(max_seen >= 2, "recursion never recursed (max {max_seen})");
+    }
+
+    #[test]
+    fn pattern_strings() {
+        let mut r = rng();
+        let s: &'static str = "\\PC{0,60}";
+        for _ in 0..100 {
+            let out = s.generate(&mut r);
+            assert!(out.chars().count() <= 60);
+            assert!(out.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        for _ in 0..50 {
+            assert_eq!(a.u64_below(1000), b.u64_below(1000));
+        }
+    }
+}
