@@ -1,0 +1,314 @@
+//! The inference cache of the serving layer: memoized [`infer_view_dtd`]
+//! keyed on a **stable fingerprint** of (normalized query, source DTD).
+//!
+//! A mediator serves many clients over few sources, so the same
+//! (query, DTD) pairs recur constantly; the full pipeline (normalize →
+//! tighten → infer-list → collapse → merge) is pure in its inputs, which
+//! makes its results safely shareable. The fingerprint is built from
+//! [`Name::stable_hash`]/[`Sym::stable_hash`] — process-independent
+//! content hashes precomputed at intern time — so computing a key costs a
+//! structural walk with one table lookup per name, no string re-hashing.
+//!
+//! **Key design.** `Fingerprint = (query_fp, dtd_fp)` where
+//!
+//! * `query_fp` hashes the *normalized* query (its canonical `Display`
+//!   form, which round-trips through the parser): two surface queries
+//!   that normalize identically against the same source share one entry;
+//! * `dtd_fp` hashes the source DTD structurally — doc type plus every
+//!   (name, content model) entry in definition order.
+//!
+//! **Invalidation rule.** When a source's DTD changes (the mediator's
+//! `replace_source`), every entry whose `dtd_fp` matches the *old* DTD is
+//! dropped via [`InferenceCache::invalidate_dtd`]. Entries keyed by other
+//! DTDs are untouched: a fingerprint match is the only coupling between a
+//! cache entry and a source.
+//!
+//! Hit/miss/invalidation counters surface through
+//! [`crate::metrics::serving_metrics`] next to the automata-layer
+//! [`mix_relang::memo_stats`].
+
+use crate::pipeline::{infer_view_dtd, InferredView};
+use mix_dtd::{ContentModel, Dtd};
+use mix_relang::ast::Regex;
+use mix_xmas::{normalize, NormalizeError, Query};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-independent cache key for one (normalized query, source DTD)
+/// inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    /// Stable hash of the normalized query.
+    pub query: u64,
+    /// Stable hash of the source DTD.
+    pub dtd: u64,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    // SplitMix64 finalizer over a running combine: order-sensitive, cheap,
+    // and stable across processes (no RandomState involved).
+    let mut z = h.wrapping_add(v).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn regex_fp(h: u64, r: &Regex) -> u64 {
+    match r {
+        Regex::Empty => mix(h, 1),
+        Regex::Epsilon => mix(h, 2),
+        Regex::Sym(s) => mix(mix(h, 3), s.stable_hash()),
+        Regex::Concat(v) => v.iter().fold(mix(h, 4), regex_fp),
+        Regex::Alt(v) => v.iter().fold(mix(h, 5), regex_fp),
+        Regex::Star(x) => regex_fp(mix(h, 6), x),
+        Regex::Plus(x) => regex_fp(mix(h, 7), x),
+        Regex::Opt(x) => regex_fp(mix(h, 8), x),
+    }
+}
+
+/// Stable structural fingerprint of a source DTD: doc type plus every
+/// (name, content model) entry in definition order. Equal DTDs (same
+/// definitions in the same order) fingerprint equal in every process.
+pub fn fingerprint_dtd(dtd: &Dtd) -> u64 {
+    let mut h = mix(0x6d69_785f_6474_6421, dtd.doc_type.stable_hash());
+    for (n, m) in dtd.types.iter() {
+        h = mix(h, n.stable_hash());
+        h = match m {
+            ContentModel::Pcdata => mix(h, 0xbeef),
+            ContentModel::Elements(r) => regex_fp(mix(h, 0xcafe), r),
+        };
+    }
+    h
+}
+
+/// Stable fingerprint of an (already normalized) query via its canonical
+/// `Display` form, which round-trips through the parser.
+pub fn fingerprint_query(q: &Query) -> u64 {
+    fnv1a(q.to_string().as_bytes())
+}
+
+/// Counters of one [`InferenceCache`] (experiment X15's observability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Inferences served from the cache.
+    pub hits: u64,
+    /// Inferences that ran the full pipeline.
+    pub misses: u64,
+    /// Entries dropped by [`InferenceCache::invalidate_dtd`].
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A concurrency-safe memo table for [`infer_view_dtd`], shared by every
+/// thread of the mediator's serving layer (`answer_many`).
+#[derive(Default)]
+pub struct InferenceCache {
+    map: RwLock<HashMap<Fingerprint, Arc<InferredView>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl InferenceCache {
+    /// An empty cache.
+    pub fn new() -> InferenceCache {
+        InferenceCache::default()
+    }
+
+    /// The fingerprint under which `(q, source)` is cached. Normalization
+    /// errors surface exactly as from [`infer_view_dtd`].
+    pub fn fingerprint(q: &Query, source: &Dtd) -> Result<Fingerprint, NormalizeError> {
+        let nq = normalize(q, source)?;
+        Ok(Fingerprint {
+            query: fingerprint_query(&nq),
+            dtd: fingerprint_dtd(source),
+        })
+    }
+
+    /// Memoized [`infer_view_dtd`]: returns the shared result on a hit,
+    /// runs the pipeline and populates the table on a miss.
+    pub fn infer(&self, q: &Query, source: &Dtd) -> Result<Arc<InferredView>, NormalizeError> {
+        let fp = InferenceCache::fingerprint(q, source)?;
+        if let Some(iv) = self.map.read().get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(iv));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let iv = Arc::new(infer_view_dtd(q, source)?);
+        // under contention the pipeline may have raced: keep the first
+        // insert so concurrent callers converge on one shared value
+        let mut map = self.map.write();
+        Ok(Arc::clone(map.entry(fp).or_insert(iv)))
+    }
+
+    /// Drops every entry inferred against `source` (matched by DTD
+    /// fingerprint) and returns how many were dropped. This is the
+    /// invalidation hook for the mediator's `replace_source`: call it
+    /// with the *old* DTD before (or after) swapping the source in.
+    pub fn invalidate_dtd(&self, source: &Dtd) -> usize {
+        let fp = fingerprint_dtd(source);
+        let mut map = self.map.write();
+        let before = map.len();
+        map.retain(|k, _| k.dtd != fp);
+        let dropped = before - map.len();
+        self.invalidations
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Drops everything (counters are kept).
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for InferenceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_dtd::paper::d1_department;
+    use mix_dtd::parse_compact;
+    use mix_xmas::parse_query;
+
+    fn q3() -> Query {
+        parse_query(
+            "publist = SELECT P WHERE <department> <name>CS</name> \
+               <professor | gradStudent> P:<publication><journal/></publication> </> </>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hit_returns_the_shared_result() {
+        let cache = InferenceCache::new();
+        let d = d1_department();
+        let a = cache.infer(&q3(), &d).unwrap();
+        let b = cache.infer(&q3(), &d).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second call must be a cache hit");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn cached_equals_uncached() {
+        let cache = InferenceCache::new();
+        let d = d1_department();
+        let direct = infer_view_dtd(&q3(), &d).unwrap();
+        let cached = cache.infer(&q3(), &d).unwrap();
+        assert_eq!(direct.verdict, cached.verdict);
+        assert_eq!(direct.dtd.to_string(), cached.dtd.to_string());
+        assert_eq!(direct.sdtd.to_string(), cached.sdtd.to_string());
+        assert_eq!(direct.merged_names, cached.merged_names);
+    }
+
+    #[test]
+    fn different_dtds_do_not_collide() {
+        let cache = InferenceCache::new();
+        let d_a = parse_compact(
+            "{<department : name, professor*> <name : PCDATA> \
+              <professor : publication*> <publication : journal?> <journal : EMPTY>}",
+        )
+        .unwrap();
+        let d_b = d1_department();
+        let a = cache.infer(&q3(), &d_a).unwrap();
+        let b = cache.infer(&q3(), &d_b).unwrap();
+        assert_ne!(a.dtd.to_string(), b.dtd.to_string());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn invalidation_is_per_dtd() {
+        let cache = InferenceCache::new();
+        let d_a = parse_compact(
+            "{<department : name, professor*> <name : PCDATA> \
+              <professor : publication*> <publication : journal?> <journal : EMPTY>}",
+        )
+        .unwrap();
+        let d_b = d1_department();
+        cache.infer(&q3(), &d_a).unwrap();
+        cache.infer(&q3(), &d_b).unwrap();
+        assert_eq!(cache.invalidate_dtd(&d_a), 1);
+        assert_eq!(cache.stats().entries, 1);
+        // d_b's entry survived: next call is still a hit
+        let h = cache.stats().hits;
+        cache.infer(&q3(), &d_b).unwrap();
+        assert_eq!(cache.stats().hits, h + 1);
+        // and d_a's was dropped: next call is a miss
+        let m = cache.stats().misses;
+        cache.infer(&q3(), &d_a).unwrap();
+        assert_eq!(cache.stats().misses, m + 1);
+    }
+
+    #[test]
+    fn fingerprints_are_content_hashes() {
+        // the same DTD parsed twice fingerprints identically even though
+        // the two values are distinct allocations
+        let src = "{<site : item*> <item : PCDATA>}";
+        let a = parse_compact(src).unwrap();
+        let b = parse_compact(src).unwrap();
+        assert_eq!(fingerprint_dtd(&a), fingerprint_dtd(&b));
+        // reordering definitions is a different document
+        let c = parse_compact("{<site : item*> <item : part?> <part : EMPTY>}").unwrap();
+        assert_ne!(fingerprint_dtd(&a), fingerprint_dtd(&c));
+    }
+
+    #[test]
+    fn surface_variants_normalizing_equal_share_an_entry() {
+        let cache = InferenceCache::new();
+        let d = d1_department();
+        // same query with different whitespace in the source text
+        let a = parse_query(
+            "publist = SELECT P WHERE <department> <name>CS</name> \
+               <professor | gradStudent> P:<publication><journal/></publication> </> </>",
+        )
+        .unwrap();
+        let b = parse_query(
+            "publist = SELECT P WHERE <department><name>CS</name>\
+               <professor | gradStudent>P:<publication><journal/></publication></></>",
+        )
+        .unwrap();
+        cache.infer(&a, &d).unwrap();
+        cache.infer(&b, &d).unwrap();
+        assert_eq!(cache.stats().entries, 1, "normalized twins must share");
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

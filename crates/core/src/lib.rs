@@ -13,11 +13,14 @@
 //! * [`infer_view_dtd`] — the end-to-end pipeline,
 //! * [`infer_union_view_dtd`] — multi-source union views (the intro's
 //!   "union of 100 sites" scenario),
+//! * [`cache`] — the serving layer's memoized inference with stable
+//!   fingerprints and per-source invalidation,
 //! * [`metrics`] — quantitative soundness/tightness instrumentation for
 //!   the experiments in `EXPERIMENTS.md`.
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod inferlist;
 pub mod merge;
 pub mod metrics;
@@ -27,10 +30,11 @@ pub mod refine;
 pub mod tighten;
 pub mod union;
 
+pub use cache::{fingerprint_dtd, fingerprint_query, CacheStats, Fingerprint, InferenceCache};
 pub use inferlist::{infer_list, one_level_extension, project};
 pub use merge::{merge, Merged};
 pub use naive::{naive_view_dtd, NaiveMode};
 pub use pipeline::{infer_view_dtd, InferredView};
 pub use refine::{refine, refine1};
 pub use tighten::{classify_query, tighten, Tightened, Verdict};
-pub use union::{infer_union_view_dtd, InferredUnionView};
+pub use union::{infer_union_view_dtd, infer_union_view_dtd_cached, InferredUnionView};

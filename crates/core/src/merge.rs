@@ -64,6 +64,9 @@ pub fn merge(sd: &SDtd) -> Merged {
             dtd.types.insert(n, ContentModel::Elements(s));
         }
     }
+    // sort lexicographically, not by intern index: the index depends on
+    // interning order and would differ from process to process
+    merged_names.sort_by_key(|n| n.as_str());
     Merged { dtd, merged_names }
 }
 

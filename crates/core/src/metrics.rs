@@ -15,7 +15,11 @@
 //!   Section 3.2).
 //! * [`realization_coverage`] — how many of the structures the view DTD
 //!   describes were actually realized by sampled source documents.
+//! * [`serving_metrics`] — the serving layer's cache observability
+//!   (experiment X15): inference-cache hit/miss/invalidation counters next
+//!   to the automata-layer DFA/inclusion memo counters.
 
+use crate::cache::InferenceCache;
 use crate::naive::{naive_view_dtd, NaiveMode};
 use crate::pipeline::{infer_view_dtd, InferredView};
 use mix_dtd::sample::{DocConfig, DocSampler};
@@ -27,6 +31,29 @@ use mix_xml::{Document, Skeleton};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
+
+pub use crate::cache::CacheStats;
+pub use mix_relang::MemoStats;
+
+/// The serving layer's cache counters in one snapshot: the inference
+/// cache of one mediator next to the process-wide automata memo (which
+/// every cache miss exercises). Reported by `mixctl serve --bench` and
+/// experiment X15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingMetrics {
+    /// Hit/miss/invalidation counters of the given [`InferenceCache`].
+    pub inference: CacheStats,
+    /// DFA-construction and inclusion-check memo counters (process-wide).
+    pub automata: MemoStats,
+}
+
+/// Snapshots the serving-layer counters for `cache`.
+pub fn serving_metrics(cache: &InferenceCache) -> ServingMetrics {
+    ServingMetrics {
+        inference: cache.stats(),
+        automata: mix_relang::memo_stats(),
+    }
+}
 
 /// Result of an empirical soundness run (experiment X2).
 #[derive(Debug, Clone, PartialEq, Eq)]

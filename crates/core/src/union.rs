@@ -17,14 +17,16 @@
 //! * merging to a plain DTD unions per-name definitions and signals the
 //!   loss, as in Section 4.3.
 
+use crate::cache::InferenceCache;
 use crate::merge::{merge, Merged};
-use crate::pipeline::{collapse_equivalent, infer_view_dtd};
+use crate::pipeline::{collapse_equivalent, infer_view_dtd, InferredView};
 use crate::tighten::Verdict;
 use mix_dtd::{ContentModel, Dtd, SDtd};
 use mix_relang::ast::Regex;
 use mix_relang::symbol::{Name, Sym};
 use mix_xmas::{NormalizeError, Query};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The inference result for a union view.
 #[derive(Debug, Clone)]
@@ -56,6 +58,30 @@ pub fn infer_union_view_dtd(
     view_name: Name,
     parts: &[(&Query, &Dtd)],
 ) -> Result<InferredUnionView, NormalizeError> {
+    infer_union_view_dtd_with(view_name, parts, &mut |q, d| {
+        infer_view_dtd(q, d).map(Arc::new)
+    })
+}
+
+/// [`infer_union_view_dtd`] with the per-part pipeline routed through a
+/// shared [`InferenceCache`]: re-registering a union over sources whose
+/// member inferences are already cached skips every per-part pipeline run.
+pub fn infer_union_view_dtd_cached(
+    view_name: Name,
+    parts: &[(&Query, &Dtd)],
+    cache: &InferenceCache,
+) -> Result<InferredUnionView, NormalizeError> {
+    infer_union_view_dtd_with(view_name, parts, &mut |q, d| cache.infer(q, d))
+}
+
+/// The per-part inference hook: the plain pipeline or a shared cache.
+type PartInfer<'a> = dyn FnMut(&Query, &Dtd) -> Result<Arc<InferredView>, NormalizeError> + 'a;
+
+fn infer_union_view_dtd_with(
+    view_name: Name,
+    parts: &[(&Query, &Dtd)],
+    infer: &mut PartInfer<'_>,
+) -> Result<InferredUnionView, NormalizeError> {
     let mut queries = Vec::new();
     let mut root_parts: Vec<Regex> = Vec::new();
     let mut combined = SDtd::new(view_name.untagged());
@@ -68,7 +94,7 @@ pub fn infer_union_view_dtd(
     // is ample.
     const STRIDE: u32 = 1 << 16;
     for (i, (q, source)) in parts.iter().enumerate() {
-        let iv = infer_view_dtd(q, source)?;
+        let iv = infer(q, source)?;
         verdict = verdict.max(iv.verdict);
         let offset = STRIDE * (i as u32 + 1);
         // move every sym of this part into its own tag space (untagged
@@ -88,7 +114,7 @@ pub fn infer_union_view_dtd(
             };
             combined.types.insert(retag(s), moved);
         }
-        queries.push(iv.query);
+        queries.push(iv.query.clone());
     }
     let root_type = Regex::concat(root_parts);
     combined
@@ -107,11 +133,14 @@ pub fn infer_union_view_dtd(
             ContentModel::Elements(_) => e.1 = true,
         }
     }
-    let kind_conflicts: Vec<Name> = kinds
+    let mut kind_conflicts: Vec<Name> = kinds
         .into_iter()
         .filter(|(_, (p, e))| *p && *e)
         .map(|(n, _)| n)
         .collect();
+    // HashMap iteration order is arbitrary; sort so the warning list is
+    // stable across runs and processes
+    kind_conflicts.sort_by_key(|n| n.as_str());
     let Merged { dtd, merged_names } = merge(&sdtd);
     Ok(InferredUnionView {
         queries,

@@ -16,6 +16,14 @@
 //! breaker, last-known-good snapshots), union views degrade gracefully to
 //! partial answers with a [`DegradationReport`], and the deterministic
 //! seeded [`FaultInjector`] exercises all of it reproducibly.
+//!
+//! The serving layer is concurrent and cache-aware: view registration and
+//! re-inference run through a shared `InferenceCache` (invalidated when a
+//! source's DTD changes), union members materialize in parallel, and
+//! [`Mediator::answer_many`] fans a query batch across scoped worker
+//! threads while preserving input order and per-query degradation
+//! reports. [`LatencyWrapper`] simulates remote-source round-trips for
+//! honest throughput experiments (X15).
 
 #![warn(missing_docs)]
 
@@ -42,5 +50,5 @@ pub use resilience::{
     SourceOutcome,
 };
 pub use simplifier::{simplify_query, SimplifyStats};
-pub use source::{Wrapper, XmlSource};
+pub use source::{LatencyWrapper, Wrapper, XmlSource};
 pub use stack::ViewWrapper;

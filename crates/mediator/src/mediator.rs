@@ -8,14 +8,17 @@ use crate::resilience::{
     SourceOutcome,
 };
 use crate::source::Wrapper;
+use mix_infer::metrics::ServingMetrics;
 use mix_infer::{
-    classify_query, infer_union_view_dtd, infer_view_dtd, InferredUnionView, InferredView, Verdict,
+    classify_query, infer_union_view_dtd_cached, InferenceCache, InferredUnionView, InferredView,
+    Verdict,
 };
 use mix_relang::symbol::Name;
 use mix_xmas::{evaluate, normalize, NormalizeError, Query};
 use mix_xml::{Content, Document, ElemId, Element};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A registered view: its definition, its source, and its inferred DTDs.
@@ -23,8 +26,9 @@ pub struct View {
     /// The source the view is defined over.
     pub source: String,
     /// Everything the inference pipeline produced (normalized query,
-    /// s-DTD, merged DTD, verdict).
-    pub inferred: InferredView,
+    /// s-DTD, merged DTD, verdict) — shared with the mediator's
+    /// [`InferenceCache`], so re-registration and batch serving reuse it.
+    pub inferred: Arc<InferredView>,
 }
 
 /// A registered *union* view over several sources (the intro's "union the
@@ -37,6 +41,10 @@ pub struct UnionView {
     pub inferred: InferredUnionView,
 }
 
+// Views are few and stored once in the registry map, so the size skew
+// between the Arc-shared single view and the by-value union inference is
+// irrelevant here.
+#[allow(clippy::large_enum_variant)]
 enum AnyView {
     Single(View),
     Union(UnionView),
@@ -173,6 +181,9 @@ pub struct Mediator {
     /// Per-source health (breaker + snapshot), shared across the parallel
     /// union materialization threads.
     health: HashMap<String, Arc<Mutex<Health>>>,
+    /// The serving layer's inference cache: registration, re-inference on
+    /// source replacement, and every `answer_many` worker share it.
+    cache: Arc<InferenceCache>,
 }
 
 impl Default for Mediator {
@@ -189,6 +200,13 @@ impl Mediator {
 
     /// An empty mediator with an explicit processor configuration.
     pub fn with_config(config: ProcessorConfig) -> Mediator {
+        Mediator::with_cache(config, Arc::new(InferenceCache::new()))
+    }
+
+    /// An empty mediator sharing an existing [`InferenceCache`] — stacked
+    /// or fleet-deployed mediators over the same sources can pool their
+    /// inference work.
+    pub fn with_cache(config: ProcessorConfig, cache: Arc<InferenceCache>) -> Mediator {
         Mediator {
             sources: HashMap::new(),
             views: HashMap::new(),
@@ -196,7 +214,19 @@ impl Mediator {
             config,
             policy: ResiliencePolicy::default(),
             health: HashMap::new(),
+            cache,
         }
+    }
+
+    /// The inference cache this mediator registers and serves through.
+    pub fn inference_cache(&self) -> &Arc<InferenceCache> {
+        &self.cache
+    }
+
+    /// Serving-layer observability: this mediator's inference-cache
+    /// counters next to the process-wide automata memo counters.
+    pub fn serving_metrics(&self) -> ServingMetrics {
+        mix_infer::metrics::serving_metrics(&self.cache)
     }
 
     /// Registers a wrapper under a name, with fresh health (breaker
@@ -237,7 +267,7 @@ impl Mediator {
         if self.views.contains_key(&q.view_name) {
             return Err(MediatorError::DuplicateView(q.view_name));
         }
-        let inferred = infer_view_dtd(q, wrapper.dtd())?;
+        let inferred = self.cache.infer(q, wrapper.dtd())?;
         self.view_order.push(q.view_name);
         self.views.insert(
             q.view_name,
@@ -274,7 +304,7 @@ impl Mediator {
             pairs.push((q, wrapper.dtd()));
         }
         let refs: Vec<(&Query, &mix_dtd::Dtd)> = pairs.iter().map(|(q, d)| (*q, *d)).collect();
-        let inferred = infer_union_view_dtd(view_name, &refs)?;
+        let inferred = infer_union_view_dtd_cached(view_name, &refs, &self.cache)?;
         self.view_order.push(view_name);
         self.views.insert(
             view_name,
@@ -328,6 +358,15 @@ impl Mediator {
         if !self.sources.contains_key(source) {
             return Err(MediatorError::UnknownSource(source.to_owned()));
         }
+        // the cache's invalidation rule: a changed source DTD orphans every
+        // entry fingerprinted against the old DTD (entries for other
+        // sources — other fingerprints — are untouched). Skipped when the
+        // new wrapper exports the identical DTD, in which case the cached
+        // inferences are still exactly right.
+        let old_dtd = self.sources[source].dtd().clone();
+        if mix_infer::fingerprint_dtd(&old_dtd) != mix_infer::fingerprint_dtd(wrapper.dtd()) {
+            self.cache.invalidate_dtd(&old_dtd);
+        }
         self.sources.insert(source.to_owned(), wrapper);
         // a replaced source is a new deployment: breaker closed, failure
         // history and stale snapshot dropped
@@ -346,7 +385,7 @@ impl Mediator {
             let new_view = match &self.views[&vname] {
                 AnyView::Single(v) => {
                     let w = &self.sources[&v.source];
-                    let inferred = infer_view_dtd(&v.inferred.query, w.dtd())?;
+                    let inferred = self.cache.infer(&v.inferred.query, w.dtd())?;
                     AnyView::Single(View {
                         source: v.source.clone(),
                         inferred,
@@ -359,7 +398,7 @@ impl Mediator {
                         .zip(&v.inferred.queries)
                         .map(|(s, q)| (q, self.sources[s].dtd()))
                         .collect();
-                    let inferred = infer_union_view_dtd(vname, &pairs)?;
+                    let inferred = infer_union_view_dtd_cached(vname, &pairs, &self.cache)?;
                     AnyView::Union(UnionView {
                         sources: v.sources.clone(),
                         inferred,
@@ -598,6 +637,60 @@ impl Mediator {
             path: AnswerPath::Materialized,
             degradation: Some(report),
         })
+    }
+
+    /// Answers a batch of queries, one result per query **in input
+    /// order**, using one worker per available unit of parallelism (see
+    /// [`Mediator::answer_many_with_threads`]). Every worker runs the
+    /// same pipeline as [`Mediator::query`] against the shared inference
+    /// cache, and per-query `DegradationReport`s carry exactly what the
+    /// sequential path would report.
+    pub fn answer_many(&self, queries: &[Query]) -> Vec<Result<Answer, MediatorError>> {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.answer_many_with_threads(queries, threads)
+    }
+
+    /// [`Mediator::answer_many`] with an explicit worker count. `threads`
+    /// of 0 or 1 answers sequentially on the calling thread; results are
+    /// returned in input order regardless of completion order. Workers
+    /// are scoped (`std::thread::scope`), so no runtime or thread-pool
+    /// dependency is involved and borrows of `self` suffice.
+    pub fn answer_many_with_threads(
+        &self,
+        queries: &[Query],
+        threads: usize,
+    ) -> Vec<Result<Answer, MediatorError>> {
+        let workers = threads.clamp(1, queries.len().max(1));
+        if workers <= 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.query(q)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Answer, MediatorError>>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let answer = self.query(&queries[i]);
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(answer);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("every index below queries.len() was claimed by a worker")
+            })
+            .collect()
     }
 }
 

@@ -82,6 +82,48 @@ impl Wrapper for XmlSource {
     }
 }
 
+/// A wrapper decorator that sleeps for a fixed duration on every fetch,
+/// simulating the round-trip latency of a remote source.
+///
+/// The in-memory [`XmlSource`] answers in microseconds, which makes
+/// single-machine throughput experiments meaningless for a *mediator*:
+/// real MIX sources are web sites, so a serving layer earns its keep by
+/// overlapping source waits, not by burning more CPU. Benchmarks (X15)
+/// and the `mixctl serve --bench` driver wrap sources in this to measure
+/// that overlap honestly.
+pub struct LatencyWrapper<W> {
+    inner: W,
+    latency: std::time::Duration,
+}
+
+impl<W: Wrapper> LatencyWrapper<W> {
+    /// Wraps `inner`, adding `latency` to every fetch.
+    pub fn new(inner: W, latency: std::time::Duration) -> LatencyWrapper<W> {
+        LatencyWrapper { inner, latency }
+    }
+
+    /// The simulated per-fetch round-trip latency.
+    pub fn latency(&self) -> std::time::Duration {
+        self.latency
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Wrapper> Wrapper for LatencyWrapper<W> {
+    fn dtd(&self) -> &Dtd {
+        self.inner.dtd()
+    }
+
+    fn fetch(&self) -> Result<Document, SourceError> {
+        std::thread::sleep(self.latency);
+        self.inner.fetch()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +171,23 @@ mod tests {
         let served = s.fetch().unwrap();
         assert_eq!(served.root.children().len(), 3);
         assert!(s.update(doc()).is_ok());
+    }
+
+    #[test]
+    fn latency_wrapper_delays_but_preserves_answers() {
+        let plain = XmlSource::new(d1_department(), doc()).unwrap();
+        let slow = LatencyWrapper::new(
+            XmlSource::new(d1_department(), doc()).unwrap(),
+            std::time::Duration::from_millis(5),
+        );
+        let q = parse_query("profs = SELECT P WHERE <department> P:<professor/> </department>")
+            .unwrap();
+        let t0 = std::time::Instant::now();
+        let a = slow.answer(&q).unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        let b = plain.answer(&q).unwrap();
+        assert!(mix_xml::same_structural_class(&a.root, &b.root));
+        assert!(mix_dtd::same_documents(slow.dtd(), plain.dtd()));
     }
 
     #[test]

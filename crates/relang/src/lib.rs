@@ -26,6 +26,7 @@ pub mod derivative;
 pub mod determinism;
 pub mod dfa;
 mod display;
+pub mod memo;
 pub mod nfa;
 pub mod ops;
 pub mod parser;
@@ -37,10 +38,11 @@ pub use ast::Regex;
 pub use derivative::{derivative, matches_by_derivative};
 pub use determinism::{ambiguity, is_deterministic, Ambiguity};
 pub use dfa::Dfa;
+pub use memo::{clear_memo, memo_stats, MemoStats};
 pub use nfa::Nfa;
 pub use ops::{
-    count_words_by_len, count_words_upto, enumerate_words, equivalent, is_proper_subset, is_subset,
-    language_is_empty, matches, min_word_len,
+    count_words_by_len, count_words_upto, enumerate_words, equivalent, equivalent_uncached,
+    is_proper_subset, is_subset, is_subset_uncached, language_is_empty, matches, min_word_len,
 };
 pub use parser::{parse_regex, ParseError};
 pub use sample::{sample_word, SampleConfig};

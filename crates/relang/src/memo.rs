@@ -1,0 +1,231 @@
+//! Memoized automata construction and language-relation results.
+//!
+//! The serving layer answers *many* queries over the same handful of
+//! source DTDs, so the same content-model regexes flow through
+//! [`crate::is_subset`] / [`crate::equivalent`] over and over — and DFA
+//! construction (subset construction + minimization) dominates the cost
+//! of tighten/collapse/merge. This module keeps two process-wide memo
+//! tables behind `parking_lot` locks:
+//!
+//! * a **DFA cache** keyed on `(regex, alphabet)` — the minimized complete
+//!   DFA for a regex over an explicit alphabet is pure, so it is shared
+//!   across every inclusion check that needs it;
+//! * an **inclusion cache** keyed on `(a, b)` holding the boolean result
+//!   of `L(a) ⊆ L(b)` — the collapse/equivalence passes re-ask the same
+//!   pairs constantly (every pipeline run re-derives the same
+//!   specializations).
+//!
+//! Both tables are bounded: when a table reaches its capacity it is
+//! flushed wholesale (counted as an eviction) rather than growing without
+//! limit — the working set of a mediator is small and re-warming is
+//! cheap. Results are pure functions of their keys, so memoization never
+//! changes any answer; `tests/serving_prop.rs` property-checks this
+//! against the uncached procedures.
+
+use crate::ast::Regex;
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::symbol::Sym;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Entries kept per table before a wholesale flush.
+const DFA_CAPACITY: usize = 4096;
+const INCLUSION_CAPACITY: usize = 1 << 15;
+
+/// DFA-table key: the regex plus the (shared) alphabet it was built over.
+type DfaKey = (Regex, Vec<Sym>);
+
+struct Memo {
+    dfas: RwLock<HashMap<DfaKey, Arc<Dfa>>>,
+    inclusions: RwLock<HashMap<(Regex, Regex), bool>>,
+    dfa_hits: AtomicU64,
+    dfa_misses: AtomicU64,
+    inclusion_hits: AtomicU64,
+    inclusion_misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+fn memo() -> &'static Memo {
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    MEMO.get_or_init(|| Memo {
+        dfas: RwLock::new(HashMap::new()),
+        inclusions: RwLock::new(HashMap::new()),
+        dfa_hits: AtomicU64::new(0),
+        dfa_misses: AtomicU64::new(0),
+        inclusion_hits: AtomicU64::new(0),
+        inclusion_misses: AtomicU64::new(0),
+        evictions: AtomicU64::new(0),
+    })
+}
+
+/// Counters of the process-wide automata memo tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// DFA-cache lookups served from the table.
+    pub dfa_hits: u64,
+    /// DFA-cache lookups that had to run subset construction.
+    pub dfa_misses: u64,
+    /// Inclusion-result lookups served from the table.
+    pub inclusion_hits: u64,
+    /// Inclusion-result lookups that had to run the product check.
+    pub inclusion_misses: u64,
+    /// Wholesale table flushes triggered by the capacity bound.
+    pub evictions: u64,
+}
+
+/// A snapshot of the memo counters.
+pub fn memo_stats() -> MemoStats {
+    let m = memo();
+    MemoStats {
+        dfa_hits: m.dfa_hits.load(Ordering::Relaxed),
+        dfa_misses: m.dfa_misses.load(Ordering::Relaxed),
+        inclusion_hits: m.inclusion_hits.load(Ordering::Relaxed),
+        inclusion_misses: m.inclusion_misses.load(Ordering::Relaxed),
+        evictions: m.evictions.load(Ordering::Relaxed),
+    }
+}
+
+/// Drops every memoized DFA and inclusion result (counters are kept).
+/// Only needed by benchmarks that want a genuinely cold start.
+pub fn clear_memo() {
+    let m = memo();
+    m.dfas.write().clear();
+    m.inclusions.write().clear();
+}
+
+/// The minimized complete DFA of `r` over `alphabet`, shared via the
+/// process-wide cache. `alphabet` must be sorted and must contain every
+/// symbol of `r` (as guaranteed by the callers in [`crate::ops`]).
+pub fn memoized_dfa(r: &Regex, alphabet: &[Sym]) -> Arc<Dfa> {
+    let m = memo();
+    {
+        let table = m.dfas.read();
+        // the tuple key forces a clone-free probe via a scratch borrow
+        if let Some(dfa) = table.get(&(r.clone(), alphabet.to_vec())) {
+            m.dfa_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(dfa);
+        }
+    }
+    m.dfa_misses.fetch_add(1, Ordering::Relaxed);
+    let built = Arc::new(Dfa::from_nfa(&Nfa::from_regex(r), alphabet).minimize());
+    let mut table = m.dfas.write();
+    if table.len() >= DFA_CAPACITY {
+        table.clear();
+        m.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+    table
+        .entry((r.clone(), alphabet.to_vec()))
+        .or_insert_with(|| Arc::clone(&built));
+    built
+}
+
+/// Memoized `L(a) ⊆ L(b)`; the uncached procedure lives in [`crate::ops`].
+pub fn memoized_subset(a: &Regex, b: &Regex) -> bool {
+    if a.is_empty_lang() {
+        return true;
+    }
+    if a == b {
+        return true;
+    }
+    let m = memo();
+    {
+        let table = m.inclusions.read();
+        if let Some(&result) = table.get(&(a.clone(), b.clone())) {
+            m.inclusion_hits.fetch_add(1, Ordering::Relaxed);
+            return result;
+        }
+    }
+    m.inclusion_misses.fetch_add(1, Ordering::Relaxed);
+    let alpha = crate::ops::shared_alphabet(a, b);
+    let da = memoized_dfa(a, &alpha);
+    let db = memoized_dfa(b, &alpha);
+    let result = da.product(&db.complement()).language_is_empty();
+    let mut table = m.inclusions.write();
+    if table.len() >= INCLUSION_CAPACITY {
+        table.clear();
+        m.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+    table.insert((a.clone(), b.clone()), result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::shared_alphabet;
+    use crate::parser::parse_regex;
+
+    fn r(s: &str) -> Regex {
+        parse_regex(s).unwrap()
+    }
+
+    #[test]
+    fn memoized_dfa_agrees_with_direct_construction() {
+        for src in [
+            "a",
+            "a, b",
+            "(a | b)*, c",
+            "title, author+, (journal | conference)",
+            "(a?, b)*",
+        ] {
+            let re = r(src);
+            let alpha: Vec<Sym> = re.syms().into_iter().collect();
+            let cached = memoized_dfa(&re, &alpha);
+            let direct = Dfa::from_nfa(&Nfa::from_regex(&re), &alpha).minimize();
+            for w in direct.enumerate_words(4, 200) {
+                assert!(cached.accepts(&w), "{src} lost {w:?}");
+            }
+            assert_eq!(cached.len(), direct.len(), "{src}");
+        }
+    }
+
+    #[test]
+    fn repeated_lookups_hit() {
+        let a = r("x1, (x2 | x3)*");
+        let alpha: Vec<Sym> = a.syms().into_iter().collect();
+        let _ = memoized_dfa(&a, &alpha);
+        let before = memo_stats();
+        let _ = memoized_dfa(&a, &alpha);
+        let after = memo_stats();
+        assert!(after.dfa_hits > before.dfa_hits);
+    }
+
+    #[test]
+    fn memoized_subset_matches_semantics() {
+        assert!(memoized_subset(&r("a, a"), &r("a*")));
+        assert!(!memoized_subset(&r("a*"), &r("a, a")));
+        assert!(memoized_subset(&Regex::Empty, &r("b")));
+        // cached round answers identically
+        assert!(memoized_subset(&r("a, a"), &r("a*")));
+        assert!(!memoized_subset(&r("a*"), &r("a, a")));
+    }
+
+    #[test]
+    fn distinct_alphabets_get_distinct_dfas() {
+        let re = r("q1");
+        let own: Vec<Sym> = re.syms().into_iter().collect();
+        let wider = shared_alphabet(&re, &r("q1 | q2"));
+        let d1 = memoized_dfa(&re, &own);
+        let d2 = memoized_dfa(&re, &wider);
+        assert_eq!(d1.alphabet.len(), 1);
+        assert_eq!(d2.alphabet.len(), 2);
+    }
+
+    #[test]
+    fn clear_memo_empties_tables() {
+        let a = r("z9, z8");
+        let alpha: Vec<Sym> = a.syms().into_iter().collect();
+        let _ = memoized_dfa(&a, &alpha);
+        clear_memo();
+        let before = memo_stats();
+        let _ = memoized_dfa(&a, &alpha);
+        let after = memo_stats();
+        assert!(
+            after.dfa_misses > before.dfa_misses,
+            "cleared entry re-built"
+        );
+    }
+}

@@ -23,7 +23,9 @@ pub fn language_is_empty(r: &Regex) -> bool {
     Dfa::from_regex(r).language_is_empty()
 }
 
-fn shared_alphabet(a: &Regex, b: &Regex) -> Vec<Sym> {
+/// The sorted union of the symbols of `a` and `b` — the alphabet both
+/// automata must share for product constructions to be meaningful.
+pub fn shared_alphabet(a: &Regex, b: &Regex) -> Vec<Sym> {
     let mut alpha: Vec<Sym> = a.syms().into_iter().collect();
     for s in b.syms() {
         if !alpha.contains(&s) {
@@ -45,6 +47,13 @@ fn shared_alphabet(a: &Regex, b: &Regex) -> Vec<Sym> {
 /// assert!(!is_subset(&original, &refined));
 /// ```
 pub fn is_subset(a: &Regex, b: &Regex) -> bool {
+    crate::memo::memoized_subset(a, b)
+}
+
+/// Is `L(a) ⊆ L(b)`, computed directly without touching the process-wide
+/// memo tables. The property tests use this as the ground truth the
+/// memoized path is checked against.
+pub fn is_subset_uncached(a: &Regex, b: &Regex) -> bool {
     if a.is_empty_lang() {
         return true;
     }
@@ -57,6 +66,11 @@ pub fn is_subset(a: &Regex, b: &Regex) -> bool {
 /// Is `L(a) = L(b)`?
 pub fn equivalent(a: &Regex, b: &Regex) -> bool {
     is_subset(a, b) && is_subset(b, a)
+}
+
+/// Is `L(a) = L(b)`, bypassing the memo tables (see [`is_subset_uncached`])?
+pub fn equivalent_uncached(a: &Regex, b: &Regex) -> bool {
+    is_subset_uncached(a, b) && is_subset_uncached(b, a)
 }
 
 /// Is `L(a) ⊊ L(b)`?

@@ -33,6 +33,11 @@ pub struct Sym {
 
 struct Interner {
     names: Vec<&'static str>,
+    // FNV-1a of the string, computed once at intern time so fingerprinting
+    // a whole DTD/query costs one table lookup per name instead of a
+    // re-hash of its characters (intern indices themselves are not stable
+    // across processes, so they cannot serve as persistent cache keys).
+    stable_hashes: Vec<u64>,
     index: std::collections::HashMap<&'static str, u32>,
 }
 
@@ -41,9 +46,19 @@ fn interner() -> &'static RwLock<Interner> {
     INTERNER.get_or_init(|| {
         RwLock::new(Interner {
             names: Vec::new(),
+            stable_hashes: Vec::new(),
             index: std::collections::HashMap::new(),
         })
     })
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl Name {
@@ -62,6 +77,7 @@ impl Name {
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
         let i = g.names.len() as u32;
         g.names.push(leaked);
+        g.stable_hashes.push(fnv1a(leaked.as_bytes()));
         g.index.insert(leaked, i);
         Name(i)
     }
@@ -85,6 +101,15 @@ impl Name {
     pub fn tagged(self, t: Tag) -> Sym {
         Sym { name: self, tag: t }
     }
+
+    /// A process-independent 64-bit hash of the underlying string,
+    /// precomputed at intern time. Equal strings hash equal in every
+    /// process, which makes this the building block for the inference
+    /// cache's stable fingerprints (the intern *index* is only stable
+    /// within one process).
+    pub fn stable_hash(self) -> u64 {
+        interner().read().stable_hashes[self.0 as usize]
+    }
 }
 
 impl Sym {
@@ -97,6 +122,19 @@ impl Sym {
     /// (Definition 3.9).
     pub fn image(self) -> Name {
         self.name
+    }
+
+    /// Process-independent hash of the tagged name (see
+    /// [`Name::stable_hash`]); the tag is mixed in with a SplitMix64-style
+    /// finalizer so `n^1` and `n^2` scatter.
+    pub fn stable_hash(self) -> u64 {
+        let mut z = self
+            .name
+            .stable_hash()
+            .wrapping_add((self.tag as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 }
 
@@ -168,6 +206,24 @@ mod tests {
         assert_eq!(n.tagged(1).image(), n);
         assert!(n.untagged().is_untagged());
         assert!(!n.tagged(2).is_untagged());
+    }
+
+    #[test]
+    fn stable_hashes_depend_only_on_content() {
+        let a = Name::intern("stable-hash-probe");
+        let b = Name::intern("stable-hash-probe");
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        assert_ne!(
+            Name::intern("journal").stable_hash(),
+            Name::intern("conference").stable_hash()
+        );
+        // FNV-1a is a fixed function of the bytes: pin one value so a
+        // accidental algorithm change (which would orphan any persisted
+        // fingerprints) fails loudly.
+        assert_eq!(Name::intern("a").stable_hash(), 0xaf63_dc4c_8601_ec8c);
+        let n = Name::intern("publication");
+        assert_ne!(n.tagged(1).stable_hash(), n.tagged(2).stable_hash());
+        assert_ne!(n.untagged().stable_hash(), n.tagged(1).stable_hash());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mixctl <infer|classify|validate|eval|structure|tightness|union|federate> \
+        "usage: mixctl <infer|classify|validate|eval|structure|tightness|union|federate|serve> \
          [--dtd FILE] [--query FILE] [--doc FILE] [--max-size N]\n\
          run `mixctl help` for details"
     );
@@ -40,6 +40,11 @@ struct Args {
     fail_rate: f64,
     fault_seed: u64,
     retries: u32,
+    bench: bool,
+    batch: usize,
+    threads: Vec<usize>,
+    latency_ms: u64,
+    out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +61,11 @@ fn parse_args() -> Args {
         fail_rate: 0.0,
         fault_seed: 0,
         retries: 2,
+        bench: false,
+        batch: 20,
+        threads: vec![1, 2, 4, 8],
+        latency_ms: 10,
+        out: None,
     };
     while let Some(flag) = argv.next() {
         let mut grab = || argv.next().unwrap_or_else(|| usage());
@@ -80,6 +90,23 @@ fn parse_args() -> Args {
                 args.retries = grab().parse().unwrap_or_else(|_| usage());
             }
             "--name" => args.name = grab(),
+            "--bench" => args.bench = true,
+            "--batch" => {
+                args.batch = grab().parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                args.threads = grab()
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.threads.is_empty() {
+                    usage();
+                }
+            }
+            "--latency-ms" => {
+                args.latency_ms = grab().parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => args.out = Some(grab()),
             "--part" => {
                 let spec = grab();
                 match spec.split_once(':') {
@@ -141,6 +168,131 @@ fn load_doc(args: &Args) -> Document {
     )
 }
 
+/// The `serve --bench` throughput driver (the CLI face of experiment X15):
+/// cold vs. warm inference-cache timing for the given (query, DTD), then
+/// batched `answer_many` thread scaling with every source behind a
+/// simulated round-trip latency.
+fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    // -- cold vs. warm inference ------------------------------------------
+    mix::relang::clear_memo();
+    let cache = InferenceCache::new();
+    let t = Instant::now();
+    let iv = match cache.infer(view_q, dtd) {
+        Ok(iv) => iv,
+        Err(e) => {
+            eprintln!("mixctl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cold = t.elapsed();
+    const WARM_ITERS: u32 = 100;
+    let t = Instant::now();
+    for _ in 0..WARM_ITERS {
+        cache.infer(view_q, dtd).expect("warm inference");
+    }
+    let warm = t.elapsed() / WARM_ITERS;
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+
+    let Some(member) = iv.list_type.syms_in_order().first().map(|s| s.name) else {
+        eprintln!("mixctl: the view is empty (unsatisfiable); nothing to serve");
+        return ExitCode::FAILURE;
+    };
+
+    // -- batched answer_many over simulated-latency sources ---------------
+    let mut m = Mediator::new();
+    let mut view_names = Vec::new();
+    for (i, path) in args.docs.iter().enumerate() {
+        let doc = load_doc_path(path);
+        let source = XmlSource::new(dtd.clone(), doc).unwrap_or_else(|e| {
+            eprintln!("mixctl: {path}: {e}");
+            std::process::exit(1)
+        });
+        let slow = LatencyWrapper::new(source, Duration::from_millis(args.latency_ms));
+        let site = format!("site{i}");
+        m.add_source(&site, Arc::new(slow));
+        let mut q = view_q.clone();
+        q.view_name = name(&format!("{}{}", view_q.view_name, i));
+        m.register_view(&site, &q).unwrap_or_else(|e| {
+            eprintln!("mixctl: {e}");
+            std::process::exit(1)
+        });
+        view_names.push(q.view_name);
+    }
+    let batch: Vec<Query> = (0..args.batch)
+        .map(|i| {
+            let view = view_names[i % view_names.len()];
+            parse_query(&format!(
+                "b{i} = SELECT X WHERE <{view}> X:<{member}/> </{view}>"
+            ))
+            .expect("generated batch query parses")
+        })
+        .collect();
+    let mut rows = Vec::new();
+    let mut baseline_qps = 0.0_f64;
+    let mut reference: Option<Vec<String>> = None;
+    for &threads in &args.threads {
+        let t = Instant::now();
+        let answers = m.answer_many_with_threads(&batch, threads);
+        let elapsed = t.elapsed();
+        let rendered: Vec<String> = answers
+            .iter()
+            .map(|a| match a {
+                Ok(ans) => write_document(&ans.document, WriteConfig::default()),
+                Err(e) => format!("error: {e}"),
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(rendered),
+            Some(expect) => {
+                assert_eq!(expect, &rendered, "thread count changed the batch answers")
+            }
+        }
+        let qps = args.batch as f64 / elapsed.as_secs_f64().max(1e-9);
+        if baseline_qps == 0.0 {
+            baseline_qps = qps;
+        }
+        rows.push(format!(
+            "    {{ \"threads\": {threads}, \"elapsed_ms\": {:.3}, \"qps\": {:.1}, \
+             \"speedup_vs_first\": {:.2} }}",
+            elapsed.as_secs_f64() * 1e3,
+            qps,
+            qps / baseline_qps.max(1e-9)
+        ));
+    }
+    let stats = m.serving_metrics();
+    let json = format!(
+        "{{\n  \"driver\": \"mixctl serve --bench\",\n  \"batch\": {},\n  \
+         \"latency_ms\": {},\n  \"sources\": {},\n  \"inference\": {{ \
+         \"cold_us\": {:.1}, \"warm_us\": {:.1}, \"warm_speedup\": {:.1} }},\n  \
+         \"throughput\": [\n{}\n  ],\n  \"cache\": {{ \"hits\": {}, \"misses\": {}, \
+         \"entries\": {} }}\n}}",
+        args.batch,
+        args.latency_ms,
+        args.docs.len(),
+        cold.as_secs_f64() * 1e6,
+        warm.as_secs_f64() * 1e6,
+        speedup,
+        rows.join(",\n"),
+        stats.inference.hits,
+        stats.inference.misses,
+        stats.inference.entries,
+    );
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("mixctl: cannot write '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     match args.command.as_str() {
@@ -157,7 +309,12 @@ fn main() -> ExitCode {
                  \x20 union      [--name N] --part DTD:QUERY …      infer a union view DTD\n\
                  \x20 federate   --dtd F --query F --doc F … [--fail-rate R] [--fault-seed S]\n\
                  \x20            [--retries N]    union the docs as N sources under injected\n\
-                 \x20            faults; print the (partial) answer + degradation report"
+                 \x20            faults; print the (partial) answer + degradation report\n\
+                 \x20 serve      --bench --dtd F --query F --doc F … [--batch N]\n\
+                 \x20            [--threads 1,2,4,8] [--latency-ms MS] [--out FILE]\n\
+                 \x20            throughput driver: cold/warm inference-cache timing and\n\
+                 \x20            batched answer_many thread scaling over simulated-latency\n\
+                 \x20            sources; JSON report to --out (or stdout)"
             );
             ExitCode::SUCCESS
         }
@@ -335,6 +492,21 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        "serve" => {
+            if !args.bench {
+                eprintln!(
+                    "mixctl: serve is a throughput driver; pass --bench \
+                     (a long-lived daemon mode is future work)"
+                );
+                return ExitCode::from(2);
+            }
+            let dtd = load_dtd(&args);
+            let q = load_query(&args);
+            if args.docs.is_empty() {
+                usage();
+            }
+            serve_bench(&args, &dtd, &q)
         }
         "tightness" => {
             let dtd = load_dtd(&args);

@@ -48,16 +48,18 @@ pub mod prelude {
         parse_xml_dtd, sdtd_satisfies, tighter_than, validate_document, ContentModel, Dtd, SDtd,
     };
     pub use mix_infer::metrics::{
-        non_tight_witnesses, realization_coverage, soundness_check, tightness_counts,
+        non_tight_witnesses, realization_coverage, serving_metrics, soundness_check,
+        tightness_counts, ServingMetrics,
     };
     pub use mix_infer::{
-        classify_query, infer_view_dtd, merge, naive_view_dtd, refine, tighten, InferredView,
-        NaiveMode, Verdict,
+        classify_query, infer_view_dtd, merge, naive_view_dtd, refine, tighten, CacheStats,
+        InferenceCache, InferredView, NaiveMode, Verdict,
     };
     pub use mix_mediator::{
         compose, render_structure, Answer, AnswerPath, BreakerState, DegradationReport, Fault,
-        FaultInjector, FaultPlan, FetchStatus, Mediator, MediatorError, ProcessorConfig,
-        ResiliencePolicy, SourceError, SourceOutcome, UnionView, ViewWrapper, Wrapper, XmlSource,
+        FaultInjector, FaultPlan, FetchStatus, LatencyWrapper, Mediator, MediatorError,
+        ProcessorConfig, ResiliencePolicy, SourceError, SourceOutcome, UnionView, ViewWrapper,
+        Wrapper, XmlSource,
     };
     pub use mix_relang::symbol::{name, sym, Name, Sym};
     pub use mix_relang::{equivalent, is_subset, parse_regex, simplify, Regex};

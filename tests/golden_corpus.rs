@@ -1,0 +1,148 @@
+//! Golden-corpus regression harness: every D×Q pairing the paper tests
+//! exercise, snapshotted end-to-end (normalized query, verdict, list
+//! type, inferred s-DTD, merged view DTD, merged names) into
+//! `tests/golden/*.txt`.
+//!
+//! On drift the test prints a unified diff of golden vs. actual. To
+//! accept new output intentionally, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_corpus
+//! ```
+
+use mix::dtd::paper::{d11_department, d1_department, d9_professor};
+use mix::prelude::*;
+use mix::xmas::paper::{q12_papers, q2_with_journals, q3_publist, q6_answer, q7_answer};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The corpus: one named case per (source DTD, query) pairing that
+/// `tests/paper_examples.rs` runs through the inference pipeline.
+fn corpus() -> Vec<(&'static str, Dtd, Query)> {
+    let verdict_triple = [
+        // E11's three classification outcomes over D1.
+        (
+            "d1-valid-professor",
+            "v = SELECT P WHERE <department> P:<professor/> </>",
+        ),
+        (
+            "d1-satisfiable-professor",
+            "v = SELECT P WHERE <department> <name>CS</name> P:<professor/> </>",
+        ),
+        (
+            "d1-unsatisfiable-publication",
+            "v = SELECT P WHERE <department> P:<publication/> </>",
+        ),
+    ];
+    let mut cases = vec![
+        ("d1-q2-with-journals", d1_department(), q2_with_journals()),
+        ("d1-q3-publist", d1_department(), q3_publist()),
+        ("d11-q12-papers", d11_department(), q12_papers()),
+        ("d9-q6-answer", d9_professor(), q6_answer()),
+        ("d9-q7-answer", d9_professor(), q7_answer()),
+    ];
+    for (name, src) in verdict_triple {
+        cases.push((name, d1_department(), parse_query(src).unwrap()));
+    }
+    cases
+}
+
+/// Renders the snapshot text for one case. Everything here is
+/// deterministic across runs and processes (merged names are sorted by
+/// the pipeline; Display orders are structural).
+fn snapshot(dtd: &Dtd, query: &Query) -> String {
+    let iv = infer_view_dtd(query, dtd).expect("corpus query infers");
+    let mut out = String::new();
+    writeln!(out, "query: {}", iv.query).unwrap();
+    writeln!(out, "verdict: {:?}", iv.verdict).unwrap();
+    writeln!(out, "list type: {}", iv.list_type).unwrap();
+    let merged: Vec<&str> = iv.merged_names.iter().map(|n| n.as_str()).collect();
+    writeln!(out, "merged names: [{}]", merged.join(", ")).unwrap();
+    writeln!(out, "s-DTD:\n{}", iv.sdtd).unwrap();
+    writeln!(out, "merged DTD:\n{}", iv.dtd).unwrap();
+    out
+}
+
+fn golden_path(case: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{case}.txt"))
+}
+
+/// A minimal unified diff: common prefix/suffix, `-`/`+` for the changed
+/// middle. Enough to read a drifted snapshot at a glance.
+fn unified_diff(golden: &str, actual: &str) -> String {
+    let a: Vec<&str> = golden.lines().collect();
+    let b: Vec<&str> = actual.lines().collect();
+    let mut start = 0;
+    while start < a.len() && start < b.len() && a[start] == b[start] {
+        start += 1;
+    }
+    let mut aend = a.len();
+    let mut bend = b.len();
+    while aend > start && bend > start && a[aend - 1] == b[bend - 1] {
+        aend -= 1;
+        bend -= 1;
+    }
+    let mut out = String::from("--- golden\n+++ actual\n");
+    let ctx = 3usize;
+    for line in &a[start.saturating_sub(ctx)..start] {
+        writeln!(out, "  {line}").unwrap();
+    }
+    for line in &a[start..aend] {
+        writeln!(out, "- {line}").unwrap();
+    }
+    for line in &b[start..bend] {
+        writeln!(out, "+ {line}").unwrap();
+    }
+    for line in &a[aend..(aend + ctx).min(a.len())] {
+        writeln!(out, "  {line}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn golden_corpus() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1");
+    let mut failures = Vec::new();
+    for (case, dtd, query) in corpus() {
+        let actual = snapshot(&dtd, &query);
+        let path = golden_path(case);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(golden) if golden == actual => {}
+            Ok(golden) => failures.push(format!(
+                "{case}: snapshot drifted from {}:\n{}",
+                path.display(),
+                unified_diff(&golden, &actual)
+            )),
+            Err(e) => failures.push(format!(
+                "{case}: cannot read {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test \
+                 golden_corpus` to generate it",
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden case(s) failed:\n\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The snapshots themselves must be reproducible: rendering a case twice
+/// in the same process (fresh fixture objects, so fresh intern order
+/// downstream) yields byte-identical text.
+#[test]
+fn snapshots_are_deterministic_within_a_run() {
+    for (case, dtd, query) in corpus() {
+        let first = snapshot(&dtd, &query);
+        let second = snapshot(&dtd, &query);
+        assert_eq!(first, second, "{case} rendered differently on a second run");
+    }
+}

@@ -1,0 +1,349 @@
+//! The PR-2 serving layer, end to end: cached inference agrees with the
+//! uncached pipeline up to language equivalence, batched `answer_many` is
+//! indistinguishable from sequential serving (input order, bytes, and
+//! degradation reports — including under seeded fault schedules), parallel
+//! union materialization preserves registration order, and the inference
+//! cache survives same-DTD source redeployments.
+
+use mix::dtd::paper::{d11_department, d1_department, d9_professor};
+use mix::prelude::*;
+use mix::relang::equivalent_uncached;
+use mix::xmas::paper::{q12_papers, q2_with_journals, q3_publist, q6_answer, q7_answer};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// fixtures
+// ---------------------------------------------------------------------------
+
+/// A D1-valid department whose professors carry the given first names —
+/// distinguishable answers for order-preservation checks.
+fn department_doc(profs: &[&str]) -> Document {
+    let mut xml = String::from("<department><name>CS</name>");
+    for p in profs {
+        xml.push_str(&format!(
+            "<professor><firstName>{p}</firstName><lastName>L</lastName>\
+             <publication><title>t</title><author>a</author><journal/></publication>\
+             <publication><title>u</title><author>a</author><journal/></publication>\
+             <teaches/></professor>"
+        ));
+    }
+    xml.push_str(
+        "<gradStudent><firstName>g</firstName><lastName>L</lastName>\
+         <publication><title>v</title><author>a</author><conference/></publication>\
+         </gradStudent></department>",
+    );
+    parse_document(&xml).expect("department fixture parses")
+}
+
+fn q2_named(view: &str) -> Query {
+    let mut q = q2_with_journals();
+    q.view_name = name(view);
+    q
+}
+
+/// Renders everything observable about one served answer, so two runs can
+/// be compared byte-for-byte: the document, the execution path, and the
+/// full degradation report (or the error).
+fn render(a: &Result<Answer, MediatorError>) -> String {
+    match a {
+        Ok(ans) => format!(
+            "path={:?} degradation={:?}\n{}",
+            ans.path,
+            ans.degradation,
+            write_document(&ans.document, WriteConfig::default())
+        ),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cached inference ≡ uncached pipeline (up to language equivalence)
+// ---------------------------------------------------------------------------
+
+fn assert_inferred_equivalent(case: &str, cached: &InferredView, direct: &InferredView) {
+    assert_eq!(cached.verdict, direct.verdict, "{case}: verdict");
+    assert_eq!(
+        cached.merged_names, direct.merged_names,
+        "{case}: merged names"
+    );
+    assert!(
+        equivalent_uncached(&cached.list_type, &direct.list_type),
+        "{case}: list types differ as languages"
+    );
+    for (n, model) in cached.dtd.types.iter() {
+        let other = direct
+            .dtd
+            .types
+            .get(n)
+            .unwrap_or_else(|| panic!("{case}: merged DTD lost {n}"));
+        assert_models_equivalent(case, model, other);
+    }
+    assert_eq!(
+        cached.dtd.types.iter().count(),
+        direct.dtd.types.iter().count(),
+        "{case}: merged DTD name sets differ"
+    );
+    for (s, model) in cached.sdtd.types.iter() {
+        let other = direct
+            .sdtd
+            .types
+            .get(s)
+            .unwrap_or_else(|| panic!("{case}: s-DTD lost {s}"));
+        assert_models_equivalent(case, model, other);
+    }
+}
+
+fn assert_models_equivalent(case: &str, a: &ContentModel, b: &ContentModel) {
+    match (a, b) {
+        (ContentModel::Pcdata, ContentModel::Pcdata) => {}
+        (ContentModel::Elements(ra), ContentModel::Elements(rb)) => {
+            assert!(
+                equivalent_uncached(ra, rb),
+                "{case}: content models differ as languages: {ra} vs {rb}"
+            );
+        }
+        other => panic!("{case}: model kind mismatch: {other:?}"),
+    }
+}
+
+#[test]
+fn cached_inference_agrees_with_uncached_pipeline() {
+    let pairings: Vec<(&str, Dtd, Query)> = vec![
+        ("d1/q2", d1_department(), q2_with_journals()),
+        ("d1/q3", d1_department(), q3_publist()),
+        ("d11/q12", d11_department(), q12_papers()),
+        ("d9/q6", d9_professor(), q6_answer()),
+        ("d9/q7", d9_professor(), q7_answer()),
+    ];
+    let cache = InferenceCache::new();
+    for (case, dtd, q) in &pairings {
+        let direct = infer_view_dtd(q, dtd).expect("uncached pipeline infers");
+        // first pass misses and populates; second pass must hit and still
+        // agree — the cache may only change *where* the answer comes from.
+        for pass in 0..2 {
+            let cached = cache.infer(q, dtd).expect("cached pipeline infers");
+            assert_inferred_equivalent(&format!("{case} pass {pass}"), &cached, &direct);
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, pairings.len() as u64);
+    assert_eq!(stats.hits, pairings.len() as u64);
+}
+
+// ---------------------------------------------------------------------------
+// answer_many: parallel ≡ sequential
+// ---------------------------------------------------------------------------
+
+/// One mediator with `n` independent seeded-faulty sources, one view per
+/// source, and one batch query per view. Each source serves exactly one
+/// query, so its injector sees the same call sequence under any thread
+/// interleaving — the whole batch is deterministic by construction.
+fn faulty_mediator(n: usize, rate: f64) -> (Mediator, Vec<Query>) {
+    let mut m = Mediator::new();
+    let mut batch = Vec::new();
+    for i in 0..n {
+        let doc = department_doc(&[&format!("p{i}a"), &format!("p{i}b")]);
+        let source = XmlSource::new(d1_department(), doc).expect("valid source");
+        let faulty = FaultInjector::seeded(Arc::new(source), 1000 + i as u64, rate);
+        let site = format!("s{i}");
+        m.add_source(&site, Arc::new(faulty));
+        let view = q2_named(&format!("wj{i}"));
+        m.register_view(&site, &view).expect("view registers");
+        batch.push(
+            parse_query(&format!(
+                "b{i} = SELECT X WHERE <wj{i}> X:<professor/> </wj{i}>"
+            ))
+            .expect("batch query parses"),
+        );
+    }
+    (m, batch)
+}
+
+#[test]
+fn answer_many_parallel_matches_sequential_under_seeded_faults() {
+    for rate in [0.0, 0.35] {
+        // fresh, identically-built mediators: injector call counters and
+        // breaker state are per-mediator, so each run starts from the same
+        // world state.
+        let (m_seq, batch) = faulty_mediator(6, rate);
+        let (m_par, _) = faulty_mediator(6, rate);
+        let sequential: Vec<String> = m_seq
+            .answer_many_with_threads(&batch, 1)
+            .iter()
+            .map(render)
+            .collect();
+        let parallel: Vec<String> = m_par
+            .answer_many_with_threads(&batch, 4)
+            .iter()
+            .map(render)
+            .collect();
+        assert_eq!(
+            sequential, parallel,
+            "parallel serving changed answers at fault rate {rate}"
+        );
+    }
+}
+
+#[test]
+fn answer_many_preserves_input_order() {
+    let (m, batch) = faulty_mediator(6, 0.0);
+    let answers = m.answer_many_with_threads(&batch, 8);
+    assert_eq!(answers.len(), batch.len());
+    for (i, a) in answers.iter().enumerate() {
+        let ans = a.as_ref().expect("clean batch answers");
+        // slot i answers batch query b{i}: the result root carries the
+        // query's head name, and the payload is that source's professors.
+        assert_eq!(ans.document.root.name.as_str(), format!("b{i}"));
+        let first = ans.document.root.children()[0].children()[0].pcdata();
+        assert_eq!(first, Some(format!("p{i}a").as_str()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parallel union materialization
+// ---------------------------------------------------------------------------
+
+fn union_mediator(faults: bool) -> Mediator {
+    let mut m = Mediator::new();
+    let parts: Vec<(String, Query)> = (0..3)
+        .map(|i| {
+            let doc = department_doc(&[&format!("u{i}")]);
+            let source = XmlSource::new(d1_department(), doc).expect("valid source");
+            let site = format!("u{i}");
+            let wrapper: Arc<dyn Wrapper> = if faults {
+                Arc::new(FaultInjector::seeded(Arc::new(source), 7 + i as u64, 0.4))
+            } else {
+                Arc::new(source)
+            };
+            m.add_source(&site, wrapper);
+            (site, q2_with_journals())
+        })
+        .collect();
+    let refs: Vec<(&str, Query)> = parts.iter().map(|(s, q)| (s.as_str(), q.clone())).collect();
+    m.register_union_view("wjAll", &refs)
+        .expect("union registers");
+    m
+}
+
+#[test]
+fn parallel_union_materialization_preserves_registration_order() {
+    let m = union_mediator(false);
+    let (doc, report) = m
+        .materialize_with_report(name("wjAll"))
+        .expect("union materializes");
+    // members in registration order: u0's professor, then u1's, then u2's
+    let firsts: Vec<&str> = doc
+        .root
+        .children()
+        .iter()
+        .map(|member| member.children()[0].pcdata().unwrap())
+        .collect();
+    assert_eq!(firsts, ["u0", "u1", "u2"]);
+    assert!(report.is_clean());
+    // and the parallel path is repeatable byte-for-byte
+    let (again, _) = m.materialize_with_report(name("wjAll")).unwrap();
+    assert_eq!(
+        write_document(&doc, WriteConfig::default()),
+        write_document(&again, WriteConfig::default())
+    );
+}
+
+#[test]
+fn union_degradation_is_deterministic_under_seeded_faults() {
+    let run = || {
+        let m = union_mediator(true);
+        match m.materialize_with_report(name("wjAll")) {
+            Ok((doc, report)) => format!(
+                "report={report:?}\n{}",
+                write_document(&doc, WriteConfig::default())
+            ),
+            Err(e) => format!("error: {e}"),
+        }
+    };
+    assert_eq!(run(), run(), "seeded union degradation must replay exactly");
+}
+
+// ---------------------------------------------------------------------------
+// cache lifecycle across source replacement
+// ---------------------------------------------------------------------------
+
+#[test]
+fn replace_source_keeps_cache_for_identical_dtd_and_invalidates_on_change() {
+    let mut m = Mediator::new();
+    let source = XmlSource::new(d1_department(), department_doc(&["p"])).expect("valid");
+    m.add_source("s", Arc::new(source));
+    m.register_view("s", &q2_named("wj")).expect("registers");
+    assert_eq!(m.serving_metrics().inference.entries, 1);
+
+    // same DTD, new document: a redeployment. The cached inference is
+    // still exactly right — re-registration is a pure cache hit.
+    let redeploy = XmlSource::new(d1_department(), department_doc(&["q"])).expect("valid");
+    let changed = m.replace_source("s", Arc::new(redeploy)).expect("replaces");
+    assert!(changed.is_empty(), "same DTD cannot change any view DTD");
+    let stats = m.serving_metrics().inference;
+    assert_eq!(stats.invalidations, 0, "unchanged DTD must not invalidate");
+    assert!(stats.hits >= 1, "re-inference must be served from cache");
+    assert_eq!(stats.entries, 1);
+
+    // a real schema change: the D1 entries are orphaned and re-inference
+    // records an invalidation plus a fresh miss against D11.
+    let moved = XmlSource::new(
+        d11_department(),
+        parse_document(
+            "<department><name>CS</name>\
+             <professor><firstName>p</firstName><lastName>L</lastName>\
+             <publication><title>t</title><author>a</author><journal/></publication>\
+             <publication><title>u</title><author>a</author><journal/></publication>\
+             <teaches/></professor>\
+             <gradStudent><firstName>g</firstName><lastName>L</lastName></gradStudent>\
+             </department>",
+        )
+        .expect("parses"),
+    )
+    .expect("valid under D11");
+    m.replace_source("s", Arc::new(moved)).expect("replaces");
+    let stats = m.serving_metrics().inference;
+    assert!(stats.invalidations >= 1, "changed DTD must invalidate");
+    assert_eq!(stats.entries, 1, "only the fresh D11 inference remains");
+}
+
+// ---------------------------------------------------------------------------
+// answer_many under simulated source latency actually overlaps waits
+// ---------------------------------------------------------------------------
+
+#[test]
+fn answer_many_overlaps_source_latency() {
+    let mut m = Mediator::new();
+    let mut batch = Vec::new();
+    for i in 0..4 {
+        let source = XmlSource::new(d1_department(), department_doc(&["p"])).expect("valid");
+        let slow = LatencyWrapper::new(source, Duration::from_millis(25));
+        let site = format!("s{i}");
+        m.add_source(&site, Arc::new(slow));
+        m.register_view(&site, &q2_named(&format!("wj{i}")))
+            .expect("registers");
+        batch.push(
+            parse_query(&format!(
+                "b{i} = SELECT X WHERE <wj{i}> X:<professor/> </wj{i}>"
+            ))
+            .expect("parses"),
+        );
+    }
+    let t = std::time::Instant::now();
+    let seq = m.answer_many_with_threads(&batch, 1);
+    let sequential = t.elapsed();
+    let t = std::time::Instant::now();
+    let par = m.answer_many_with_threads(&batch, 4);
+    let parallel = t.elapsed();
+    assert!(seq.iter().all(Result::is_ok));
+    let a: Vec<String> = seq.iter().map(render).collect();
+    let b: Vec<String> = par.iter().map(render).collect();
+    assert_eq!(a, b);
+    // four 25 ms waits overlapped across four workers: even with generous
+    // scheduler slop the parallel batch must beat the sequential one.
+    assert!(
+        parallel < sequential,
+        "parallel {parallel:?} not faster than sequential {sequential:?}"
+    );
+}
