@@ -114,11 +114,14 @@ fn finish_dtd(
 ///
 /// Tagged entries (`<publication^1 : …>`) make it an s-DTD; `parse_compact`
 /// rejects those, [`parse_compact_sdtd`] accepts them. The document type is
-/// the first entry. `PCDATA`, `#PCDATA`, `EMPTY` and `ANY` keywords are
-/// understood; used-but-undeclared names become `PCDATA`.
+/// the first entry unless an explicit `(document type: name)` annotation —
+/// which `Display` emits — names another one. `PCDATA`, `#PCDATA`, `EMPTY`
+/// and `ANY` keywords are understood; used-but-undeclared names become
+/// `PCDATA`.
 pub fn parse_compact_sdtd(src: &str) -> Result<SDtd, DtdError> {
     let mut c = mix_relang::parser::Cursor::new(src);
     let braced = c.eat('{');
+    let doc_type = parse_doc_type_annotation(&mut c)?;
     let mut decls: Vec<(mix_relang::Sym, Decl)> = Vec::new();
     loop {
         if braced && c.eat('}') {
@@ -154,8 +157,36 @@ pub fn parse_compact_sdtd(src: &str) -> Result<SDtd, DtdError> {
         c.expect('>').map_err(DtdError::from)?;
         decls.push((sym, classify(r)));
     }
-    let (_, sdtd) = finish_dtd(None, decls, true)?;
+    let (_, sdtd) = finish_dtd(doc_type, decls, true)?;
     Ok(sdtd)
+}
+
+/// Eats an optional `(document type: name)` annotation — the form `Display`
+/// puts right after the opening brace so round-trips preserve a document
+/// type that is not the first declaration.
+fn parse_doc_type_annotation(
+    c: &mut mix_relang::parser::Cursor<'_>,
+) -> Result<Option<Name>, DtdError> {
+    if !c.eat('(') {
+        return Ok(None);
+    }
+    let kw1 = c.name().map_err(DtdError::from)?.to_owned();
+    // ':' is a name character in this grammar, so `name()` reads "type:"
+    // as one token when nothing separates them
+    let kw2 = c.name().map_err(DtdError::from)?.to_owned();
+    if kw1 != "document" || !(kw2 == "type" || kw2 == "type:") {
+        return Err(DtdError {
+            pos: c.pos(),
+            msg: format!("expected '(document type: …)', got '({kw1} {kw2} …)'"),
+        });
+    }
+    if kw2 == "type" {
+        c.expect(':').map_err(DtdError::from)?;
+    }
+    let n = c.name().map_err(DtdError::from)?;
+    let name = Name::intern(n);
+    c.expect(')').map_err(DtdError::from)?;
+    Ok(Some(name))
 }
 
 /// Like [`parse_compact_sdtd`] but requires all entries untagged and returns
@@ -310,6 +341,14 @@ mod tests {
             prof.to_string(),
             "firstName, lastName, publication+, teaches"
         );
+    }
+
+    #[test]
+    fn doc_type_annotation_overrides_first_declaration() {
+        let d = parse_compact("{ (document type: r)\n <a : PCDATA> <r : a*>}").unwrap();
+        assert_eq!(d.doc_type, name("r"));
+        // a malformed annotation fails loudly instead of being skipped
+        assert!(parse_compact("{(doc kind: r) <r : a*>}").is_err());
     }
 
     #[test]

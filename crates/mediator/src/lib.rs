@@ -24,6 +24,13 @@
 //! threads while preserving input order and per-query degradation
 //! reports. [`LatencyWrapper`] simulates remote-source round-trips for
 //! honest throughput experiments (X15).
+//!
+//! The source layer is also *distributed*: [`WrapperService`] exports any
+//! local wrapper over the mix-net wire protocol (what `mixctl
+//! serve-source` runs), and [`RemoteWrapper`] consumes one as an ordinary
+//! [`Wrapper`] — transport faults fold onto [`SourceError`]
+//! ([`net_to_source_error`]), so resilience and degradation work
+//! identically over sockets (DESIGN.md §9).
 
 #![warn(missing_docs)]
 
@@ -38,6 +45,7 @@ pub mod resilience;
 pub mod simplifier;
 pub mod source;
 pub mod stack;
+pub mod wire;
 
 pub use builder::{BuildError, Constraint, QueryBuilder};
 pub use compose::compose;
@@ -50,5 +58,6 @@ pub use resilience::{
     SourceOutcome,
 };
 pub use simplifier::{simplify_query, SimplifyStats};
-pub use source::{LatencyWrapper, Wrapper, XmlSource};
+pub use source::{LatencyWrapper, RemoteWrapper, Wrapper, XmlSource};
 pub use stack::ViewWrapper;
+pub use wire::{net_to_source_error, WrapperService};

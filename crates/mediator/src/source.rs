@@ -15,7 +15,9 @@
 //! overall answer.
 
 use crate::error::SourceError;
+use crate::wire::net_to_source_error;
 use mix_dtd::{validate_document, Dtd, ValidationError};
+use mix_net::{ClientConfig, Msg, Pool};
 use mix_xmas::{evaluate, normalize, Query};
 use mix_xml::Document;
 
@@ -40,6 +42,20 @@ pub trait Wrapper: Send + Sync {
         let nq = normalize(q, self.dtd())?;
         let doc = self.fetch()?;
         Ok(evaluate(&nq, &doc))
+    }
+}
+
+impl Wrapper for std::sync::Arc<dyn Wrapper> {
+    fn dtd(&self) -> &Dtd {
+        (**self).dtd()
+    }
+
+    fn fetch(&self) -> Result<Document, SourceError> {
+        (**self).fetch()
+    }
+
+    fn answer(&self, q: &Query) -> Result<Document, SourceError> {
+        (**self).answer(q)
     }
 }
 
@@ -124,6 +140,98 @@ impl<W: Wrapper> Wrapper for LatencyWrapper<W> {
     }
 }
 
+/// A wrapper served by a remote `mixctl serve-source` daemon, reached over
+/// the mix-net wire protocol (DESIGN.md §9).
+///
+/// The DTD is fetched **once**, at connection time — exactly like the
+/// paper's source registration, where a wrapper exports its DTD to the
+/// mediator up front. Queries are normalized *locally* against that DTD
+/// before being sent, so an ill-formed query is rejected with the same
+/// structured [`SourceError::Query`] an in-process wrapper raises, and the
+/// wire only ever carries normalizable queries.
+///
+/// Transport failures (refused connections, deadline expiries, mid-frame
+/// disconnects) and forwarded remote faults all map onto [`SourceError`]
+/// (see [`crate::wire`]), so the resilience layer — retries, circuit
+/// breakers, union-view degradation — drives a remote source exactly like
+/// a local one. Exchanges run over a small connection [`Pool`], making the
+/// wrapper safe to share across the mediator's serving threads.
+#[derive(Debug)]
+pub struct RemoteWrapper {
+    pool: Pool,
+    dtd: Dtd,
+}
+
+impl RemoteWrapper {
+    /// Connects to `addr` (`host:port`) with default client settings and
+    /// registers the remote source by fetching its exported DTD.
+    pub fn connect(addr: &str) -> Result<RemoteWrapper, SourceError> {
+        RemoteWrapper::connect_with(addr, ClientConfig::default())
+    }
+
+    /// [`RemoteWrapper::connect`] with explicit timeouts and pool size.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> Result<RemoteWrapper, SourceError> {
+        let pool = Pool::new(addr, config);
+        let reply = pool
+            .request(Msg::ExportDtd(String::new()))
+            .map_err(|e| net_to_source_error(addr, config.io_timeout.as_millis() as u64, e))?;
+        let text = match reply {
+            Msg::ExportDtd(text) => text,
+            other => {
+                return Err(SourceError::MalformedXml(format!(
+                    "{addr}: expected an ExportDtd reply, got {:?}",
+                    other.msg_type()
+                )))
+            }
+        };
+        let dtd = mix_dtd::parse_compact(&text)
+            .map_err(|e| SourceError::DtdInvalid(format!("{addr}: exported DTD: {e}")))?;
+        Ok(RemoteWrapper { pool, dtd })
+    }
+
+    /// The remote address this wrapper dials.
+    pub fn addr(&self) -> &str {
+        self.pool.addr()
+    }
+
+    /// One query/answer (or fetch) exchange; an empty query text requests
+    /// the full document.
+    fn exchange(&self, query_text: String) -> Result<Document, SourceError> {
+        let millis = self.pool.config().io_timeout.as_millis() as u64;
+        let reply = self
+            .pool
+            .request(Msg::Query(query_text))
+            .map_err(|e| net_to_source_error(self.pool.addr(), millis, e))?;
+        match reply {
+            Msg::Answer(xml) => mix_xml::parse_document(&xml).map_err(|e| {
+                SourceError::MalformedXml(format!("{}: answer: {e}", self.pool.addr()))
+            }),
+            other => Err(SourceError::MalformedXml(format!(
+                "{}: expected an Answer reply, got {:?}",
+                self.pool.addr(),
+                other.msg_type()
+            ))),
+        }
+    }
+}
+
+impl Wrapper for RemoteWrapper {
+    fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    fn fetch(&self) -> Result<Document, SourceError> {
+        self.exchange(String::new())
+    }
+
+    fn answer(&self, q: &Query) -> Result<Document, SourceError> {
+        // normalize locally: Query faults stay structured and local, and
+        // the remote side only ever sees well-formed normalized queries
+        let nq = normalize(q, &self.dtd)?;
+        self.exchange(nq.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +296,83 @@ mod tests {
         let b = plain.answer(&q).unwrap();
         assert!(mix_xml::same_structural_class(&a.root, &b.root));
         assert!(mix_dtd::same_documents(slow.dtd(), plain.dtd()));
+    }
+
+    fn serve_local() -> (mix_net::ServerHandle, String) {
+        let service =
+            crate::wire::WrapperService::new(XmlSource::new(d1_department(), doc()).unwrap());
+        let h = mix_net::Server::bind(
+            "127.0.0.1:0",
+            std::sync::Arc::new(service),
+            mix_net::ServerConfig::default(),
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let addr = h.addr().to_string();
+        (h, addr)
+    }
+
+    #[test]
+    fn remote_wrapper_agrees_with_in_process_wrapper() {
+        let (server, addr) = serve_local();
+        let remote = RemoteWrapper::connect(&addr).unwrap();
+        let local = XmlSource::new(d1_department(), doc()).unwrap();
+        assert!(mix_dtd::same_documents(remote.dtd(), local.dtd()));
+        let q = parse_query("profs = SELECT P WHERE <department> P:<professor/> </department>")
+            .unwrap();
+        // node ids are allocation-order artifacts; the serialized answers
+        // must be byte-identical
+        let xml = |d: &Document| mix_xml::write_document(d, mix_xml::WriteConfig::default());
+        assert_eq!(
+            xml(&remote.answer(&q).unwrap()),
+            xml(&local.answer(&q).unwrap())
+        );
+        assert_eq!(xml(&remote.fetch().unwrap()), xml(&local.fetch().unwrap()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_wrapper_rejects_bad_queries_locally() {
+        let (server, addr) = serve_local();
+        let remote = RemoteWrapper::connect(&addr).unwrap();
+        let q = parse_query("profs = SELECT Z WHERE <department> P:<professor/> </department>")
+            .unwrap();
+        match remote.answer(&q) {
+            Err(SourceError::Query(_)) => {}
+            other => panic!("expected a structured Query error, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn dead_remote_is_unavailable_with_a_deterministic_message() {
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        match RemoteWrapper::connect(&addr) {
+            Err(SourceError::Unavailable(msg)) => {
+                assert_eq!(msg, format!("{addr}: connection refused"));
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn killed_daemon_mid_session_is_a_transient_then_unavailable_fault() {
+        let (server, addr) = serve_local();
+        let remote = RemoteWrapper::connect(&addr).unwrap();
+        remote.fetch().unwrap();
+        server.shutdown();
+        // the pooled connection dies first (transient-class transport
+        // fault), then fresh dials are refused outright
+        let first = remote.fetch().unwrap_err();
+        assert!(first.is_source_fault(), "got {first:?}");
+        match remote.fetch() {
+            Err(SourceError::Unavailable(_)) => {}
+            other => panic!("expected Unavailable after daemon kill, got {other:?}"),
+        }
     }
 
     #[test]

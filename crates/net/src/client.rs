@@ -1,0 +1,260 @@
+//! The client side: a blocking connection with handshake, and a small
+//! pool of them.
+//!
+//! [`Connection`] is one TCP stream that has completed the `Hello`
+//! exchange. [`Pool`] lends connections out for single request/response
+//! exchanges, reconnecting on demand and *discarding* any connection
+//! whose exchange failed — a failed socket is never returned to the idle
+//! list, so one bad exchange cannot poison the next. Retrying is
+//! deliberately **not** done here: the mediator's resilience layer owns
+//! the retry budget, and a transport that silently retried underneath it
+//! would double-count attempts against circuit breakers.
+
+use crate::error::NetError;
+use crate::msg::Msg;
+use std::io::BufWriter;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Client knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Per-exchange read/write deadline.
+    pub io_timeout: Duration,
+    /// Idle connections kept for reuse.
+    pub pool_size: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            pool_size: 4,
+        }
+    }
+}
+
+/// One handshaken connection to a remote wrapper.
+#[derive(Debug)]
+pub struct Connection {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Connection {
+    /// Connects, applies timeouts, and performs the `Hello` handshake.
+    pub fn connect(addr: &str, config: &ClientConfig) -> Result<Connection, NetError> {
+        // resolve then connect with a deadline; `connect_timeout` needs a
+        // SocketAddr, so resolution errors surface as Io like connect ones
+        let sock_addr = std::net::ToSocketAddrs::to_socket_addrs(addr)?
+            .next()
+            .ok_or_else(|| {
+                NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("'{addr}' resolves to no address"),
+                ))
+            })?;
+        let stream = TcpStream::connect_timeout(&sock_addr, config.connect_timeout)?;
+        stream.set_read_timeout(Some(config.io_timeout))?;
+        stream.set_write_timeout(Some(config.io_timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        let mut conn = Connection {
+            reader,
+            writer: BufWriter::new(stream),
+        };
+        match conn.request(Msg::Hello)? {
+            Msg::Hello => Ok(conn),
+            other => Err(NetError::protocol(format!(
+                "handshake expected Hello back, got {:?}",
+                other.msg_type()
+            ))),
+        }
+    }
+
+    /// One request/response exchange. A server-side fault ([`Msg::Err`])
+    /// comes back as [`NetError::Remote`]; the connection itself is still
+    /// usable afterwards.
+    pub fn request(&mut self, msg: Msg) -> Result<Msg, NetError> {
+        msg.write_to(&mut self.writer)?;
+        match Msg::read_from(&mut self.reader)? {
+            Msg::Err { kind, msg } => Err(NetError::Remote { kind, msg }),
+            reply => Ok(reply),
+        }
+    }
+}
+
+/// A bounded pool of connections to one remote wrapper address.
+///
+/// `Send + Sync`: the mediator's parallel union materialization and
+/// batched serving hit one source from many threads at once; each
+/// exchange checks a connection out (or dials a fresh one) and returns it
+/// only on success.
+#[derive(Debug)]
+pub struct Pool {
+    addr: String,
+    config: ClientConfig,
+    idle: Mutex<Vec<Connection>>,
+}
+
+impl Pool {
+    /// A pool for `addr`. No connection is dialed until the first
+    /// exchange.
+    pub fn new(addr: impl Into<String>, config: ClientConfig) -> Pool {
+        Pool {
+            addr: addr.into(),
+            config,
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The remote address this pool dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The client configuration in force.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Idle connections currently held.
+    pub fn idle_connections(&self) -> usize {
+        self.idle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// One request/response exchange on a pooled (or fresh) connection.
+    pub fn request(&self, msg: Msg) -> Result<Msg, NetError> {
+        let mut conn = match self.checkout() {
+            Some(c) => c,
+            None => Connection::connect(&self.addr, &self.config)?,
+        };
+        match conn.request(msg) {
+            Ok(reply) => {
+                self.checkin(conn);
+                Ok(reply)
+            }
+            // a remote fault is an *answer*: the transport is fine, keep
+            // the connection; anything else discards it
+            Err(e @ NetError::Remote { .. }) => {
+                self.checkin(conn);
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn checkout(&self) -> Option<Connection> {
+        self.idle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+    }
+
+    fn checkin(&self, conn: Connection) {
+        let mut idle = self
+            .idle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if idle.len() < self.config.pool_size {
+            idle.push(conn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig, WireFault, WireService};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Counting {
+        answers: AtomicUsize,
+    }
+
+    impl WireService for Counting {
+        fn export_dtd(&self) -> String {
+            "{<r : a*> <a : PCDATA>}".into()
+        }
+
+        fn answer(&self, query: Option<&str>) -> Result<String, WireFault> {
+            let n = self.answers.fetch_add(1, Ordering::SeqCst);
+            match query {
+                Some("fault") => Err(WireFault::new("transient", "scripted")),
+                _ => Ok(format!("<n>{n}</n>")),
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reuses_connections_and_keeps_them_after_remote_faults() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(Counting {
+                answers: AtomicUsize::new(0),
+            }),
+            ServerConfig::default(),
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let pool = Pool::new(server.addr().to_string(), ClientConfig::default());
+        assert_eq!(pool.idle_connections(), 0);
+        pool.request(Msg::Query(String::new())).unwrap();
+        assert_eq!(pool.idle_connections(), 1);
+        // a remote fault keeps the (healthy) connection pooled
+        assert!(matches!(
+            pool.request(Msg::Query("fault".into())),
+            Err(NetError::Remote { .. })
+        ));
+        assert_eq!(pool.idle_connections(), 1);
+        pool.request(Msg::Query(String::new())).unwrap();
+        assert_eq!(pool.idle_connections(), 1, "the connection was reused");
+        server.shutdown();
+    }
+
+    #[test]
+    fn dead_connections_are_discarded_not_pooled() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(Counting {
+                answers: AtomicUsize::new(0),
+            }),
+            ServerConfig::default(),
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let addr = server.addr().to_string();
+        let pool = Pool::new(addr, ClientConfig::default());
+        pool.request(Msg::Query(String::new())).unwrap();
+        assert_eq!(pool.idle_connections(), 1);
+        server.shutdown();
+        // the pooled connection is now dead: the exchange fails and the
+        // connection is dropped, not returned
+        assert!(pool.request(Msg::Query(String::new())).is_err());
+        assert_eq!(pool.idle_connections(), 0);
+    }
+
+    #[test]
+    fn refused_connection_is_an_io_error() {
+        // bind-then-drop: the port existed a moment ago and is now closed
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let pool = Pool::new(addr, ClientConfig::default());
+        match pool.request(Msg::Query(String::new())) {
+            Err(e) => assert!(e.is_refused(), "unexpected classification: {e:?}"),
+            Ok(_) => panic!("exchange on a closed port succeeded"),
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The failure modes of the wire.
+//!
+//! [`NetError`] separates the three things that can go wrong on a
+//! mediator↔wrapper link — the transport failed ([`NetError::Io`]), the
+//! peer spoke the protocol wrong ([`NetError::Protocol`]), or the peer
+//! spoke the protocol *right* and reported a fault of its own
+//! ([`NetError::Remote`]). `mix-mediator` folds these onto its
+//! `SourceError` fault model (DESIGN.md §9) so retries, circuit breakers,
+//! and degradation reports work identically over sockets and in-process
+//! wrappers.
+
+use std::fmt;
+use std::io;
+
+/// Why a wire operation failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// The transport failed: refused connection, timeout, reset,
+    /// mid-frame disconnect. The `io::ErrorKind` carries the diagnosis.
+    Io(io::Error),
+    /// The peer violated the protocol: wrong version byte, unknown
+    /// message type, oversized frame, payload that is not UTF-8, or a
+    /// response type the request cannot be answered with.
+    Protocol(String),
+    /// The peer answered with an `Err` message: a fault that happened on
+    /// the *remote* side, forwarded verbatim. `kind` uses the stable
+    /// labels of the mediator's `SourceError::kind()` ("transient",
+    /// "timeout", "unavailable", …).
+    Remote {
+        /// Stable machine-readable fault label.
+        kind: String,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+impl NetError {
+    /// Shorthand for a protocol violation.
+    pub fn protocol(msg: impl Into<String>) -> NetError {
+        NetError::Protocol(msg.into())
+    }
+
+    /// Whether this is a transport timeout (`TimedOut` / `WouldBlock` —
+    /// platforms disagree on which one a socket read deadline raises).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(e) if matches!(
+                e.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            )
+        )
+    }
+
+    /// Whether this is a refused / unreachable connection.
+    pub fn is_refused(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(e) if matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::AddrNotAvailable
+                    | io::ErrorKind::NotFound
+            )
+        )
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::Remote { kind, msg } => write!(f, "remote fault [{kind}]: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_and_refusal_classification() {
+        let t = NetError::Io(io::Error::new(io::ErrorKind::TimedOut, "deadline"));
+        assert!(t.is_timeout());
+        assert!(!t.is_refused());
+        let r = NetError::Io(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"));
+        assert!(r.is_refused());
+        assert!(!r.is_timeout());
+        assert!(!NetError::protocol("bad byte").is_timeout());
+    }
+}

@@ -1,0 +1,169 @@
+//! Length-prefixed framing.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! +---------+---------+-------------------+-------------------+
+//! | version | type    | payload length    | payload           |
+//! | 1 byte  | 1 byte  | 4 bytes, BE u32   | `length` bytes    |
+//! +---------+---------+-------------------+-------------------+
+//! ```
+//!
+//! The version byte is checked on *every* frame (it costs nothing and a
+//! mid-stream desync then fails loudly instead of misparsing), the
+//! length is capped at [`MAX_PAYLOAD`] so a corrupt or hostile peer
+//! cannot make the reader allocate gigabytes, and payloads are UTF-8
+//! (enforced one layer up, in [`crate::msg`]).
+
+use crate::error::NetError;
+use std::io::{Read, Write};
+
+/// Protocol version spoken by this build. Bumped on any frame- or
+/// message-level change.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Hard cap on a single frame's payload (16 MiB) — far above any DTD or
+/// document this system ships, low enough to bound a reader's allocation.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// The message type byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgType {
+    /// Handshake, both directions. Empty payload.
+    Hello = 0,
+    /// Request (client → server, empty payload) and response
+    /// (server → client, payload = the DTD in compact notation).
+    ExportDtd = 1,
+    /// Client → server. Payload = an XMAS query in the paper's syntax;
+    /// an *empty* payload requests the full exported document (the
+    /// wrapper `fetch` operation).
+    Query = 2,
+    /// Server → client. Payload = the answer document as XML text.
+    Answer = 3,
+    /// Server → client. Payload = `kind '\n' detail`: a remote fault
+    /// using the mediator's stable `SourceError::kind()` labels.
+    Err = 4,
+}
+
+impl MsgType {
+    fn from_byte(b: u8) -> Option<MsgType> {
+        match b {
+            0 => Some(MsgType::Hello),
+            1 => Some(MsgType::ExportDtd),
+            2 => Some(MsgType::Query),
+            3 => Some(MsgType::Answer),
+            4 => Some(MsgType::Err),
+            _ => None,
+        }
+    }
+}
+
+/// Writes one frame and flushes it.
+pub fn write_frame(w: &mut impl Write, ty: MsgType, payload: &[u8]) -> Result<(), NetError> {
+    if payload.len() as u64 > MAX_PAYLOAD as u64 {
+        return Err(NetError::protocol(format!(
+            "refusing to send a {} byte payload (cap is {MAX_PAYLOAD})",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; 6];
+    header[0] = FRAME_VERSION;
+    header[1] = ty as u8;
+    header[2..6].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Transport errors (including clean EOF before a full
+/// header, which surfaces as `UnexpectedEof`) come back as
+/// [`NetError::Io`]; anything structurally wrong with the bytes as
+/// [`NetError::Protocol`].
+pub fn read_frame(r: &mut impl Read) -> Result<(MsgType, Vec<u8>), NetError> {
+    let mut header = [0u8; 6];
+    r.read_exact(&mut header)?;
+    if header[0] != FRAME_VERSION {
+        return Err(NetError::protocol(format!(
+            "unsupported protocol version {} (this build speaks {FRAME_VERSION})",
+            header[0]
+        )));
+    }
+    let ty = MsgType::from_byte(header[1])
+        .ok_or_else(|| NetError::protocol(format!("unknown message type {}", header[1])))?;
+    let len = u32::from_be_bytes([header[2], header[3], header[4], header[5]]);
+    if len > MAX_PAYLOAD {
+        return Err(NetError::protocol(format!(
+            "frame announces a {len} byte payload (cap is {MAX_PAYLOAD})"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((ty, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, MsgType::Query, b"q = SELECT X WHERE X:<a/>").unwrap();
+        write_frame(&mut buf, MsgType::Hello, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        let (ty, p) = read_frame(&mut r).unwrap();
+        assert_eq!(ty, MsgType::Query);
+        assert_eq!(p, b"q = SELECT X WHERE X:<a/>");
+        let (ty, p) = read_frame(&mut r).unwrap();
+        assert_eq!(ty, MsgType::Hello);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, MsgType::Hello, b"").unwrap();
+        buf[0] = 9;
+        match read_frame(&mut Cursor::new(buf)) {
+            Err(NetError::Protocol(msg)) => assert!(msg.contains("version 9"), "{msg}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, MsgType::Hello, b"").unwrap();
+        buf[1] = 77;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_announcement_rejected_without_allocating() {
+        let mut buf = vec![FRAME_VERSION, MsgType::Answer as u8];
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_a_transport_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, MsgType::Answer, b"<r><a>1</a></r>").unwrap();
+        buf.truncate(buf.len() - 4); // disconnect mid-payload
+        match read_frame(&mut Cursor::new(buf)) {
+            Err(NetError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # mix-net — the wire protocol of distributed mediation
+//!
+//! MIX is a *distributed* architecture: wrappers export a DTD and answer
+//! queries for sources that live elsewhere, and mediators stack on top of
+//! mediators across machine boundaries (Paper §1). This crate is that
+//! boundary: a deliberately small, std-only protocol (threads +
+//! `std::net::TcpStream`, no external dependencies) that moves three
+//! kinds of text — DTDs in the paper's compact notation, XMAS queries,
+//! and XML documents — between a mediator and a remote wrapper.
+//!
+//! The crate knows nothing about DTDs or queries *as values*: payloads
+//! are opaque UTF-8 produced and consumed by the `mix-dtd` / `mix-xmas` /
+//! `mix-xml` serializers on either side. That keeps the dependency
+//! arrow pointing one way (`mix-mediator` → `mix-net`) so the client
+//! ([`Pool`]) can live here while `RemoteWrapper` — which must implement
+//! the mediator's `Wrapper` trait — lives in `mix-mediator`.
+//!
+//! * [`frame`] — length-prefixed binary framing with a version byte,
+//! * [`msg`] — the five message types (`Hello`, `ExportDtd`, `Query`,
+//!   `Answer`, `Err`),
+//! * [`server`] — a threaded accept loop with a connection cap and
+//!   per-connection I/O timeouts, serving any [`WireService`],
+//! * [`client`] — a blocking connection with handshake, pooled by
+//!   [`Pool`].
+//!
+//! The full frame format and error-mapping contract are documented in
+//! `DESIGN.md` §9.
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod msg;
+pub mod server;
+
+pub use client::{ClientConfig, Connection, Pool};
+pub use error::NetError;
+pub use frame::{MsgType, FRAME_VERSION, MAX_PAYLOAD};
+pub use msg::Msg;
+pub use server::{Server, ServerConfig, ServerHandle, WireFault, WireService};

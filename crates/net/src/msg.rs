@@ -1,0 +1,136 @@
+//! The protocol's messages, as values.
+//!
+//! A [`Msg`] is the typed view of one frame: the [`crate::frame::MsgType`]
+//! byte plus the payload decoded as UTF-8 text. Payloads are the *text
+//! serializations* the rest of the workspace already round-trips — DTDs
+//! in the paper's compact notation (`mix_dtd::parse_compact` ↔
+//! `Display`), XMAS queries (`mix_xmas::parse_query` ↔ `Display`), and
+//! XML documents (`mix_xml::parse_document` ↔ `write_document`) — so this
+//! module never needs to know their grammars.
+
+use crate::error::NetError;
+use crate::frame::{read_frame, write_frame, MsgType};
+use std::io::{Read, Write};
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Handshake. First frame in each direction on every connection.
+    Hello,
+    /// Request form (empty) and response form (the exported DTD's compact
+    /// text) share the type byte; direction disambiguates.
+    ExportDtd(String),
+    /// An XMAS query to answer; the empty string requests the full
+    /// exported document (wrapper `fetch`).
+    Query(String),
+    /// An answer document as XML text.
+    Answer(String),
+    /// A remote fault: stable kind label + human-readable detail.
+    Err {
+        /// Stable machine-readable fault label (`SourceError::kind()`).
+        kind: String,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+impl Msg {
+    /// The message's frame type byte.
+    pub fn msg_type(&self) -> MsgType {
+        match self {
+            Msg::Hello => MsgType::Hello,
+            Msg::ExportDtd(_) => MsgType::ExportDtd,
+            Msg::Query(_) => MsgType::Query,
+            Msg::Answer(_) => MsgType::Answer,
+            Msg::Err { .. } => MsgType::Err,
+        }
+    }
+
+    /// Serializes the payload.
+    fn payload(&self) -> Vec<u8> {
+        match self {
+            Msg::Hello => Vec::new(),
+            Msg::ExportDtd(s) | Msg::Query(s) | Msg::Answer(s) => s.as_bytes().to_vec(),
+            Msg::Err { kind, msg } => format!("{kind}\n{msg}").into_bytes(),
+        }
+    }
+
+    /// Writes this message as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), NetError> {
+        write_frame(w, self.msg_type(), &self.payload())
+    }
+
+    /// Reads one message from the stream.
+    pub fn read_from(r: &mut impl Read) -> Result<Msg, NetError> {
+        let (ty, payload) = read_frame(r)?;
+        let text = String::from_utf8(payload)
+            .map_err(|_| NetError::protocol("payload is not valid UTF-8"))?;
+        Ok(match ty {
+            MsgType::Hello => {
+                if !text.is_empty() {
+                    return Err(NetError::protocol("Hello carries a payload"));
+                }
+                Msg::Hello
+            }
+            MsgType::ExportDtd => Msg::ExportDtd(text),
+            MsgType::Query => Msg::Query(text),
+            MsgType::Answer => Msg::Answer(text),
+            MsgType::Err => {
+                let (kind, msg) = text.split_once('\n').unwrap_or((text.as_str(), ""));
+                Msg::Err {
+                    kind: kind.to_owned(),
+                    msg: msg.to_owned(),
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(m: Msg) -> Msg {
+        let mut buf = Vec::new();
+        m.write_to(&mut buf).unwrap();
+        Msg::read_from(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        for m in [
+            Msg::Hello,
+            Msg::ExportDtd("{<r : a*> <a : PCDATA>}".into()),
+            Msg::ExportDtd(String::new()),
+            Msg::Query("q = SELECT X WHERE X:<a/>".into()),
+            Msg::Query(String::new()),
+            Msg::Answer("<r><a>1</a></r>".into()),
+            Msg::Err {
+                kind: "unavailable".into(),
+                msg: "circuit open for 'site3'".into(),
+            },
+        ] {
+            assert_eq!(roundtrip(m.clone()), m);
+        }
+    }
+
+    #[test]
+    fn err_detail_may_contain_newlines() {
+        let m = Msg::Err {
+            kind: "dtd-invalid".into(),
+            msg: "line 1\nline 2".into(),
+        };
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn non_utf8_payload_rejected() {
+        let mut buf = Vec::new();
+        crate::frame::write_frame(&mut buf, MsgType::Answer, &[0xff, 0xfe]).unwrap();
+        assert!(matches!(
+            Msg::read_from(&mut Cursor::new(buf)),
+            Err(NetError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,368 @@
+//! The server side: a threaded accept loop exporting one [`WireService`].
+//!
+//! One OS thread per connection (bounded by
+//! [`ServerConfig::max_connections`]), per-connection read/write
+//! timeouts, and a graceful [`ServerHandle::shutdown`] for tests and
+//! daemons. The conversation on every connection is:
+//!
+//! ```text
+//! client: Hello            server: Hello
+//! client: ExportDtd ""     server: ExportDtd <dtd text>
+//! client: Query <q|"">     server: Answer <xml>  |  Err <kind, detail>
+//! …repeat…                 (connection closes on EOF or timeout)
+//! ```
+
+use crate::error::NetError;
+use crate::msg::Msg;
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A fault the service wants forwarded to the client as an `Err` message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFault {
+    /// Stable machine-readable label (the mediator uses
+    /// `SourceError::kind()` strings here).
+    pub kind: String,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl WireFault {
+    /// Builds a fault.
+    pub fn new(kind: impl Into<String>, msg: impl Into<String>) -> WireFault {
+        WireFault {
+            kind: kind.into(),
+            msg: msg.into(),
+        }
+    }
+}
+
+/// What a server exports: a DTD and answers, both as text. `mix-mediator`
+/// implements this for any of its `Wrapper`s (including stacked-view
+/// wrappers), keeping this crate free of mediator types.
+pub trait WireService: Send + Sync + 'static {
+    /// The exported DTD in the paper's compact notation (what
+    /// `mix_dtd::Dtd::to_string` emits and `parse_compact` reads back).
+    fn export_dtd(&self) -> String;
+
+    /// Answers a query given as XMAS text; `None` requests the full
+    /// exported document (`fetch`). Returns the answer as XML text.
+    fn answer(&self, query: Option<&str>) -> Result<String, WireFault>;
+}
+
+/// Server knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Concurrent connections served; excess connections are turned away
+    /// with an `Err { kind: "unavailable" }` and closed.
+    pub max_connections: usize,
+    /// Per-connection read *and* write deadline. An idle client holds a
+    /// thread for at most this long.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The live connections of a running server, keyed by an admission
+/// counter. Handler threads deregister themselves on exit; shutdown
+/// closes every registered socket, which doubles as the "daemon kill"
+/// signal — blocked reads in handlers return immediately.
+type Registry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// A bound, not-yet-running server.
+pub struct Server<S: WireService> {
+    listener: TcpListener,
+    service: Arc<S>,
+    config: ServerConfig,
+}
+
+/// A running server spawned on a background thread.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Registry,
+    join: Option<JoinHandle<()>>,
+}
+
+impl<S: WireService> Server<S> {
+    /// Binds `addr` (use port 0 for an OS-assigned port, then read
+    /// [`Server::local_addr`]).
+    pub fn bind(addr: &str, service: Arc<S>, config: ServerConfig) -> Result<Server<S>, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            service,
+            config,
+        })
+    }
+
+    /// The address actually bound.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, NetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Runs the accept loop on the calling thread, forever (until the
+    /// process exits). This is what `mixctl serve-source` calls.
+    pub fn run(self) -> Result<(), NetError> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Registry = Arc::new(Mutex::new(HashMap::new()));
+        self.accept_loop(&stop, &conns);
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread and returns a handle
+    /// that can shut it down — the daemon form used by benches and tests.
+    pub fn spawn(self) -> Result<ServerHandle, NetError> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let loop_stop = Arc::clone(&stop);
+        let loop_conns = Arc::clone(&conns);
+        let join = std::thread::spawn(move || self.accept_loop(&loop_stop, &loop_conns));
+        Ok(ServerHandle {
+            addr,
+            stop,
+            conns,
+            join: Some(join),
+        })
+    }
+
+    fn accept_loop(self, stop: &AtomicBool, conns: &Registry) {
+        let next_id = AtomicU64::new(0);
+        for stream in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            // connection cap: admit-or-refuse is decided here, so a slow
+            // client can never queue unbounded threads
+            let id = next_id.fetch_add(1, Ordering::SeqCst);
+            {
+                let mut live = lock(conns);
+                if live.len() >= self.config.max_connections {
+                    drop(live);
+                    refuse(stream, self.config);
+                    continue;
+                }
+                if let Ok(clone) = stream.try_clone() {
+                    live.insert(id, clone);
+                }
+            }
+            let service = Arc::clone(&self.service);
+            let config = self.config;
+            let conns = Arc::clone(conns);
+            std::thread::spawn(move || {
+                // errors on one connection (disconnects, timeouts,
+                // protocol garbage) end that connection only
+                let _ = handle_connection(stream, service.as_ref(), config);
+                lock(&conns).remove(&id);
+            });
+        }
+    }
+}
+
+fn lock(conns: &Registry) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
+    conns
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ServerHandle {
+    /// The served address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the daemon: no new connections are accepted and every live
+    /// connection's socket is closed, so in-flight exchanges fail on the
+    /// client side — the loopback stand-in for killing the process.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(join) = self.join.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // unblock the blocking accept with one throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        let _ = join.join();
+        // kill live connections; blocked handler reads return immediately
+        for (_, s) in lock(&self.conns).drain() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Turn away an over-cap connection with a polite `Err`.
+fn refuse(stream: TcpStream, config: ServerConfig) {
+    let _ = stream.set_write_timeout(Some(config.io_timeout));
+    let mut w = BufWriter::new(stream);
+    let _ = Msg::Err {
+        kind: "unavailable".into(),
+        msg: "connection limit reached".into(),
+    }
+    .write_to(&mut w);
+}
+
+/// One connection's conversation: handshake, then request/response until
+/// EOF, timeout, or a protocol violation.
+fn handle_connection(
+    stream: TcpStream,
+    service: &dyn WireService,
+    config: ServerConfig,
+) -> Result<(), NetError> {
+    stream.set_read_timeout(Some(config.io_timeout))?;
+    stream.set_write_timeout(Some(config.io_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+
+    match Msg::read_from(&mut reader)? {
+        Msg::Hello => Msg::Hello.write_to(&mut writer)?,
+        other => {
+            let e = Msg::Err {
+                kind: "protocol".into(),
+                msg: format!("expected Hello, got {:?}", other.msg_type()),
+            };
+            e.write_to(&mut writer)?;
+            return Err(NetError::protocol("handshake violation"));
+        }
+    }
+
+    loop {
+        let msg = match Msg::read_from(&mut reader) {
+            Ok(m) => m,
+            // EOF/timeout/reset: the client is done (or gone)
+            Err(NetError::Io(_)) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let reply = match msg {
+            Msg::ExportDtd(_) => Msg::ExportDtd(service.export_dtd()),
+            Msg::Query(q) => {
+                let query = if q.is_empty() { None } else { Some(q.as_str()) };
+                match service.answer(query) {
+                    Ok(xml) => Msg::Answer(xml),
+                    Err(fault) => Msg::Err {
+                        kind: fault.kind,
+                        msg: fault.msg,
+                    },
+                }
+            }
+            Msg::Hello => Msg::Hello, // a re-handshake is harmless
+            Msg::Answer(_) | Msg::Err { .. } => {
+                let e = Msg::Err {
+                    kind: "protocol".into(),
+                    msg: "clients send ExportDtd/Query, not Answer/Err".into(),
+                };
+                e.write_to(&mut writer)?;
+                return Err(NetError::protocol("client sent a server-only message"));
+            }
+        };
+        reply.write_to(&mut writer)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientConfig, Connection};
+
+    /// A service echoing canned text — protocol-level tests only; the
+    /// real DTD/query round-trips live in `mix-mediator`.
+    struct Echo;
+
+    impl WireService for Echo {
+        fn export_dtd(&self) -> String {
+            "{<r : a*> <a : PCDATA>}".into()
+        }
+
+        fn answer(&self, query: Option<&str>) -> Result<String, WireFault> {
+            match query {
+                None => Ok("<r><a>1</a><a>2</a></r>".into()),
+                Some("boom") => Err(WireFault::new("unavailable", "scripted outage")),
+                Some(q) => Ok(format!("<echo>{q}</echo>")),
+            }
+        }
+    }
+
+    fn spawn_echo(config: ServerConfig) -> ServerHandle {
+        Server::bind("127.0.0.1:0", Arc::new(Echo), config)
+            .expect("bind")
+            .spawn()
+            .expect("spawn")
+    }
+
+    #[test]
+    fn handshake_dtd_query_and_fault() {
+        let h = spawn_echo(ServerConfig::default());
+        let mut c =
+            Connection::connect(&h.addr().to_string(), &ClientConfig::default()).expect("connect");
+        assert_eq!(
+            c.request(Msg::ExportDtd(String::new())).unwrap(),
+            Msg::ExportDtd("{<r : a*> <a : PCDATA>}".into())
+        );
+        assert_eq!(
+            c.request(Msg::Query(String::new())).unwrap(),
+            Msg::Answer("<r><a>1</a><a>2</a></r>".into())
+        );
+        match c.request(Msg::Query("boom".into())) {
+            Err(NetError::Remote { kind, msg }) => {
+                assert_eq!(kind, "unavailable");
+                assert_eq!(msg, "scripted outage");
+            }
+            other => panic!("expected remote fault, got {other:?}"),
+        }
+        // the connection survives a remote fault: it was an answer, not a
+        // transport failure
+        assert_eq!(
+            c.request(Msg::Query("q".into())).unwrap(),
+            Msg::Answer("<echo>q</echo>".into())
+        );
+        h.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_turns_excess_away() {
+        let h = spawn_echo(ServerConfig {
+            max_connections: 1,
+            io_timeout: Duration::from_secs(5),
+        });
+        let addr = h.addr().to_string();
+        let cfg = ClientConfig::default();
+        let first = Connection::connect(&addr, &cfg).expect("first connects");
+        // give the accept loop a moment to hand the first connection off
+        std::thread::sleep(Duration::from_millis(50));
+        match Connection::connect(&addr, &cfg) {
+            Err(NetError::Remote { kind, .. }) => assert_eq!(kind, "unavailable"),
+            other => panic!("expected over-cap refusal, got {other:?}"),
+        }
+        drop(first);
+        h.shutdown();
+    }
+
+    #[test]
+    fn shutdown_refuses_new_connections() {
+        let h = spawn_echo(ServerConfig::default());
+        let addr = h.addr().to_string();
+        h.shutdown();
+        assert!(Connection::connect(&addr, &ClientConfig::default()).is_err());
+    }
+}

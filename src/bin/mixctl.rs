@@ -11,22 +11,54 @@
 //! mixctl union      --part D1.dtd:Q3.xmas --part D1b.dtd:Q3.xmas
 //! mixctl federate   --dtd D1.dtd --query Q3.xmas --doc a.xml --doc b.xml \
 //!                   --fail-rate 0.3 --fault-seed 7
+//! mixctl serve-source --addr 127.0.0.1:0 --dtd D1.dtd --doc dept.xml
+//! mixctl federate   --query Q3.xmas --remote 127.0.0.1:7801 --remote host:7802
 //! ```
 //!
 //! DTD files may use real `<!ELEMENT …>` syntax or the paper's compact
 //! `<name : model>` notation (auto-detected).
+//!
+//! Exit codes (stable, scripts may rely on them):
+//!
+//! | code | meaning                                                    |
+//! |------|------------------------------------------------------------|
+//! | 0    | success                                                    |
+//! | 1    | internal failure (unreadable file, invalid document, …)    |
+//! | 2    | usage error                                                |
+//! | 3    | degraded but served: a partial federated answer            |
+//! | 4    | a DTD / query / document file failed to parse              |
+//! | 5    | the query was rejected (normalization failed)              |
+//! | 6    | a source is unavailable (or every federated source failed) |
 
 use mix::infer::metrics::tightness_counts;
 use mix::prelude::*;
 use std::process::ExitCode;
 
+/// Exit code 3: a federated answer was served, but degraded.
+const EXIT_DEGRADED: u8 = 3;
+/// Exit code 4: a DTD / query / document file failed to parse.
+const EXIT_PARSE: u8 = 4;
+/// Exit code 5: the query was rejected (normalization failed).
+const EXIT_QUERY: u8 = 5;
+/// Exit code 6: a source is unavailable / every federated source failed.
+const EXIT_UNAVAILABLE: u8 = 6;
+
 fn usage() -> ! {
     eprintln!(
-        "usage: mixctl <infer|classify|validate|eval|structure|tightness|union|federate|serve> \
-         [--dtd FILE] [--query FILE] [--doc FILE] [--max-size N]\n\
+        "usage: mixctl <infer|classify|validate|eval|structure|tightness|union|federate|\
+         serve|serve-source> [--dtd FILE] [--query FILE] [--doc FILE] [--max-size N]\n\
          run `mixctl help` for details"
     );
     std::process::exit(2)
+}
+
+/// The exit code a [`SourceError`] maps to.
+fn source_error_exit(e: &SourceError) -> u8 {
+    match e {
+        SourceError::Unavailable(_) => EXIT_UNAVAILABLE,
+        SourceError::Query(_) => EXIT_QUERY,
+        _ => 1,
+    }
 }
 
 struct Args {
@@ -45,6 +77,10 @@ struct Args {
     threads: Vec<usize>,
     latency_ms: u64,
     out: Option<String>,
+    addr: Option<String>,
+    remotes: Vec<String>,
+    max_conns: usize,
+    timeout_ms: u64,
 }
 
 fn parse_args() -> Args {
@@ -66,6 +102,10 @@ fn parse_args() -> Args {
         threads: vec![1, 2, 4, 8],
         latency_ms: 10,
         out: None,
+        addr: None,
+        remotes: Vec::new(),
+        max_conns: 64,
+        timeout_ms: 10_000,
     };
     while let Some(flag) = argv.next() {
         let mut grab = || argv.next().unwrap_or_else(|| usage());
@@ -107,6 +147,14 @@ fn parse_args() -> Args {
                 args.latency_ms = grab().parse().unwrap_or_else(|_| usage());
             }
             "--out" => args.out = Some(grab()),
+            "--addr" => args.addr = Some(grab()),
+            "--remote" => args.remotes.push(grab()),
+            "--max-conns" => {
+                args.max_conns = grab().parse().unwrap_or_else(|_| usage());
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = grab().parse().unwrap_or_else(|_| usage());
+            }
             "--part" => {
                 let spec = grab();
                 match spec.split_once(':') {
@@ -136,7 +184,7 @@ fn load_dtd_path(path: &str) -> Dtd {
     };
     parsed.unwrap_or_else(|e| {
         eprintln!("mixctl: {path}: {e}");
-        std::process::exit(1)
+        std::process::exit(EXIT_PARSE as i32)
     })
 }
 
@@ -144,18 +192,21 @@ fn load_dtd(args: &Args) -> Dtd {
     load_dtd_path(args.dtd.as_deref().unwrap_or_else(|| usage()))
 }
 
-fn load_query(args: &Args) -> Query {
-    let path = args.query.as_deref().unwrap_or_else(|| usage());
+fn load_query_path(path: &str) -> Query {
     parse_query(&read(path)).unwrap_or_else(|e| {
         eprintln!("mixctl: {path}: {e}");
-        std::process::exit(1)
+        std::process::exit(EXIT_PARSE as i32)
     })
+}
+
+fn load_query(args: &Args) -> Query {
+    load_query_path(args.query.as_deref().unwrap_or_else(|| usage()))
 }
 
 fn load_doc_path(path: &str) -> Document {
     parse_document(&read(path)).unwrap_or_else(|e| {
         eprintln!("mixctl: {path}: {e}");
-        std::process::exit(1)
+        std::process::exit(EXIT_PARSE as i32)
     })
 }
 
@@ -268,7 +319,8 @@ fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
          \"latency_ms\": {},\n  \"sources\": {},\n  \"inference\": {{ \
          \"cold_us\": {:.1}, \"warm_us\": {:.1}, \"warm_speedup\": {:.1} }},\n  \
          \"throughput\": [\n{}\n  ],\n  \"cache\": {{ \"hits\": {}, \"misses\": {}, \
-         \"entries\": {} }}\n}}",
+         \"entries\": {} }},\n  \"automata\": {{ \"dfa_hits\": {}, \"dfa_misses\": {}, \
+         \"inclusion_hits\": {}, \"inclusion_misses\": {} }}\n}}",
         args.batch,
         args.latency_ms,
         args.docs.len(),
@@ -279,6 +331,10 @@ fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
         stats.inference.hits,
         stats.inference.misses,
         stats.inference.entries,
+        stats.automata.dfa_hits,
+        stats.automata.dfa_misses,
+        stats.automata.inclusion_hits,
+        stats.automata.inclusion_misses,
     );
     match &args.out {
         Some(path) => {
@@ -307,14 +363,23 @@ fn main() -> ExitCode {
                  \x20 structure  --dtd F             the DTD-based query-interface summary\n\
                  \x20 tightness  --dtd F --query F [--max-size N]   exact tightness counts\n\
                  \x20 union      [--name N] --part DTD:QUERY …      infer a union view DTD\n\
-                 \x20 federate   --dtd F --query F --doc F … [--fail-rate R] [--fault-seed S]\n\
-                 \x20            [--retries N]    union the docs as N sources under injected\n\
-                 \x20            faults; print the (partial) answer + degradation report\n\
+                 \x20 federate   --query F [--dtd F --doc F …] [--remote HOST:PORT …]\n\
+                 \x20            [--fail-rate R] [--fault-seed S] [--retries N]\n\
+                 \x20            [--timeout-ms MS]   union local docs and remote\n\
+                 \x20            serve-source daemons as one view under injected faults;\n\
+                 \x20            print the (partial) answer + degradation report\n\
                  \x20 serve      --bench --dtd F --query F --doc F … [--batch N]\n\
                  \x20            [--threads 1,2,4,8] [--latency-ms MS] [--out FILE]\n\
                  \x20            throughput driver: cold/warm inference-cache timing and\n\
                  \x20            batched answer_many thread scaling over simulated-latency\n\
-                 \x20            sources; JSON report to --out (or stdout)"
+                 \x20            sources; JSON report to --out (or stdout)\n\
+                 \x20 serve-source --addr HOST:PORT --dtd F --doc F [--query F]\n\
+                 \x20            [--max-conns N] [--timeout-ms MS]   export the source (or,\n\
+                 \x20            with --query, its view — a stacked mediator) over the\n\
+                 \x20            mix-net wire protocol; prints 'listening on HOST:PORT'\n\n\
+                 exit codes: 0 ok; 1 failure; 2 usage; 3 degraded federated answer;\n\
+                 \x20 4 DTD/query/document parse error; 5 query rejected (normalization);\n\
+                 \x20 6 source unavailable / every federated source failed"
             );
             ExitCode::SUCCESS
         }
@@ -365,8 +430,8 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("mixctl: {e}");
-                    ExitCode::FAILURE
+                    eprintln!("mixctl: query rejected: {e}");
+                    ExitCode::from(EXIT_QUERY)
                 }
             }
         }
@@ -395,8 +460,8 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("mixctl: {e}");
-                    ExitCode::FAILURE
+                    eprintln!("mixctl: query rejected: {e}");
+                    ExitCode::from(EXIT_QUERY)
                 }
             }
         }
@@ -412,11 +477,7 @@ fn main() -> ExitCode {
             let mut loaded = Vec::new();
             for (dtd_path, query_path) in &args.parts {
                 let dtd = load_dtd_path(dtd_path);
-                let q = parse_query(&read(query_path)).unwrap_or_else(|e| {
-                    eprintln!("mixctl: {query_path}: {e}");
-                    std::process::exit(1)
-                });
-                loaded.push((q, dtd));
+                loaded.push((load_query_path(query_path), dtd));
             }
             let refs: Vec<(&Query, &Dtd)> = loaded.iter().map(|(q, d)| (q, d)).collect();
             match mix::infer::infer_union_view_dtd(name(&args.name), &refs) {
@@ -444,9 +505,8 @@ fn main() -> ExitCode {
             }
         }
         "federate" => {
-            let dtd = load_dtd(&args);
             let q = load_query(&args);
-            if args.docs.is_empty() {
+            if args.docs.is_empty() && args.remotes.is_empty() {
                 usage();
             }
             let mut m = Mediator::new();
@@ -454,24 +514,51 @@ fn main() -> ExitCode {
                 max_retries: args.retries,
                 ..ResiliencePolicy::default()
             });
-            let mut parts = Vec::new();
-            let names: Vec<String> = (0..args.docs.len()).map(|i| format!("site{i}")).collect();
-            for (i, path) in args.docs.iter().enumerate() {
-                let doc = load_doc_path(path);
-                let source = XmlSource::new(dtd.clone(), doc).unwrap_or_else(|e| {
-                    eprintln!("mixctl: {path}: {e}");
-                    std::process::exit(1)
-                });
-                // one independent, seeded schedule per site
-                let injector = FaultInjector::seeded(
-                    std::sync::Arc::new(source),
-                    args.fault_seed.wrapping_add(i as u64),
-                    args.fail_rate,
-                );
-                m.add_source(&names[i], std::sync::Arc::new(injector));
-                parts.push((names[i].as_str(), q.clone()));
+            let mut site_names: Vec<String> = Vec::new();
+            if !args.docs.is_empty() {
+                // local members share the --dtd; remote members export
+                // their own DTDs at registration
+                let dtd = load_dtd(&args);
+                for (i, path) in args.docs.iter().enumerate() {
+                    let doc = load_doc_path(path);
+                    let source = XmlSource::new(dtd.clone(), doc).unwrap_or_else(|e| {
+                        eprintln!("mixctl: {path}: {e}");
+                        std::process::exit(1)
+                    });
+                    // one independent, seeded schedule per site
+                    let injector = FaultInjector::seeded(
+                        std::sync::Arc::new(source),
+                        args.fault_seed.wrapping_add(i as u64),
+                        args.fail_rate,
+                    );
+                    let site = format!("site{i}");
+                    m.add_source(&site, std::sync::Arc::new(injector));
+                    site_names.push(site);
+                }
             }
+            for (i, addr) in args.remotes.iter().enumerate() {
+                let cfg = ClientConfig {
+                    io_timeout: std::time::Duration::from_millis(args.timeout_ms),
+                    ..ClientConfig::default()
+                };
+                let wrapper = match RemoteWrapper::connect_with(addr, cfg) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        eprintln!("mixctl: {addr}: {e}");
+                        return ExitCode::from(source_error_exit(&e));
+                    }
+                };
+                let site = format!("remote{i}");
+                m.add_source(&site, std::sync::Arc::new(wrapper));
+                site_names.push(site);
+            }
+            let parts: Vec<(&str, Query)> =
+                site_names.iter().map(|s| (s.as_str(), q.clone())).collect();
             if let Err(e) = m.register_union_view(&args.name, &parts) {
+                if let MediatorError::Normalize(e) = e {
+                    eprintln!("mixctl: query rejected: {e}");
+                    return ExitCode::from(EXIT_QUERY);
+                }
                 eprintln!("mixctl: {e}");
                 return ExitCode::FAILURE;
             }
@@ -484,9 +571,85 @@ fn main() -> ExitCode {
                     } else {
                         // degraded but served: distinguishable from both
                         // success and hard failure
-                        ExitCode::from(3)
+                        ExitCode::from(EXIT_DEGRADED)
                     }
                 }
+                Err(e) => {
+                    eprintln!("mixctl: {e}");
+                    match e {
+                        MediatorError::AllSourcesFailed(_) => ExitCode::from(EXIT_UNAVAILABLE),
+                        MediatorError::Source { error, .. } => {
+                            ExitCode::from(source_error_exit(&error))
+                        }
+                        MediatorError::Normalize(_) => ExitCode::from(EXIT_QUERY),
+                        _ => ExitCode::FAILURE,
+                    }
+                }
+            }
+        }
+        "serve-source" => {
+            let Some(addr) = args.addr.as_deref() else {
+                eprintln!("mixctl: serve-source needs --addr HOST:PORT");
+                return ExitCode::from(2);
+            };
+            let dtd = load_dtd(&args);
+            let doc = load_doc(&args);
+            let source = XmlSource::new(dtd, doc).unwrap_or_else(|e| {
+                eprintln!("mixctl: document does not validate: {e}");
+                std::process::exit(1)
+            });
+            // --query exports the *view* (a stacked mediator) instead of
+            // the raw source
+            let wrapper: std::sync::Arc<dyn Wrapper> = match &args.query {
+                None => std::sync::Arc::new(source),
+                Some(_) => {
+                    let q = load_query(&args);
+                    let mut m = Mediator::new();
+                    m.add_source("local", std::sync::Arc::new(source));
+                    if let Err(e) = m.register_view("local", &q) {
+                        if let MediatorError::Normalize(e) = e {
+                            eprintln!("mixctl: query rejected: {e}");
+                            return ExitCode::from(EXIT_QUERY);
+                        }
+                        eprintln!("mixctl: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    let view = q.view_name;
+                    let vw = ViewWrapper::new(std::sync::Arc::new(m), view)
+                        .expect("the view was registered just above");
+                    std::sync::Arc::new(vw)
+                }
+            };
+            let config = ServerConfig {
+                max_connections: args.max_conns,
+                io_timeout: std::time::Duration::from_millis(args.timeout_ms),
+            };
+            let server = match Server::bind(
+                addr,
+                std::sync::Arc::new(WrapperService::new(wrapper)),
+                config,
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("mixctl: cannot bind '{addr}': {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match server.local_addr() {
+                Ok(bound) => {
+                    // scripts and tests parse this line (port 0 binds an
+                    // OS-assigned port)
+                    println!("listening on {bound}");
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                }
+                Err(e) => {
+                    eprintln!("mixctl: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match server.run() {
+                Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("mixctl: {e}");
                     ExitCode::FAILURE

@@ -29,6 +29,8 @@
 //! * [`infer`] — refine / tighten / merge / InferList (the contribution),
 //! * [`mediator`] — the MIX mediator: views, simplifier, composition,
 //!   stacking,
+//! * [`net`] — the mix-net wire protocol for distributed mediation
+//!   (`mixctl serve-source` daemons, `RemoteWrapper` clients),
 //! * [`dataguide`] — strong DataGuides for the Section 5 related-work
 //!   comparison.
 
@@ -36,6 +38,7 @@ pub use mix_dataguide as dataguide;
 pub use mix_dtd as dtd;
 pub use mix_infer as infer;
 pub use mix_mediator as mediator;
+pub use mix_net as net;
 pub use mix_relang as relang;
 pub use mix_xmas as xmas;
 pub use mix_xml as xml;
@@ -58,9 +61,10 @@ pub mod prelude {
     pub use mix_mediator::{
         compose, render_structure, Answer, AnswerPath, BreakerState, DegradationReport, Fault,
         FaultInjector, FaultPlan, FetchStatus, LatencyWrapper, Mediator, MediatorError,
-        ProcessorConfig, ResiliencePolicy, SourceError, SourceOutcome, UnionView, ViewWrapper,
-        Wrapper, XmlSource,
+        ProcessorConfig, RemoteWrapper, ResiliencePolicy, SourceError, SourceOutcome, UnionView,
+        ViewWrapper, Wrapper, WrapperService, XmlSource,
     };
+    pub use mix_net::{ClientConfig, Server, ServerConfig, ServerHandle};
     pub use mix_relang::symbol::{name, sym, Name, Sym};
     pub use mix_relang::{equivalent, is_subset, parse_regex, simplify, Regex};
     pub use mix_xmas::{evaluate, normalize, parse_query, Query};

@@ -163,6 +163,155 @@ fn bad_usage_exits_nonzero() {
     assert!(mixctl(&["help"]).status.success());
 }
 
+/// Unparseable inputs (DTD, query, document) all map to exit code 4.
+#[test]
+fn parse_errors_exit_4() {
+    let good_dtd = fixture("pe.dtd", D1);
+    let good_q = fixture("pe.xmas", Q2);
+    let bad_dtd = fixture("pe-bad.dtd", "{<department : ");
+    let bad_q = fixture("pe-bad.xmas", "SELECT WHERE <<");
+    let bad_doc = fixture("pe-bad.xml", "<department><name>CS</department>");
+
+    let out = mixctl(&[
+        "infer",
+        "--dtd",
+        bad_dtd.to_str().unwrap(),
+        "--query",
+        good_q.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(4), "bad DTD");
+
+    let out = mixctl(&[
+        "classify",
+        "--dtd",
+        good_dtd.to_str().unwrap(),
+        "--query",
+        bad_q.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(4), "bad query");
+
+    let out = mixctl(&[
+        "validate",
+        "--dtd",
+        good_dtd.to_str().unwrap(),
+        "--doc",
+        bad_doc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(4), "bad document");
+}
+
+/// A well-formed query that fails normalization (its pick variable is
+/// never bound) is *rejected*, exit code 5 — distinct from a parse error
+/// and from source trouble.
+#[test]
+fn rejected_queries_exit_5() {
+    let dtd = fixture("rq.dtd", D1);
+    let doc = fixture("rq.xml", DOC);
+    let q = fixture(
+        "rq.xmas",
+        "v = SELECT Z WHERE <department> X:<professor/> </department>",
+    );
+    let out = mixctl(&[
+        "eval",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--doc",
+        doc.to_str().unwrap(),
+        "--query",
+        q.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(5), "{:?}", out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("query rejected"));
+}
+
+/// `federate --remote` against a dead address is an unavailable-source
+/// failure: exit code 6.
+#[test]
+fn federate_dead_remote_exits_6() {
+    // bind-then-drop reserves a port nothing is listening on
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let q = fixture("fd.xmas", Q2);
+    let out = mixctl(&[
+        "federate",
+        "--query",
+        q.to_str().unwrap(),
+        "--remote",
+        &dead,
+    ]);
+    assert_eq!(out.status.code(), Some(6), "{:?}", out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("connection refused"));
+}
+
+/// A serve-source daemon spawned from the binary answers a `federate
+/// --remote` run from a second binary invocation — the full network mode
+/// end to end, including the parseable "listening on" line.
+#[test]
+fn serve_source_then_federate_over_loopback() {
+    use std::io::BufRead as _;
+
+    let dtd = fixture("net.dtd", D1);
+    let doc = fixture("net.xml", DOC);
+    let q = fixture("net.xmas", Q2);
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_mixctl"))
+        .args([
+            "serve-source",
+            "--addr",
+            "127.0.0.1:0",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--doc",
+            doc.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut line = String::new();
+    std::io::BufReader::new(daemon.stdout.as_mut().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("daemon announces its address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_owned();
+
+    let out = mixctl(&[
+        "federate",
+        "--query",
+        q.to_str().unwrap(),
+        "--remote",
+        &addr,
+    ]);
+    let _ = daemon.kill();
+    let _ = daemon.wait();
+
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("<view>"), "{text}");
+    assert!(text.contains("<professor>"), "{text}");
+    assert!(text.contains("1/1 sources served"), "{text}");
+}
+
+/// serve-source without a bind address is a usage error (exit 2), like
+/// every other malformed invocation.
+#[test]
+fn serve_source_without_addr_is_usage_error() {
+    let dtd = fixture("sa.dtd", D1);
+    let doc = fixture("sa.xml", DOC);
+    let out = mixctl(&[
+        "serve-source",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--doc",
+        doc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
 #[test]
 fn union_subcommand() {
     let dtd = fixture("du.dtd", D1);

@@ -1,0 +1,359 @@
+//! End-to-end distributed mediation over the mix-net wire protocol.
+//!
+//! The acceptance scenario: a mediator federates two loopback
+//! `serve-source` daemons with one in-process source under a union view.
+//! When a daemon is killed mid-session, the degraded answer *and* the
+//! [`DegradationReport`] must be byte-identical to an all-in-process run
+//! whose failing member is scripted to fail the same way. This works
+//! because every transport-derived [`SourceError`] message is
+//! deterministic (`"{addr}: connection refused"`, never OS error text)
+//! and the resilience layer's retry/backoff accounting is virtual.
+//!
+//! The property test at the bottom drives a RemoteWrapper through a
+//! byte-budgeted chaos proxy: whatever prefix of the session survives,
+//! the wrapper either agrees with the in-process wrapper byte for byte
+//! or fails with a transport-classified source fault — never a query
+//! rejection, never silently wrong data.
+
+use mix::prelude::*;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::io::{Read as _, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+const SITE_DTD: &str = "{<site : entry*> <entry : PCDATA>}";
+
+fn site_doc(tag: &str, entries: usize) -> Document {
+    let body: String = (0..entries)
+        .map(|i| format!("<entry>{tag}{i}</entry>"))
+        .collect();
+    parse_document(&format!("<site>{body}</site>")).unwrap()
+}
+
+fn site_source(tag: &str, entries: usize) -> XmlSource {
+    XmlSource::new(parse_compact(SITE_DTD).unwrap(), site_doc(tag, entries)).unwrap()
+}
+
+fn spawn_daemon(tag: &str, entries: usize) -> ServerHandle {
+    Server::bind(
+        "127.0.0.1:0",
+        Arc::new(WrapperService::new(site_source(tag, entries))),
+        ServerConfig::default(),
+    )
+    .expect("bind loopback")
+    .spawn()
+    .expect("spawn daemon")
+}
+
+fn part_query() -> Query {
+    parse_query("all = SELECT X WHERE <site> X:<entry/> </site>").unwrap()
+}
+
+/// A mediator federating `alpha`/`beta`/`gamma` under the union view
+/// `all` — the same shape whether the wrappers are remote or local.
+fn federation(
+    alpha: Arc<dyn Wrapper>,
+    beta: Arc<dyn Wrapper>,
+    gamma: Arc<dyn Wrapper>,
+) -> Mediator {
+    let mut m = Mediator::new();
+    m.add_source("alpha", alpha);
+    m.add_source("beta", beta);
+    m.add_source("gamma", gamma);
+    m.register_union_view(
+        "all",
+        &[
+            ("alpha", part_query()),
+            ("beta", part_query()),
+            ("gamma", part_query()),
+        ],
+    )
+    .expect("union view registers");
+    m
+}
+
+fn render(doc: &Document) -> String {
+    write_document(doc, WriteConfig::default())
+}
+
+/// An in-process wrapper whose fetches follow an explicit error script —
+/// the twin of a remote source dying in a known way. Entries are consumed
+/// per call (`None` = pass through); past the end every call succeeds.
+struct ScriptedSource {
+    inner: XmlSource,
+    script: Mutex<VecDeque<Option<SourceError>>>,
+}
+
+impl ScriptedSource {
+    fn new(inner: XmlSource, script: Vec<Option<SourceError>>) -> ScriptedSource {
+        ScriptedSource {
+            inner,
+            script: Mutex::new(script.into()),
+        }
+    }
+}
+
+impl Wrapper for ScriptedSource {
+    fn dtd(&self) -> &Dtd {
+        self.inner.dtd()
+    }
+
+    fn fetch(&self) -> Result<Document, SourceError> {
+        match self.script.lock().unwrap().pop_front() {
+            Some(Some(e)) => Err(e),
+            _ => self.inner.fetch(),
+        }
+    }
+}
+
+/// The error sequence a RemoteWrapper observes after its daemon is
+/// killed: the pooled connection dies mid-exchange (a transport fault,
+/// transient), then every redial is refused (unavailable). Only the
+/// *final* error lands in the report, so the transient message is not
+/// part of the byte-identical contract — the refusal message is.
+fn killed_daemon_script(addr: &str) -> Vec<Option<SourceError>> {
+    vec![
+        Some(SourceError::Transient(format!(
+            "{addr}: transport fault (connection reset)"
+        ))),
+        Some(SourceError::Unavailable(format!(
+            "{addr}: connection refused"
+        ))),
+    ]
+}
+
+/// The ISSUE acceptance scenario: two serve-source daemons plus one
+/// local source federated; one daemon killed before the union view
+/// materializes; answer and DegradationReport byte-identical to the
+/// all-in-process twin.
+#[test]
+fn killed_daemon_degrades_byte_identically_to_an_in_process_twin() {
+    // serve_stale off so the kill is visible in the answer itself
+    let policy = ResiliencePolicy {
+        serve_stale: false,
+        ..ResiliencePolicy::default()
+    };
+
+    let daemon_a = spawn_daemon("a", 2);
+    let daemon_b = spawn_daemon("b", 3);
+    let beta_addr = daemon_b.addr().to_string();
+    let alpha = RemoteWrapper::connect(&daemon_a.addr().to_string()).expect("alpha reachable");
+    let beta = RemoteWrapper::connect(&beta_addr).expect("beta reachable");
+    let mut distributed = federation(
+        Arc::new(alpha),
+        Arc::new(beta),
+        Arc::new(site_source("c", 2)),
+    );
+    distributed.set_resilience_policy(policy);
+
+    // the injected daemon kill: beta's listener closes and its live
+    // connections (including the one pooled in the RemoteWrapper) drop
+    daemon_b.shutdown();
+
+    let (doc, report) = distributed
+        .materialize_with_report(name("all"))
+        .expect("union survives a dead member");
+
+    // the all-in-process twin: same members, beta scripted to fail the
+    // way the dead daemon does
+    let mut twin = federation(
+        Arc::new(site_source("a", 2)),
+        Arc::new(ScriptedSource::new(
+            site_source("b", 3),
+            killed_daemon_script(&beta_addr),
+        )),
+        Arc::new(site_source("c", 2)),
+    );
+    twin.set_resilience_policy(policy);
+    let (twin_doc, twin_report) = twin
+        .materialize_with_report(name("all"))
+        .expect("twin union survives");
+
+    assert_eq!(
+        render(&doc),
+        render(&twin_doc),
+        "degraded distributed answer diverged from the in-process twin"
+    );
+    assert_eq!(
+        report.to_string(),
+        twin_report.to_string(),
+        "degradation report diverged from the in-process twin"
+    );
+    assert_eq!(report.failed_sources(), vec!["beta"]);
+    assert!(
+        !render(&doc).contains("b0"),
+        "the dead member must not contribute entries"
+    );
+
+    daemon_a.shutdown();
+}
+
+/// With the default policy a healthy materialization captures snapshots,
+/// so the same kill degrades to *stale* service: the degraded answer is
+/// byte-identical to the healthy one, and the report still matches the
+/// scripted twin.
+#[test]
+fn killed_daemon_serves_stale_snapshots_byte_identically() {
+    let daemon_a = spawn_daemon("a", 2);
+    let daemon_b = spawn_daemon("b", 3);
+    let beta_addr = daemon_b.addr().to_string();
+    let distributed = federation(
+        Arc::new(RemoteWrapper::connect(&daemon_a.addr().to_string()).expect("alpha reachable")),
+        Arc::new(RemoteWrapper::connect(&beta_addr).expect("beta reachable")),
+        Arc::new(site_source("c", 2)),
+    );
+    let mut twin_script = killed_daemon_script(&beta_addr);
+    twin_script.insert(0, None); // the healthy run's fetch passes through
+    let twin = federation(
+        Arc::new(site_source("a", 2)),
+        Arc::new(ScriptedSource::new(site_source("b", 3), twin_script)),
+        Arc::new(site_source("c", 2)),
+    );
+
+    let (healthy, healthy_report) = distributed
+        .materialize_with_report(name("all"))
+        .expect("healthy run");
+    assert!(healthy_report.is_clean());
+    let (twin_healthy, twin_healthy_report) = twin
+        .materialize_with_report(name("all"))
+        .expect("twin healthy");
+    assert_eq!(render(&healthy), render(&twin_healthy));
+    assert_eq!(healthy_report.to_string(), twin_healthy_report.to_string());
+
+    daemon_b.shutdown();
+
+    let (degraded, report) = distributed
+        .materialize_with_report(name("all"))
+        .expect("stale run");
+    let (twin_degraded, twin_report) = twin
+        .materialize_with_report(name("all"))
+        .expect("twin stale run");
+
+    assert_eq!(report.outcomes[1].status, FetchStatus::Stale);
+    assert_eq!(
+        render(&degraded),
+        render(&healthy),
+        "stale service must reproduce the last good answer"
+    );
+    assert_eq!(render(&degraded), render(&twin_degraded));
+    assert_eq!(report.to_string(), twin_report.to_string());
+
+    daemon_a.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Property: RemoteWrapper through a lossy transport agrees with the
+// in-process wrapper or fails with a transport-classified fault.
+// ---------------------------------------------------------------------------
+
+/// The shared upstream daemon the chaos proxies front. One per process:
+/// the property only needs its address, and its state is immutable.
+fn upstream() -> SocketAddr {
+    static DAEMON: OnceLock<ServerHandle> = OnceLock::new();
+    DAEMON.get_or_init(|| spawn_daemon("p", 4)).addr()
+}
+
+/// Relay one direction until the shared byte budget runs out, then cut
+/// *both* sockets — a mid-frame disconnect whenever the budget lands
+/// inside a frame.
+fn relay(mut from: TcpStream, mut to: TcpStream, remaining: Arc<AtomicI64>) {
+    let mut buf = [0u8; 64];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let before = remaining.fetch_sub(n as i64, Ordering::SeqCst);
+        if before < n as i64 {
+            // budget exhausted inside this read: deliver the surviving
+            // prefix, then drop the session
+            let _ = to.write_all(&buf[..before.max(0) as usize]);
+            break;
+        }
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// A single-session proxy that forwards at most `budget` bytes (both
+/// directions combined) between one client and `upstream`, then
+/// disconnects both sides.
+fn chaos_proxy(upstream: SocketAddr, budget: usize) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let addr = listener.local_addr().expect("proxy addr");
+    std::thread::spawn(move || {
+        let client = match listener.accept() {
+            Ok((c, _)) => c,
+            Err(_) => return,
+        };
+        let server = match TcpStream::connect(upstream) {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let remaining = Arc::new(AtomicI64::new(budget as i64));
+        let up = std::thread::spawn({
+            let (from, to, r) = (
+                client.try_clone().expect("clone"),
+                server.try_clone().expect("clone"),
+                Arc::clone(&remaining),
+            );
+            move || relay(from, to, r)
+        });
+        relay(server, client, remaining);
+        let _ = up.join();
+    });
+    addr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever prefix of the wire session a disconnect leaves standing,
+    /// the RemoteWrapper either produces the in-process wrapper's exact
+    /// answer bytes or a fault the resilience layer classifies as
+    /// transport trouble ("transient"/"unavailable"/"timeout") — never a
+    /// query rejection, never corrupted data passed off as an answer.
+    #[test]
+    fn remote_wrapper_agrees_with_in_process_under_mid_frame_disconnects(
+        budget in 0usize..4096,
+    ) {
+        let reference = site_source("p", 4);
+        let query = part_query();
+        let expected = render(&reference.answer(&query).unwrap());
+
+        let proxy = chaos_proxy(upstream(), budget);
+        let config = ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(5),
+            pool_size: 2,
+        };
+        let transport_fault = |e: &SourceError| {
+            matches!(e.kind(), "transient" | "unavailable" | "timeout")
+        };
+        match RemoteWrapper::connect_with(&proxy.to_string(), config) {
+            Err(e) => prop_assert!(
+                transport_fault(&e),
+                "handshake failure misclassified as {}: {e}",
+                e.kind()
+            ),
+            Ok(remote) => match remote.answer(&query) {
+                Ok(doc) => prop_assert_eq!(
+                    render(&doc),
+                    expected.clone(),
+                    "surviving session must agree byte for byte"
+                ),
+                Err(e) => prop_assert!(
+                    transport_fault(&e),
+                    "answer failure misclassified as {}: {e}",
+                    e.kind()
+                ),
+            },
+        }
+    }
+}

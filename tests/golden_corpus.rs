@@ -10,7 +10,7 @@
 //! UPDATE_GOLDEN=1 cargo test --test golden_corpus
 //! ```
 
-use mix::dtd::paper::{d11_department, d1_department, d9_professor};
+use mix::dtd::paper::{d11_department, d1_department, d9_professor, section_recursive};
 use mix::prelude::*;
 use mix::xmas::paper::{q12_papers, q2_with_journals, q3_publist, q6_answer, q7_answer};
 use std::fmt::Write as _;
@@ -37,13 +37,43 @@ fn corpus() -> Vec<(&'static str, Dtd, Query)> {
     let mut cases = vec![
         ("d1-q2-with-journals", d1_department(), q2_with_journals()),
         ("d1-q3-publist", d1_department(), q3_publist()),
+        ("d11-q3-publist", d11_department(), q3_publist()),
         ("d11-q12-papers", d11_department(), q12_papers()),
         ("d9-q6-answer", d9_professor(), q6_answer()),
         ("d9-q7-answer", d9_professor(), q7_answer()),
+        (
+            "section-recursive-subsections",
+            section_recursive(),
+            parse_query("subs = SELECT S WHERE <section> <prolog/> S:<section/> </>").unwrap(),
+        ),
     ];
     for (name, src) in verdict_triple {
         cases.push((name, d1_department(), parse_query(src).unwrap()));
     }
+    // Merge chains: inference over an *inferred* view DTD — the stacked-
+    // mediator scenario, where a lower mediator exports D2 (inferred from
+    // Q2/D1) or D10 (inferred from Q6/D9) and a higher one infers again.
+    let d2 = infer_view_dtd(&q2_with_journals(), &d1_department())
+        .expect("Q2/D1 infers")
+        .dtd;
+    cases.push((
+        "d2-q3-merge-chain",
+        d2,
+        parse_query(
+            "pubs = SELECT P WHERE <withJournals> <professor | gradStudent> \
+             P:<publication/> </> </>",
+        )
+        .unwrap(),
+    ));
+    let d10 = infer_view_dtd(&q6_answer(), &d9_professor())
+        .expect("Q6/D9 infers")
+        .dtd;
+    cases.push((
+        "d10-merge-chain",
+        d10,
+        parse_query("profs = SELECT X WHERE <answer> X:<professor><journal/></professor> </>")
+            .unwrap(),
+    ));
     cases
 }
 
