@@ -1,0 +1,191 @@
+//! X17 — the observability subsystem's cost and payoff.
+//!
+//! Two questions, one artifact (`BENCH_PR4.json`):
+//!
+//! 1. **Cost.** The same X15 batch workload (4 simulated-latency
+//!    sources, 20-query batches, 8 worker threads) served twice: once by
+//!    a mediator recording into a live [`mix_obs::Registry`], once with
+//!    [`mix_obs::Registry::noop`] — every instrument a single
+//!    `Option::None` branch. The acceptance target is ≤ 2% throughput
+//!    overhead on this workload. A zero-latency variant is also measured
+//!    as a stress figure: with no source waits to hide behind, the
+//!    instrument cost is maximally visible (it is *not* part of the
+//!    acceptance gate, and on a busy host it is mostly scheduler noise).
+//! 2. **Payoff.** A federated union with one source 50 ms slower than
+//!    its peers, localized *from the span trace alone*: the
+//!    `fetch/<site>` span with the largest duration must name the slow
+//!    source, without consulting the wrappers.
+//!
+//! Custom harness (not Criterion): like X15, the acceptance criteria are
+//! ratios that must land in a committed artifact.
+
+use mix_bench::{d1, department_of_size, q2};
+use mix_mediator::{LatencyWrapper, Mediator, ProcessorConfig, XmlSource};
+use mix_obs::Registry;
+use mix_xmas::{parse_query, Query};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SOURCES: usize = 4;
+const BATCH: usize = 20;
+const LATENCY_MS: u64 = 10;
+const THREADS: usize = 8;
+const REPS: usize = 5;
+const SLOW_MS: u64 = 50;
+const FAST_MS: u64 = 1;
+const SLOW_SITE: usize = 2;
+
+/// The X15 serving mediator, parameterized over its registry and the
+/// per-fetch simulated latency.
+fn build_mediator(registry: Registry, latency_ms: u64) -> (Mediator, Vec<Query>) {
+    let mut m = Mediator::with_registry(ProcessorConfig::default(), registry);
+    let mut views = Vec::new();
+    for i in 0..SOURCES {
+        let source = XmlSource::new(d1(), department_of_size(8)).expect("valid department");
+        let slow = LatencyWrapper::new(source, Duration::from_millis(latency_ms));
+        let site = format!("site{i}");
+        m.add_source(&site, Arc::new(slow));
+        let mut view = q2();
+        view.view_name = mix_relang::name(&format!("wj{i}"));
+        m.register_view(&site, &view).expect("view registers");
+        views.push(view.view_name);
+    }
+    let batch: Vec<Query> = (0..BATCH)
+        .map(|i| {
+            let view = views[i % views.len()];
+            parse_query(&format!(
+                "b{i} = SELECT X WHERE <{view}> X:<professor/> </{view}>"
+            ))
+            .expect("batch query parses")
+        })
+        .collect();
+    (m, batch)
+}
+
+/// Best-of-`reps` throughput of one mediator over the batch.
+fn measure_qps(m: &Mediator, batch: &[Query], threads: usize, reps: usize) -> f64 {
+    // one warmup pass fills the inference cache and the automata memo so
+    // both configurations measure steady-state serving
+    let _ = m.answer_many_with_threads(batch, threads);
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let answers = m.answer_many_with_threads(batch, threads);
+        best = best.min(t.elapsed());
+        assert_eq!(answers.len(), batch.len());
+        assert!(answers.iter().all(|a| a.is_ok()), "batch answers cleanly");
+    }
+    batch.len() as f64 / best.as_secs_f64().max(1e-12)
+}
+
+/// Instrumented vs. no-op throughput at one latency/threading setting.
+/// The stress variant runs single-threaded: on zero-latency queries an
+/// 8-way thread race measures the scheduler, not the instruments.
+fn bench_overhead(latency_ms: u64, threads: usize, reps: usize) -> (f64, f64, f64) {
+    let (noop_m, batch) = build_mediator(Registry::noop(), latency_ms);
+    let (instr_m, _) = build_mediator(Registry::new(), latency_ms);
+    // interleave the measurements so slow drift (thermal, noisy
+    // neighbors) hits both configurations equally
+    let mut noop_qps = 0.0f64;
+    let mut instr_qps = 0.0f64;
+    for _ in 0..3 {
+        noop_qps = noop_qps.max(measure_qps(&noop_m, &batch, threads, reps));
+        instr_qps = instr_qps.max(measure_qps(&instr_m, &batch, threads, reps));
+    }
+    let overhead_pct = (noop_qps / instr_qps.max(1e-12) - 1.0) * 100.0;
+    (instr_qps, noop_qps, overhead_pct)
+}
+
+/// One federated union with a single slow member; returns the per-source
+/// fetch durations (ms) read from the span trace, and the source the
+/// trace blames.
+fn bench_slow_source_localization() -> (Vec<(String, f64)>, String) {
+    let registry = Registry::new();
+    let mut m = Mediator::with_registry(ProcessorConfig::default(), registry.clone());
+    let mut parts = Vec::new();
+    for i in 0..SOURCES {
+        let source = XmlSource::new(d1(), department_of_size(8)).expect("valid department");
+        let ms = if i == SLOW_SITE { SLOW_MS } else { FAST_MS };
+        let slow = LatencyWrapper::new(source, Duration::from_millis(ms));
+        m.add_source(&format!("site{i}"), Arc::new(slow));
+        parts.push((format!("site{i}"), q2()));
+    }
+    let part_refs: Vec<(&str, Query)> =
+        parts.iter().map(|(s, q)| (s.as_str(), q.clone())).collect();
+    m.register_union_view("allJournals", &part_refs)
+        .expect("union view registers");
+    m.materialize(mix_relang::name("allJournals"))
+        .expect("union materializes");
+
+    let snap = registry.snapshot();
+    let mut fetches: Vec<(String, f64)> = snap
+        .spans
+        .iter()
+        .filter_map(|s| {
+            s.stage
+                .strip_prefix("fetch/")
+                .map(|site| (site.to_owned(), s.dur_ns as f64 / 1e6))
+        })
+        .collect();
+    fetches.sort_by(|a, b| a.0.cmp(&b.0));
+    let blamed = fetches
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("the trace recorded fetch spans")
+        .0
+        .clone();
+    (fetches, blamed)
+}
+
+fn main() {
+    println!("X17 instrument overhead (X15 batch workload, {THREADS} threads):");
+    let (instr, noop, pct) = bench_overhead(LATENCY_MS, THREADS, REPS);
+    println!(
+        "  {LATENCY_MS} ms sources: instrumented {instr:.1} q/s vs no-op {noop:.1} q/s \
+         → {pct:+.2}% overhead (target ≤ 2%)"
+    );
+    let (instr0, noop0, pct0) = bench_overhead(0, 1, 3 * REPS);
+    println!(
+        "  0 ms sources, 1 thread (stress, not gated): instrumented {instr0:.1} q/s vs \
+         no-op {noop0:.1} q/s → {pct0:+.2}%"
+    );
+
+    let (fetches, blamed) = bench_slow_source_localization();
+    println!(
+        "X17 slow-source localization ({SLOW_MS} ms injected into site{SLOW_SITE}, \
+         peers at {FAST_MS} ms):"
+    );
+    for (site, ms) in &fetches {
+        println!("  fetch/{site}: {ms:.1} ms");
+    }
+    println!("  span trace blames: {blamed}");
+    assert_eq!(
+        blamed,
+        format!("site{SLOW_SITE}"),
+        "the trace must localize the injected slowdown"
+    );
+
+    let fetch_json = fetches
+        .iter()
+        .map(|(site, ms)| format!("      {{ \"source\": \"{site}\", \"fetch_ms\": {ms:.2} }}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"experiment\": \"X17\",\n  \
+         \"generated_by\": \"cargo bench -p mix-bench --bench obs_overhead\",\n  \
+         \"overhead\": {{\n    \"workload\": \"X15 batch ({BATCH} queries, {SOURCES} sources, \
+         {THREADS} threads)\",\n    \
+         \"latency_dominated\": {{ \"source_latency_ms\": {LATENCY_MS}, \
+         \"instrumented_qps\": {instr:.1}, \"noop_qps\": {noop:.1}, \
+         \"overhead_pct\": {pct:.2}, \"target_pct\": 2.0 }},\n    \
+         \"cpu_bound_stress\": {{ \"source_latency_ms\": 0, \"threads\": 1, \
+         \"instrumented_qps\": {instr0:.1}, \"noop_qps\": {noop0:.1}, \
+         \"overhead_pct\": {pct0:.2}, \"gated\": false }}\n  }},\n  \
+         \"slow_source_localization\": {{\n    \"injected_ms\": {SLOW_MS},\n    \
+         \"injected_into\": \"site{SLOW_SITE}\",\n    \"fetch_spans\": [\n{fetch_json}\n    ],\n    \
+         \"blamed_by_trace\": \"{blamed}\"\n  }}\n}}"
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    std::fs::write(out, json + "\n").expect("write BENCH_PR4.json");
+    println!("wrote {out}");
+}

@@ -23,17 +23,24 @@
 //! DTDs are untouched: a fingerprint match is the only coupling between a
 //! cache entry and a source.
 //!
-//! Hit/miss/invalidation counters surface through
+//! **Observability.** The cache's counters are [`mix_obs`] instruments
+//! (`inference_cache_hits_total`, `…_misses_total`,
+//! `…_invalidations_total`, plus the `inference_cache_entries` gauge) in
+//! the registry handed to [`InferenceCache::with_registry`] — a cache
+//! built with [`InferenceCache::new`] owns a private enabled registry.
+//! Each lookup also records a `cache_lookup` span (and `infer` on a
+//! miss) into that registry's span ring. [`InferenceCache::stats`] is a
+//! typed view over the same instruments, reported through
 //! [`crate::metrics::serving_metrics`] next to the automata-layer
 //! [`mix_relang::memo_stats`].
 
 use crate::pipeline::{infer_view_dtd, InferredView};
 use mix_dtd::{ContentModel, Dtd};
+use mix_obs::{Counter, Gauge, Registry};
 use mix_relang::ast::Regex;
 use mix_xmas::{normalize, NormalizeError, Query};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Process-independent cache key for one (normalized query, source DTD)
@@ -113,18 +120,44 @@ pub struct CacheStats {
 
 /// A concurrency-safe memo table for [`infer_view_dtd`], shared by every
 /// thread of the mediator's serving layer (`answer_many`).
-#[derive(Default)]
 pub struct InferenceCache {
     map: RwLock<HashMap<Fingerprint, Arc<InferredView>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidations: AtomicU64,
+    registry: Registry,
+    hits: Counter,
+    misses: Counter,
+    invalidations: Counter,
+    entries: Gauge,
+}
+
+impl Default for InferenceCache {
+    fn default() -> InferenceCache {
+        InferenceCache::new()
+    }
 }
 
 impl InferenceCache {
-    /// An empty cache.
+    /// An empty cache observing into its own private registry.
     pub fn new() -> InferenceCache {
-        InferenceCache::default()
+        InferenceCache::with_registry(Registry::new())
+    }
+
+    /// An empty cache recording its instruments (and lookup spans) into
+    /// `registry` — pass the mediator's registry to serve one merged
+    /// exposition, or [`Registry::noop`] to observe nothing.
+    pub fn with_registry(registry: Registry) -> InferenceCache {
+        InferenceCache {
+            map: RwLock::new(HashMap::new()),
+            hits: registry.counter("inference_cache_hits_total"),
+            misses: registry.counter("inference_cache_misses_total"),
+            invalidations: registry.counter("inference_cache_invalidations_total"),
+            entries: registry.gauge("inference_cache_entries"),
+            registry,
+        }
+    }
+
+    /// The registry this cache observes into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The fingerprint under which `(q, source)` is cached. Normalization
@@ -140,17 +173,23 @@ impl InferenceCache {
     /// Memoized [`infer_view_dtd`]: returns the shared result on a hit,
     /// runs the pipeline and populates the table on a miss.
     pub fn infer(&self, q: &Query, source: &Dtd) -> Result<Arc<InferredView>, NormalizeError> {
+        let lookup = self.registry.span("cache_lookup");
         let fp = InferenceCache::fingerprint(q, source)?;
         if let Some(iv) = self.map.read().get(&fp) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok(Arc::clone(iv));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        drop(lookup);
+        self.misses.inc();
+        let infer_span = self.registry.span("infer");
         let iv = Arc::new(infer_view_dtd(q, source)?);
+        drop(infer_span);
         // under contention the pipeline may have raced: keep the first
         // insert so concurrent callers converge on one shared value
         let mut map = self.map.write();
-        Ok(Arc::clone(map.entry(fp).or_insert(iv)))
+        let shared = Arc::clone(map.entry(fp).or_insert(iv));
+        self.entries.set(map.len() as i64);
+        Ok(shared)
     }
 
     /// Drops every entry inferred against `source` (matched by DTD
@@ -163,14 +202,15 @@ impl InferenceCache {
         let before = map.len();
         map.retain(|k, _| k.dtd != fp);
         let dropped = before - map.len();
-        self.invalidations
-            .fetch_add(dropped as u64, Ordering::Relaxed);
+        self.invalidations.add(dropped as u64);
+        self.entries.set(map.len() as i64);
         dropped
     }
 
     /// Drops everything (counters are kept).
     pub fn clear(&self) {
         self.map.write().clear();
+        self.entries.set(0);
     }
 
     /// Resident entry count.
@@ -183,12 +223,13 @@ impl InferenceCache {
         self.len() == 0
     }
 
-    /// A snapshot of the counters.
+    /// A snapshot of the counters (a typed view over the
+    /// `inference_cache_*` instruments of this cache's registry).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            invalidations: self.invalidations.get(),
             entries: self.len(),
         }
     }

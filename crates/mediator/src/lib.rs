@@ -31,6 +31,15 @@
 //! [`Wrapper`] — transport faults fold onto [`SourceError`]
 //! ([`net_to_source_error`]), so resilience and degradation work
 //! identically over sockets (DESIGN.md §9).
+//!
+//! The whole serving stack is *observable*: every [`Mediator`] records
+//! into a [`mix_obs::Registry`] shared with its inference cache — query
+//! counts and latency, per-source fetch/retry/breaker instruments
+//! ([`SourceInstruments`]), occurrence-time degradation events, and
+//! per-request span traces (query → normalize → cache → fetch → union
+//! merge). Pass [`mix_obs::Registry::noop`] to
+//! [`Mediator::with_registry`] and all of it compiles down to a branch
+//! (DESIGN.md §10, bench X17).
 
 #![warn(missing_docs)]
 
@@ -41,6 +50,7 @@ pub mod fault;
 pub mod interface;
 #[allow(clippy::module_inception)]
 pub mod mediator;
+pub mod obs;
 pub mod resilience;
 pub mod simplifier;
 pub mod source;
@@ -53,6 +63,7 @@ pub use error::SourceError;
 pub use fault::{Fault, FaultInjector, FaultPlan};
 pub use interface::{occurs, render_structure, Occurs};
 pub use mediator::{Answer, AnswerPath, Mediator, MediatorError, ProcessorConfig, UnionView, View};
+pub use obs::SourceInstruments;
 pub use resilience::{
     resilient_answer, BreakerState, DegradationReport, FetchStatus, Health, ResiliencePolicy,
     SourceOutcome,

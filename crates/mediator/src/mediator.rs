@@ -3,6 +3,7 @@
 
 use crate::compose::compose;
 use crate::error::SourceError;
+use crate::obs::{MediatorInstruments, SourceInstruments};
 use crate::resilience::{
     resilient_answer, BreakerState, DegradationReport, FetchStatus, Health, ResiliencePolicy,
     SourceOutcome,
@@ -13,6 +14,7 @@ use mix_infer::{
     classify_query, infer_union_view_dtd_cached, InferenceCache, InferredUnionView, InferredView,
     Verdict,
 };
+use mix_obs::Registry;
 use mix_relang::symbol::Name;
 use mix_xmas::{evaluate, normalize, NormalizeError, Query};
 use mix_xml::{Content, Document, ElemId, Element};
@@ -184,6 +186,14 @@ pub struct Mediator {
     /// The serving layer's inference cache: registration, re-inference on
     /// source replacement, and every `answer_many` worker share it.
     cache: Arc<InferenceCache>,
+    /// The observability registry every layer under this mediator records
+    /// into (shared with the cache; see [`Mediator::with_registry`]).
+    registry: Registry,
+    /// Mediator-level instruments (query counts, answer latency).
+    instruments: MediatorInstruments,
+    /// Per-source instrument bundles, resolved once at registration and
+    /// shared with the parallel union-materialization threads.
+    source_obs: HashMap<String, Arc<SourceInstruments>>,
 }
 
 impl Default for Mediator {
@@ -200,13 +210,24 @@ impl Mediator {
 
     /// An empty mediator with an explicit processor configuration.
     pub fn with_config(config: ProcessorConfig) -> Mediator {
-        Mediator::with_cache(config, Arc::new(InferenceCache::new()))
+        Mediator::with_registry(config, Registry::new())
+    }
+
+    /// An empty mediator recording into an explicit [`Registry`] — pass
+    /// [`Registry::noop`] to make every instrument in the serving stack a
+    /// no-op branch (the configuration bench X17 measures against). The
+    /// registry is shared with the mediator's [`InferenceCache`], so
+    /// cache hit/miss counters and `infer` spans land next to the
+    /// source/query instruments in one snapshot.
+    pub fn with_registry(config: ProcessorConfig, registry: Registry) -> Mediator {
+        Mediator::with_cache(config, Arc::new(InferenceCache::with_registry(registry)))
     }
 
     /// An empty mediator sharing an existing [`InferenceCache`] — stacked
     /// or fleet-deployed mediators over the same sources can pool their
-    /// inference work.
+    /// inference work. The mediator adopts the cache's registry.
     pub fn with_cache(config: ProcessorConfig, cache: Arc<InferenceCache>) -> Mediator {
+        let registry = cache.registry().clone();
         Mediator {
             sources: HashMap::new(),
             views: HashMap::new(),
@@ -215,12 +236,20 @@ impl Mediator {
             policy: ResiliencePolicy::default(),
             health: HashMap::new(),
             cache,
+            instruments: MediatorInstruments::new(&registry),
+            source_obs: HashMap::new(),
+            registry,
         }
     }
 
     /// The inference cache this mediator registers and serves through.
     pub fn inference_cache(&self) -> &Arc<InferenceCache> {
         &self.cache
+    }
+
+    /// The observability registry the whole serving stack records into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Serving-layer observability: this mediator's inference-cache
@@ -235,6 +264,10 @@ impl Mediator {
         self.sources.insert(name.to_owned(), wrapper);
         self.health
             .insert(name.to_owned(), Arc::new(Mutex::new(Health::new())));
+        self.source_obs.insert(
+            name.to_owned(),
+            Arc::new(SourceInstruments::new(&self.registry, name)),
+        );
     }
 
     /// The resilience policy in force.
@@ -438,6 +471,10 @@ impl Mediator {
         &self,
         name: Name,
     ) -> Result<(Document, DegradationReport), MediatorError> {
+        // direct callers (federate, ViewWrapper) get their own trace;
+        // inside `query()` the request's trace is already installed
+        let _trace_scope = (mix_obs::current_trace() == 0).then(|| self.registry.begin_trace());
+        let _span = self.registry.span("materialize");
         match self
             .views
             .get(&name)
@@ -453,6 +490,7 @@ impl Mediator {
                             outcomes: vec![outcome],
                             union_dtd_covers_survivors: covers,
                         };
+                        self.note_degraded(&report);
                         Ok((document, report))
                     }
                     None => Err(MediatorError::Source {
@@ -466,7 +504,13 @@ impl Mediator {
             AnyView::Union(view) => {
                 // resolve every wrapper (and its health record) up front so
                 // configuration errors surface before any work is spawned
-                type Part<'a> = (&'a str, Arc<dyn Wrapper>, Arc<Mutex<Health>>, &'a Query);
+                type Part<'a> = (
+                    &'a str,
+                    Arc<dyn Wrapper>,
+                    Arc<Mutex<Health>>,
+                    &'a Query,
+                    Arc<SourceInstruments>,
+                );
                 let mut parts: Vec<Part<'_>> = Vec::new();
                 for (source, q) in view.sources.iter().zip(&view.inferred.queries) {
                     let wrapper = self
@@ -474,17 +518,24 @@ impl Mediator {
                         .get(source)
                         .ok_or_else(|| MediatorError::UnknownSource(source.clone()))?;
                     let health = Arc::clone(&self.health[source]);
-                    parts.push((source.as_str(), Arc::clone(wrapper), health, q));
+                    let obs = Arc::clone(&self.source_obs[source]);
+                    parts.push((source.as_str(), Arc::clone(wrapper), health, q, obs));
                 }
                 // query the sources in parallel (wrappers are Send + Sync);
-                // member order stays the registration order
+                // member order stays the registration order. The caller's
+                // trace id is propagated into each worker so every
+                // `fetch/<source>` span joins the request's trace.
                 let policy = &self.policy;
+                let trace = mix_obs::current_trace();
                 let answers: Vec<(Option<Document>, SourceOutcome)> = if parts.len() > 1 {
                     std::thread::scope(|scope| {
                         let handles: Vec<_> = parts
                             .iter()
-                            .map(|(s, w, h, q)| {
-                                scope.spawn(move || resilient_answer(s, w.as_ref(), q, policy, h))
+                            .map(|(s, w, h, q, obs)| {
+                                scope.spawn(move || {
+                                    let _t = mix_obs::set_current_trace(trace);
+                                    resilient_answer(s, w.as_ref(), q, policy, h, obs)
+                                })
                             })
                             .collect();
                         handles
@@ -495,9 +546,10 @@ impl Mediator {
                 } else {
                     parts
                         .iter()
-                        .map(|(s, w, h, q)| resilient_answer(s, w.as_ref(), q, policy, h))
+                        .map(|(s, w, h, q, obs)| resilient_answer(s, w.as_ref(), q, policy, h, obs))
                         .collect()
                 };
+                let _merge_span = self.registry.span("union_merge");
                 let mut members = Vec::new();
                 let mut outcomes = Vec::new();
                 let mut served = 0usize;
@@ -533,9 +585,39 @@ impl Mediator {
                     outcomes,
                     union_dtd_covers_survivors: covers,
                 };
+                self.note_degraded(&report);
                 Ok((document, report))
             }
         }
+    }
+
+    /// Records a degraded (non-clean) report as an obs event, at the
+    /// moment the partial answer is assembled. The per-source stale/fail
+    /// events have already fired inside the resilience layer; this one
+    /// summarizes the view-level outcome.
+    fn note_degraded(&self, report: &DegradationReport) {
+        if report.is_clean() {
+            return;
+        }
+        let served = report
+            .outcomes
+            .iter()
+            .filter(|o| o.status != FetchStatus::Failed)
+            .count();
+        self.registry.event(
+            "degraded-answer",
+            format!(
+                "view '{}': {}/{} sources served, union DTD covers survivors: {}",
+                report.view,
+                served,
+                report.outcomes.len(),
+                if report.union_dtd_covers_survivors {
+                    "yes"
+                } else {
+                    "no"
+                }
+            ),
+        );
     }
 
     /// One resilient call to a registered source.
@@ -555,13 +637,36 @@ impl Mediator {
             q,
             &self.policy,
             health,
+            &self.source_obs[source],
         ))
     }
 
     /// Answers a user query whose condition is rooted at a view name,
     /// using (per configuration) the DTD-based simplifier and view–query
     /// composition.
+    ///
+    /// Each call is one trace: a `query` span covering the whole
+    /// pipeline, with `normalize`, cache, `fetch/<source>`, and
+    /// `union_merge` spans nested under the same trace id — plus the
+    /// `mediator_answer_latency_ns` histogram and per-path counters.
     pub fn query(&self, q: &Query) -> Result<Answer, MediatorError> {
+        let (_trace, _scope) = self.registry.begin_trace();
+        let _timer = self.instruments.latency.start();
+        let _span = self.registry.span("query");
+        self.instruments.queries.inc();
+        let result = self.query_inner(q);
+        match &result {
+            Ok(a) => match a.path {
+                AnswerPath::PrunedUnsatisfiable => self.instruments.pruned.inc(),
+                AnswerPath::Composed => self.instruments.composed.inc(),
+                AnswerPath::Materialized => self.instruments.materialized.inc(),
+            },
+            Err(_) => self.instruments.errors.inc(),
+        }
+        result
+    }
+
+    fn query_inner(&self, q: &Query) -> Result<Answer, MediatorError> {
         // find the view the query addresses
         let view_name = q
             .root
@@ -580,7 +685,10 @@ impl Mediator {
         let dtd_sound = any.plain_dtd_is_sound();
         // 1. DTD-based simplification: prune certainly-empty queries.
         if self.config.use_simplifier && dtd_sound {
-            let nq = normalize(q, view_dtd)?;
+            let nq = {
+                let _s = self.registry.span("normalize");
+                normalize(q, view_dtd)?
+            };
             if classify_query(&nq, view_dtd) == Verdict::Unsatisfiable {
                 return Ok(Answer {
                     document: empty_answer(q.view_name),
@@ -602,11 +710,13 @@ impl Mediator {
                             let degradation = if outcome.status == FetchStatus::Fresh {
                                 None
                             } else {
-                                Some(DegradationReport {
+                                let report = DegradationReport {
                                     view: view_name.to_string(),
                                     outcomes: vec![outcome],
                                     union_dtd_covers_survivors: true,
-                                })
+                                };
+                                self.note_degraded(&report);
+                                Some(report)
                             };
                             Ok(Answer {
                                 document,
@@ -627,7 +737,10 @@ impl Mediator {
         // 3. fall back to materialize-then-evaluate (with DTD-guided
         //    condition pruning when configured).
         let (materialized, report) = self.materialize_with_report(view_name)?;
-        let mut nq = normalize(q, view_dtd)?;
+        let mut nq = {
+            let _s = self.registry.span("normalize");
+            normalize(q, view_dtd)?
+        };
         if self.config.use_condition_pruning && dtd_sound {
             let (pruned, _) = crate::simplifier::simplify_query(&nq, view_dtd);
             nq = pruned;

@@ -18,6 +18,7 @@
 //! of each wrapper's good behavior.
 
 use crate::error::SourceError;
+use crate::obs::SourceInstruments;
 use crate::source::Wrapper;
 use mix_xmas::{evaluate, normalize, Query};
 use mix_xml::Document;
@@ -238,12 +239,21 @@ impl fmt::Display for DegradationReport {
 ///
 /// Returns the answer document (when status is not [`FetchStatus::Failed`])
 /// plus the outcome record. `source` is only used to label the outcome.
+///
+/// `obs` records what happened *as it happens*: per-attempt fetch
+/// latency (histogram + `fetch/<source>` span), retry and
+/// short-circuit counters, served-fresh/stale/failed counters, and an
+/// ordered event for every breaker transition and degraded serve —
+/// emitted at the transition point, not reconstructed from the
+/// [`DegradationReport`] afterwards. Callers outside a mediator pass
+/// [`SourceInstruments::noop`].
 pub fn resilient_answer(
     source: &str,
     wrapper: &dyn Wrapper,
     query: &Query,
     policy: &ResiliencePolicy,
     health: &Mutex<Health>,
+    obs: &SourceInstruments,
 ) -> (Option<Document>, SourceOutcome) {
     let mut outcome = SourceOutcome {
         source: source.to_owned(),
@@ -267,7 +277,7 @@ pub fn resilient_answer(
             outcome.error = Some(SourceError::Query(e));
             outcome.breaker = h.state;
             // no normalized form exists, so no snapshot evaluation either
-            return serve_stale_or_fail(&None, &mut h, policy, outcome);
+            return serve_stale_or_fail(&None, &mut h, policy, outcome, obs);
         }
     };
 
@@ -281,13 +291,16 @@ pub fn resilient_answer(
             if h.rejected_while_open >= policy.cooldown_calls {
                 // cooled down: let this call through as the probe
                 h.state = BreakerState::HalfOpen;
+                obs.breaker_half_opened.inc();
+                obs.event("breaker-half-open", "cooldown complete; this call probes");
             } else {
                 outcome.error = Some(SourceError::Unavailable(format!(
                     "circuit open for '{source}'"
                 )));
                 outcome.breaker = h.state;
                 outcome.short_circuited = true;
-                return serve_stale_or_fail(&Some(nq), &mut h, policy, outcome);
+                obs.short_circuits.inc();
+                return serve_stale_or_fail(&Some(nq), &mut h, policy, outcome, obs);
             }
         }
     }
@@ -304,16 +317,29 @@ pub fn resilient_answer(
     let budget = if probing { 0 } else { policy.max_retries };
     let mut last_err: SourceError;
     loop {
-        match checked_fetch(wrapper, policy) {
+        let attempt = {
+            let _span = obs.registry().span(obs.fetch_stage());
+            let timer = obs.fetch_latency.start();
+            let r = checked_fetch(wrapper, policy);
+            timer.stop();
+            r
+        };
+        match attempt {
             Ok(doc) => {
                 let answer = evaluate(&nq, &doc);
                 let mut h = health
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let was = h.state;
                 h.snapshot = Some(doc);
                 h.consecutive_failures = 0;
                 h.rejected_while_open = 0;
                 h.state = BreakerState::Closed;
+                if was != BreakerState::Closed {
+                    obs.breaker_closed.inc();
+                    obs.event("breaker-close", "probe succeeded; breaker closed");
+                }
+                obs.fresh.inc();
                 outcome.status = FetchStatus::Fresh;
                 outcome.breaker = h.state;
                 return (Some(answer), outcome);
@@ -324,6 +350,7 @@ pub fn resilient_answer(
                 if retryable && outcome.retries < budget {
                     outcome.retries += 1;
                     outcome.backoff_ms += policy.backoff_base_ms << (outcome.retries - 1);
+                    obs.retries.inc();
                     continue;
                 }
                 break;
@@ -339,13 +366,24 @@ pub fn resilient_answer(
     if last_err.is_source_fault() {
         h.consecutive_failures += 1;
         if h.state == BreakerState::HalfOpen || h.consecutive_failures >= policy.failure_threshold {
+            if h.state != BreakerState::Open {
+                obs.breaker_opened.inc();
+                obs.event(
+                    "breaker-open",
+                    &format!(
+                        "opened after {} consecutive failures ({})",
+                        h.consecutive_failures,
+                        last_err.kind()
+                    ),
+                );
+            }
             h.state = BreakerState::Open;
             h.rejected_while_open = 0;
         }
     }
     outcome.error = Some(last_err);
     outcome.breaker = h.state;
-    serve_stale_or_fail(&Some(nq), &mut h, policy, outcome)
+    serve_stale_or_fail(&Some(nq), &mut h, policy, outcome, obs)
 }
 
 /// Fetch once, optionally validating the document against the wrapper's
@@ -362,20 +400,32 @@ fn checked_fetch(
 }
 
 /// Degrade to the last-known-good snapshot when policy and state allow,
-/// otherwise report the member failed.
+/// otherwise report the member failed. Either way the degradation is
+/// recorded as an obs event *now* — at occurrence time — so a live
+/// `mixctl stats` sees it even if the eventual [`DegradationReport`] is
+/// dropped by the caller.
 fn serve_stale_or_fail(
     nq: &Option<Query>,
     h: &mut Health,
     policy: &ResiliencePolicy,
     mut outcome: SourceOutcome,
+    obs: &SourceInstruments,
 ) -> (Option<Document>, SourceOutcome) {
     if policy.serve_stale {
         if let (Some(nq), Some(snap)) = (nq, &h.snapshot) {
             outcome.status = FetchStatus::Stale;
+            obs.stale.inc();
+            obs.event("stale-serve", "serving last-known-good snapshot");
             return (Some(evaluate(nq, snap)), outcome);
         }
     }
     outcome.status = FetchStatus::Failed;
+    obs.failed.inc();
+    let cause = outcome.error.as_ref().map_or("unknown", |e| e.kind());
+    obs.event(
+        "source-failed",
+        &format!("no live answer and no snapshot; member failed ({cause})"),
+    );
     (None, outcome)
 }
 
@@ -404,7 +454,23 @@ mod tests {
         policy: &ResiliencePolicy,
         health: &Mutex<Health>,
     ) -> (Option<Document>, SourceOutcome) {
-        resilient_answer("s", w, &query(), policy, health)
+        resilient_answer(
+            "s",
+            w,
+            &query(),
+            policy,
+            health,
+            &SourceInstruments::noop("s"),
+        )
+    }
+
+    fn call_obs(
+        w: &dyn Wrapper,
+        policy: &ResiliencePolicy,
+        health: &Mutex<Health>,
+        obs: &SourceInstruments,
+    ) -> (Option<Document>, SourceOutcome) {
+        resilient_answer("s", w, &query(), policy, health, obs)
     }
 
     #[test]
@@ -561,11 +627,124 @@ mod tests {
     }
 
     #[test]
+    fn breaker_transitions_emit_events_and_counters_at_occurrence_time() {
+        let w = FaultInjector::new(
+            base(),
+            FaultPlan::Script(vec![
+                Some(Fault::Unavailable), // trip 1/3
+                Some(Fault::Unavailable), // trip 2/3
+                Some(Fault::Unavailable), // trip 3/3 → breaker-open
+                // call 3 short-circuits (cooldown 2), call 4 probes…
+                Some(Fault::Unavailable), // …and fails → breaker-open again
+                None,                     // second probe succeeds → breaker-close
+            ]),
+        );
+        let registry = mix_obs::Registry::new();
+        let obs = SourceInstruments::new(&registry, "s");
+        let health = Mutex::new(Health::new());
+        let policy = ResiliencePolicy {
+            max_retries: 0,
+            failure_threshold: 3,
+            cooldown_calls: 2,
+            serve_stale: false,
+            ..ResiliencePolicy::default()
+        };
+        for _ in 0..6 {
+            // 3 failures, 1 rejection, 1 failed probe, then: the re-opened
+            // breaker rejects once more before its probe — so run one extra
+            // pair of calls to reach the successful probe
+            call_obs(&w, &policy, &health, &obs);
+        }
+        call_obs(&w, &policy, &health, &obs);
+        assert_eq!(health.lock().unwrap().state(), BreakerState::Closed);
+        let snap = registry.snapshot();
+        let kinds: Vec<&str> = snap.events.iter().map(|e| e.kind.as_str()).collect();
+        // events landed in transition order, interleaved with the
+        // occurrence-time failure events — not reconstructed post-hoc
+        let transitions: Vec<&&str> = kinds.iter().filter(|k| k.starts_with("breaker-")).collect();
+        assert_eq!(
+            transitions,
+            [
+                &"breaker-open",
+                &"breaker-half-open",
+                &"breaker-open",
+                &"breaker-half-open",
+                &"breaker-close"
+            ]
+        );
+        assert_eq!(
+            snap.counters[r#"source_breaker_opened_total{source="s"}"#],
+            2
+        );
+        assert_eq!(
+            snap.counters[r#"source_breaker_half_opened_total{source="s"}"#],
+            2
+        );
+        assert_eq!(
+            snap.counters[r#"source_breaker_closed_total{source="s"}"#],
+            1
+        );
+        assert_eq!(
+            snap.counters[r#"source_short_circuits_total{source="s"}"#],
+            2
+        );
+        assert_eq!(snap.counters[r#"source_served_fresh_total{source="s"}"#], 1);
+        // every contacted attempt left a fetch-latency observation and a span
+        let hist = &snap.histograms[r#"source_fetch_latency_ns{source="s"}"#];
+        assert_eq!(hist.count, 5);
+        assert!(snap.spans.iter().any(|s| s.stage == "fetch/s"));
+    }
+
+    #[test]
+    fn degradation_events_fire_when_the_fault_occurs_seeded() {
+        // Seeded plan: deterministic schedule — every call faults. The
+        // strict `a, a` model makes even the corruption faults (Truncate,
+        // DtdViolate) fail validation, so no fault can serve fresh.
+        let dtd = parse_compact("{<r : a, a> <a : PCDATA>}").unwrap();
+        let doc = parse_document("<r><a>1</a><a>2</a></r>").unwrap();
+        let strict = Arc::new(XmlSource::new(dtd, doc).unwrap());
+        let w = FaultInjector::new(strict, FaultPlan::Seeded { seed: 7, rate: 1.0 });
+        let registry = mix_obs::Registry::new();
+        let obs = SourceInstruments::new(&registry, "s");
+        let health = Mutex::new(Health::new());
+        let policy = ResiliencePolicy {
+            max_retries: 1,
+            ..ResiliencePolicy::default()
+        };
+        let (_, o) = call_obs(&w, &policy, &health, &obs);
+        // the event is already in the registry the moment the call
+        // returns, regardless of what the caller does with the outcome
+        let snap = registry.snapshot();
+        match o.status {
+            FetchStatus::Failed => {
+                assert_eq!(snap.counters[r#"source_failed_total{source="s"}"#], 1);
+                assert!(snap.events.iter().any(|e| e.kind == "source-failed"));
+            }
+            FetchStatus::Stale => {
+                assert_eq!(snap.counters[r#"source_served_stale_total{source="s"}"#], 1);
+                assert!(snap.events.iter().any(|e| e.kind == "stale-serve"));
+            }
+            FetchStatus::Fresh => panic!("rate-1.0 seeded plan cannot serve fresh"),
+        }
+        assert_eq!(
+            snap.counters[r#"source_retries_total{source="s"}"#],
+            o.retries as u64
+        );
+    }
+
+    #[test]
     fn query_errors_never_touch_the_breaker() {
         let w = base();
         let health = Mutex::new(Health::new());
         let bad = parse_query("ans = SELECT Z WHERE <r> X:<a/> </r>").unwrap();
-        let (_, o) = resilient_answer("s", w.as_ref(), &bad, &ResiliencePolicy::default(), &health);
+        let (_, o) = resilient_answer(
+            "s",
+            w.as_ref(),
+            &bad,
+            &ResiliencePolicy::default(),
+            &health,
+            &SourceInstruments::noop("s"),
+        );
         assert_eq!(o.status, FetchStatus::Failed);
         assert!(matches!(o.error, Some(SourceError::Query(_))));
         let h = health.lock().unwrap();

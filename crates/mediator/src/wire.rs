@@ -32,12 +32,28 @@ use mix_xml::{write_document, WriteConfig};
 /// Adapts a local [`Wrapper`] to the wire's text-based service interface.
 pub struct WrapperService<W> {
     inner: W,
+    registry: Option<mix_obs::Registry>,
 }
 
 impl<W: Wrapper> WrapperService<W> {
-    /// Wraps `inner` for serving.
+    /// Wraps `inner` for serving. The service answers `Stats` requests
+    /// with the process-wide [`mix_obs::global`] registry only (automata
+    /// memo counters); attach a daemon registry with
+    /// [`WrapperService::with_registry`] to serve the full picture.
     pub fn new(inner: W) -> WrapperService<W> {
-        WrapperService { inner }
+        WrapperService {
+            inner,
+            registry: None,
+        }
+    }
+
+    /// Attaches the daemon's registry: `Stats` requests then return its
+    /// snapshot *merged* with [`mix_obs::global`], so one reply carries
+    /// the serving mediator's counters next to the process-wide memo
+    /// counters.
+    pub fn with_registry(mut self, registry: mix_obs::Registry) -> WrapperService<W> {
+        self.registry = Some(registry);
+        self
     }
 
     /// The served wrapper.
@@ -61,6 +77,14 @@ impl<W: Wrapper + 'static> WireService for WrapperService<W> {
             }
         };
         Ok(write_document(&doc, WriteConfig::default()))
+    }
+
+    fn stats(&self) -> Option<String> {
+        let mut snap = mix_obs::global().snapshot();
+        if let Some(r) = &self.registry {
+            snap = snap.merge(&r.snapshot());
+        }
+        Some(snap.to_json())
     }
 }
 

@@ -12,6 +12,7 @@
 
 use crate::error::NetError;
 use crate::msg::Msg;
+use mix_obs::{Counter, Histogram, Registry};
 use std::io::BufWriter;
 use std::net::TcpStream;
 use std::sync::Mutex;
@@ -94,21 +95,50 @@ impl Connection {
 /// batched serving hit one source from many threads at once; each
 /// exchange checks a connection out (or dials a fresh one) and returns it
 /// only on success.
-#[derive(Debug)]
 pub struct Pool {
     addr: String,
     config: ClientConfig,
     idle: Mutex<Vec<Connection>>,
+    registry: Registry,
+    exchanges: Counter,
+    dials: Counter,
+    discards: Counter,
+    rpc_latency: Histogram,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("addr", &self.addr)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Pool {
     /// A pool for `addr`. No connection is dialed until the first
-    /// exchange.
+    /// exchange, and nothing is recorded (see [`Pool::with_registry`]).
     pub fn new(addr: impl Into<String>, config: ClientConfig) -> Pool {
+        Pool::with_registry(addr, config, &Registry::noop())
+    }
+
+    /// A pool recording client-side traffic into `registry`: exchanges
+    /// and fresh dials, discarded (failed) connections, and round-trip
+    /// RPC latency (`net_client_*` metric names).
+    pub fn with_registry(
+        addr: impl Into<String>,
+        config: ClientConfig,
+        registry: &Registry,
+    ) -> Pool {
         Pool {
             addr: addr.into(),
             config,
             idle: Mutex::new(Vec::new()),
+            registry: registry.clone(),
+            exchanges: registry.counter("net_client_exchanges_total"),
+            dials: registry.counter("net_client_dials_total"),
+            discards: registry.counter("net_client_discards_total"),
+            rpc_latency: registry.histogram("net_client_rpc_latency_ns"),
         }
     }
 
@@ -132,11 +162,16 @@ impl Pool {
 
     /// One request/response exchange on a pooled (or fresh) connection.
     pub fn request(&self, msg: Msg) -> Result<Msg, NetError> {
+        self.exchanges.inc();
+        let started = self.registry.now_ns();
         let mut conn = match self.checkout() {
             Some(c) => c,
-            None => Connection::connect(&self.addr, &self.config)?,
+            None => {
+                self.dials.inc();
+                Connection::connect(&self.addr, &self.config)?
+            }
         };
-        match conn.request(msg) {
+        let result = match conn.request(msg) {
             Ok(reply) => {
                 self.checkin(conn);
                 Ok(reply)
@@ -147,8 +182,14 @@ impl Pool {
                 self.checkin(conn);
                 Err(e)
             }
-            Err(e) => Err(e),
-        }
+            Err(e) => {
+                self.discards.inc();
+                Err(e)
+            }
+        };
+        self.rpc_latency
+            .observe(self.registry.now_ns().saturating_sub(started));
+        result
     }
 
     fn checkout(&self) -> Option<Connection> {

@@ -18,8 +18,11 @@
 use crate::error::NetError;
 use std::io::{Read, Write};
 
-/// Protocol version spoken by this build. Bumped on any frame- or
-/// message-level change.
+/// Protocol version spoken by this build. Bumped on any *incompatible*
+/// frame- or message-level change. Adding a message type is additive —
+/// version 1 peers that predate [`MsgType::Stats`] answer it with a
+/// `protocol` fault (unknown type) rather than desyncing, so the version
+/// byte stays at 1.
 pub const FRAME_VERSION: u8 = 1;
 
 /// Hard cap on a single frame's payload (16 MiB) — far above any DTD or
@@ -44,6 +47,11 @@ pub enum MsgType {
     /// Server → client. Payload = `kind '\n' detail`: a remote fault
     /// using the mediator's stable `SourceError::kind()` labels.
     Err = 4,
+    /// Request (client → server, empty payload) and response
+    /// (server → client, payload = a `mix-obs/1` JSON snapshot of the
+    /// peer's observability registry). Services that export no
+    /// statistics answer with an `Err { kind: "unsupported" }`.
+    Stats = 5,
 }
 
 impl MsgType {
@@ -54,6 +62,7 @@ impl MsgType {
             2 => Some(MsgType::Query),
             3 => Some(MsgType::Answer),
             4 => Some(MsgType::Err),
+            5 => Some(MsgType::Stats),
             _ => None,
         }
     }

@@ -32,6 +32,10 @@ pub enum Msg {
         /// Human-readable detail.
         msg: String,
     },
+    /// Observability-snapshot exchange (what `mixctl stats` speaks).
+    /// Request form (empty) and response form (a `mix-obs/1` JSON
+    /// snapshot) share the type byte; direction disambiguates.
+    Stats(String),
 }
 
 impl Msg {
@@ -43,6 +47,7 @@ impl Msg {
             Msg::Query(_) => MsgType::Query,
             Msg::Answer(_) => MsgType::Answer,
             Msg::Err { .. } => MsgType::Err,
+            Msg::Stats(_) => MsgType::Stats,
         }
     }
 
@@ -50,9 +55,23 @@ impl Msg {
     fn payload(&self) -> Vec<u8> {
         match self {
             Msg::Hello => Vec::new(),
-            Msg::ExportDtd(s) | Msg::Query(s) | Msg::Answer(s) => s.as_bytes().to_vec(),
+            Msg::ExportDtd(s) | Msg::Query(s) | Msg::Answer(s) | Msg::Stats(s) => {
+                s.as_bytes().to_vec()
+            }
             Msg::Err { kind, msg } => format!("{kind}\n{msg}").into_bytes(),
         }
+    }
+
+    /// The exact number of bytes this message occupies on the wire
+    /// (6-byte frame header + payload) — what the traffic counters
+    /// record.
+    pub fn wire_size(&self) -> u64 {
+        let payload = match self {
+            Msg::Hello => 0,
+            Msg::ExportDtd(s) | Msg::Query(s) | Msg::Answer(s) | Msg::Stats(s) => s.len(),
+            Msg::Err { kind, msg } => kind.len() + 1 + msg.len(),
+        };
+        6 + payload as u64
     }
 
     /// Writes this message as one frame.
@@ -82,6 +101,7 @@ impl Msg {
                     msg: msg.to_owned(),
                 }
             }
+            MsgType::Stats => Msg::Stats(text),
         })
     }
 }
@@ -110,8 +130,27 @@ mod tests {
                 kind: "unavailable".into(),
                 msg: "circuit open for 'site3'".into(),
             },
+            Msg::Stats(String::new()),
+            Msg::Stats(r#"{"counters":{},"schema":"mix-obs/1"}"#.into()),
         ] {
             assert_eq!(roundtrip(m.clone()), m);
+        }
+    }
+
+    #[test]
+    fn wire_size_matches_the_encoded_frame() {
+        for m in [
+            Msg::Hello,
+            Msg::Query("q = SELECT X WHERE X:<a/>".into()),
+            Msg::Err {
+                kind: "timeout".into(),
+                msg: "deadline".into(),
+            },
+            Msg::Stats("{}".into()),
+        ] {
+            let mut buf = Vec::new();
+            m.write_to(&mut buf).unwrap();
+            assert_eq!(m.wire_size(), buf.len() as u64, "{m:?}");
         }
     }
 

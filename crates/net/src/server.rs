@@ -14,6 +14,7 @@
 
 use crate::error::NetError;
 use crate::msg::Msg;
+use mix_obs::{Counter, Histogram, Registry};
 use std::collections::HashMap;
 use std::io::BufWriter;
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -53,6 +54,14 @@ pub trait WireService: Send + Sync + 'static {
     /// Answers a query given as XMAS text; `None` requests the full
     /// exported document (`fetch`). Returns the answer as XML text.
     fn answer(&self, query: Option<&str>) -> Result<String, WireFault>;
+
+    /// The service's observability snapshot as `mix-obs/1` JSON — what a
+    /// [`crate::msg::Msg::Stats`] request returns. The default (`None`)
+    /// makes the server answer `Err { kind: "unsupported" }`, so plain
+    /// services need not know about observability at all.
+    fn stats(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Server knobs.
@@ -79,20 +88,66 @@ impl Default for ServerConfig {
 /// counter. Handler threads deregister themselves on exit; shutdown
 /// closes every registered socket, which doubles as the "daemon kill"
 /// signal — blocked reads in handlers return immediately.
-type Registry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+type ConnTable = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// Server-side traffic and lifecycle instruments, resolved once against
+/// one [`Registry`] ([`Registry::noop`] unless
+/// [`Server::with_registry`] is called) and cloned into every handler
+/// thread.
+#[derive(Clone)]
+struct NetInstruments {
+    registry: Registry,
+    conns_opened: Counter,
+    conns_closed: Counter,
+    conns_refused: Counter,
+    frames_in: Counter,
+    frames_out: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    deadline_expiries: Counter,
+    rpc_latency: Histogram,
+}
+
+impl NetInstruments {
+    fn new(registry: &Registry) -> NetInstruments {
+        NetInstruments {
+            registry: registry.clone(),
+            conns_opened: registry.counter("net_connections_opened_total"),
+            conns_closed: registry.counter("net_connections_closed_total"),
+            conns_refused: registry.counter("net_connections_refused_total"),
+            frames_in: registry.counter("net_frames_in_total"),
+            frames_out: registry.counter("net_frames_out_total"),
+            bytes_in: registry.counter("net_bytes_in_total"),
+            bytes_out: registry.counter("net_bytes_out_total"),
+            deadline_expiries: registry.counter("net_deadline_expiries_total"),
+            rpc_latency: registry.histogram("net_rpc_latency_ns"),
+        }
+    }
+
+    fn read(&self, msg: &Msg) {
+        self.frames_in.inc();
+        self.bytes_in.add(msg.wire_size());
+    }
+
+    fn wrote(&self, msg: &Msg) {
+        self.frames_out.inc();
+        self.bytes_out.add(msg.wire_size());
+    }
+}
 
 /// A bound, not-yet-running server.
 pub struct Server<S: WireService> {
     listener: TcpListener,
     service: Arc<S>,
     config: ServerConfig,
+    obs: NetInstruments,
 }
 
 /// A running server spawned on a background thread.
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
-    conns: Registry,
+    conns: ConnTable,
     join: Option<JoinHandle<()>>,
 }
 
@@ -105,7 +160,17 @@ impl<S: WireService> Server<S> {
             listener,
             service,
             config,
+            obs: NetInstruments::new(&Registry::noop()),
         })
+    }
+
+    /// Records connection lifecycle, frame/byte traffic, deadline
+    /// expiries, and per-RPC serve latency into `registry` (all under
+    /// `net_*` metric names). Without this call every instrument is a
+    /// no-op.
+    pub fn with_registry(mut self, registry: &Registry) -> Server<S> {
+        self.obs = NetInstruments::new(registry);
+        self
     }
 
     /// The address actually bound.
@@ -117,7 +182,7 @@ impl<S: WireService> Server<S> {
     /// process exits). This is what `mixctl serve-source` calls.
     pub fn run(self) -> Result<(), NetError> {
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let conns: ConnTable = Arc::new(Mutex::new(HashMap::new()));
         self.accept_loop(&stop, &conns);
         Ok(())
     }
@@ -127,7 +192,7 @@ impl<S: WireService> Server<S> {
     pub fn spawn(self) -> Result<ServerHandle, NetError> {
         let addr = self.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let conns: ConnTable = Arc::new(Mutex::new(HashMap::new()));
         let loop_stop = Arc::clone(&stop);
         let loop_conns = Arc::clone(&conns);
         let join = std::thread::spawn(move || self.accept_loop(&loop_stop, &loop_conns));
@@ -139,7 +204,7 @@ impl<S: WireService> Server<S> {
         })
     }
 
-    fn accept_loop(self, stop: &AtomicBool, conns: &Registry) {
+    fn accept_loop(self, stop: &AtomicBool, conns: &ConnTable) {
         let next_id = AtomicU64::new(0);
         for stream in self.listener.incoming() {
             if stop.load(Ordering::SeqCst) {
@@ -153,6 +218,7 @@ impl<S: WireService> Server<S> {
                 let mut live = lock(conns);
                 if live.len() >= self.config.max_connections {
                     drop(live);
+                    self.obs.conns_refused.inc();
                     refuse(stream, self.config);
                     continue;
                 }
@@ -160,20 +226,23 @@ impl<S: WireService> Server<S> {
                     live.insert(id, clone);
                 }
             }
+            self.obs.conns_opened.inc();
             let service = Arc::clone(&self.service);
             let config = self.config;
             let conns = Arc::clone(conns);
+            let obs = self.obs.clone();
             std::thread::spawn(move || {
                 // errors on one connection (disconnects, timeouts,
                 // protocol garbage) end that connection only
-                let _ = handle_connection(stream, service.as_ref(), config);
+                let _ = handle_connection(stream, service.as_ref(), config, &obs);
+                obs.conns_closed.inc();
                 lock(&conns).remove(&id);
             });
         }
     }
 }
 
-fn lock(conns: &Registry) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
+fn lock(conns: &ConnTable) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
     conns
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -228,6 +297,7 @@ fn handle_connection(
     stream: TcpStream,
     service: &dyn WireService,
     config: ServerConfig,
+    obs: &NetInstruments,
 ) -> Result<(), NetError> {
     stream.set_read_timeout(Some(config.io_timeout))?;
     stream.set_write_timeout(Some(config.io_timeout))?;
@@ -236,7 +306,11 @@ fn handle_connection(
     let mut writer = BufWriter::new(stream);
 
     match Msg::read_from(&mut reader)? {
-        Msg::Hello => Msg::Hello.write_to(&mut writer)?,
+        Msg::Hello => {
+            obs.read(&Msg::Hello);
+            Msg::Hello.write_to(&mut writer)?;
+            obs.wrote(&Msg::Hello);
+        }
         other => {
             let e = Msg::Err {
                 kind: "protocol".into(),
@@ -250,10 +324,21 @@ fn handle_connection(
     loop {
         let msg = match Msg::read_from(&mut reader) {
             Ok(m) => m,
-            // EOF/timeout/reset: the client is done (or gone)
-            Err(NetError::Io(_)) => return Ok(()),
+            // EOF/timeout/reset: the client is done (or gone). A timeout
+            // is a deadline expiry and is counted as one.
+            Err(NetError::Io(e)) => {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    obs.deadline_expiries.inc();
+                }
+                return Ok(());
+            }
             Err(e) => return Err(e),
         };
+        obs.read(&msg);
+        let started = obs.registry.now_ns();
         let reply = match msg {
             Msg::ExportDtd(_) => Msg::ExportDtd(service.export_dtd()),
             Msg::Query(q) => {
@@ -266,6 +351,13 @@ fn handle_connection(
                     },
                 }
             }
+            Msg::Stats(_) => match service.stats() {
+                Some(json) => Msg::Stats(json),
+                None => Msg::Err {
+                    kind: "unsupported".into(),
+                    msg: "this service exports no statistics".into(),
+                },
+            },
             Msg::Hello => Msg::Hello, // a re-handshake is harmless
             Msg::Answer(_) | Msg::Err { .. } => {
                 let e = Msg::Err {
@@ -277,6 +369,9 @@ fn handle_connection(
             }
         };
         reply.write_to(&mut writer)?;
+        obs.wrote(&reply);
+        obs.rpc_latency
+            .observe(obs.registry.now_ns().saturating_sub(started));
     }
 }
 
@@ -337,6 +432,76 @@ mod tests {
             Msg::Answer("<echo>q</echo>".into())
         );
         h.shutdown();
+    }
+
+    /// Echo plus a canned stats snapshot.
+    struct WithStats;
+
+    impl WireService for WithStats {
+        fn export_dtd(&self) -> String {
+            "{<r : a*> <a : PCDATA>}".into()
+        }
+
+        fn answer(&self, _query: Option<&str>) -> Result<String, WireFault> {
+            Ok("<r/>".into())
+        }
+
+        fn stats(&self) -> Option<String> {
+            Some(r#"{"schema":"mix-obs/1"}"#.into())
+        }
+    }
+
+    #[test]
+    fn stats_request_returns_snapshot_or_unsupported() {
+        // a service without stats answers with an `unsupported` fault…
+        let h = spawn_echo(ServerConfig::default());
+        let mut c =
+            Connection::connect(&h.addr().to_string(), &ClientConfig::default()).expect("connect");
+        match c.request(Msg::Stats(String::new())) {
+            Err(NetError::Remote { kind, .. }) => assert_eq!(kind, "unsupported"),
+            other => panic!("expected unsupported fault, got {other:?}"),
+        }
+        h.shutdown();
+        // …a service with stats returns the snapshot verbatim
+        let h = Server::bind("127.0.0.1:0", Arc::new(WithStats), ServerConfig::default())
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut c =
+            Connection::connect(&h.addr().to_string(), &ClientConfig::default()).expect("connect");
+        assert_eq!(
+            c.request(Msg::Stats(String::new())).unwrap(),
+            Msg::Stats(r#"{"schema":"mix-obs/1"}"#.into())
+        );
+        h.shutdown();
+    }
+
+    #[test]
+    fn instrumented_server_counts_connections_frames_and_bytes() {
+        let registry = Registry::new();
+        let h = Server::bind("127.0.0.1:0", Arc::new(Echo), ServerConfig::default())
+            .unwrap()
+            .with_registry(&registry)
+            .spawn()
+            .unwrap();
+        let mut c =
+            Connection::connect(&h.addr().to_string(), &ClientConfig::default()).expect("connect");
+        let q = Msg::Query("q".into());
+        let sent =
+            Msg::Hello.wire_size() + Msg::ExportDtd(String::new()).wire_size() + q.wire_size();
+        c.request(Msg::ExportDtd(String::new())).unwrap();
+        c.request(q).unwrap();
+        drop(c);
+        h.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["net_connections_opened_total"], 1);
+        assert_eq!(snap.counters["net_connections_closed_total"], 1);
+        // Hello + ExportDtd + Query read; Hello + ExportDtd + Answer written
+        assert_eq!(snap.counters["net_frames_in_total"], 3);
+        assert_eq!(snap.counters["net_frames_out_total"], 3);
+        assert_eq!(snap.counters["net_bytes_in_total"], sent);
+        // the two non-handshake exchanges each landed one latency sample
+        assert_eq!(snap.histograms["net_rpc_latency_ns"].count, 2);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! The registry's clock: real (monotonic, epoch at registry creation) or
+//! manual (starts at zero, advanced explicitly).
+//!
+//! Every timestamp the registry hands out — span starts, event times,
+//! histogram timer durations — comes from here, so swapping in a manual
+//! clock makes a whole exposition byte-deterministic. The golden-corpus
+//! case pinning the text exposition relies on that.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+pub(crate) enum Clock {
+    /// Nanoseconds since the registry was created.
+    Real(Instant),
+    /// Explicitly advanced; starts at zero.
+    Manual(AtomicU64),
+}
+
+impl Clock {
+    pub(crate) fn real() -> Clock {
+        Clock::Real(Instant::now())
+    }
+
+    pub(crate) fn manual() -> Clock {
+        Clock::Manual(AtomicU64::new(0))
+    }
+
+    pub(crate) fn now_ns(&self) -> u64 {
+        match self {
+            Clock::Real(epoch) => epoch.elapsed().as_nanos() as u64,
+            Clock::Manual(t) => t.load(Relaxed),
+        }
+    }
+
+    /// Advances a manual clock; returns whether it had any effect.
+    pub(crate) fn advance_ns(&self, delta: u64) -> bool {
+        match self {
+            Clock::Real(_) => false,
+            Clock::Manual(t) => {
+                t.fetch_add(delta, Relaxed);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_starts_at_zero_and_advances() {
+        let c = Clock::manual();
+        assert_eq!(c.now_ns(), 0);
+        assert!(c.advance_ns(250));
+        assert!(c.advance_ns(250));
+        assert_eq!(c.now_ns(), 500);
+    }
+
+    #[test]
+    fn real_clock_is_monotonic_and_ignores_advance() {
+        let c = Clock::real();
+        let a = c.now_ns();
+        assert!(!c.advance_ns(1_000_000));
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,75 @@
+//! The event ring: rare, timestamped occurrences.
+//!
+//! Counters aggregate; events narrate. A circuit breaker that flaps six
+//! times during a run shows up in `breaker_opened_total = 6`, but *when*
+//! it flapped — and against which source, with what detail — only
+//! survives as an ordered list. Events are expected to be rare (breaker
+//! transitions, stale serves, degradations), so a plain mutexed deque
+//! with a drop counter is the right cost point; the hot path never
+//! touches it.
+
+use crate::snapshot::EventSnapshot;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// Events retained; the oldest are dropped (and counted) past this.
+pub const EVENT_RING_CAPACITY: usize = 256;
+
+pub(crate) struct EventRing {
+    ring: Mutex<VecDeque<EventSnapshot>>,
+    dropped: AtomicU64,
+    capacity: usize,
+}
+
+impl EventRing {
+    pub(crate) fn new(capacity: usize) -> EventRing {
+        EventRing {
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub(crate) fn push(&self, event: EventSnapshot) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Retained events in arrival order, plus how many were dropped.
+    pub(crate) fn snapshot(&self) -> (Vec<EventSnapshot>, u64) {
+        let ring = self.ring.lock().unwrap();
+        (ring.iter().cloned().collect(), self.dropped.load(Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ns: u64, kind: &str) -> EventSnapshot {
+        EventSnapshot {
+            at_ns,
+            kind: kind.to_string(),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.push(ev(i, "breaker-open"));
+        }
+        let (events, dropped) = ring.snapshot();
+        assert_eq!(dropped, 2);
+        assert_eq!(
+            events.iter().map(|e| e.at_ns).collect::<Vec<_>>(),
+            [2, 3, 4]
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Log₂-bucketed histograms.
+//!
+//! A value `v` lands in the bucket indexed by its bit length: bucket 0
+//! holds exactly `{0}`, bucket *i* (1 ≤ *i* ≤ 63) holds `[2^(i-1),
+//! 2^i − 1]`, and bucket 64 holds everything from `2^63` up. Each bucket's
+//! inclusive upper bound (`le`) is therefore `2^i − 1` (with bucket 64
+//! reported as `+Inf`/`u64::MAX`). Recording is two relaxed atomic adds —
+//! cheap enough for per-request latencies in nanoseconds.
+//!
+//! Quantiles are defined *exactly* on the bucket counts: the q-quantile
+//! is the `le` bound of the bucket containing the ⌈q·count⌉-th smallest
+//! observation. That makes them coarse (within 2× of the true value) but
+//! deterministic and property-testable — the suite recomputes them from
+//! sorted inputs and demands equality.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of buckets: one for zero, one per bit length, one overflow.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: its bit length.
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` stands for +Inf).
+pub fn bucket_le(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// Shared histogram storage behind a [`crate::Histogram`] handle.
+pub(crate) struct HistCore {
+    pub(crate) buckets: [AtomicU64; NUM_BUCKETS],
+    pub(crate) sum: AtomicU64,
+}
+
+impl HistCore {
+    pub(crate) fn new() -> HistCore {
+        HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+    }
+}
+
+/// The q-quantile over `(le, count)` buckets with `total` observations:
+/// the `le` of the bucket holding the ⌈q·total⌉-th smallest value.
+/// Returns 0 for an empty histogram.
+pub fn quantile_from_buckets(buckets: &[(u64, u64)], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    for &(le, n) in buckets {
+        cumulative += n;
+        if cumulative >= rank {
+            return le;
+        }
+    }
+    buckets.last().map_or(0, |&(le, _)| le)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_le(0), 0);
+        assert_eq!(bucket_le(1), 1);
+        assert_eq!(bucket_le(2), 3);
+        assert_eq!(bucket_le(10), 1023);
+        assert_eq!(bucket_le(64), u64::MAX);
+        // every value's bucket bound is >= the value
+        for v in [0u64, 1, 2, 3, 5, 100, 1 << 40, u64::MAX] {
+            assert!(bucket_le(bucket_index(v)) >= v);
+        }
+    }
+
+    #[test]
+    fn quantiles_pick_the_bucket_of_the_ranked_observation() {
+        // observations: 0, 1, 2, 3, 100 → buckets le 0, 1, 3, 3, 127
+        let buckets = vec![(0, 1), (1, 1), (3, 2), (127, 1)];
+        assert_eq!(quantile_from_buckets(&buckets, 5, 0.5), 3); // 3rd smallest = 2
+        assert_eq!(quantile_from_buckets(&buckets, 5, 0.95), 127);
+        assert_eq!(quantile_from_buckets(&buckets, 5, 0.0), 0); // rank clamps to 1
+        assert_eq!(quantile_from_buckets(&[], 0, 0.5), 0);
+    }
+}

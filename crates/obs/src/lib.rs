@@ -1,0 +1,71 @@
+//! # mix-obs — the observability substrate of the MIX reproduction
+//!
+//! The ROADMAP's north star is a mediator serving heavy traffic over
+//! many sources; finding the next hot path in such a system requires
+//! per-stage timing and per-site health as *first-class outputs*, not
+//! ad-hoc counters bolted onto each layer. This crate is that substrate
+//! (DESIGN.md §10): deliberately std-only, dependency-free, and cheap
+//! enough to leave on in production.
+//!
+//! Three kinds of state live behind a cloneable [`Registry`] handle:
+//!
+//! * **Instruments** — [`Counter`]s and [`Gauge`]s (single atomics) and
+//!   log₂-bucketed [`Histogram`]s with exact, testable p50/p95/p99
+//!   ([`hist`]). Handles are `Clone` and lock-free on the hot path;
+//!   the registry lock is only taken at registration and snapshot time.
+//! * **Spans** — a fixed-capacity lock-free ring of `(trace, stage,
+//!   start, duration)` records ([`span`]) tracing a request through the
+//!   pipeline (query → normalize → cache lookup → infer → source fetch →
+//!   union). Stage names are interned; trace ids propagate through a
+//!   thread-local so scoped worker threads can join their parent's trace.
+//! * **Events** — a small capped ring of rare, timestamped occurrences
+//!   (circuit-breaker flaps, stale serves) that would be lost in a
+//!   counter.
+//!
+//! A [`Registry`] is either *enabled* or a **no-op**: [`Registry::noop`]
+//! holds no allocation at all, every instrument handle degrades to
+//! `Option::None`, and instrumented code costs one branch per call.
+//! Bench X17 (`BENCH_PR4.json`) pins the enabled-vs-noop overhead on the
+//! serving workload.
+//!
+//! State is exported as a [`Snapshot`]: a plain-data view with a stable
+//! JSON encoding (round-trips byte-for-byte through [`json`], the
+//! schema-stability guard CI enforces) and a Prometheus-style text
+//! exposition. Snapshots [`Snapshot::merge`] so a process can serve one
+//! view over several registries (e.g. a mediator's plus [`global()`]).
+//!
+//! The process-wide [`global()`] registry hosts instruments from layers
+//! with no natural owner (the `relang` automata memo); everything else
+//! takes an explicit registry so tests and benches stay isolated.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clock;
+mod event;
+pub mod hist;
+pub mod json;
+mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use registry::{Counter, Gauge, HistTimer, Histogram, Registry, SpanGuard};
+pub use snapshot::{EventSnapshot, HistSnapshot, Snapshot, SpanSnapshot};
+pub use span::{current_trace, set_current_trace, TraceScope};
+
+use std::sync::OnceLock;
+
+/// Identifier of the snapshot JSON schema; bumped on any change to the
+/// encoding. [`Snapshot::from_json`] rejects other schemas.
+pub const SCHEMA: &str = "mix-obs/1";
+
+/// The process-wide registry (always enabled, real clock).
+///
+/// Hosts instruments that have no natural owner — the `relang` automata
+/// memo, which is itself process-wide. Layers with an owning object
+/// (mediator, cache, server) take an explicit [`Registry`] instead, so
+/// tests and benches can observe in isolation.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}

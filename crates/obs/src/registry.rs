@@ -1,0 +1,501 @@
+//! The [`Registry`]: owner of all instruments, spans, and events.
+//!
+//! A registry handle is an `Option<Arc<…>>` — cloning is one refcount
+//! bump, and the **no-op** registry ([`Registry::noop`]) is `None` all
+//! the way down: no allocation, every operation a single branch. That is
+//! the zero-cost-when-disabled contract the X17 bench measures.
+//!
+//! Instrument handles ([`Counter`], [`Gauge`], [`Histogram`]) are looked
+//! up (or created) under a short registry mutex **once**, then held by
+//! the instrumented object; the hot path touches only the shared atomic.
+//! Metric names follow the Prometheus convention (`snake_case`, unit
+//! suffix, `_total` for counters) and may carry a label set inline:
+//! `source_retries_total{source="site0"}`.
+
+use crate::clock::Clock;
+use crate::event::{EventRing, EVENT_RING_CAPACITY};
+use crate::hist::HistCore;
+use crate::snapshot::{EventSnapshot, HistSnapshot, Snapshot};
+use crate::span::{self, SpanRing, TraceScope, SPAN_RING_CAPACITY};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+struct Inner {
+    clock: Clock,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistCore>>>,
+    spans: SpanRing,
+    events: EventRing,
+    next_trace: AtomicU64,
+}
+
+/// A cloneable handle to one observability domain (or a no-op).
+#[derive(Clone)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::noop()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Registry {
+    fn with_clock(clock: Clock) -> Registry {
+        Registry {
+            inner: Some(Arc::new(Inner {
+                clock,
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                spans: SpanRing::new(SPAN_RING_CAPACITY),
+                events: EventRing::new(EVENT_RING_CAPACITY),
+                next_trace: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// An enabled registry on the real (monotonic) clock.
+    pub fn new() -> Registry {
+        Registry::with_clock(Clock::real())
+    }
+
+    /// An enabled registry on a manual clock starting at 0 ns — every
+    /// timestamp is then deterministic (the golden exposition uses this).
+    pub fn with_manual_clock() -> Registry {
+        Registry::with_clock(Clock::manual())
+    }
+
+    /// The no-op registry: records nothing, allocates nothing.
+    pub fn noop() -> Registry {
+        Registry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current registry-clock time in nanoseconds (0 when no-op).
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now_ns())
+    }
+
+    /// Advances a manual clock; ignored on a real clock or no-op.
+    pub fn advance_clock_ns(&self, delta: u64) {
+        if let Some(i) = &self.inner {
+            i.clock.advance_ns(delta);
+        }
+    }
+
+    /// The counter named `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|i| {
+            Arc::clone(
+                i.counters
+                    .lock()
+                    .unwrap()
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// The gauge named `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|i| {
+            Arc::clone(
+                i.gauges
+                    .lock()
+                    .unwrap()
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// The histogram named `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram {
+            core: self.inner.as_ref().map(|i| {
+                Arc::clone(
+                    i.histograms
+                        .lock()
+                        .unwrap()
+                        .entry(name.to_string())
+                        .or_insert_with(|| Arc::new(HistCore::new())),
+                )
+            }),
+            registry: self.clone(),
+        }
+    }
+
+    /// Allocates a fresh trace id and installs it as this thread's
+    /// current trace until the guard drops. Spans recorded meanwhile
+    /// (on this thread, or on workers that [`span::set_current_trace`]
+    /// the returned id) belong to this trace.
+    pub fn begin_trace(&self) -> (u64, TraceScope) {
+        match &self.inner {
+            None => (0, span::set_current_trace(span::current_trace())),
+            Some(i) => {
+                let id = i.next_trace.fetch_add(1, Relaxed);
+                (id, span::set_current_trace(id))
+            }
+        }
+    }
+
+    /// Opens a span for `stage` on the current trace; it is recorded
+    /// with its duration when the guard drops.
+    pub fn span(&self, stage: &str) -> SpanGuard {
+        SpanGuard {
+            inner: self.inner.as_ref().map(|i| OpenSpan {
+                registry: Arc::clone(i),
+                stage: i.spans.intern(stage),
+                trace: span::current_trace(),
+                start_ns: i.clock.now_ns(),
+            }),
+        }
+    }
+
+    /// Records a completed span directly (for pre-measured durations).
+    pub fn record_span(&self, stage: &str, trace: u64, start_ns: u64, dur_ns: u64) {
+        if let Some(i) = &self.inner {
+            let stage = i.spans.intern(stage);
+            i.spans.record(trace, stage, start_ns, dur_ns);
+        }
+    }
+
+    /// Appends a timestamped event (kept in a small capped ring).
+    pub fn event(&self, kind: &str, detail: impl Into<String>) {
+        if let Some(i) = &self.inner {
+            i.events.push(EventSnapshot {
+                at_ns: i.clock.now_ns(),
+                kind: kind.to_string(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// Exports everything as plain data. Empty for a no-op registry.
+    /// `obs_spans_dropped_total` / `obs_events_dropped_total` counters
+    /// appear when the rings have overflowed.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(i) = &self.inner else {
+            return Snapshot::default();
+        };
+        let mut snap = Snapshot::default();
+        for (name, c) in i.counters.lock().unwrap().iter() {
+            snap.counters.insert(name.clone(), c.load(Relaxed));
+        }
+        for (name, g) in i.gauges.lock().unwrap().iter() {
+            snap.gauges.insert(name.clone(), g.load(Relaxed));
+        }
+        for (name, h) in i.histograms.lock().unwrap().iter() {
+            let buckets: Vec<(u64, u64)> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, b)| {
+                    let n = b.load(Relaxed);
+                    (n > 0).then(|| (crate::hist::bucket_le(idx), n))
+                })
+                .collect();
+            snap.histograms.insert(
+                name.clone(),
+                HistSnapshot::from_parts(buckets, h.sum.load(Relaxed)),
+            );
+        }
+        snap.spans = i.spans.snapshot();
+        let spans_dropped = i.spans.total().saturating_sub(snap.spans.len() as u64);
+        if spans_dropped > 0 {
+            snap.counters
+                .insert("obs_spans_dropped_total".into(), spans_dropped);
+        }
+        let (events, events_dropped) = i.events.snapshot();
+        snap.events = events;
+        if events_dropped > 0 {
+            snap.counters
+                .insert("obs_events_dropped_total".into(), events_dropped);
+        }
+        snap
+    }
+}
+
+/// A monotonic count. Cloneable; all clones share the same cell.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A detached counter that records nothing.
+    pub fn noop() -> Counter {
+        Counter(None)
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// The current count (0 when no-op).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Relaxed))
+    }
+}
+
+/// An instantaneous level. Cloneable; all clones share the same cell.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A detached gauge that records nothing.
+    pub fn noop() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Relaxed);
+        }
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(delta, Relaxed);
+        }
+    }
+
+    /// The current level (0 when no-op).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Relaxed))
+    }
+}
+
+/// A log₂-bucketed distribution (see [`crate::hist`]).
+#[derive(Clone)]
+pub struct Histogram {
+    core: Option<Arc<HistCore>>,
+    registry: Registry,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::noop()
+    }
+}
+
+impl Histogram {
+    /// A detached histogram that records nothing.
+    pub fn noop() -> Histogram {
+        Histogram {
+            core: None,
+            registry: Registry::noop(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        if let Some(core) = &self.core {
+            core.observe(value);
+        }
+    }
+
+    /// Starts timing on the registry clock; the elapsed nanoseconds are
+    /// recorded when the returned timer drops (or [`HistTimer::stop`]s).
+    pub fn start(&self) -> HistTimer {
+        HistTimer {
+            hist: self.core.is_some().then(|| self.clone()),
+            start_ns: self.registry.now_ns(),
+        }
+    }
+}
+
+/// Times one operation against a [`Histogram`].
+#[must_use = "the duration is recorded when this timer drops"]
+pub struct HistTimer {
+    hist: Option<Histogram>,
+    start_ns: u64,
+}
+
+impl HistTimer {
+    /// Records now and returns the measured duration in nanoseconds.
+    pub fn stop(mut self) -> u64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> u64 {
+        match self.hist.take() {
+            None => 0,
+            Some(h) => {
+                let dur = h.registry.now_ns().saturating_sub(self.start_ns);
+                h.observe(dur);
+                dur
+            }
+        }
+    }
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+struct OpenSpan {
+    registry: Arc<Inner>,
+    stage: u64,
+    trace: u64,
+    start_ns: u64,
+}
+
+/// An open pipeline stage; recorded into the span ring on drop.
+#[must_use = "the span is recorded when this guard drops"]
+pub struct SpanGuard {
+    inner: Option<OpenSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.inner.take() {
+            let dur = open.registry.clock.now_ns().saturating_sub(open.start_ns);
+            open.registry
+                .spans
+                .record(open.trace, open.stage, open.start_ns, dur);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_and_survive_reregistration() {
+        let reg = Registry::new();
+        let a = reg.counter("hits_total");
+        let b = reg.counter("hits_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.snapshot().counters["hits_total"], 3);
+    }
+
+    #[test]
+    fn noop_registry_records_nothing() {
+        let reg = Registry::noop();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("x_total");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        reg.gauge("g").set(9);
+        reg.histogram("h").observe(5);
+        reg.event("k", "d");
+        let (id, _scope) = reg.begin_trace();
+        assert_eq!(id, 0);
+        drop(reg.span("stage"));
+        assert_eq!(reg.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn manual_clock_drives_timers_spans_and_events() {
+        let reg = Registry::with_manual_clock();
+        let h = reg.histogram("latency_ns");
+        let t = h.start();
+        reg.advance_clock_ns(1000);
+        assert_eq!(t.stop(), 1000);
+
+        let (trace, _scope) = reg.begin_trace();
+        let span = reg.span("query");
+        reg.advance_clock_ns(500);
+        drop(span);
+        reg.event("done", "all good");
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["latency_ns"].count, 1);
+        assert_eq!(snap.histograms["latency_ns"].sum, 1000);
+        assert_eq!(snap.histograms["latency_ns"].p50, 1023);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].trace, trace);
+        assert_eq!(snap.spans[0].stage, "query");
+        assert_eq!(snap.spans[0].start_ns, 1000);
+        assert_eq!(snap.spans[0].dur_ns, 500);
+        assert_eq!(snap.events[0].at_ns, 1500);
+        assert_eq!(snap.events[0].kind, "done");
+    }
+
+    #[test]
+    fn trace_ids_are_fresh_and_scoped() {
+        let reg = Registry::new();
+        let (a, scope_a) = reg.begin_trace();
+        assert_eq!(span::current_trace(), a);
+        let (b, scope_b) = reg.begin_trace();
+        assert!(b > a);
+        assert_eq!(span::current_trace(), b);
+        drop(scope_b);
+        assert_eq!(span::current_trace(), a);
+        drop(scope_a);
+        assert_eq!(span::current_trace(), 0);
+    }
+
+    #[test]
+    fn dropped_span_and_event_counts_surface_in_snapshots() {
+        let reg = Registry::with_manual_clock();
+        for i in 0..(SPAN_RING_CAPACITY as u64 + 7) {
+            reg.record_span("s", 0, i, 1);
+        }
+        for i in 0..(EVENT_RING_CAPACITY + 3) {
+            reg.event("e", format!("{i}"));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["obs_spans_dropped_total"], 7);
+        assert_eq!(snap.counters["obs_events_dropped_total"], 3);
+        assert_eq!(snap.spans.len(), SPAN_RING_CAPACITY);
+        assert_eq!(snap.events.len(), EVENT_RING_CAPACITY);
+    }
+
+    #[test]
+    fn eight_thread_hammer_never_loses_counts() {
+        let reg = Registry::new();
+        let c = reg.counter("hammer_total");
+        let h = reg.histogram("hammer_ns");
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.observe((t as u64) * PER_THREAD + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.histograms["hammer_ns"].count,
+            THREADS as u64 * PER_THREAD
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! The span ring: fixed-capacity, lock-free request tracing.
+//!
+//! A span is `(trace, stage, start_ns, dur_ns)` — one timed step of one
+//! request. Writers claim a slot with a single `fetch_add` on the ring
+//! head and publish through a per-slot sequence word (seqlock
+//! discipline): the slot's `seq` goes *odd* before the fields are
+//! written and *even* (with the claim ticket encoded) after, so readers
+//! that observe a changing or odd `seq` discard the slot instead of
+//! reporting a torn record. No locks, no `unsafe`; a write racing a full
+//! ring wrap-around can in principle blend two records, which the
+//! double-read check almost always catches — and spans are diagnostics,
+//! not accounting, so the residual race is accepted (DESIGN.md §10).
+//!
+//! Stage names are interned to small ids behind an `RwLock` taken only
+//! on the *first* use of a name; per-source stages like `fetch/site0`
+//! make the ring localize a slow site without labels on the hot path.
+//!
+//! The *current trace id* is a thread-local. [`crate::Registry::begin_trace`]
+//! allocates a fresh id and installs it for the current scope;
+//! [`set_current_trace`] lets scoped worker threads join their parent's
+//! trace explicitly (a thread-local does not cross `std::thread::scope`).
+
+use crate::snapshot::SpanSnapshot;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::RwLock;
+
+/// Slots in the ring; the newest spans win once it wraps.
+pub const SPAN_RING_CAPACITY: usize = 1024;
+
+struct Slot {
+    /// 0 = never written; odd = write in progress; `2·ticket + 2` = stable.
+    seq: AtomicU64,
+    trace: AtomicU64,
+    stage: AtomicU64,
+    start_ns: AtomicU64,
+    dur_ns: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            stage: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            dur_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+#[derive(Default)]
+struct StageTable {
+    names: Vec<String>,
+    ids: HashMap<String, u64>,
+}
+
+pub(crate) struct SpanRing {
+    slots: Vec<Slot>,
+    /// Total spans ever recorded; `head % capacity` is the next slot.
+    head: AtomicU64,
+    stages: RwLock<StageTable>,
+}
+
+impl SpanRing {
+    pub(crate) fn new(capacity: usize) -> SpanRing {
+        SpanRing {
+            slots: (0..capacity.max(1)).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+            stages: RwLock::new(StageTable::default()),
+        }
+    }
+
+    /// Interns `name`, returning its stable small id.
+    pub(crate) fn intern(&self, name: &str) -> u64 {
+        if let Some(&id) = self.stages.read().unwrap().ids.get(name) {
+            return id;
+        }
+        let mut table = self.stages.write().unwrap();
+        if let Some(&id) = table.ids.get(name) {
+            return id;
+        }
+        let id = table.names.len() as u64;
+        table.names.push(name.to_string());
+        table.ids.insert(name.to_string(), id);
+        id
+    }
+
+    pub(crate) fn record(&self, trace: u64, stage: u64, start_ns: u64, dur_ns: u64) {
+        let ticket = self.head.fetch_add(1, SeqCst);
+        let slot = &self.slots[(ticket as usize) % self.slots.len()];
+        slot.seq.store(2 * ticket + 1, SeqCst);
+        slot.trace.store(trace, SeqCst);
+        slot.stage.store(stage, SeqCst);
+        slot.start_ns.store(start_ns, SeqCst);
+        slot.dur_ns.store(dur_ns, SeqCst);
+        slot.seq.store(2 * ticket + 2, SeqCst);
+    }
+
+    /// Total spans ever recorded (including ones the ring has dropped).
+    pub(crate) fn total(&self) -> u64 {
+        self.head.load(SeqCst)
+    }
+
+    /// Stable spans currently in the ring, ordered by start time.
+    pub(crate) fn snapshot(&self) -> Vec<SpanSnapshot> {
+        let stages = self.stages.read().unwrap();
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            let before = slot.seq.load(SeqCst);
+            if before == 0 || before % 2 == 1 {
+                continue; // never written, or mid-write
+            }
+            let span = SpanSnapshot {
+                trace: slot.trace.load(SeqCst),
+                stage: String::new(),
+                start_ns: slot.start_ns.load(SeqCst),
+                dur_ns: slot.dur_ns.load(SeqCst),
+            };
+            let stage_id = slot.stage.load(SeqCst);
+            if slot.seq.load(SeqCst) != before {
+                continue; // torn: a writer intervened
+            }
+            out.push(SpanSnapshot {
+                stage: stages
+                    .names
+                    .get(stage_id as usize)
+                    .cloned()
+                    .unwrap_or_default(),
+                ..span
+            });
+        }
+        out.sort_by(|a, b| {
+            (a.start_ns, a.trace, &a.stage, a.dur_ns)
+                .cmp(&(b.start_ns, b.trace, &b.stage, b.dur_ns))
+        });
+        out
+    }
+}
+
+thread_local! {
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The trace id spans on this thread attach to (0 = untraced).
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(|c| c.get())
+}
+
+/// Installs `trace` as this thread's current trace id until the returned
+/// guard drops (the previous id is then restored). Use inside scoped
+/// worker threads to join the spawning request's trace.
+pub fn set_current_trace(trace: u64) -> TraceScope {
+    TraceScope {
+        prev: CURRENT_TRACE.with(|c| c.replace(trace)),
+    }
+}
+
+/// Guard restoring the previously-current trace id on drop.
+#[must_use = "the trace id reverts when this guard drops"]
+pub struct TraceScope {
+    prev: u64,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_spans_once_full() {
+        let ring = SpanRing::new(4);
+        let stage = ring.intern("s");
+        for i in 0..10u64 {
+            ring.record(1, stage, i, 1);
+        }
+        let spans = ring.snapshot();
+        assert_eq!(ring.total(), 10);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(
+            spans.iter().map(|s| s.start_ns).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn interning_is_stable_and_shared() {
+        let ring = SpanRing::new(4);
+        let a = ring.intern("fetch/site0");
+        let b = ring.intern("fetch/site1");
+        assert_ne!(a, b);
+        assert_eq!(ring.intern("fetch/site0"), a);
+        ring.record(7, b, 5, 2);
+        let spans = ring.snapshot();
+        assert_eq!(spans[0].stage, "fetch/site1");
+        assert_eq!(spans[0].trace, 7);
+    }
+
+    #[test]
+    fn trace_scope_nests_and_restores() {
+        assert_eq!(current_trace(), 0);
+        let outer = set_current_trace(3);
+        assert_eq!(current_trace(), 3);
+        {
+            let _inner = set_current_trace(9);
+            assert_eq!(current_trace(), 9);
+        }
+        assert_eq!(current_trace(), 3);
+        drop(outer);
+        assert_eq!(current_trace(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_stage_ids() {
+        // Capacity exceeds the total writes, so no two writers ever share
+        // a slot; the seqlock must then make every snapshot consistent.
+        let ring = SpanRing::new(4096);
+        let stages: Vec<u64> = (0..4).map(|i| ring.intern(&format!("s{i}"))).collect();
+        std::thread::scope(|scope| {
+            for (t, &stage) in stages.iter().enumerate() {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        ring.record(t as u64, stage, i, t as u64);
+                    }
+                });
+            }
+            for _ in 0..100 {
+                for s in ring.snapshot() {
+                    // every stable record is internally consistent
+                    assert_eq!(s.stage, format!("s{}", s.trace), "torn span: {s:?}");
+                    assert_eq!(s.dur_ns, s.trace);
+                }
+            }
+        });
+        assert_eq!(ring.total(), 2000);
+    }
+}

@@ -21,14 +21,19 @@
 //! cheap. Results are pure functions of their keys, so memoization never
 //! changes any answer; `tests/serving_prop.rs` property-checks this
 //! against the uncached procedures.
+//!
+//! Hit/miss/eviction accounting lives in the process-wide
+//! [`mix_obs::global()`] registry (the memo is itself process-wide, so
+//! the global registry is its natural home); [`memo_stats`] remains as a
+//! typed view over those counters for the serving layer and benches.
 
 use crate::ast::Regex;
 use crate::dfa::Dfa;
 use crate::nfa::Nfa;
 use crate::symbol::Sym;
+use mix_obs::Counter;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Entries kept per table before a wholesale flush.
@@ -41,23 +46,26 @@ type DfaKey = (Regex, Vec<Sym>);
 struct Memo {
     dfas: RwLock<HashMap<DfaKey, Arc<Dfa>>>,
     inclusions: RwLock<HashMap<(Regex, Regex), bool>>,
-    dfa_hits: AtomicU64,
-    dfa_misses: AtomicU64,
-    inclusion_hits: AtomicU64,
-    inclusion_misses: AtomicU64,
-    evictions: AtomicU64,
+    dfa_hits: Counter,
+    dfa_misses: Counter,
+    inclusion_hits: Counter,
+    inclusion_misses: Counter,
+    evictions: Counter,
 }
 
 fn memo() -> &'static Memo {
     static MEMO: OnceLock<Memo> = OnceLock::new();
-    MEMO.get_or_init(|| Memo {
-        dfas: RwLock::new(HashMap::new()),
-        inclusions: RwLock::new(HashMap::new()),
-        dfa_hits: AtomicU64::new(0),
-        dfa_misses: AtomicU64::new(0),
-        inclusion_hits: AtomicU64::new(0),
-        inclusion_misses: AtomicU64::new(0),
-        evictions: AtomicU64::new(0),
+    MEMO.get_or_init(|| {
+        let obs = mix_obs::global();
+        Memo {
+            dfas: RwLock::new(HashMap::new()),
+            inclusions: RwLock::new(HashMap::new()),
+            dfa_hits: obs.counter("relang_dfa_memo_hits_total"),
+            dfa_misses: obs.counter("relang_dfa_memo_misses_total"),
+            inclusion_hits: obs.counter("relang_inclusion_memo_hits_total"),
+            inclusion_misses: obs.counter("relang_inclusion_memo_misses_total"),
+            evictions: obs.counter("relang_memo_evictions_total"),
+        }
     })
 }
 
@@ -76,15 +84,16 @@ pub struct MemoStats {
     pub evictions: u64,
 }
 
-/// A snapshot of the memo counters.
+/// A snapshot of the memo counters (a typed view over the
+/// `relang_*_memo_*` counters of [`mix_obs::global()`]).
 pub fn memo_stats() -> MemoStats {
     let m = memo();
     MemoStats {
-        dfa_hits: m.dfa_hits.load(Ordering::Relaxed),
-        dfa_misses: m.dfa_misses.load(Ordering::Relaxed),
-        inclusion_hits: m.inclusion_hits.load(Ordering::Relaxed),
-        inclusion_misses: m.inclusion_misses.load(Ordering::Relaxed),
-        evictions: m.evictions.load(Ordering::Relaxed),
+        dfa_hits: m.dfa_hits.get(),
+        dfa_misses: m.dfa_misses.get(),
+        inclusion_hits: m.inclusion_hits.get(),
+        inclusion_misses: m.inclusion_misses.get(),
+        evictions: m.evictions.get(),
     }
 }
 
@@ -105,16 +114,16 @@ pub fn memoized_dfa(r: &Regex, alphabet: &[Sym]) -> Arc<Dfa> {
         let table = m.dfas.read();
         // the tuple key forces a clone-free probe via a scratch borrow
         if let Some(dfa) = table.get(&(r.clone(), alphabet.to_vec())) {
-            m.dfa_hits.fetch_add(1, Ordering::Relaxed);
+            m.dfa_hits.inc();
             return Arc::clone(dfa);
         }
     }
-    m.dfa_misses.fetch_add(1, Ordering::Relaxed);
+    m.dfa_misses.inc();
     let built = Arc::new(Dfa::from_nfa(&Nfa::from_regex(r), alphabet).minimize());
     let mut table = m.dfas.write();
     if table.len() >= DFA_CAPACITY {
         table.clear();
-        m.evictions.fetch_add(1, Ordering::Relaxed);
+        m.evictions.inc();
     }
     table
         .entry((r.clone(), alphabet.to_vec()))
@@ -134,11 +143,11 @@ pub fn memoized_subset(a: &Regex, b: &Regex) -> bool {
     {
         let table = m.inclusions.read();
         if let Some(&result) = table.get(&(a.clone(), b.clone())) {
-            m.inclusion_hits.fetch_add(1, Ordering::Relaxed);
+            m.inclusion_hits.inc();
             return result;
         }
     }
-    m.inclusion_misses.fetch_add(1, Ordering::Relaxed);
+    m.inclusion_misses.inc();
     let alpha = crate::ops::shared_alphabet(a, b);
     let da = memoized_dfa(a, &alpha);
     let db = memoized_dfa(b, &alpha);
@@ -146,7 +155,7 @@ pub fn memoized_subset(a: &Regex, b: &Regex) -> bool {
     let mut table = m.inclusions.write();
     if table.len() >= INCLUSION_CAPACITY {
         table.clear();
-        m.evictions.fetch_add(1, Ordering::Relaxed);
+        m.evictions.inc();
     }
     table.insert((a.clone(), b.clone()), result);
     result

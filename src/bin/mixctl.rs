@@ -13,6 +13,7 @@
 //!                   --fail-rate 0.3 --fault-seed 7
 //! mixctl serve-source --addr 127.0.0.1:0 --dtd D1.dtd --doc dept.xml
 //! mixctl federate   --query Q3.xmas --remote 127.0.0.1:7801 --remote host:7802
+//! mixctl stats      --remote 127.0.0.1:7801 [--format prom]
 //! ```
 //!
 //! DTD files may use real `<!ELEMENT …>` syntax or the paper's compact
@@ -46,7 +47,7 @@ const EXIT_UNAVAILABLE: u8 = 6;
 fn usage() -> ! {
     eprintln!(
         "usage: mixctl <infer|classify|validate|eval|structure|tightness|union|federate|\
-         serve|serve-source> [--dtd FILE] [--query FILE] [--doc FILE] [--max-size N]\n\
+         serve|serve-source|stats> [--dtd FILE] [--query FILE] [--doc FILE] [--max-size N]\n\
          run `mixctl help` for details"
     );
     std::process::exit(2)
@@ -81,6 +82,9 @@ struct Args {
     remotes: Vec<String>,
     max_conns: usize,
     timeout_ms: u64,
+    format: String,
+    metrics_file: Option<String>,
+    metrics_interval_ms: u64,
 }
 
 fn parse_args() -> Args {
@@ -106,6 +110,9 @@ fn parse_args() -> Args {
         remotes: Vec::new(),
         max_conns: 64,
         timeout_ms: 10_000,
+        format: "json".to_owned(),
+        metrics_file: None,
+        metrics_interval_ms: 1_000,
     };
     while let Some(flag) = argv.next() {
         let mut grab = || argv.next().unwrap_or_else(|| usage());
@@ -154,6 +161,17 @@ fn parse_args() -> Args {
             }
             "--timeout-ms" => {
                 args.timeout_ms = grab().parse().unwrap_or_else(|_| usage());
+            }
+            "--format" => {
+                args.format = grab();
+                if args.format != "json" && args.format != "prom" {
+                    eprintln!("mixctl: --format must be 'json' or 'prom'");
+                    std::process::exit(2)
+                }
+            }
+            "--metrics-file" => args.metrics_file = Some(grab()),
+            "--metrics-interval-ms" => {
+                args.metrics_interval_ms = grab().parse().unwrap_or_else(|_| usage());
             }
             "--part" => {
                 let spec = grab();
@@ -219,6 +237,23 @@ fn load_doc(args: &Args) -> Document {
     )
 }
 
+/// Renders an observability snapshot in the requested `--format`.
+fn render_snapshot(snap: &Snapshot, format: &str) -> String {
+    match format {
+        "prom" => snap.to_prometheus(),
+        _ => snap.to_json() + "\n",
+    }
+}
+
+/// Writes the merged (process-global + given registry) snapshot to
+/// `path`. Best-effort: a full metrics disk must not kill serving.
+fn dump_metrics(path: &str, registry: &Registry, format: &str) {
+    let snap = mix::obs::global().snapshot().merge(&registry.snapshot());
+    if let Err(e) = std::fs::write(path, render_snapshot(&snap, format)) {
+        eprintln!("mixctl: cannot write metrics file '{path}': {e}");
+    }
+}
+
 /// The `serve --bench` throughput driver (the CLI face of experiment X15):
 /// cold vs. warm inference-cache timing for the given (query, DTD), then
 /// batched `answer_many` thread scaling with every source behind a
@@ -229,7 +264,8 @@ fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
 
     // -- cold vs. warm inference ------------------------------------------
     mix::relang::clear_memo();
-    let cache = InferenceCache::new();
+    let registry = Registry::new();
+    let cache = Arc::new(InferenceCache::with_registry(registry.clone()));
     let t = Instant::now();
     let iv = match cache.infer(view_q, dtd) {
         Ok(iv) => iv,
@@ -253,7 +289,9 @@ fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
     };
 
     // -- batched answer_many over simulated-latency sources ---------------
-    let mut m = Mediator::new();
+    // share the timed cache so its hit/miss counters and the serving
+    // instruments land in one snapshot
+    let mut m = Mediator::with_cache(ProcessorConfig::default(), cache);
     let mut view_names = Vec::new();
     for (i, path) in args.docs.iter().enumerate() {
         let doc = load_doc_path(path);
@@ -314,11 +352,16 @@ fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
         ));
     }
     let stats = m.serving_metrics();
+    // the merged mix-obs snapshot is the canonical metrics surface; the
+    // "cache" / "automata" blocks repeat a subset of it under the legacy
+    // field names and will be dropped next release (see CHANGES.md)
+    let obs_snapshot = mix::obs::global().snapshot().merge(&registry.snapshot());
     let json = format!(
         "{{\n  \"driver\": \"mixctl serve --bench\",\n  \"batch\": {},\n  \
          \"latency_ms\": {},\n  \"sources\": {},\n  \"inference\": {{ \
          \"cold_us\": {:.1}, \"warm_us\": {:.1}, \"warm_speedup\": {:.1} }},\n  \
-         \"throughput\": [\n{}\n  ],\n  \"cache\": {{ \"hits\": {}, \"misses\": {}, \
+         \"throughput\": [\n{}\n  ],\n  \"obs\": {},\n  \
+         \"cache\": {{ \"hits\": {}, \"misses\": {}, \
          \"entries\": {} }},\n  \"automata\": {{ \"dfa_hits\": {}, \"dfa_misses\": {}, \
          \"inclusion_hits\": {}, \"inclusion_misses\": {} }}\n}}",
         args.batch,
@@ -328,6 +371,7 @@ fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
         warm.as_secs_f64() * 1e6,
         speedup,
         rows.join(",\n"),
+        obs_snapshot.to_json(),
         stats.inference.hits,
         stats.inference.misses,
         stats.inference.entries,
@@ -336,6 +380,9 @@ fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
         stats.automata.inclusion_hits,
         stats.automata.inclusion_misses,
     );
+    if let Some(path) = &args.metrics_file {
+        dump_metrics(path, m.registry(), &args.format);
+    }
     match &args.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, json + "\n") {
@@ -372,11 +419,21 @@ fn main() -> ExitCode {
                  \x20            [--threads 1,2,4,8] [--latency-ms MS] [--out FILE]\n\
                  \x20            throughput driver: cold/warm inference-cache timing and\n\
                  \x20            batched answer_many thread scaling over simulated-latency\n\
-                 \x20            sources; JSON report to --out (or stdout)\n\
+                 \x20            sources; JSON report to --out (or stdout); the \"obs\"\n\
+                 \x20            field is the full mix-obs snapshot\n\
                  \x20 serve-source --addr HOST:PORT --dtd F --doc F [--query F]\n\
                  \x20            [--max-conns N] [--timeout-ms MS]   export the source (or,\n\
                  \x20            with --query, its view — a stacked mediator) over the\n\
-                 \x20            mix-net wire protocol; prints 'listening on HOST:PORT'\n\n\
+                 \x20            mix-net wire protocol; prints 'listening on HOST:PORT'\n\
+                 \x20 stats      --remote HOST:PORT [--format json|prom]   fetch a serving\n\
+                 \x20            daemon's observability snapshot over the wire\n\n\
+                 observability (serve, serve-source, federate):\n\
+                 \x20 --metrics-file FILE      dump the mix-obs snapshot to FILE\n\
+                 \x20                          (periodically for serve-source, once at\n\
+                 \x20                          exit for one-shot commands)\n\
+                 \x20 --metrics-interval-ms MS dump interval (default 1000)\n\
+                 \x20 --format json|prom       snapshot rendering for --metrics-file\n\
+                 \x20                          and stats (default json)\n\n\
                  exit codes: 0 ok; 1 failure; 2 usage; 3 degraded federated answer;\n\
                  \x20 4 DTD/query/document parse error; 5 query rejected (normalization);\n\
                  \x20 6 source unavailable / every federated source failed"
@@ -509,7 +566,7 @@ fn main() -> ExitCode {
             if args.docs.is_empty() && args.remotes.is_empty() {
                 usage();
             }
-            let mut m = Mediator::new();
+            let mut m = Mediator::with_registry(ProcessorConfig::default(), Registry::new());
             m.set_resilience_policy(ResiliencePolicy {
                 max_retries: args.retries,
                 ..ResiliencePolicy::default()
@@ -562,7 +619,7 @@ fn main() -> ExitCode {
                 eprintln!("mixctl: {e}");
                 return ExitCode::FAILURE;
             }
-            match m.materialize_with_report(name(&args.name)) {
+            let code = match m.materialize_with_report(name(&args.name)) {
                 Ok((doc, report)) => {
                     println!("{}", write_document(&doc, WriteConfig::default()));
                     print!("{report}");
@@ -585,6 +642,66 @@ fn main() -> ExitCode {
                         _ => ExitCode::FAILURE,
                     }
                 }
+            };
+            // one final snapshot: a federate run is one-shot, so the dump
+            // happens after the answer rather than on an interval
+            if let Some(path) = &args.metrics_file {
+                dump_metrics(path, m.registry(), &args.format);
+            }
+            code
+        }
+        "stats" => {
+            let Some(addr) = args.remotes.first() else {
+                eprintln!("mixctl: stats needs --remote HOST:PORT");
+                return ExitCode::from(2);
+            };
+            let cfg = ClientConfig {
+                io_timeout: std::time::Duration::from_millis(args.timeout_ms),
+                ..ClientConfig::default()
+            };
+            let mut conn = match Connection::connect(addr, &cfg) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("mixctl: {addr}: {e}");
+                    return ExitCode::from(EXIT_UNAVAILABLE);
+                }
+            };
+            match conn.request(Msg::Stats(String::new())) {
+                Ok(Msg::Stats(json)) => match args.format.as_str() {
+                    // re-render remotely: the wire always carries the JSON
+                    // snapshot, and `from_json` round-trips it exactly
+                    "prom" => match Snapshot::from_json(&json) {
+                        Ok(snap) => {
+                            print!("{}", snap.to_prometheus());
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("mixctl: {addr}: malformed snapshot: {e}");
+                            ExitCode::FAILURE
+                        }
+                    },
+                    _ => {
+                        println!("{json}");
+                        ExitCode::SUCCESS
+                    }
+                },
+                Ok(other) => {
+                    eprintln!(
+                        "mixctl: {addr}: unexpected {:?} reply to a stats request",
+                        other.msg_type()
+                    );
+                    ExitCode::FAILURE
+                }
+                // an old daemon (or one serving no statistics) is a plain
+                // failure, not "unavailable": the peer answered
+                Err(NetError::Remote { kind, msg }) => {
+                    eprintln!("mixctl: {addr}: remote fault [{kind}]: {msg}");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("mixctl: {addr}: {e}");
+                    ExitCode::from(EXIT_UNAVAILABLE)
+                }
             }
         }
         "serve-source" => {
@@ -598,13 +715,18 @@ fn main() -> ExitCode {
                 eprintln!("mixctl: document does not validate: {e}");
                 std::process::exit(1)
             });
+            // every layer of the daemon records into one registry; `stats`
+            // requests and the --metrics-file dump both read it merged
+            // with the process-wide automata memo counters
+            let registry = Registry::new();
             // --query exports the *view* (a stacked mediator) instead of
             // the raw source
             let wrapper: std::sync::Arc<dyn Wrapper> = match &args.query {
                 None => std::sync::Arc::new(source),
                 Some(_) => {
                     let q = load_query(&args);
-                    let mut m = Mediator::new();
+                    let mut m =
+                        Mediator::with_registry(ProcessorConfig::default(), registry.clone());
                     m.add_source("local", std::sync::Arc::new(source));
                     if let Err(e) = m.register_view("local", &q) {
                         if let MediatorError::Normalize(e) = e {
@@ -624,12 +746,9 @@ fn main() -> ExitCode {
                 max_connections: args.max_conns,
                 io_timeout: std::time::Duration::from_millis(args.timeout_ms),
             };
-            let server = match Server::bind(
-                addr,
-                std::sync::Arc::new(WrapperService::new(wrapper)),
-                config,
-            ) {
-                Ok(s) => s,
+            let service = WrapperService::new(wrapper).with_registry(registry.clone());
+            let server = match Server::bind(addr, std::sync::Arc::new(service), config) {
+                Ok(s) => s.with_registry(&registry),
                 Err(e) => {
                     eprintln!("mixctl: cannot bind '{addr}': {e}");
                     return ExitCode::FAILURE;
@@ -647,6 +766,16 @@ fn main() -> ExitCode {
                     eprintln!("mixctl: {e}");
                     return ExitCode::FAILURE;
                 }
+            }
+            if let Some(path) = args.metrics_file.clone() {
+                let registry = registry.clone();
+                let format = args.format.clone();
+                let interval = std::time::Duration::from_millis(args.metrics_interval_ms.max(1));
+                // detached dump loop; dies with the process
+                std::thread::spawn(move || loop {
+                    std::thread::sleep(interval);
+                    dump_metrics(&path, &registry, &format);
+                });
             }
             match server.run() {
                 Ok(()) => ExitCode::SUCCESS,

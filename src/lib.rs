@@ -31,6 +31,8 @@
 //!   stacking,
 //! * [`net`] — the mix-net wire protocol for distributed mediation
 //!   (`mixctl serve-source` daemons, `RemoteWrapper` clients),
+//! * [`obs`] — the observability substrate: atomic instruments, span
+//!   tracing, Prometheus/JSON expositions (`mixctl stats`),
 //! * [`dataguide`] — strong DataGuides for the Section 5 related-work
 //!   comparison.
 
@@ -39,6 +41,7 @@ pub use mix_dtd as dtd;
 pub use mix_infer as infer;
 pub use mix_mediator as mediator;
 pub use mix_net as net;
+pub use mix_obs as obs;
 pub use mix_relang as relang;
 pub use mix_xmas as xmas;
 pub use mix_xml as xml;
@@ -64,7 +67,10 @@ pub mod prelude {
         ProcessorConfig, RemoteWrapper, ResiliencePolicy, SourceError, SourceOutcome, UnionView,
         ViewWrapper, Wrapper, WrapperService, XmlSource,
     };
-    pub use mix_net::{ClientConfig, Server, ServerConfig, ServerHandle};
+    pub use mix_net::{
+        ClientConfig, Connection, Msg, NetError, Pool, Server, ServerConfig, ServerHandle,
+    };
+    pub use mix_obs::{Registry, Snapshot};
     pub use mix_relang::symbol::{name, sym, Name, Sym};
     pub use mix_relang::{equivalent, is_subset, parse_regex, simplify, Regex};
     pub use mix_xmas::{evaluate, normalize, parse_query, Query};

@@ -335,3 +335,180 @@ fn union_subcommand() {
     // no parts → usage error
     assert!(!mixctl(&["union"]).status.success());
 }
+
+/// `mixctl stats` against a live serve-source daemon: the JSON snapshot
+/// parses, carries the daemon's serving counters (the federate run just
+/// before fetched the view once), and re-renders as the Prometheus text
+/// exposition with `--format prom`. The wire round-trip is exact: the
+/// client-side `Snapshot::from_json` re-serializes to the identical
+/// bytes the daemon sent.
+#[test]
+fn stats_subcommand_against_loopback_daemon() {
+    use std::io::BufRead as _;
+
+    let dtd = fixture("st.dtd", D1);
+    let doc = fixture("st.xml", DOC);
+    let q = fixture("st.xmas", Q2);
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_mixctl"))
+        .args([
+            "serve-source",
+            "--addr",
+            "127.0.0.1:0",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--doc",
+            doc.to_str().unwrap(),
+            "--query",
+            q.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut line = String::new();
+    std::io::BufReader::new(daemon.stdout.as_mut().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("daemon announces its address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_owned();
+
+    // drive one federated answer through the daemon so the serving
+    // counters are non-zero when we scrape
+    let fed = mixctl(&[
+        "federate",
+        "--query",
+        q.to_str().unwrap(),
+        "--remote",
+        &addr,
+    ]);
+    assert_eq!(fed.status.code(), Some(0), "{fed:?}");
+
+    let json_out = mixctl(&["stats", "--remote", &addr]);
+    let prom_out = mixctl(&["stats", "--remote", &addr, "--format", "prom"]);
+    let _ = daemon.kill();
+    let _ = daemon.wait();
+
+    assert_eq!(json_out.status.code(), Some(0), "{json_out:?}");
+    let payload = String::from_utf8(json_out.stdout).expect("utf-8 stats");
+    let snap = mix::obs::Snapshot::from_json(payload.trim()).expect("snapshot parses");
+    // exact round-trip: parse(json).to_json() == json
+    assert_eq!(snap.to_json(), payload.trim());
+    assert_eq!(
+        snap.counters["source_served_fresh_total{source=\"local\"}"], 1,
+        "the daemon's stacked mediator served the federate fetch"
+    );
+    assert!(snap.counters["net_frames_in_total"] >= 1);
+    assert!(snap
+        .histograms
+        .contains_key("source_fetch_latency_ns{source=\"local\"}"));
+
+    assert_eq!(prom_out.status.code(), Some(0), "{prom_out:?}");
+    let text = String::from_utf8_lossy(&prom_out.stdout);
+    assert!(text.starts_with("# mix-obs exposition"), "{text}");
+    assert!(
+        text.contains("# TYPE net_connections_opened_total counter"),
+        "{text}"
+    );
+}
+
+/// `mixctl stats` exit codes: no listener → 6 (unavailable), missing
+/// --remote → 2 (usage).
+#[test]
+fn stats_subcommand_failure_modes() {
+    // bind-then-drop reserves a port nothing is listening on
+    let free = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe");
+    let addr = free.local_addr().expect("probe addr").to_string();
+    drop(free);
+    let out = mixctl(&["stats", "--remote", &addr, "--timeout-ms", "2000"]);
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+
+    assert_eq!(mixctl(&["stats"]).status.code(), Some(2));
+}
+
+/// `federate --metrics-file` leaves one final mix-obs snapshot on disk,
+/// carrying the per-source resilience counters of the run.
+#[test]
+fn federate_writes_a_final_metrics_snapshot() {
+    let dtd = fixture("mf.dtd", D1);
+    let doc = fixture("mf.xml", DOC);
+    let q = fixture("mf.xmas", Q2);
+    let metrics = std::env::temp_dir().join(format!("mixctl-metrics-{}.json", std::process::id()));
+    let out = mixctl(&[
+        "federate",
+        "--query",
+        q.to_str().unwrap(),
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--doc",
+        doc.to_str().unwrap(),
+        "--metrics-file",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let _ = std::fs::remove_file(&metrics);
+    let snap = mix::obs::Snapshot::from_json(text.trim()).expect("snapshot parses");
+    assert_eq!(
+        snap.counters["source_served_fresh_total{source=\"site0\"}"],
+        1
+    );
+    assert_eq!(
+        snap.counters["mediator_queries_total"], 0,
+        "materialize, not query"
+    );
+    assert!(
+        snap.counters["relang_dfa_memo_misses_total"] >= 1,
+        "global memo merged in"
+    );
+}
+
+/// `serve --bench` reports the canonical "obs" snapshot next to the
+/// legacy "cache"/"automata" blocks, and the two surfaces agree.
+#[test]
+fn serve_bench_json_carries_the_obs_snapshot() {
+    let dtd = fixture("sb.dtd", D1);
+    let doc = fixture("sb.xml", DOC);
+    let q = fixture(
+        "sb.xmas",
+        "publist = SELECT P WHERE <department> <name>CS</name> \
+           <professor | gradStudent> P:<publication><journal/></publication> </> </>",
+    );
+    let out = mixctl(&[
+        "serve",
+        "--bench",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--query",
+        q.to_str().unwrap(),
+        "--doc",
+        doc.to_str().unwrap(),
+        "--batch",
+        "4",
+        "--threads",
+        "1",
+        "--latency-ms",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let obs_start = text.find("\"obs\": ").expect("obs field present") + "\"obs\": ".len();
+    // the snapshot is the only nested object running to a "}," before the
+    // legacy cache alias block
+    let obs_end = text[obs_start..]
+        .find("},\n  \"cache\"")
+        .expect("legacy cache alias follows obs")
+        + obs_start
+        + 1;
+    let snap = mix::obs::Snapshot::from_json(&text[obs_start..obs_end]).expect("obs parses");
+    // legacy aliases repeat what the snapshot already carries
+    let legacy_hits: u64 = text
+        .split("\"cache\": { \"hits\": ")
+        .nth(1)
+        .and_then(|t| t.split(',').next())
+        .and_then(|n| n.parse().ok())
+        .expect("legacy cache hits field");
+    assert_eq!(snap.counters["inference_cache_hits_total"], legacy_hits);
+}

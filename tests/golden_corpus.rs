@@ -176,3 +176,70 @@ fn snapshots_are_deterministic_within_a_run() {
         assert_eq!(first, second, "{case} rendered differently on a second run");
     }
 }
+
+/// Pins the `mixctl stats --format prom` text exposition byte-for-byte:
+/// a manual-clock registry driven through the real serving stack (so the
+/// metric names are the ones production emits), plus hand-fed histogram
+/// observations to exercise bucket/quantile rendering. Any change to the
+/// exposition format or to the serving stack's metric names shows up
+/// here as a diff.
+#[test]
+fn obs_stats_exposition_golden() {
+    use std::sync::Arc;
+
+    let registry = Registry::with_manual_clock();
+    let mut m =
+        mix::mediator::Mediator::with_registry(ProcessorConfig::default(), registry.clone());
+    let doc = parse_document(
+        "<department><name>CS</name>\
+           <professor><firstName>Y</firstName><lastName>P</lastName>\
+             <publication><title>t</title><author>a</author><journal/></publication>\
+             <teaches/></professor>\
+           <gradStudent><firstName>G</firstName><lastName>S</lastName>\
+             <publication><title>u</title><author>a</author><conference/></publication>\
+           </gradStudent></department>",
+    )
+    .unwrap();
+    m.add_source(
+        "site0",
+        Arc::new(XmlSource::new(d1_department(), doc).unwrap()),
+    );
+    let vq = parse_query("profs = SELECT P WHERE <department> P:<professor/> </>").unwrap();
+    m.register_view("site0", &vq).unwrap();
+    m.materialize(name("profs")).expect("clean materialize");
+    m.query(&parse_query("pq = SELECT X WHERE <profs> X:<professor/> </profs>").unwrap())
+        .expect("view query answers");
+    // deterministic non-zero distributions: the manual clock never
+    // advances mid-call, so the stack's own timers all record 0 — feed
+    // the named histograms a fixed spread instead
+    for v in [800u64, 1_500, 3_000, 250_000, 1_000_000] {
+        registry.histogram("mediator_answer_latency_ns").observe(v);
+    }
+    registry
+        .histogram("source_fetch_latency_ns{source=\"site0\"}")
+        .observe(12_000);
+    registry.advance_clock_ns(5_000);
+    registry.event(
+        "breaker-open",
+        "source 'site0': opened after 3 consecutive failures",
+    );
+
+    let actual = registry.snapshot().to_prometheus();
+    let path = golden_path("obs-stats-exposition");
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(golden) if golden == actual => {}
+        Ok(golden) => panic!(
+            "obs exposition drifted from {}:\n{}",
+            path.display(),
+            unified_diff(&golden, &actual)
+        ),
+        Err(e) => panic!(
+            "cannot read {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden_corpus`",
+            path.display()
+        ),
+    }
+}

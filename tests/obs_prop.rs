@@ -1,0 +1,146 @@
+//! Property suites for the mix-obs instrument substrate: the log₂
+//! histogram must agree *exactly* with a brute-force recomputation from
+//! the raw observations, snapshots must survive their own JSON encoding,
+//! merging must be equivalent to observing everything in one registry —
+//! and none of it may lose counts under thread contention.
+
+use mix::obs::hist::{bucket_index, bucket_le};
+use mix::obs::{HistSnapshot, Registry, Snapshot};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Observation values spanning every bucket regime: the 0 bucket, the
+/// exact power-of-two boundaries, mid-range, huge, and the +Inf overflow
+/// bucket.
+fn arb_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        3 => 0u64..16,
+        3 => 16u64..4096,
+        2 => 4096u64..(1u64 << 32),
+        1 => (1u64 << 62)..=(u64::MAX - 1),
+        1 => Just(u64::MAX),
+        1 => prop::sample::select(vec![1u64, 2, 3, 4, 1023, 1024, 1025]),
+    ]
+}
+
+/// The histogram a sequence of observations *must* produce, recomputed
+/// from first principles (sorted values, explicit bucket map).
+fn expected_hist(values: &[u64]) -> HistSnapshot {
+    let mut by_le: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut sum = 0u64;
+    for &v in values {
+        *by_le.entry(bucket_le(bucket_index(v))).or_insert(0) += 1;
+        sum = sum.wrapping_add(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = values.len() as u64;
+    let rank = |q: f64| ((q * n as f64).ceil() as u64).clamp(1, n) as usize - 1;
+    HistSnapshot {
+        buckets: by_le.into_iter().collect(),
+        count: n,
+        sum,
+        p50: bucket_le(bucket_index(sorted[rank(0.50)])),
+        p95: bucket_le(bucket_index(sorted[rank(0.95)])),
+        p99: bucket_le(bucket_index(sorted[rank(0.99)])),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Buckets, count, sum, and all three quantiles are exact — not
+    /// approximately right, *equal* — to the brute-force recomputation.
+    #[test]
+    fn histogram_matches_brute_force(values in prop::collection::vec(arb_value(), 1..200)) {
+        let r = Registry::new();
+        let h = r.histogram("latency_ns");
+        for &v in &values {
+            h.observe(v);
+        }
+        let got = &r.snapshot().histograms["latency_ns"];
+        prop_assert_eq!(got, &expected_hist(&values));
+    }
+
+    /// `to_json ∘ from_json` is the identity: the snapshot survives its
+    /// own wire encoding value-for-value and byte-for-byte.
+    #[test]
+    fn snapshot_json_roundtrips(values in prop::collection::vec(arb_value(), 1..60)) {
+        let r = Registry::new();
+        r.counter("c_total").add(values.len() as u64);
+        r.gauge("g").set(values.len() as i64 - 30);
+        let h = r.histogram("h_ns");
+        for &v in &values {
+            h.observe(v);
+        }
+        r.event("kind", "detail with \"quotes\" and\nnewlines");
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).expect("own encoding parses");
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    /// Observing a sequence split across two registries and merging the
+    /// snapshots is the same as observing it all in one registry.
+    #[test]
+    fn merge_is_equivalent_to_one_registry(
+        values in prop::collection::vec(arb_value(), 2..120),
+        split in 1usize..100,
+    ) {
+        let cut = split % (values.len() - 1) + 1;
+        let (left, right) = values.split_at(cut);
+        let (ra, rb, rall) = (Registry::new(), Registry::new(), Registry::new());
+        for (reg, part) in [(&ra, left), (&rb, right)] {
+            let h = reg.histogram("h_ns");
+            for &v in part {
+                h.observe(v);
+                reg.counter("seen_total").inc();
+            }
+        }
+        let hall = rall.histogram("h_ns");
+        for &v in &values {
+            hall.observe(v);
+            rall.counter("seen_total").inc();
+        }
+        let merged = ra.snapshot().merge(&rb.snapshot());
+        prop_assert_eq!(&merged.histograms["h_ns"], &rall.snapshot().histograms["h_ns"]);
+        prop_assert_eq!(merged.counters["seen_total"], rall.snapshot().counters["seen_total"]);
+    }
+}
+
+/// Eight threads hammering the same counter, gauge, and histogram never
+/// lose a single count: the atomics are relaxed but complete.
+#[test]
+fn eight_thread_hammer_loses_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let r = Registry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let r = &r;
+            scope.spawn(move || {
+                let c = r.counter("hits_total");
+                let g = r.gauge("level");
+                let h = r.histogram("work_ns");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    g.add(1);
+                    // a value per bucket regime, deterministic per thread
+                    h.observe((t as u64 + 1) << (i % 20));
+                }
+            });
+        }
+    });
+    let snap = r.snapshot();
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(snap.counters["hits_total"], total);
+    assert_eq!(snap.gauges["level"], total as i64);
+    let h = &snap.histograms["work_ns"];
+    assert_eq!(h.count, total, "every observation landed in a bucket");
+    let expected_sum: u64 = (0..THREADS as u64).fold(0u64, |acc, t| {
+        (0..PER_THREAD).fold(acc, |acc, i| acc.wrapping_add((t + 1) << (i % 20)))
+    });
+    assert_eq!(h.sum, expected_sum);
+    assert_eq!(h.buckets.iter().map(|&(_, n)| n).sum::<u64>(), total);
+}
