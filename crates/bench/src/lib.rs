@@ -140,6 +140,42 @@ pub fn chain_workload(depth: usize) -> (Dtd, Query) {
     (dtd, query)
 }
 
+/// The deep chain of [`chain_workload`] with every level widened by a
+/// `width`-way alternation of leaf names — the regime where inference
+/// cost is dominated by automata and memo work over *large* content
+/// models (each level's type has `width + 2` distinct names), rather
+/// than by the traversal itself.
+pub fn wide_chain_workload(depth: usize, width: usize) -> (Dtd, Query) {
+    let mut src = String::from("{");
+    for i in 0..depth {
+        let alts = (0..width)
+            .map(|j| format!("a{i}_{j}"))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        src.push_str(&format!("<c{i} : ({alts})*, c{}+, other{i}?>", i + 1));
+        for j in 0..width {
+            src.push_str(&format!("<a{i}_{j} : EMPTY>"));
+        }
+        src.push_str(&format!("<other{i} : EMPTY>"));
+    }
+    src.push_str(&format!("<c{depth} : PCDATA>}}"));
+    let dtd = parse_compact(&src).expect("wide chain DTD parses");
+    let mut q = String::from("v = SELECT P WHERE ");
+    for i in 0..depth {
+        if i == depth - 1 {
+            q.push_str(&format!("P:<c{i}>"));
+        } else {
+            q.push_str(&format!("<c{i}>"));
+        }
+    }
+    q.push_str(&format!("<other{}/>", depth - 1));
+    for _ in 0..depth {
+        q.push_str("</>");
+    }
+    let query = parse_query(&q).expect("wide chain query parses");
+    (dtd, query)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +190,9 @@ mod tests {
         let (cd, cq) = chain_workload(5);
         assert!(cd.undefined_names().is_empty());
         assert_eq!(cq.pick_path().unwrap().len(), 5);
+        let (wd, wq) = wide_chain_workload(4, 6);
+        assert!(wd.undefined_names().is_empty());
+        assert_eq!(wq.pick_path().unwrap().len(), 4);
         assert!(!documents_for(&d1(), 3, 1, 80).is_empty());
     }
 }

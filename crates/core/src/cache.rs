@@ -72,16 +72,12 @@ fn mix(h: u64, v: u64) -> u64 {
 }
 
 fn regex_fp(h: u64, r: &Regex) -> u64 {
-    match r {
-        Regex::Empty => mix(h, 1),
-        Regex::Epsilon => mix(h, 2),
-        Regex::Sym(s) => mix(mix(h, 3), s.stable_hash()),
-        Regex::Concat(v) => v.iter().fold(mix(h, 4), regex_fp),
-        Regex::Alt(v) => v.iter().fold(mix(h, 5), regex_fp),
-        Regex::Star(x) => regex_fp(mix(h, 6), x),
-        Regex::Plus(x) => regex_fp(mix(h, 7), x),
-        Regex::Opt(x) => regex_fp(mix(h, 8), x),
-    }
+    // The pool caches a compositional structural fingerprint per interned
+    // node (same SplitMix64 mixer, [`Sym::stable_hash`] leaves), so a DTD
+    // whose content models are already interned fingerprints without
+    // re-walking the regexes. Fingerprints never persist, so the exact
+    // values are free to differ from the pre-pool fold.
+    mix(h, mix_relang::pool::fingerprint(mix_relang::intern(r)))
 }
 
 /// Stable structural fingerprint of a source DTD: doc type plus every

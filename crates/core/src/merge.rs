@@ -5,8 +5,8 @@
 
 use mix_dtd::{ContentModel, Dtd, SDtd};
 use mix_relang::ast::Regex;
-use mix_relang::simplify;
 use mix_relang::symbol::Name;
+use mix_relang::{image_cached, simplify};
 
 /// Result of [`merge`].
 #[derive(Debug, Clone)]
@@ -26,7 +26,8 @@ pub fn merge(sd: &SDtd) -> Merged {
         let n = sym.name;
         let image = match model {
             ContentModel::Pcdata => ContentModel::Pcdata,
-            ContentModel::Elements(r) => ContentModel::Elements(r.image()),
+            // tighten already computed these images; the pool remembers
+            ContentModel::Elements(r) => ContentModel::Elements(image_cached(r)),
         };
         match dtd.types.get(n) {
             None => {

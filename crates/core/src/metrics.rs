@@ -33,18 +33,20 @@ use rand::SeedableRng;
 use std::collections::HashSet;
 
 pub use crate::cache::CacheStats;
-pub use mix_relang::MemoStats;
+pub use mix_relang::{MemoStats, PoolStats};
 
 /// The serving layer's cache counters in one snapshot: the inference
 /// cache of one mediator next to the process-wide automata memo (which
-/// every cache miss exercises). Reported by `mixctl serve --bench` and
-/// experiment X15.
+/// every cache miss exercises) and the process-wide regex pool. Reported
+/// by `mixctl serve --bench` and experiments X15/X18.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServingMetrics {
     /// Hit/miss/invalidation counters of the given [`InferenceCache`].
     pub inference: CacheStats,
     /// DFA-construction and inclusion-check memo counters (process-wide).
     pub automata: MemoStats,
+    /// Hash-consed regex pool size and dedup counters (process-wide).
+    pub pool: PoolStats,
 }
 
 /// Snapshots the serving-layer counters for `cache`.
@@ -52,6 +54,7 @@ pub fn serving_metrics(cache: &InferenceCache) -> ServingMetrics {
     ServingMetrics {
         inference: cache.stats(),
         automata: mix_relang::memo_stats(),
+        pool: mix_relang::pool_stats(),
     }
 }
 

@@ -7,7 +7,7 @@ use crate::tighten::{tighten, Verdict};
 use mix_dtd::{ContentModel, Dtd, SDtd};
 use mix_relang::ast::Regex;
 use mix_relang::symbol::{Name, Sym};
-use mix_relang::{equivalent, simplify};
+use mix_relang::{boxed_baseline, equivalent, equivalent_id, intern, map_syms_cached, simplify};
 use mix_xmas::{normalize, NormalizeError, Query};
 use std::collections::HashMap;
 
@@ -130,7 +130,13 @@ pub(crate) fn collapse_equivalent(sdtd: SDtd) -> SDtd {
                 let equal = match (current.types.get(a), current.types.get(b)) {
                     (Some(ContentModel::Pcdata), Some(ContentModel::Pcdata)) => true,
                     (Some(ContentModel::Elements(ra)), Some(ContentModel::Elements(rb))) => {
-                        ra == rb || equivalent(ra, rb)
+                        if boxed_baseline() {
+                            ra == rb || equivalent(ra, rb)
+                        } else {
+                            // id equality is the structural fast path
+                            let (ia, ib) = (intern(ra), intern(rb));
+                            ia == ib || equivalent_id(ia, ib)
+                        }
                     }
                     _ => false,
                 };
@@ -160,7 +166,7 @@ fn apply_rename(sdtd: &SDtd, rename: &HashMap<Sym, Sym>) -> SDtd {
         let model = match m {
             ContentModel::Pcdata => ContentModel::Pcdata,
             ContentModel::Elements(r) => {
-                ContentModel::Elements(simplify(&r.map_syms(&mut |x| Regex::Sym(map(x)))))
+                ContentModel::Elements(simplify(&map_syms_cached(r, &mut |x| map(x))))
             }
         };
         out.types.insert(key, model);

@@ -13,6 +13,7 @@
 //! paper nearly verbatim.
 
 use mix_relang::ast::Regex;
+use mix_relang::pool::{self, ReId, ReNode};
 use mix_relang::symbol::{Name, Tag};
 
 /// `refine(r, {n₁|…|n_k}^T)`: all sequences of `L(r)` containing at least
@@ -36,6 +37,53 @@ use mix_relang::symbol::{Name, Tag};
 /// assert!(equivalent(&refined, &parse_regex("n, (j | c)*, j, (j | c)*").unwrap()));
 /// ```
 pub fn refine(r: &Regex, names: &[Name], tag: Tag) -> Regex {
+    if pool::boxed_baseline() {
+        return refine_boxed(r, names, tag);
+    }
+    pool::to_regex(refine_id(pool::intern(r), names, tag))
+}
+
+/// [`refine`] over pool ids — the hot path. The `Concat` case of the
+/// boxed algorithm clones every sibling once per branch (O(n²) child
+/// copies); here siblings are `Copy` ids and shared subterms are
+/// rewritten once per distinct node.
+pub fn refine_id(r: ReId, names: &[Name], tag: Tag) -> ReId {
+    match pool::node(r) {
+        ReNode::Empty | ReNode::Epsilon => ReId::EMPTY,
+        ReNode::Sym(s) => {
+            if s.tag == 0 && names.contains(&s.name) {
+                pool::sym_id(s.name.tagged(tag))
+            } else {
+                ReId::EMPTY
+            }
+        }
+        ReNode::Concat(v) => pool::alt_ids(
+            (0..v.len())
+                .map(|i| {
+                    pool::concat_ids(
+                        v.iter()
+                            .enumerate()
+                            .map(|(j, &x)| if i == j { refine_id(x, names, tag) } else { x })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        ),
+        ReNode::Alt(v) => pool::alt_ids(
+            v.iter()
+                .map(|&x| refine_id(x, names, tag))
+                .collect::<Vec<_>>(),
+        ),
+        ReNode::Star(g) | ReNode::Plus(g) => {
+            pool::concat_ids([pool::star_id(g), refine_id(g, names, tag), pool::star_id(g)])
+        }
+        ReNode::Opt(g) => refine_id(g, names, tag),
+    }
+}
+
+/// The seed boxed implementation, kept verbatim as the benchmark
+/// baseline (see [`mix_relang::set_boxed_baseline`]).
+fn refine_boxed(r: &Regex, names: &[Name], tag: Tag) -> Regex {
     match r {
         Regex::Empty | Regex::Epsilon => Regex::Empty,
         Regex::Sym(s) => {

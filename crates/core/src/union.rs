@@ -23,6 +23,7 @@ use crate::pipeline::{collapse_equivalent, infer_view_dtd, InferredView};
 use crate::tighten::Verdict;
 use mix_dtd::{ContentModel, Dtd, SDtd};
 use mix_relang::ast::Regex;
+use mix_relang::map_syms_cached;
 use mix_relang::symbol::{Name, Sym};
 use mix_xmas::{NormalizeError, Query};
 use std::collections::HashMap;
@@ -101,7 +102,7 @@ fn infer_union_view_dtd_with(
         // included: definitions of the same name from different sources
         // must not collide)
         let retag = |s: Sym| s.name.tagged(offset + s.tag);
-        root_parts.push(iv.list_type.map_syms(&mut |s| Regex::Sym(retag(s))));
+        root_parts.push(map_syms_cached(&iv.list_type, &mut |s| retag(s)));
         for (s, m) in iv.sdtd.types.iter() {
             if s == iv.sdtd.doc_type {
                 continue; // the per-part root is replaced by the union root
@@ -109,7 +110,7 @@ fn infer_union_view_dtd_with(
             let moved = match m {
                 ContentModel::Pcdata => ContentModel::Pcdata,
                 ContentModel::Elements(r) => {
-                    ContentModel::Elements(r.map_syms(&mut |x| Regex::Sym(retag(x))))
+                    ContentModel::Elements(map_syms_cached(r, &mut |x| retag(x)))
                 }
             };
             combined.types.insert(retag(s), moved);

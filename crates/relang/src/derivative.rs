@@ -9,6 +9,7 @@
 //! every tightness decision made downstream.
 
 use crate::ast::Regex;
+use crate::pool::{self, ReId, ReNode};
 use crate::symbol::Sym;
 
 /// The Brzozowski derivative `∂_s r`: a regex for `{ w | s·w ∈ L(r) }`.
@@ -43,16 +44,67 @@ pub fn derivative(r: &Regex, s: Sym) -> Regex {
     }
 }
 
-/// Word membership via iterated derivatives.
+/// The Brzozowski derivative over pool ids, guarded by the cached
+/// first-set: when `s` cannot start any word of `L(r)` the whole
+/// recursion is skipped and `Empty` returned directly — sound because the
+/// structural first-set always over-approximates the language first-set.
+/// Subterms shared through the pool are derived by the same mirror smart
+/// constructors as the boxed twin.
+pub fn derivative_id(r: ReId, s: Sym) -> ReId {
+    if !pool::first_set(r).contains(&s) {
+        return ReId::EMPTY;
+    }
+    match pool::node(r) {
+        ReNode::Empty | ReNode::Epsilon => ReId::EMPTY,
+        ReNode::Sym(x) => {
+            if x == s {
+                ReId::EPSILON
+            } else {
+                ReId::EMPTY
+            }
+        }
+        ReNode::Concat(v) => {
+            // ∂(r1 r2…) = ∂(r1) r2… | [nullable r1] ∂(r2…)
+            let first = v[0];
+            let rest = pool::concat_ids(v[1..].to_vec());
+            let left = pool::concat_ids([derivative_id(first, s), rest]);
+            if pool::nullable(first) {
+                pool::alt_ids([left, derivative_id(rest, s)])
+            } else {
+                left
+            }
+        }
+        ReNode::Alt(v) => pool::alt_ids(v.iter().map(|&x| derivative_id(x, s)).collect::<Vec<_>>()),
+        ReNode::Star(g) | ReNode::Plus(g) => {
+            // ∂(r*) = ∂(r) r* ; r+ = r r*
+            pool::concat_ids([derivative_id(g, s), pool::star_id(g)])
+        }
+        ReNode::Opt(g) => derivative_id(g, s),
+    }
+}
+
+/// Word membership via iterated derivatives (interned: emptiness and
+/// nullability checks are cached id lookups; boxed-baseline mode keeps
+/// the seed clone-per-step loop).
 pub fn matches_by_derivative(r: &Regex, word: &[Sym]) -> bool {
-    let mut cur = r.clone();
+    if pool::boxed_baseline() {
+        let mut cur = r.clone();
+        for &s in word {
+            if cur.is_empty_lang() {
+                return false;
+            }
+            cur = derivative(&cur, s);
+        }
+        return cur.nullable();
+    }
+    let mut cur = pool::intern(r);
     for &s in word {
-        if cur.is_empty_lang() {
+        if cur == ReId::EMPTY {
             return false;
         }
-        cur = derivative(&cur, s);
+        cur = derivative_id(cur, s);
     }
-    cur.nullable()
+    pool::nullable(cur)
 }
 
 #[cfg(test)]
@@ -111,6 +163,24 @@ mod tests {
         let j1 = crate::symbol::name("j").tagged(1);
         assert!(matches_by_derivative(&r, &[j1, j0]));
         assert!(!matches_by_derivative(&r, &[j0, j1]));
+    }
+
+    #[test]
+    fn interned_derivative_mirrors_boxed() {
+        for (re, by) in [
+            ("a, b", "a"),
+            ("a?, b", "b"),
+            ("(a | b)*, c", "b"),
+            ("(a, b)+", "a"),
+            ("title, author+, (journal | conference)", "title"),
+            ("a, b", "z"), // first-set guard path
+        ] {
+            let r = parse_regex(re).unwrap();
+            let s = sym(by);
+            let boxed = derivative(&r, s);
+            let interned = crate::pool::to_regex(derivative_id(crate::pool::intern(&r), s));
+            assert_eq!(interned, boxed, "∂_{by} {re}");
+        }
     }
 
     #[test]

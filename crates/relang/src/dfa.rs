@@ -1,11 +1,18 @@
 //! Deterministic automata: subset construction, completion, product,
-//! Moore minimization, and the word-counting dynamic program used by the
+//! minimization, and the word-counting dynamic program used by the
 //! tightness metrics.
+//!
+//! [`Dfa::minimize`] is Hopcroft's O(n·|Σ|·log n) partition refinement
+//! with the smaller-half rule; the seed implementation's Moore refinement
+//! survives as [`Dfa::minimize_moore`] and serves both as the
+//! boxed-baseline path in [`crate::memo`] and as a cross-check oracle in
+//! the property tests (both produce *the* minimal DFA, so state counts
+//! must agree exactly).
 
 use crate::ast::Regex;
 use crate::nfa::Nfa;
 use crate::symbol::Sym;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// A complete deterministic finite automaton over an explicit alphabet.
 ///
@@ -55,6 +62,22 @@ impl Dfa {
         let nsz = nfa.len();
         // Map each subset (bitset as Vec<u64>) to a DFA state id.
         let words = nsz.div_ceil(64);
+        if words <= 1 {
+            return Self::from_nfa_small(nfa, alphabet);
+        }
+        // Per-(NFA state, alphabet index) successor bitmask, so the
+        // subset step ORs whole words instead of re-scanning every
+        // transition list for every discovered subset.
+        let mut masks = vec![0u64; nsz * asz * words];
+        let sym_idx: HashMap<Sym, usize> =
+            alphabet.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        for (s, row) in nfa.transitions.iter().enumerate() {
+            for &(sym, t) in row {
+                if let Some(&a) = sym_idx.get(&sym) {
+                    masks[(s * asz + a) * words + t as usize / 64] |= 1 << (t % 64);
+                }
+            }
+        }
         let mut start = vec![0u64; words];
         start[0] |= 1; // NFA state 0
         let mut index: HashMap<Vec<u64>, u32> = HashMap::new();
@@ -67,18 +90,79 @@ impl Dfa {
             let set = order[frontier].clone();
             frontier += 1;
             accepting.push((0..nsz).any(|s| set[s / 64] >> (s % 64) & 1 == 1 && nfa.accepting[s]));
-            for &a in alphabet.iter() {
+            for a in 0..asz {
                 let mut next = vec![0u64; words];
-                for s in 0..nsz {
-                    if set[s / 64] >> (s % 64) & 1 == 1 {
-                        for &(sym, t) in &nfa.transitions[s] {
-                            if sym == a {
-                                next[t as usize / 64] |= 1 << (t % 64);
-                            }
+                for (w, &setw) in set.iter().enumerate() {
+                    let mut bits = setw;
+                    while bits != 0 {
+                        let s = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let row = &masks[(s * asz + a) * words..(s * asz + a + 1) * words];
+                        for (nw, &mw) in next.iter_mut().zip(row) {
+                            *nw |= mw;
                         }
                     }
                 }
                 let id = *index.entry(next.clone()).or_insert_with(|| {
+                    order.push(next);
+                    (order.len() - 1) as u32
+                });
+                transitions.push(id);
+            }
+        }
+        debug_assert_eq!(transitions.len(), order.len() * asz);
+        Dfa {
+            alphabet: alphabet.to_vec(),
+            transitions,
+            accepting,
+            start: 0,
+        }
+    }
+
+    /// Single-word specialization of the subset construction for NFAs
+    /// with at most 64 states (every content model in the paper corpus
+    /// and golden suite). Subsets are plain `u64`s, so the hot loop
+    /// performs no heap allocation and the subset index hashes machine
+    /// words instead of vectors. Discovery order matches the general
+    /// path exactly, so the resulting DFA is byte-identical.
+    fn from_nfa_small(nfa: &Nfa, alphabet: &[Sym]) -> Dfa {
+        let asz = alphabet.len();
+        let nsz = nfa.len();
+        let sym_idx: HashMap<Sym, usize> =
+            alphabet.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let mut masks = vec![0u64; nsz * asz];
+        for (s, row) in nfa.transitions.iter().enumerate() {
+            for &(sym, t) in row {
+                if let Some(&a) = sym_idx.get(&sym) {
+                    masks[s * asz + a] |= 1u64 << t;
+                }
+            }
+        }
+        let mut accept_mask = 0u64;
+        for (s, &acc) in nfa.accepting.iter().enumerate() {
+            if acc {
+                accept_mask |= 1u64 << s;
+            }
+        }
+        let mut index: HashMap<u64, u32> = HashMap::new();
+        index.insert(1, 0); // start subset = {NFA state 0}
+        let mut order: Vec<u64> = vec![1];
+        let mut transitions: Vec<u32> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut frontier = 0usize;
+        while frontier < order.len() {
+            let set = order[frontier];
+            frontier += 1;
+            accepting.push(set & accept_mask != 0);
+            for a in 0..asz {
+                let mut next = 0u64;
+                let mut bits = set;
+                while bits != 0 {
+                    let s = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    next |= masks[s * asz + a];
+                }
+                let id = *index.entry(next).or_insert_with(|| {
                     order.push(next);
                     (order.len() - 1) as u32
                 });
@@ -172,6 +256,42 @@ impl Dfa {
         }
     }
 
+    /// `L(self) ⊆ L(other)` by an on-the-fly pairwise reachability walk:
+    /// a reachable pair `(s, t)` with `s` accepting and `t` not is a
+    /// counterexample word. Equivalent to
+    /// `self.product(&other.complement()).language_is_empty()` but never
+    /// materializes the product automaton or the complement — the
+    /// interned inclusion memo's closer when the attribute refutations
+    /// don't settle the probe.
+    ///
+    /// Panics if the alphabets differ (both DFAs are complete, so the
+    /// walk is total).
+    pub fn subset_of(&self, other: &Dfa) -> bool {
+        assert_eq!(
+            self.alphabet, other.alphabet,
+            "inclusion requires a shared alphabet"
+        );
+        let asz = self.alphabet.len();
+        let width = other.len();
+        let mut seen = vec![false; self.len() * width];
+        let mut stack = vec![(self.start, other.start)];
+        seen[self.start as usize * width + other.start as usize] = true;
+        while let Some((s, t)) = stack.pop() {
+            if self.accepting[s as usize] && !other.accepting[t as usize] {
+                return false;
+            }
+            for a in 0..asz {
+                let next = (self.step(s, a), other.step(t, a));
+                let slot = next.0 as usize * width + next.1 as usize;
+                if !seen[slot] {
+                    seen[slot] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        true
+    }
+
     /// Does the automaton accept any word at all?
     pub fn language_is_empty(&self) -> bool {
         // BFS from the start state.
@@ -193,9 +313,194 @@ impl Dfa {
         true
     }
 
-    /// Moore partition-refinement minimization (also prunes unreachable
-    /// states).
+    /// Hopcroft partition-refinement minimization with the smaller-half
+    /// rule (also prunes unreachable states). Produces the unique minimal
+    /// complete DFA; block numbering is deterministic (first occurrence in
+    /// reachability order), so repeated runs are byte-identical.
     pub fn minimize(&self) -> Dfa {
+        let asz = self.alphabet.len();
+        // 1. restrict to reachable states and renumber densely
+        let mut reach: Vec<Option<u32>> = vec![None; self.len()];
+        let mut order = vec![self.start];
+        reach[self.start as usize] = Some(0);
+        let mut i = 0;
+        while i < order.len() {
+            let s = order[i];
+            i += 1;
+            for a in 0..asz {
+                let t = self.step(s, a);
+                if reach[t as usize].is_none() {
+                    reach[t as usize] = Some(order.len() as u32);
+                    order.push(t);
+                }
+            }
+        }
+        let n = order.len();
+        let mut delta = vec![0u32; n * asz];
+        for (ri, &s) in order.iter().enumerate() {
+            for a in 0..asz {
+                delta[ri * asz + a] = reach[self.step(s, a) as usize].expect("successor reachable");
+            }
+        }
+        // 2. initial partition by acceptance (empty halves dropped)
+        let mut block_of = vec![0u32; n];
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        {
+            let mut rej = Vec::new();
+            let mut acc = Vec::new();
+            for (ri, &s) in order.iter().enumerate() {
+                if self.accepting[s as usize] {
+                    acc.push(ri as u32);
+                } else {
+                    rej.push(ri as u32);
+                }
+            }
+            for b in [rej, acc] {
+                if !b.is_empty() {
+                    let id = blocks.len() as u32;
+                    for &s in &b {
+                        block_of[s as usize] = id;
+                    }
+                    blocks.push(b);
+                }
+            }
+        }
+        // inverse transitions in CSR layout: the states reaching `t` on
+        // `a` are `pred[pred_off[t*asz+a] .. pred_off[t*asz+a+1]]`. Two
+        // flat arrays instead of n·|Σ| tiny vectors — profiling showed
+        // those small allocations made Hopcroft slower than Moore on the
+        // small DFAs the inference stack actually builds.
+        let mut pred_off = vec![0u32; n * asz + 1];
+        for ri in 0..n {
+            for a in 0..asz {
+                pred_off[delta[ri * asz + a] as usize * asz + a + 1] += 1;
+            }
+        }
+        for i in 1..pred_off.len() {
+            pred_off[i] += pred_off[i - 1];
+        }
+        let mut pred = vec![0u32; n * asz];
+        let mut cursor = pred_off.clone();
+        for ri in 0..n {
+            for a in 0..asz {
+                let slot = delta[ri * asz + a] as usize * asz + a;
+                pred[cursor[slot] as usize] = ri as u32;
+                cursor[slot] += 1;
+            }
+        }
+        drop(cursor);
+        // 3. worklist refinement. `in_wl[b * asz + a]` tracks pending
+        // (block, symbol) splitters; splitting block B into B/N re-adds
+        // both halves if (B, c) was pending, else the smaller half.
+        let mut wl: VecDeque<(u32, usize)> = VecDeque::new();
+        let mut in_wl = vec![false; blocks.len() * asz];
+        for b in 0..blocks.len() {
+            for a in 0..asz {
+                in_wl[b * asz + a] = true;
+                wl.push_back((b as u32, a));
+            }
+        }
+        let mut mark = vec![false; n];
+        // scratch buffers reused across refinement rounds (no per-round
+        // allocation on the hot path)
+        let mut x: Vec<u32> = Vec::new();
+        let mut touched: Vec<u32> = Vec::new();
+        let mut seen_block = vec![false; blocks.len()];
+        while let Some((splitter, a)) = wl.pop_front() {
+            in_wl[splitter as usize * asz + a] = false;
+            // X = states with an a-transition into the splitter block
+            x.clear();
+            for &s in &blocks[splitter as usize] {
+                let slot = s as usize * asz + a;
+                for &p in &pred[pred_off[slot] as usize..pred_off[slot + 1] as usize] {
+                    if !mark[p as usize] {
+                        mark[p as usize] = true;
+                        x.push(p);
+                    }
+                }
+            }
+            touched.clear();
+            if seen_block.len() < blocks.len() {
+                seen_block.resize(blocks.len(), false);
+            }
+            for &p in &x {
+                let b = block_of[p as usize] as usize;
+                if !seen_block[b] {
+                    seen_block[b] = true;
+                    touched.push(b as u32);
+                }
+            }
+            for &b in &touched {
+                seen_block[b as usize] = false;
+            }
+            touched.sort_unstable();
+            for &b in &touched {
+                let bi = b as usize;
+                let (marked, unmarked): (Vec<u32>, Vec<u32>) =
+                    blocks[bi].iter().partition(|&&s| mark[s as usize]);
+                if unmarked.is_empty() {
+                    continue; // every state of the block hit: no split
+                }
+                let new_id = blocks.len() as u32;
+                for &s in &marked {
+                    block_of[s as usize] = new_id;
+                }
+                blocks[bi] = unmarked;
+                blocks.push(marked);
+                in_wl.resize(blocks.len() * asz, false);
+                for c in 0..asz {
+                    if in_wl[bi * asz + c] {
+                        in_wl[new_id as usize * asz + c] = true;
+                        wl.push_back((new_id, c));
+                    } else {
+                        let smaller = if blocks[bi].len() <= blocks[new_id as usize].len() {
+                            b
+                        } else {
+                            new_id
+                        };
+                        in_wl[smaller as usize * asz + c] = true;
+                        wl.push_back((smaller, c));
+                    }
+                }
+            }
+            for &p in &x {
+                mark[p as usize] = false;
+            }
+        }
+        // 4. quotient, numbering blocks by first occurrence in
+        // reachability order (so the start block is state 0)
+        let nb = blocks.len();
+        let mut newid = vec![u32::MAX; nb];
+        let mut repr: Vec<u32> = Vec::new();
+        for (ri, &blk) in block_of.iter().enumerate().take(n) {
+            let b = blk as usize;
+            if newid[b] == u32::MAX {
+                newid[b] = repr.len() as u32;
+                repr.push(ri as u32);
+            }
+        }
+        let mut transitions = vec![0u32; nb * asz];
+        let mut accepting = vec![false; nb];
+        for (c, &ri) in repr.iter().enumerate() {
+            accepting[c] = self.accepting[order[ri as usize] as usize];
+            for a in 0..asz {
+                transitions[c * asz + a] =
+                    newid[block_of[delta[ri as usize * asz + a] as usize] as usize];
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions,
+            accepting,
+            start: newid[block_of[0] as usize],
+        }
+    }
+
+    /// The seed implementation's Moore partition-refinement minimization
+    /// (also prunes unreachable states). Kept as the boxed-baseline path
+    /// for [`crate::memo`] and as a cross-check oracle against
+    /// [`Dfa::minimize`] — both yield the unique minimal DFA.
+    pub fn minimize_moore(&self) -> Dfa {
         let asz = self.alphabet.len();
         // 1. restrict to reachable states
         let mut reach: Vec<Option<u32>> = vec![None; self.len()];
@@ -433,6 +738,70 @@ mod tests {
         let d3 = dfa("p*, p, p*").minimize();
         let d4 = dfa("p+").minimize();
         assert_eq!(d3.len(), d4.len());
+    }
+
+    #[test]
+    fn hopcroft_agrees_with_moore() {
+        let sources = [
+            "a",
+            "a | a",
+            "p*, p, p*",
+            "p+",
+            "(a | b)*, c",
+            "title, author+, (journal | conference)",
+            "(a?, b)*",
+            "a+, a+",
+            "(a, b) | (a, c) | (a, d)",
+            "((a | b), (a | b))*",
+        ];
+        for src in sources {
+            let r = parse_regex(src).unwrap();
+            let raw = Dfa::from_nfa(
+                &Nfa::from_regex(&r),
+                &r.syms().into_iter().collect::<Vec<_>>(),
+            );
+            let h = raw.minimize();
+            let m = raw.minimize_moore();
+            assert_eq!(h.len(), m.len(), "state counts differ for {src}");
+            let mut wh = h.enumerate_words(4, 500);
+            let mut wm = m.enumerate_words(4, 500);
+            wh.sort();
+            wm.sort();
+            assert_eq!(wh, wm, "languages differ for {src}");
+        }
+        // Hopcroft on an empty-language automaton
+        let e = Dfa::from_regex(&Regex::Empty);
+        assert!(e.minimize().language_is_empty());
+    }
+
+    #[test]
+    fn subset_of_agrees_with_product_complement() {
+        let sources = [
+            "a",
+            "a | b",
+            "a*",
+            "(a | b)*",
+            "a, b",
+            "(a, b) | (a, c)",
+            "a+, b?",
+            "title, author+, (journal | conference)",
+            "title, author+, journal",
+        ];
+        for x in sources {
+            for y in sources {
+                let (rx, ry) = (parse_regex(x).unwrap(), parse_regex(y).unwrap());
+                let mut alpha: Vec<Sym> = rx.syms().into_iter().chain(ry.syms()).collect();
+                alpha.sort();
+                alpha.dedup();
+                let dx = Dfa::from_regex_with_alphabet(&rx, &alpha);
+                let dy = Dfa::from_regex_with_alphabet(&ry, &alpha);
+                assert_eq!(
+                    dx.subset_of(&dy),
+                    dx.product(&dy.complement()).language_is_empty(),
+                    "subset_of diverges on {x} ⊆ {y}"
+                );
+            }
+        }
     }
 
     #[test]

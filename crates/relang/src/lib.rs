@@ -30,21 +30,26 @@ pub mod memo;
 pub mod nfa;
 pub mod ops;
 pub mod parser;
+pub mod pool;
 pub mod sample;
 pub mod simplify;
 pub mod symbol;
 
 pub use ast::Regex;
-pub use derivative::{derivative, matches_by_derivative};
+pub use derivative::{derivative, derivative_id, matches_by_derivative};
 pub use determinism::{ambiguity, is_deterministic, Ambiguity};
 pub use dfa::Dfa;
-pub use memo::{clear_memo, memo_stats, MemoStats};
+pub use memo::{clear_memo, memo_footprint, memo_stats, MemoFootprint, MemoStats};
 pub use nfa::Nfa;
 pub use ops::{
-    count_words_by_len, count_words_upto, enumerate_words, equivalent, equivalent_uncached,
-    is_proper_subset, is_subset, is_subset_uncached, language_is_empty, matches, min_word_len,
+    count_words_by_len, count_words_upto, enumerate_words, equivalent, equivalent_id,
+    equivalent_uncached, image_cached, is_proper_subset, is_subset, is_subset_id,
+    is_subset_uncached, language_is_empty, map_syms_cached, matches, min_word_len,
 };
 pub use parser::{parse_regex, ParseError};
+pub use pool::{
+    boxed_baseline, intern, pool_stats, set_boxed_baseline, to_regex, PoolStats, ReId, ReNode,
+};
 pub use sample::{sample_word, SampleConfig};
-pub use simplify::simplify;
+pub use simplify::{simplify, simplify_id};
 pub use symbol::{name, sym, Name, Sym, Tag};

@@ -35,20 +35,32 @@ struct Builder {
     sym_of: Vec<Sym>,
     /// `follow[p]` = positions that may follow position `p`.
     follow: Vec<Vec<u32>>,
+    /// Membership bitmask mirroring `follow[p]`, so `link` dedups in
+    /// O(1) per pair instead of scanning the list (the scan made wide
+    /// alternations under closures quadratic per star).
+    follow_bits: Vec<Vec<u64>>,
 }
 
 impl Builder {
     fn fresh(&mut self, s: Sym) -> u32 {
         self.sym_of.push(s);
         self.follow.push(Vec::new());
+        self.follow_bits.push(Vec::new());
         (self.sym_of.len() - 1) as u32
     }
 
     fn link(&mut self, from: &[u32], to: &[u32]) {
         for &p in from {
+            let bits = &mut self.follow_bits[p as usize];
+            let list = &mut self.follow[p as usize];
             for &q in to {
-                if !self.follow[p as usize].contains(&q) {
-                    self.follow[p as usize].push(q);
+                let (w, m) = (q as usize / 64, 1u64 << (q % 64));
+                if bits.len() <= w {
+                    bits.resize(w + 1, 0);
+                }
+                if bits[w] & m == 0 {
+                    bits[w] |= m;
+                    list.push(q);
                 }
             }
         }
@@ -140,6 +152,7 @@ impl Nfa {
                 tag: 0,
             }],
             follow: vec![Vec::new()],
+            follow_bits: vec![Vec::new()],
         };
         let info = b.walk(r);
         let n = b.sym_of.len();

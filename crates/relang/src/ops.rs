@@ -5,6 +5,7 @@
 use crate::ast::Regex;
 use crate::dfa::Dfa;
 use crate::nfa::Nfa;
+use crate::pool::{self, ReId};
 use crate::symbol::Sym;
 
 /// Does `word ∈ L(r)`?
@@ -71,6 +72,40 @@ pub fn equivalent(a: &Regex, b: &Regex) -> bool {
 /// Is `L(a) = L(b)`, bypassing the memo tables (see [`is_subset_uncached`])?
 pub fn equivalent_uncached(a: &Regex, b: &Regex) -> bool {
     is_subset_uncached(a, b) && is_subset_uncached(b, a)
+}
+
+/// Is `L(a) ⊆ L(b)`, for pool-interned ids ([`crate::pool`]). The memo
+/// probe hashes two `u32`s; `a == b` is a free structural fast path.
+pub fn is_subset_id(a: ReId, b: ReId) -> bool {
+    crate::memo::memoized_subset_id(a, b)
+}
+
+/// Is `L(a) = L(b)`, for pool-interned ids?
+pub fn equivalent_id(a: ReId, b: ReId) -> bool {
+    a == b || (is_subset_id(a, b) && is_subset_id(b, a))
+}
+
+/// The image (tag-erasure, Definition 3.8) of `r`, memoized in the regex
+/// pool so repeated tightness checks against the same specialized type
+/// don't re-walk it. Falls back to [`Regex::image`] in boxed-baseline
+/// mode.
+pub fn image_cached(r: &Regex) -> Regex {
+    if pool::boxed_baseline() {
+        return r.image();
+    }
+    pool::to_regex(pool::image_id(pool::intern(r)))
+}
+
+/// Applies a symbol substitution through the pool (shared subterms are
+/// rewritten once). Falls back to the boxed [`Regex::map_syms`] in
+/// boxed-baseline mode. The substitution must map symbols to symbols —
+/// the retag/rename loops in the mediator core are exactly that shape.
+pub fn map_syms_cached(r: &Regex, f: &mut impl FnMut(Sym) -> Sym) -> Regex {
+    if pool::boxed_baseline() {
+        return r.map_syms(&mut |s| Regex::Sym(f(s)));
+    }
+    let id = pool::map_syms_id(pool::intern(r), &mut |s| pool::sym_id(f(s)));
+    pool::to_regex(id)
 }
 
 /// Is `L(a) ⊊ L(b)`?

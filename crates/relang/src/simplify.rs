@@ -23,7 +23,8 @@
 //! `debug_assert!`s equivalence with the input.
 
 use crate::ast::Regex;
-use crate::ops::{equivalent, is_subset};
+use crate::ops::{equivalent, is_subset, is_subset_id};
+use crate::pool::{self, ReId, ReNode};
 
 /// Size bound above which the (automata-based) subsumption rule is skipped.
 const SUBSUMPTION_SIZE_LIMIT: usize = 512;
@@ -218,16 +219,216 @@ fn pass(r: &Regex) -> Regex {
     }
 }
 
-/// Simplifies `r` to a language-equivalent, usually smaller regex.
-pub fn simplify(r: &Regex) -> Regex {
-    let mut cur = r.clone();
+// ---------------------------------------------------------------------
+// Pool-id mirror of the rewrite system. Each *_id function is the exact
+// twin of the boxed function above with structural equality replaced by
+// id equality and cached attributes (size, nullability) replacing
+// recomputation, so `to_regex(simplify_id(intern(r)))` is byte-identical
+// to the boxed `simplify(r)`.
+// ---------------------------------------------------------------------
+
+fn factor_base_id(r: ReId) -> (ReId, Count) {
+    match pool::node(r) {
+        ReNode::Star(b) => (b, Count { min: 0, max: None }),
+        ReNode::Plus(b) => (b, Count { min: 1, max: None }),
+        ReNode::Opt(b) => (
+            b,
+            Count {
+                min: 0,
+                max: Some(1),
+            },
+        ),
+        _ => (
+            r,
+            Count {
+                min: 1,
+                max: Some(1),
+            },
+        ),
+    }
+}
+
+fn render_counted_id(base: ReId, c: Count) -> ReId {
+    let mut parts: Vec<ReId> = Vec::new();
+    for _ in 0..c.min {
+        parts.push(base);
+    }
+    match c.max {
+        None => {
+            if c.min == 0 {
+                parts.push(pool::star_id(base));
+            } else {
+                parts.pop();
+                parts.push(pool::plus_id(base));
+            }
+        }
+        Some(max) => {
+            for _ in c.min..max {
+                parts.push(pool::opt_id(base));
+            }
+        }
+    }
+    pool::concat_ids(parts)
+}
+
+fn collapse_concat_id(parts: &[ReId]) -> ReId {
+    let mut out: Vec<ReId> = Vec::new();
+    let mut run: Option<(ReId, Count)> = None;
+    let flush = |run: &mut Option<(ReId, Count)>, out: &mut Vec<ReId>| {
+        if let Some((base, c)) = run.take() {
+            out.push(render_counted_id(base, c));
+        }
+    };
+    for &p in parts {
+        let (base, c) = factor_base_id(p);
+        match &mut run {
+            Some((rb, rc)) if *rb == base => {
+                rc.min += c.min;
+                rc.max = match (rc.max, c.max) {
+                    (Some(a), Some(b)) => Some(a + b),
+                    _ => None,
+                };
+            }
+            _ => {
+                flush(&mut run, &mut out);
+                run = Some((base, c));
+            }
+        }
+    }
+    flush(&mut run, &mut out);
+    pool::concat_ids(out)
+}
+
+fn as_factors_id(r: ReId) -> Vec<ReId> {
+    match pool::node(r) {
+        ReNode::Concat(v) => v.to_vec(),
+        ReNode::Epsilon => vec![],
+        _ => vec![r],
+    }
+}
+
+fn factor_union_id(branches: &[ReId]) -> Option<ReId> {
+    if branches.len() < 2 {
+        return None;
+    }
+    let factored: Vec<Vec<ReId>> = branches.iter().map(|&b| as_factors_id(b)).collect();
+    let min_len = factored.iter().map(Vec::len).min().unwrap_or(0);
+    let mut prefix = 0;
+    while prefix < min_len && factored.iter().all(|f| f[prefix] == factored[0][prefix]) {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < min_len - prefix
+        && factored
+            .iter()
+            .all(|f| f[f.len() - 1 - suffix] == factored[0][factored[0].len() - 1 - suffix])
+    {
+        suffix += 1;
+    }
+    if prefix == 0 && suffix == 0 {
+        return None;
+    }
+    let head = pool::concat_ids(factored[0][..prefix].to_vec());
+    let tail = pool::concat_ids(factored[0][factored[0].len() - suffix..].to_vec());
+    let middle = pool::alt_ids(
+        factored
+            .iter()
+            .map(|f| pool::concat_ids(f[prefix..f.len() - suffix].to_vec()))
+            .collect::<Vec<_>>(),
+    );
+    Some(pool::concat_ids([head, middle, tail]))
+}
+
+fn subsume_union_id(branches: Vec<ReId>) -> Vec<ReId> {
+    let total: usize = branches.iter().map(|&b| pool::size(b)).sum();
+    if total > SUBSUMPTION_SIZE_LIMIT {
+        return branches;
+    }
+    let mut keep: Vec<ReId> = Vec::new();
+    'outer: for (i, &b) in branches.iter().enumerate() {
+        for (j, &other) in branches.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if is_subset_id(b, other) && (!is_subset_id(other, b) || j < i) {
+                continue 'outer;
+            }
+        }
+        keep.push(b);
+    }
+    if keep.is_empty() {
+        branches
+    } else {
+        keep
+    }
+}
+
+fn pass_id(r: ReId) -> ReId {
+    match pool::node(r) {
+        ReNode::Empty | ReNode::Epsilon | ReNode::Sym(_) => r,
+        ReNode::Concat(v) => {
+            let parts: Vec<ReId> = v.iter().map(|&x| pass_id(x)).collect();
+            let c = pool::concat_ids(parts);
+            match pool::node(c) {
+                ReNode::Concat(parts) => collapse_concat_id(&parts),
+                _ => c,
+            }
+        }
+        ReNode::Alt(v) => {
+            let parts: Vec<ReId> = v.iter().map(|&x| pass_id(x)).collect();
+            let a = pool::alt_ids(parts);
+            match pool::node(a) {
+                ReNode::Alt(parts) => {
+                    let parts = subsume_union_id(parts.to_vec());
+                    if let Some(f) = factor_union_id(&parts) {
+                        return f;
+                    }
+                    pool::alt_ids(parts)
+                }
+                _ => a,
+            }
+        }
+        ReNode::Star(x) => pool::star_id(pass_id(x)),
+        ReNode::Plus(x) => pool::plus_id(pass_id(x)),
+        ReNode::Opt(x) => {
+            let inner = pass_id(x);
+            if pool::nullable(inner) {
+                inner
+            } else {
+                pool::opt_id(inner)
+            }
+        }
+    }
+}
+
+/// Simplifies a pool id; the fixpoint test is a single integer compare.
+pub fn simplify_id(r: ReId) -> ReId {
+    let mut cur = r;
     for _ in 0..MAX_PASSES {
-        let next = pass(&cur);
+        let next = pass_id(cur);
         if next == cur {
             break;
         }
         cur = next;
     }
+    cur
+}
+
+/// Simplifies `r` to a language-equivalent, usually smaller regex.
+pub fn simplify(r: &Regex) -> Regex {
+    let cur = if pool::boxed_baseline() {
+        let mut cur = r.clone();
+        for _ in 0..MAX_PASSES {
+            let next = pass(&cur);
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        cur
+    } else {
+        pool::to_regex(simplify_id(pool::intern(r)))
+    };
     debug_assert!(
         equivalent(r, &cur),
         "simplify changed the language of {r} into {cur}"
@@ -297,6 +498,35 @@ mod tests {
             let simp = simplify(&r);
             assert!(equivalent(&r, &simp), "language changed: {src} vs {simp}");
             assert!(simp.size() <= r.size(), "simplify grew {src} to {simp}");
+        }
+    }
+
+    #[test]
+    fn interned_pass_is_byte_identical_to_boxed() {
+        for src in [
+            "p*, p, p*",
+            "p*, p, p*, p, p*",
+            "(a, b) | (a, c)",
+            "(x, a, y) | (x, b, y)",
+            "(a, b) | a",
+            "a | a*",
+            "a+ | a*",
+            "(a*)?",
+            "(a?, b?)?",
+            "name, (journal | conference)*",
+            "firstName, lastName, publication*, publication^1, publication*, teaches",
+            "(publication*, publication, publication*, publication, publication*) \
+             | (publication*, publication, publication*, publication, publication*)",
+        ] {
+            let r = parse_regex(src).unwrap();
+            let boxed = pass(&r);
+            let interned = crate::pool::to_regex(pass_id(crate::pool::intern(&r)));
+            assert_eq!(interned, boxed, "pass mismatch on {src}");
+            assert_eq!(
+                crate::pool::to_regex(simplify_id(crate::pool::intern(&r))),
+                simplify(&r),
+                "simplify mismatch on {src}"
+            );
         }
     }
 

@@ -351,19 +351,16 @@ fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
             qps / baseline_qps.max(1e-9)
         ));
     }
-    let stats = m.serving_metrics();
-    // the merged mix-obs snapshot is the canonical metrics surface; the
-    // "cache" / "automata" blocks repeat a subset of it under the legacy
-    // field names and will be dropped next release (see CHANGES.md)
+    // the merged mix-obs snapshot is the canonical metrics surface: it
+    // carries the inference-cache, automata-memo, and regex-pool
+    // instruments (the legacy top-level "cache"/"automata" aliases were
+    // dropped as announced in the PR 4 deprecation note)
     let obs_snapshot = mix::obs::global().snapshot().merge(&registry.snapshot());
     let json = format!(
         "{{\n  \"driver\": \"mixctl serve --bench\",\n  \"batch\": {},\n  \
          \"latency_ms\": {},\n  \"sources\": {},\n  \"inference\": {{ \
          \"cold_us\": {:.1}, \"warm_us\": {:.1}, \"warm_speedup\": {:.1} }},\n  \
-         \"throughput\": [\n{}\n  ],\n  \"obs\": {},\n  \
-         \"cache\": {{ \"hits\": {}, \"misses\": {}, \
-         \"entries\": {} }},\n  \"automata\": {{ \"dfa_hits\": {}, \"dfa_misses\": {}, \
-         \"inclusion_hits\": {}, \"inclusion_misses\": {} }}\n}}",
+         \"throughput\": [\n{}\n  ],\n  \"obs\": {}\n}}",
         args.batch,
         args.latency_ms,
         args.docs.len(),
@@ -372,13 +369,6 @@ fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
         speedup,
         rows.join(",\n"),
         obs_snapshot.to_json(),
-        stats.inference.hits,
-        stats.inference.misses,
-        stats.inference.entries,
-        stats.automata.dfa_hits,
-        stats.automata.dfa_misses,
-        stats.automata.inclusion_hits,
-        stats.automata.inclusion_misses,
     );
     if let Some(path) = &args.metrics_file {
         dump_metrics(path, m.registry(), &args.format);

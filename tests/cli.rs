@@ -465,8 +465,9 @@ fn federate_writes_a_final_metrics_snapshot() {
     );
 }
 
-/// `serve --bench` reports the canonical "obs" snapshot next to the
-/// legacy "cache"/"automata" blocks, and the two surfaces agree.
+/// `serve --bench` reports the canonical "obs" snapshot — including the
+/// regex-pool gauges — and no longer emits the deprecated top-level
+/// "cache"/"automata" alias blocks (dropped as announced in PR 4).
 #[test]
 fn serve_bench_json_carries_the_obs_snapshot() {
     let dtd = fixture("sb.dtd", D1);
@@ -494,21 +495,27 @@ fn serve_bench_json_carries_the_obs_snapshot() {
     ]);
     assert_eq!(out.status.code(), Some(0), "{out:?}");
     let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !text.contains("\"cache\":") && !text.contains("\"automata\":"),
+        "deprecated top-level alias blocks resurfaced:\n{text}"
+    );
     let obs_start = text.find("\"obs\": ").expect("obs field present") + "\"obs\": ".len();
-    // the snapshot is the only nested object running to a "}," before the
-    // legacy cache alias block
-    let obs_end = text[obs_start..]
-        .find("},\n  \"cache\"")
-        .expect("legacy cache alias follows obs")
-        + obs_start
-        + 1;
-    let snap = mix::obs::Snapshot::from_json(&text[obs_start..obs_end]).expect("obs parses");
-    // legacy aliases repeat what the snapshot already carries
-    let legacy_hits: u64 = text
-        .split("\"cache\": { \"hits\": ")
-        .nth(1)
-        .and_then(|t| t.split(',').next())
-        .and_then(|n| n.parse().ok())
-        .expect("legacy cache hits field");
-    assert_eq!(snap.counters["inference_cache_hits_total"], legacy_hits);
+    // the snapshot is the last field: it runs to the final closing brace
+    let obs_end = text.rfind('}').expect("closing brace");
+    let snap = mix::obs::Snapshot::from_json(text[obs_start..obs_end].trim()).expect("obs parses");
+    // the snapshot carries the inference-cache and automata-memo
+    // counters the dropped alias blocks used to repeat…
+    assert!(snap.counters.contains_key("inference_cache_hits_total"));
+    assert!(snap
+        .counters
+        .contains_key("relang_inclusion_memo_misses_total"));
+    // …and the regex-pool gauges land right next to them
+    assert!(
+        snap.gauges["relang_pool_nodes"] > 0,
+        "pool node gauge missing or zero"
+    );
+    assert!(
+        snap.gauges["relang_pool_bytes"] > 0,
+        "pool byte gauge missing or zero"
+    );
 }
