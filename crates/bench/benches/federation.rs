@@ -1,0 +1,331 @@
+//! X19 — the sharded, replica-aware federation tier under fire: replica
+//! failover latency, a 64-client storm against per-client admission
+//! control, and replica-kill recovery.
+//!
+//! Like X15/X16 this is a custom harness (not Criterion): the acceptance
+//! criteria are correctness plus ratios landing in a committed artifact,
+//! so the run measures with `std::time::Instant`, asserts every served
+//! answer is byte-identical to the in-process reference (zero wrong
+//! answers, shed or not), and writes machine-readable results to
+//! `BENCH_PR6.json` at the workspace root.
+//!
+//! Methodology notes:
+//!
+//! * Failover is measured at the [`ReplicaSet`] boundary: the "failover
+//!   call" is the first call after the primary replica's daemon dies —
+//!   it pays the dead socket discovery plus the retry against the
+//!   surviving replica. Steady-state-after is cheaper than that but can
+//!   include breaker probe calls against the dead address (cooldown
+//!   expiry), which is the honest serving profile.
+//! * The storm drives 64 concurrent `RemoteWrapper` clients into one
+//!   daemon, with and without admission control. Shed requests fail fast
+//!   with a `Throttled` reply; admitted requests are checked byte for
+//!   byte. The shed count is cross-checked against the daemon's
+//!   `net_requests_shed_total` instrument.
+
+use mix_bench::{d1, department_of_size, q2};
+use mix_mediator::{
+    RemoteWrapper, ReplicaInstruments, ReplicaPolicy, ReplicaSet, SourceError, Wrapper,
+    WrapperService, XmlSource,
+};
+use mix_net::{AdmissionConfig, Server, ServerConfig, ServerHandle};
+use mix_obs::Registry;
+use mix_xmas::Query;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DOC_SIZE: usize = 6;
+const WARM_CALLS: usize = 20;
+const STORM_CLIENTS: usize = 64;
+const STORM_REQS: usize = 30;
+const ADMIT_BURST: u64 = 4;
+const ADMIT_REFILL: u64 = 10;
+
+fn source() -> XmlSource {
+    XmlSource::new(d1(), department_of_size(DOC_SIZE)).expect("valid dept")
+}
+
+fn spawn_daemon(config: ServerConfig, registry: &Registry) -> ServerHandle {
+    Server::bind(
+        "127.0.0.1:0",
+        Arc::new(WrapperService::new(source()).with_registry(registry.clone())),
+        config,
+    )
+    .expect("bind")
+    .with_registry(registry)
+    .spawn()
+    .expect("spawn")
+}
+
+fn render(doc: &mix_xml::Document) -> String {
+    mix_xml::write_document(doc, mix_xml::WriteConfig::default())
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let i = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[i]
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// Failover latency + recovery at the ReplicaSet boundary.
+struct FailoverResult {
+    warm_p50_ns: u64,
+    failover_call_ns: u64,
+    post_p50_ns: u64,
+    recovery_calls: usize,
+}
+
+fn bench_failover(query: &Query, expected: &str) -> FailoverResult {
+    let registry = Registry::new();
+    let primary = spawn_daemon(ServerConfig::default(), &Registry::noop());
+    let standby = spawn_daemon(ServerConfig::default(), &Registry::noop());
+    let replicas: Vec<Arc<dyn Wrapper>> = [&primary, &standby]
+        .iter()
+        .map(|d| {
+            Arc::new(RemoteWrapper::connect(&d.addr().to_string()).expect("replica reachable"))
+                as Arc<dyn Wrapper>
+        })
+        .collect();
+    let set = ReplicaSet::new(
+        "dept",
+        replicas,
+        ReplicaPolicy::default(),
+        ReplicaInstruments::new(&registry, "dept", 2),
+    )
+    .expect("replica DTDs agree");
+
+    let mut warm: Vec<u64> = (0..WARM_CALLS)
+        .map(|_| {
+            let t = Instant::now();
+            let doc = set.answer(query).expect("healthy call");
+            let ns = t.elapsed().as_nanos() as u64;
+            assert_eq!(render(&doc), expected, "healthy answer diverged");
+            ns
+        })
+        .collect();
+    warm.sort_unstable();
+
+    // the chaos event: the primary dies with its pooled connection
+    primary.shutdown();
+    let mut recovery_calls = 0usize;
+    let t = Instant::now();
+    let failover_call_ns = loop {
+        recovery_calls += 1;
+        match set.answer(query) {
+            Ok(doc) => {
+                assert_eq!(render(&doc), expected, "failover answer diverged");
+                break t.elapsed().as_nanos() as u64;
+            }
+            Err(e) if recovery_calls < 8 => {
+                eprintln!("failover call {recovery_calls} failed ({e}), retrying")
+            }
+            Err(e) => panic!("no recovery within {recovery_calls} calls: {e}"),
+        }
+    };
+
+    let mut post: Vec<u64> = (0..WARM_CALLS)
+        .map(|_| {
+            let t = Instant::now();
+            let doc = set.answer(query).expect("post-failover call");
+            let ns = t.elapsed().as_nanos() as u64;
+            assert_eq!(render(&doc), expected, "post-failover answer diverged");
+            ns
+        })
+        .collect();
+    post.sort_unstable();
+
+    let snap = registry.snapshot();
+    assert!(
+        snap.counters[r#"replica_failovers_total{source="dept"}"#] >= 1,
+        "failover must be counted"
+    );
+    standby.shutdown();
+    FailoverResult {
+        warm_p50_ns: percentile(&warm, 0.5),
+        failover_call_ns,
+        post_p50_ns: percentile(&post, 0.5),
+        recovery_calls,
+    }
+}
+
+/// One storm mode's aggregate outcome.
+struct StormResult {
+    admitted: usize,
+    shed: usize,
+    wrong: usize,
+    errors: usize,
+    p50_ns: u64,
+    p99_ns: u64,
+    server_shed: u64,
+}
+
+fn bench_storm(query: &Query, expected: &str, admission: Option<AdmissionConfig>) -> StormResult {
+    let registry = Registry::new();
+    let config = ServerConfig {
+        max_connections: STORM_CLIENTS + 4,
+        io_timeout: Duration::from_secs(10),
+        admission,
+    };
+    let daemon = spawn_daemon(config, &registry);
+    let addr = daemon.addr().to_string();
+
+    let results: Vec<(Vec<u64>, usize, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..STORM_CLIENTS)
+            .map(|_| {
+                let addr = addr.clone();
+                let query = query.clone();
+                scope.spawn(move || {
+                    let remote = RemoteWrapper::connect(&addr).expect("storm client connects");
+                    let mut admitted_ns = Vec::with_capacity(STORM_REQS);
+                    let (mut shed, mut wrong, mut errors) = (0usize, 0usize, 0usize);
+                    for _ in 0..STORM_REQS {
+                        let t = Instant::now();
+                        match remote.answer(&query) {
+                            Ok(doc) => {
+                                admitted_ns.push(t.elapsed().as_nanos() as u64);
+                                if render(&doc) != expected {
+                                    wrong += 1;
+                                }
+                            }
+                            Err(SourceError::Throttled { .. }) => shed += 1,
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (admitted_ns, shed, wrong, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("storm client panicked"))
+            .collect()
+    });
+    let server_shed = registry
+        .snapshot()
+        .counters
+        .get("net_requests_shed_total")
+        .copied()
+        .unwrap_or(0);
+    daemon.shutdown();
+
+    let mut all_ns: Vec<u64> = results
+        .iter()
+        .flat_map(|(ns, ..)| ns.iter().copied())
+        .collect();
+    all_ns.sort_unstable();
+    StormResult {
+        admitted: all_ns.len(),
+        shed: results.iter().map(|&(_, s, ..)| s).sum(),
+        wrong: results.iter().map(|&(_, _, w, _)| w).sum(),
+        errors: results.iter().map(|&(.., e)| e).sum(),
+        p50_ns: percentile(&all_ns, 0.5),
+        p99_ns: percentile(&all_ns, 0.99),
+        server_shed,
+    }
+}
+
+fn main() {
+    let query = q2();
+    let expected = render(&source().answer(&query).expect("reference answer"));
+
+    println!("X19 federation tier: failover, admission storm, recovery");
+
+    let fo = bench_failover(&query, &expected);
+    println!(
+        "  failover: warm p50 {:.1}us, failover call {:.1}us ({} call(s) to recover), \
+         post-failover p50 {:.1}us",
+        us(fo.warm_p50_ns),
+        us(fo.failover_call_ns),
+        fo.recovery_calls,
+        us(fo.post_p50_ns),
+    );
+    assert_eq!(
+        fo.recovery_calls, 1,
+        "failover must recover on the first call"
+    );
+
+    let open = bench_storm(&query, &expected, None);
+    println!(
+        "  storm ({} clients x {} reqs), admission off: {} admitted, {} shed, \
+         p50 {:.1}us, p99 {:.1}us",
+        STORM_CLIENTS,
+        STORM_REQS,
+        open.admitted,
+        open.shed,
+        us(open.p50_ns),
+        us(open.p99_ns),
+    );
+    assert_eq!(open.shed, 0, "no admission control, nothing may shed");
+    assert_eq!(open.wrong, 0, "zero wrong answers (admission off)");
+
+    let gated = bench_storm(
+        &query,
+        &expected,
+        Some(AdmissionConfig {
+            burst: ADMIT_BURST,
+            refill_per_sec: ADMIT_REFILL,
+        }),
+    );
+    println!(
+        "  storm ({} clients x {} reqs), admission burst={} refill={}/s: \
+         {} admitted, {} shed ({} server-counted), p50 {:.1}us, p99 {:.1}us",
+        STORM_CLIENTS,
+        STORM_REQS,
+        ADMIT_BURST,
+        ADMIT_REFILL,
+        gated.admitted,
+        gated.shed,
+        gated.server_shed,
+        us(gated.p50_ns),
+        us(gated.p99_ns),
+    );
+    assert!(gated.shed > 0, "the storm must overflow the token buckets");
+    assert_eq!(gated.wrong, 0, "zero wrong answers (admission on)");
+    assert_eq!(
+        gated.shed as u64, gated.server_shed,
+        "client-observed sheds must match the daemon's mix-obs counter"
+    );
+    assert_eq!(gated.errors, 0, "sheds are replies, not transport faults");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"X19\",\n  \
+         \"generated_by\": \"cargo bench -p mix-bench --bench federation\",\n  \
+         \"failover\": {{ \"warm_p50_us\": {:.1}, \"failover_call_us\": {:.1}, \
+         \"post_failover_p50_us\": {:.1}, \"recovery_calls\": {} }},\n  \
+         \"storm\": {{\n    \"clients\": {}, \"requests_per_client\": {},\n    \
+         \"admission_off\": {{ \"admitted\": {}, \"shed\": {}, \"wrong\": {}, \
+         \"p50_us\": {:.1}, \"p99_us\": {:.1} }},\n    \
+         \"admission_on\": {{ \"burst\": {}, \"refill_per_sec\": {}, \
+         \"admitted\": {}, \"shed\": {}, \"server_shed\": {}, \"wrong\": {}, \
+         \"p50_us\": {:.1}, \"p99_us\": {:.1} }}\n  }},\n  \
+         \"zero_wrong_answers\": true\n}}",
+        us(fo.warm_p50_ns),
+        us(fo.failover_call_ns),
+        us(fo.post_p50_ns),
+        fo.recovery_calls,
+        STORM_CLIENTS,
+        STORM_REQS,
+        open.admitted,
+        open.shed,
+        open.wrong,
+        us(open.p50_ns),
+        us(open.p99_ns),
+        ADMIT_BURST,
+        ADMIT_REFILL,
+        gated.admitted,
+        gated.shed,
+        gated.server_shed,
+        gated.wrong,
+        us(gated.p50_ns),
+        us(gated.p99_ns),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
+    std::fs::write(out, json + "\n").expect("write BENCH_PR6.json");
+    println!("wrote {out}");
+}

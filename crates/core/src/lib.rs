@@ -37,4 +37,6 @@ pub use naive::{naive_view_dtd, NaiveMode};
 pub use pipeline::{infer_view_dtd, InferredView};
 pub use refine::{refine, refine1};
 pub use tighten::{classify_query, tighten, Tightened, Verdict};
-pub use union::{infer_union_view_dtd, infer_union_view_dtd_cached, InferredUnionView};
+pub use union::{
+    compose_union_views, infer_union_view_dtd, infer_union_view_dtd_cached, InferredUnionView,
+};

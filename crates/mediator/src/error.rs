@@ -34,6 +34,20 @@ pub enum SourceError {
     /// failed). Not a source fault: retries and breaker accounting skip
     /// it.
     Query(NormalizeError),
+    /// This build and the source's build speak incompatible protocols
+    /// (e.g. a frame-version mismatch). A *deployment* fault, not a
+    /// health signal: no number of retries against the same peer can
+    /// succeed, so breaker accounting skips it — tripping the breaker
+    /// would mask the misconfiguration behind stale snapshots.
+    Incompatible(String),
+    /// The source's admission control shed the call (backpressure). Not
+    /// a health signal either: the source is alive and protecting
+    /// itself, so the breaker stays untouched, and retrying inside the
+    /// same attempt budget would just burn tokens.
+    Throttled {
+        /// The source's suggested minimum backoff, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl SourceError {
@@ -46,10 +60,14 @@ impl SourceError {
     }
 
     /// Whether the failure counts against the *source's* health (breaker
-    /// accounting). Query errors are the caller's fault, not the
-    /// source's.
+    /// accounting). Query errors are the caller's fault; version
+    /// mismatches are the deployment's; throttles are the source
+    /// defending itself — none of them says the source is *sick*.
     pub fn is_source_fault(&self) -> bool {
-        !matches!(self, SourceError::Query(_))
+        !matches!(
+            self,
+            SourceError::Query(_) | SourceError::Incompatible(_) | SourceError::Throttled { .. }
+        )
     }
 
     /// A short stable label for reports and logs.
@@ -61,6 +79,8 @@ impl SourceError {
             SourceError::DtdInvalid(_) => "dtd-invalid",
             SourceError::Unavailable(_) => "unavailable",
             SourceError::Query(_) => "query",
+            SourceError::Incompatible(_) => "incompatible",
+            SourceError::Throttled { .. } => "throttled",
         }
     }
 
@@ -81,6 +101,10 @@ impl fmt::Display for SourceError {
             }
             SourceError::Unavailable(msg) => write!(f, "source unavailable: {msg}"),
             SourceError::Query(e) => write!(f, "query rejected: {e}"),
+            SourceError::Incompatible(msg) => write!(f, "incompatible peer: {msg}"),
+            SourceError::Throttled { retry_after_ms } => {
+                write!(f, "throttled by source: retry after {retry_after_ms}ms")
+            }
         }
     }
 }
@@ -114,8 +138,25 @@ mod tests {
     }
 
     #[test]
+    fn incompatibility_and_throttling_bypass_the_breaker_and_retries() {
+        let v = SourceError::Incompatible("peer speaks 9".into());
+        assert!(!v.is_source_fault() && !v.is_transient());
+        let t = SourceError::Throttled { retry_after_ms: 25 };
+        assert!(!t.is_source_fault() && !t.is_transient());
+        assert_eq!(t.to_string(), "throttled by source: retry after 25ms");
+    }
+
+    #[test]
     fn kinds_are_stable() {
         assert_eq!(SourceError::Timeout { millis: 1 }.kind(), "timeout");
         assert_eq!(SourceError::Transient(String::new()).kind(), "transient");
+        assert_eq!(
+            SourceError::Incompatible(String::new()).kind(),
+            "incompatible"
+        );
+        assert_eq!(
+            SourceError::Throttled { retry_after_ms: 1 }.kind(),
+            "throttled"
+        );
     }
 }

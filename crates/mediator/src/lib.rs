@@ -55,6 +55,7 @@ pub mod resilience;
 pub mod simplifier;
 pub mod source;
 pub mod stack;
+pub mod topology;
 pub mod wire;
 
 pub use builder::{BuildError, Constraint, QueryBuilder};
@@ -63,12 +64,16 @@ pub use error::SourceError;
 pub use fault::{Fault, FaultInjector, FaultPlan};
 pub use interface::{occurs, render_structure, Occurs};
 pub use mediator::{Answer, AnswerPath, Mediator, MediatorError, ProcessorConfig, UnionView, View};
-pub use obs::SourceInstruments;
+pub use obs::{ReplicaInstruments, SourceInstruments};
 pub use resilience::{
-    resilient_answer, BreakerState, DegradationReport, FetchStatus, Health, ResiliencePolicy,
-    SourceOutcome,
+    resilient_answer, BreakerGate, BreakerState, DegradationReport, FetchStatus, Health,
+    ResiliencePolicy, SourceOutcome,
 };
 pub use simplifier::{simplify_query, SimplifyStats};
 pub use source::{LatencyWrapper, RemoteWrapper, Wrapper, XmlSource};
 pub use stack::ViewWrapper;
+pub use topology::{
+    DeadReplica, Federation, FederationPart, HashRing, ReplicaPolicy, ReplicaSet, SourceSpec,
+    Topology, TopologyError,
+};
 pub use wire::{net_to_source_error, WrapperService};

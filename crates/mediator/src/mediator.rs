@@ -502,53 +502,7 @@ impl Mediator {
                 }
             }
             AnyView::Union(view) => {
-                // resolve every wrapper (and its health record) up front so
-                // configuration errors surface before any work is spawned
-                type Part<'a> = (
-                    &'a str,
-                    Arc<dyn Wrapper>,
-                    Arc<Mutex<Health>>,
-                    &'a Query,
-                    Arc<SourceInstruments>,
-                );
-                let mut parts: Vec<Part<'_>> = Vec::new();
-                for (source, q) in view.sources.iter().zip(&view.inferred.queries) {
-                    let wrapper = self
-                        .sources
-                        .get(source)
-                        .ok_or_else(|| MediatorError::UnknownSource(source.clone()))?;
-                    let health = Arc::clone(&self.health[source]);
-                    let obs = Arc::clone(&self.source_obs[source]);
-                    parts.push((source.as_str(), Arc::clone(wrapper), health, q, obs));
-                }
-                // query the sources in parallel (wrappers are Send + Sync);
-                // member order stays the registration order. The caller's
-                // trace id is propagated into each worker so every
-                // `fetch/<source>` span joins the request's trace.
-                let policy = &self.policy;
-                let trace = mix_obs::current_trace();
-                let answers: Vec<(Option<Document>, SourceOutcome)> = if parts.len() > 1 {
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = parts
-                            .iter()
-                            .map(|(s, w, h, q, obs)| {
-                                scope.spawn(move || {
-                                    let _t = mix_obs::set_current_trace(trace);
-                                    resilient_answer(s, w.as_ref(), q, policy, h, obs)
-                                })
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("source query panicked"))
-                            .collect()
-                    })
-                } else {
-                    parts
-                        .iter()
-                        .map(|(s, w, h, q, obs)| resilient_answer(s, w.as_ref(), q, policy, h, obs))
-                        .collect()
-                };
+                let answers = self.union_members(view)?;
                 let _merge_span = self.registry.span("union_merge");
                 let mut members = Vec::new();
                 let mut outcomes = Vec::new();
@@ -589,6 +543,88 @@ impl Mediator {
                 Ok((document, report))
             }
         }
+    }
+
+    /// Materializes the members of a registered *union* view through the
+    /// resilience layer without assembling them: one
+    /// `(Option<Document>, SourceOutcome)` per member, in union
+    /// (registration) order, with `None` marking members that failed with
+    /// no snapshot to degrade to.
+    ///
+    /// Unlike [`Mediator::materialize_with_report`], an all-members-failed
+    /// call is **not** an error here — federation callers (see
+    /// [`crate::topology`]) reassemble the members of several per-shard
+    /// mediators into one global answer and make the all-failed decision
+    /// at that level.
+    pub fn materialize_union_members(
+        &self,
+        name: Name,
+    ) -> Result<Vec<(Option<Document>, SourceOutcome)>, MediatorError> {
+        let _trace_scope = (mix_obs::current_trace() == 0).then(|| self.registry.begin_trace());
+        let _span = self.registry.span("materialize");
+        match self
+            .views
+            .get(&name)
+            .ok_or(MediatorError::UnknownView(name))?
+        {
+            AnyView::Union(view) => self.union_members(view),
+            AnyView::Single(_) => Err(MediatorError::UnknownView(name)),
+        }
+    }
+
+    /// One resilient call per member of a union view, in parallel, in
+    /// union order.
+    fn union_members(
+        &self,
+        view: &UnionView,
+    ) -> Result<Vec<(Option<Document>, SourceOutcome)>, MediatorError> {
+        // resolve every wrapper (and its health record) up front so
+        // configuration errors surface before any work is spawned
+        type Part<'a> = (
+            &'a str,
+            Arc<dyn Wrapper>,
+            Arc<Mutex<Health>>,
+            &'a Query,
+            Arc<SourceInstruments>,
+        );
+        let mut parts: Vec<Part<'_>> = Vec::new();
+        for (source, q) in view.sources.iter().zip(&view.inferred.queries) {
+            let wrapper = self
+                .sources
+                .get(source)
+                .ok_or_else(|| MediatorError::UnknownSource(source.clone()))?;
+            let health = Arc::clone(&self.health[source]);
+            let obs = Arc::clone(&self.source_obs[source]);
+            parts.push((source.as_str(), Arc::clone(wrapper), health, q, obs));
+        }
+        // query the sources in parallel (wrappers are Send + Sync);
+        // member order stays the registration order. The caller's
+        // trace id is propagated into each worker so every
+        // `fetch/<source>` span joins the request's trace.
+        let policy = &self.policy;
+        let trace = mix_obs::current_trace();
+        Ok(if parts.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .iter()
+                    .map(|(s, w, h, q, obs)| {
+                        scope.spawn(move || {
+                            let _t = mix_obs::set_current_trace(trace);
+                            resilient_answer(s, w.as_ref(), q, policy, h, obs)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("source query panicked"))
+                    .collect()
+            })
+        } else {
+            parts
+                .iter()
+                .map(|(s, w, h, q, obs)| resilient_answer(s, w.as_ref(), q, policy, h, obs))
+                .collect()
+        })
     }
 
     /// Records a degraded (non-clean) report as an obs event, at the

@@ -12,7 +12,7 @@
 //! whose every operation is a single branch on `None` — this is what
 //! makes observability free when disabled (measured by bench X17).
 
-use mix_obs::{Counter, Histogram, Registry};
+use mix_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Splices an inline `{source="…"}` label into a metric name.
 fn labeled(name: &str, source: &str) -> String {
@@ -87,6 +87,58 @@ impl SourceInstruments {
     /// The span stage name for fetches against this source.
     pub(crate) fn fetch_stage(&self) -> &str {
         &self.stage
+    }
+
+    /// Records an occurrence-time event, prefixing the detail with the
+    /// source name.
+    pub(crate) fn event(&self, kind: &str, detail: &str) {
+        self.registry
+            .event(kind, format!("source '{}': {detail}", self.source));
+    }
+}
+
+/// The per-replica-set instrument bundle (one per sharded source, see
+/// [`crate::topology::ReplicaSet`]): failover traffic between replicas
+/// plus a live health gauge, labeled like [`SourceInstruments`] so the
+/// same registry and exposition serve both layers.
+#[derive(Clone)]
+pub struct ReplicaInstruments {
+    registry: Registry,
+    source: String,
+    /// Calls that skipped at least one replica (open breaker or live
+    /// failure) before being served by a later one.
+    pub(crate) failovers: Counter,
+    /// Calls for which every replica failed — the outer resilience
+    /// layer's stale-snapshot fallback is all that's left.
+    pub(crate) exhausted: Counter,
+    /// Replicas whose breaker is currently closed (set after each call).
+    pub(crate) healthy: Gauge,
+    /// Answers served, per replica position.
+    pub(crate) served: Vec<Counter>,
+}
+
+impl ReplicaInstruments {
+    /// Resolves the bundle for a `replicas`-wide set serving `source`.
+    pub fn new(registry: &Registry, source: &str, replicas: usize) -> ReplicaInstruments {
+        ReplicaInstruments {
+            registry: registry.clone(),
+            source: source.to_owned(),
+            failovers: registry.counter(&labeled("replica_failovers_total", source)),
+            exhausted: registry.counter(&labeled("replica_exhausted_total", source)),
+            healthy: registry.gauge(&labeled("replica_healthy", source)),
+            served: (0..replicas)
+                .map(|i| {
+                    registry.counter(&format!(
+                        "replica_served_total{{source=\"{source}\",replica=\"{i}\"}}"
+                    ))
+                })
+                .collect(),
+        }
+    }
+
+    /// A bundle whose every operation is a no-op.
+    pub fn noop(source: &str, replicas: usize) -> ReplicaInstruments {
+        ReplicaInstruments::new(&Registry::noop(), source, replicas)
     }
 
     /// Records an occurrence-time event, prefixing the detail with the

@@ -91,6 +91,24 @@ pub struct Health {
     snapshot: Option<Document>,
 }
 
+/// What the breaker decided for one incoming call — the result of
+/// [`Health::gate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerGate {
+    /// Closed: the call flows through normally.
+    Pass,
+    /// This call completed the cooldown and transitioned Open →
+    /// HalfOpen *now*: it goes through as the single probe, and the
+    /// caller should emit its half-open event.
+    HalfOpened,
+    /// Already half-open (some earlier call transitioned): this call
+    /// also probes, but no transition happened here.
+    Probe,
+    /// Open and still cooling down: reject without contacting the
+    /// source.
+    Reject,
+}
+
 impl Health {
     /// A fresh, closed, snapshot-less health record.
     pub fn new() -> Health {
@@ -110,6 +128,66 @@ impl Health {
     /// Whether a last-known-good snapshot is held.
     pub fn has_snapshot(&self) -> bool {
         self.snapshot.is_some()
+    }
+
+    /// Source faults recorded since the last success.
+    pub fn failure_streak(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Gates one call through the breaker: an open breaker counts the
+    /// rejection and half-opens once `cooldown_calls` of them have
+    /// accumulated. This is the shared state machine of
+    /// [`resilient_answer`] and the replica router
+    /// ([`crate::topology::ReplicaSet`]); observability stays with the
+    /// caller so event ordering is theirs to pin.
+    pub fn gate(&mut self, cooldown_calls: u32) -> BreakerGate {
+        match self.state {
+            BreakerState::Closed => BreakerGate::Pass,
+            BreakerState::HalfOpen => BreakerGate::Probe,
+            BreakerState::Open => {
+                self.rejected_while_open += 1;
+                if self.rejected_while_open >= cooldown_calls {
+                    self.state = BreakerState::HalfOpen;
+                    BreakerGate::HalfOpened
+                } else {
+                    BreakerGate::Reject
+                }
+            }
+        }
+    }
+
+    /// Records a successful call: failure accounting resets, the breaker
+    /// closes, and `snapshot` (when given) replaces the last-known-good
+    /// document. Returns `true` when this closed a previously non-closed
+    /// breaker — the caller's cue to emit its close event.
+    pub fn record_success(&mut self, snapshot: Option<Document>) -> bool {
+        let reclosed = self.state != BreakerState::Closed;
+        if let Some(doc) = snapshot {
+            self.snapshot = Some(doc);
+        }
+        self.consecutive_failures = 0;
+        self.rejected_while_open = 0;
+        self.state = BreakerState::Closed;
+        reclosed
+    }
+
+    /// Records a source fault: a failed half-open probe re-opens
+    /// immediately, and `failure_threshold` consecutive faults trip a
+    /// closed breaker. Returns `true` when this opened a previously
+    /// non-open breaker — the caller's cue to emit its open event.
+    /// Callers must filter with [`SourceError::is_source_fault`] first;
+    /// query errors, version mismatches, and throttles never land here.
+    pub fn record_failure(&mut self, failure_threshold: u32) -> bool {
+        self.consecutive_failures += 1;
+        if self.state == BreakerState::HalfOpen || self.consecutive_failures >= failure_threshold {
+            let newly_opened = self.state != BreakerState::Open;
+            self.state = BreakerState::Open;
+            self.rejected_while_open = 0;
+            newly_opened
+        } else {
+            false
+        }
     }
 }
 
@@ -286,14 +364,12 @@ pub fn resilient_answer(
         let mut h = health
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if h.state == BreakerState::Open {
-            h.rejected_while_open += 1;
-            if h.rejected_while_open >= policy.cooldown_calls {
-                // cooled down: let this call through as the probe
-                h.state = BreakerState::HalfOpen;
+        match h.gate(policy.cooldown_calls) {
+            BreakerGate::HalfOpened => {
                 obs.breaker_half_opened.inc();
                 obs.event("breaker-half-open", "cooldown complete; this call probes");
-            } else {
+            }
+            BreakerGate::Reject => {
                 outcome.error = Some(SourceError::Unavailable(format!(
                     "circuit open for '{source}'"
                 )));
@@ -302,6 +378,7 @@ pub fn resilient_answer(
                 obs.short_circuits.inc();
                 return serve_stale_or_fail(&Some(nq), &mut h, policy, outcome, obs);
             }
+            BreakerGate::Pass | BreakerGate::Probe => {}
         }
     }
 
@@ -330,12 +407,7 @@ pub fn resilient_answer(
                 let mut h = health
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
-                let was = h.state;
-                h.snapshot = Some(doc);
-                h.consecutive_failures = 0;
-                h.rejected_while_open = 0;
-                h.state = BreakerState::Closed;
-                if was != BreakerState::Closed {
+                if h.record_success(Some(doc)) {
                     obs.breaker_closed.inc();
                     obs.event("breaker-close", "probe succeeded; breaker closed");
                 }
@@ -363,23 +435,16 @@ pub fn resilient_answer(
     let mut h = health
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    if last_err.is_source_fault() {
-        h.consecutive_failures += 1;
-        if h.state == BreakerState::HalfOpen || h.consecutive_failures >= policy.failure_threshold {
-            if h.state != BreakerState::Open {
-                obs.breaker_opened.inc();
-                obs.event(
-                    "breaker-open",
-                    &format!(
-                        "opened after {} consecutive failures ({})",
-                        h.consecutive_failures,
-                        last_err.kind()
-                    ),
-                );
-            }
-            h.state = BreakerState::Open;
-            h.rejected_while_open = 0;
-        }
+    if last_err.is_source_fault() && h.record_failure(policy.failure_threshold) {
+        obs.breaker_opened.inc();
+        obs.event(
+            "breaker-open",
+            &format!(
+                "opened after {} consecutive failures ({})",
+                h.consecutive_failures,
+                last_err.kind()
+            ),
+        );
     }
     outcome.error = Some(last_err);
     outcome.breaker = h.state;

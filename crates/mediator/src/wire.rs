@@ -18,7 +18,14 @@
 //! | read/write deadline expired         | `Timeout`                |
 //! | reset, mid-frame EOF, other I/O     | `Transient`              |
 //! | protocol violation (bad frame/UTF-8)| `MalformedXml`           |
+//! | frame-version mismatch              | `Incompatible`           |
+//! | `Throttled` (admission shed)        | `Throttled`              |
 //! | remote `Err { kind, … }`            | same variant, by label   |
+//!
+//! The split between the retryable transport rows and the two
+//! non-retryable rows matters: `Incompatible` and `Throttled` are **not**
+//! source faults, so circuit breakers don't trip on a misdeployed peer or
+//! on backpressure — the replica router fails over instead.
 //!
 //! Messages are deterministic (no OS error text), so a loopback run and
 //! an equivalently-scripted in-process run produce byte-identical
@@ -96,8 +103,10 @@ pub fn fault_of(e: &SourceError) -> WireFault {
         SourceError::Transient(m)
         | SourceError::MalformedXml(m)
         | SourceError::DtdInvalid(m)
-        | SourceError::Unavailable(m) => m.clone(),
+        | SourceError::Unavailable(m)
+        | SourceError::Incompatible(m) => m.clone(),
         SourceError::Timeout { millis } => millis.to_string(),
+        SourceError::Throttled { retry_after_ms } => retry_after_ms.to_string(),
         SourceError::Query(e) => e.to_string(),
     };
     WireFault::new(e.kind(), msg)
@@ -117,6 +126,10 @@ pub fn remote_to_source_error(kind: &str, msg: String) -> SourceError {
         "malformed-xml" => SourceError::MalformedXml(msg),
         "dtd-invalid" => SourceError::DtdInvalid(msg),
         "unavailable" => SourceError::Unavailable(msg),
+        "incompatible" => SourceError::Incompatible(msg),
+        "throttled" => SourceError::Throttled {
+            retry_after_ms: msg.parse().unwrap_or(0),
+        },
         other => SourceError::Unavailable(format!("remote fault [{other}]: {msg}")),
     }
 }
@@ -136,6 +149,13 @@ pub fn net_to_source_error(addr: &str, io_timeout_millis: u64, e: NetError) -> S
     match e {
         NetError::Remote { kind, msg } => remote_to_source_error(&kind, msg),
         NetError::Protocol(msg) => SourceError::MalformedXml(format!("{addr}: {msg}")),
+        // a version mismatch is fatal, not retryable: keep it out of the
+        // breaker-counted variants so health routing sees a deployment
+        // fault, not a sick source
+        NetError::VersionMismatch { theirs, ours } => SourceError::Incompatible(format!(
+            "{addr}: peer speaks protocol version {theirs}, this build speaks {ours}"
+        )),
+        NetError::Throttled { retry_after_ms } => SourceError::Throttled { retry_after_ms },
         // deterministic: the io::ErrorKind's stable name, not OS text
         NetError::Io(io) => {
             SourceError::Transient(format!("{addr}: transport fault ({})", io.kind()))
@@ -201,6 +221,8 @@ mod tests {
             SourceError::MalformedXml("eof at byte 3".into()),
             SourceError::DtdInvalid("extra course".into()),
             SourceError::Unavailable("circuit open".into()),
+            SourceError::Incompatible("peer speaks protocol version 9".into()),
+            SourceError::Throttled { retry_after_ms: 40 },
         ] {
             let f = fault_of(&e);
             assert_eq!(remote_to_source_error(&f.kind, f.msg), e);
@@ -243,5 +265,25 @@ mod tests {
             net_to_source_error("a", 1, NetError::protocol("bad frame")),
             SourceError::MalformedXml(_)
         ));
+    }
+
+    #[test]
+    fn version_mismatch_and_throttle_split_off_the_retryable_mapping() {
+        // the satellite fix: a version mismatch must NOT land in a
+        // breaker-counted variant the way protocol garbage does
+        let e = net_to_source_error("h:1", 1, NetError::VersionMismatch { theirs: 9, ours: 1 });
+        assert_eq!(
+            e,
+            SourceError::Incompatible(
+                "h:1: peer speaks protocol version 9, this build speaks 1".into()
+            )
+        );
+        assert!(!e.is_source_fault() && !e.is_transient());
+        let t = net_to_source_error("h:1", 1, NetError::Throttled { retry_after_ms: 75 });
+        assert_eq!(t, SourceError::Throttled { retry_after_ms: 75 });
+        assert!(!t.is_source_fault());
+        // while a refused connection stays a breaker-counted source fault
+        let refused = NetError::Io(io::Error::new(io::ErrorKind::ConnectionRefused, ""));
+        assert!(net_to_source_error("h:1", 1, refused).is_source_fault());
     }
 }

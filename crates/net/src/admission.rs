@@ -1,0 +1,154 @@
+//! Per-client admission control: a token bucket with exact integer
+//! accrual.
+//!
+//! The server gives every connection its own [`TokenBucket`]; a `Query`
+//! that finds the bucket empty is answered with [`crate::Msg::Throttled`]
+//! *before* any work is dispatched — reject-with-backpressure, so one
+//! greedy client under a storm cannot push the tail latency of every
+//! other client past its deadline. Accrual is integer arithmetic over
+//! caller-supplied nanoseconds, so tests drive the clock and the refusal
+//! points are exactly reproducible.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Admission-control knobs, per client connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Bucket capacity: how many requests a client may burst after an
+    /// idle spell.
+    pub burst: u64,
+    /// Sustained refill rate, in requests per second. Zero means the
+    /// burst is all a connection ever gets.
+    pub refill_per_sec: u64,
+}
+
+/// One token, in accrual units: tokens are counted in `token/s · ns`
+/// so that `elapsed_ns * refill_per_sec` accrues exactly, with no
+/// fractional drift between calls.
+const TOKEN: u64 = 1_000_000_000;
+
+struct BucketState {
+    /// Current fill, in [`TOKEN`] units.
+    tokens: u64,
+    /// Accrual frontier, nanoseconds since the bucket's epoch.
+    last_ns: u64,
+}
+
+/// A token bucket. Starts full; [`TokenBucket::try_acquire`] spends one
+/// token or reports how long until the next one accrues.
+pub struct TokenBucket {
+    config: AdmissionConfig,
+    epoch: Instant,
+    state: Mutex<BucketState>,
+}
+
+impl TokenBucket {
+    /// A full bucket.
+    pub fn new(config: AdmissionConfig) -> TokenBucket {
+        TokenBucket {
+            config,
+            epoch: Instant::now(),
+            state: Mutex::new(BucketState {
+                tokens: config.burst.saturating_mul(TOKEN),
+                last_ns: 0,
+            }),
+        }
+    }
+
+    /// Spends one token, or returns the suggested backoff in
+    /// milliseconds. Wall-clock form of [`TokenBucket::try_acquire_at`].
+    pub fn try_acquire(&self) -> Result<(), u64> {
+        self.try_acquire_at(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// The deterministic core: `now_ns` is a monotone nanosecond clock of
+    /// the caller's choosing (tests pass synthetic time).
+    pub fn try_acquire_at(&self, now_ns: u64) -> Result<(), u64> {
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let elapsed = now_ns.saturating_sub(s.last_ns);
+        s.last_ns = s.last_ns.max(now_ns);
+        let cap = self.config.burst.saturating_mul(TOKEN);
+        s.tokens = s
+            .tokens
+            .saturating_add(elapsed.saturating_mul(self.config.refill_per_sec))
+            .min(cap);
+        if s.tokens >= TOKEN {
+            s.tokens -= TOKEN;
+            return Ok(());
+        }
+        let deficit = TOKEN - s.tokens;
+        let retry_after_ms = if self.config.refill_per_sec == 0 {
+            // never refills: tell the client to go away for a minute
+            60_000
+        } else {
+            let wait_ns = deficit.div_ceil(self.config.refill_per_sec);
+            wait_ns.div_ceil(1_000_000).max(1)
+        };
+        Err(retry_after_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: AdmissionConfig = AdmissionConfig {
+        burst: 3,
+        refill_per_sec: 10, // one token per 100ms
+    };
+
+    #[test]
+    fn burst_spends_then_rejects_with_the_exact_backoff() {
+        let b = TokenBucket::new(CFG);
+        for _ in 0..3 {
+            assert_eq!(b.try_acquire_at(0), Ok(()));
+        }
+        // empty; a full token is 100ms of refill away
+        assert_eq!(b.try_acquire_at(0), Err(100));
+        // 40ms later, 60ms of refill still missing
+        assert_eq!(b.try_acquire_at(40_000_000), Err(60));
+        // 100ms after the drain one token has accrued — then it's gone
+        assert_eq!(b.try_acquire_at(100_000_000), Ok(()));
+        assert_eq!(b.try_acquire_at(100_000_000), Err(100));
+    }
+
+    #[test]
+    fn refill_caps_at_the_burst() {
+        let b = TokenBucket::new(CFG);
+        for _ in 0..3 {
+            assert_eq!(b.try_acquire_at(0), Ok(()));
+        }
+        // an hour idle refills to the 3-token cap, not 36 000 tokens
+        let hour = 3_600_000_000_000;
+        for _ in 0..3 {
+            assert_eq!(b.try_acquire_at(hour), Ok(()));
+        }
+        assert_eq!(b.try_acquire_at(hour), Err(100));
+    }
+
+    #[test]
+    fn zero_refill_is_a_hard_quota() {
+        let b = TokenBucket::new(AdmissionConfig {
+            burst: 1,
+            refill_per_sec: 0,
+        });
+        assert_eq!(b.try_acquire_at(0), Ok(()));
+        assert_eq!(b.try_acquire_at(u64::MAX / 2), Err(60_000));
+    }
+
+    #[test]
+    fn time_going_backwards_accrues_nothing() {
+        let b = TokenBucket::new(AdmissionConfig {
+            burst: 1,
+            refill_per_sec: 1_000,
+        });
+        assert_eq!(b.try_acquire_at(5_000_000), Ok(()));
+        // a non-monotone caller cannot mint tokens
+        assert!(b.try_acquire_at(0).is_err());
+        assert!(b.try_acquire_at(4_000_000).is_err());
+    }
+}

@@ -32,6 +32,24 @@ pub enum NetError {
         /// Human-readable detail.
         msg: String,
     },
+    /// The peers speak incompatible frame versions. Unlike a refused
+    /// connection or a timeout this is **not retryable** — reconnecting
+    /// to the same peer cannot change its build — so `mix-mediator` maps
+    /// it to a deployment fault that circuit breakers do *not* count.
+    VersionMismatch {
+        /// The version byte the peer sent.
+        theirs: u8,
+        /// [`crate::FRAME_VERSION`] of this build.
+        ours: u8,
+    },
+    /// The peer's admission control shed this request (a
+    /// [`crate::Msg::Throttled`] reply): backpressure, not a fault of
+    /// either side. The caller should back off for at least
+    /// `retry_after_ms` before asking again.
+    Throttled {
+        /// The peer's suggested minimum backoff, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl NetError {
@@ -72,6 +90,13 @@ impl fmt::Display for NetError {
             NetError::Io(e) => write!(f, "transport error: {e}"),
             NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             NetError::Remote { kind, msg } => write!(f, "remote fault [{kind}]: {msg}"),
+            NetError::VersionMismatch { theirs, ours } => write!(
+                f,
+                "protocol version mismatch: peer speaks {theirs}, this build speaks {ours}"
+            ),
+            NetError::Throttled { retry_after_ms } => {
+                write!(f, "throttled by peer: retry after {retry_after_ms}ms")
+            }
         }
     }
 }
@@ -97,5 +122,18 @@ mod tests {
         assert!(r.is_refused());
         assert!(!r.is_timeout());
         assert!(!NetError::protocol("bad byte").is_timeout());
+    }
+
+    #[test]
+    fn version_mismatch_and_throttle_are_neither_timeout_nor_refusal() {
+        let v = NetError::VersionMismatch { theirs: 9, ours: 1 };
+        assert!(!v.is_timeout() && !v.is_refused());
+        assert_eq!(
+            v.to_string(),
+            "protocol version mismatch: peer speaks 9, this build speaks 1"
+        );
+        let t = NetError::Throttled { retry_after_ms: 40 };
+        assert!(!t.is_timeout() && !t.is_refused());
+        assert_eq!(t.to_string(), "throttled by peer: retry after 40ms");
     }
 }

@@ -52,6 +52,11 @@ pub enum MsgType {
     /// peer's observability registry). Services that export no
     /// statistics answer with an `Err { kind: "unsupported" }`.
     Stats = 5,
+    /// Server → client. Payload = the suggested minimum backoff in
+    /// decimal milliseconds: the per-client admission token bucket shed
+    /// this request. Backpressure, not a fault — the request was never
+    /// dispatched. (Additive, like [`MsgType::Stats`]: version stays 1.)
+    Throttled = 6,
 }
 
 impl MsgType {
@@ -63,6 +68,7 @@ impl MsgType {
             3 => Some(MsgType::Answer),
             4 => Some(MsgType::Err),
             5 => Some(MsgType::Stats),
+            6 => Some(MsgType::Throttled),
             _ => None,
         }
     }
@@ -94,10 +100,13 @@ pub fn read_frame(r: &mut impl Read) -> Result<(MsgType, Vec<u8>), NetError> {
     let mut header = [0u8; 6];
     r.read_exact(&mut header)?;
     if header[0] != FRAME_VERSION {
-        return Err(NetError::protocol(format!(
-            "unsupported protocol version {} (this build speaks {FRAME_VERSION})",
-            header[0]
-        )));
+        // distinct from Protocol: a version mismatch is a *deployment*
+        // incompatibility, and the resilience layer must not treat it as
+        // a retryable source fault
+        return Err(NetError::VersionMismatch {
+            theirs: header[0],
+            ours: FRAME_VERSION,
+        });
     }
     let ty = MsgType::from_byte(header[1])
         .ok_or_else(|| NetError::protocol(format!("unknown message type {}", header[1])))?;
@@ -137,8 +146,10 @@ mod tests {
         write_frame(&mut buf, MsgType::Hello, b"").unwrap();
         buf[0] = 9;
         match read_frame(&mut Cursor::new(buf)) {
-            Err(NetError::Protocol(msg)) => assert!(msg.contains("version 9"), "{msg}"),
-            other => panic!("expected protocol error, got {other:?}"),
+            Err(NetError::VersionMismatch { theirs: 9, ours }) => {
+                assert_eq!(ours, FRAME_VERSION)
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
         }
     }
 

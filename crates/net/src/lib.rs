@@ -16,23 +16,27 @@
 //! the mediator's `Wrapper` trait — lives in `mix-mediator`.
 //!
 //! * [`frame`] — length-prefixed binary framing with a version byte,
-//! * [`msg`] — the five message types (`Hello`, `ExportDtd`, `Query`,
-//!   `Answer`, `Err`),
-//! * [`server`] — a threaded accept loop with a connection cap and
-//!   per-connection I/O timeouts, serving any [`WireService`],
+//! * [`msg`] — the message types (`Hello`, `ExportDtd`, `Query`,
+//!   `Answer`, `Err`, `Stats`, `Throttled`),
+//! * [`server`] — a threaded accept loop with a connection cap,
+//!   per-connection I/O timeouts, and optional per-client admission
+//!   control, serving any [`WireService`],
 //! * [`client`] — a blocking connection with handshake, pooled by
-//!   [`Pool`].
+//!   [`Pool`], with deterministic reconnect jitter,
+//! * [`admission`] — the per-client [`TokenBucket`].
 //!
 //! The full frame format and error-mapping contract are documented in
-//! `DESIGN.md` §9.
+//! `DESIGN.md` §9; the federation tier built on top in §12.
 
+pub mod admission;
 pub mod client;
 pub mod error;
 pub mod frame;
 pub mod msg;
 pub mod server;
 
-pub use client::{ClientConfig, Connection, Pool};
+pub use admission::{AdmissionConfig, TokenBucket};
+pub use client::{reconnect_jitter, ClientConfig, Connection, Pool};
 pub use error::NetError;
 pub use frame::{MsgType, FRAME_VERSION, MAX_PAYLOAD};
 pub use msg::Msg;

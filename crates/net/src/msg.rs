@@ -36,6 +36,13 @@ pub enum Msg {
     /// Request form (empty) and response form (a `mix-obs/1` JSON
     /// snapshot) share the type byte; direction disambiguates.
     Stats(String),
+    /// Admission control shed the request before dispatching it: the
+    /// client should back off at least this many milliseconds. Payload is
+    /// the decimal number.
+    Throttled {
+        /// Suggested minimum backoff, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl Msg {
@@ -48,6 +55,7 @@ impl Msg {
             Msg::Answer(_) => MsgType::Answer,
             Msg::Err { .. } => MsgType::Err,
             Msg::Stats(_) => MsgType::Stats,
+            Msg::Throttled { .. } => MsgType::Throttled,
         }
     }
 
@@ -59,6 +67,7 @@ impl Msg {
                 s.as_bytes().to_vec()
             }
             Msg::Err { kind, msg } => format!("{kind}\n{msg}").into_bytes(),
+            Msg::Throttled { retry_after_ms } => retry_after_ms.to_string().into_bytes(),
         }
     }
 
@@ -70,6 +79,10 @@ impl Msg {
             Msg::Hello => 0,
             Msg::ExportDtd(s) | Msg::Query(s) | Msg::Answer(s) | Msg::Stats(s) => s.len(),
             Msg::Err { kind, msg } => kind.len() + 1 + msg.len(),
+            Msg::Throttled { retry_after_ms } => {
+                // decimal digit count, matching `payload()`
+                ((*retry_after_ms).max(1).ilog10() + 1) as usize
+            }
         };
         6 + payload as u64
     }
@@ -102,6 +115,12 @@ impl Msg {
                 }
             }
             MsgType::Stats => Msg::Stats(text),
+            MsgType::Throttled => {
+                let retry_after_ms = text
+                    .parse::<u64>()
+                    .map_err(|_| NetError::protocol("Throttled payload is not a decimal u64"))?;
+                Msg::Throttled { retry_after_ms }
+            }
         })
     }
 }
@@ -132,6 +151,11 @@ mod tests {
             },
             Msg::Stats(String::new()),
             Msg::Stats(r#"{"counters":{},"schema":"mix-obs/1"}"#.into()),
+            Msg::Throttled { retry_after_ms: 0 },
+            Msg::Throttled { retry_after_ms: 1 },
+            Msg::Throttled {
+                retry_after_ms: 12_500,
+            },
         ] {
             assert_eq!(roundtrip(m.clone()), m);
         }
@@ -147,11 +171,27 @@ mod tests {
                 msg: "deadline".into(),
             },
             Msg::Stats("{}".into()),
+            Msg::Throttled { retry_after_ms: 0 },
+            Msg::Throttled { retry_after_ms: 9 },
+            Msg::Throttled { retry_after_ms: 10 },
+            Msg::Throttled {
+                retry_after_ms: 123_456,
+            },
         ] {
             let mut buf = Vec::new();
             m.write_to(&mut buf).unwrap();
             assert_eq!(m.wire_size(), buf.len() as u64, "{m:?}");
         }
+    }
+
+    #[test]
+    fn malformed_throttle_payload_rejected() {
+        let mut buf = Vec::new();
+        crate::frame::write_frame(&mut buf, MsgType::Throttled, b"soon").unwrap();
+        assert!(matches!(
+            Msg::read_from(&mut Cursor::new(buf)),
+            Err(NetError::Protocol(_))
+        ));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! …repeat…                 (connection closes on EOF or timeout)
 //! ```
 
+use crate::admission::{AdmissionConfig, TokenBucket};
 use crate::error::NetError;
 use crate::msg::Msg;
 use mix_obs::{Counter, Histogram, Registry};
@@ -73,6 +74,11 @@ pub struct ServerConfig {
     /// Per-connection read *and* write deadline. An idle client holds a
     /// thread for at most this long.
     pub io_timeout: Duration,
+    /// Per-client admission control: every connection gets its own
+    /// [`TokenBucket`] with these knobs, and a `Query` that finds it
+    /// empty is answered with [`Msg::Throttled`] instead of being
+    /// dispatched. `None` (the default) admits everything.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +86,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_connections: 64,
             io_timeout: Duration::from_secs(30),
+            admission: None,
         }
     }
 }
@@ -105,6 +112,7 @@ struct NetInstruments {
     bytes_in: Counter,
     bytes_out: Counter,
     deadline_expiries: Counter,
+    requests_shed: Counter,
     rpc_latency: Histogram,
 }
 
@@ -120,6 +128,7 @@ impl NetInstruments {
             bytes_in: registry.counter("net_bytes_in_total"),
             bytes_out: registry.counter("net_bytes_out_total"),
             deadline_expiries: registry.counter("net_deadline_expiries_total"),
+            requests_shed: registry.counter("net_requests_shed_total"),
             rpc_latency: registry.histogram("net_rpc_latency_ns"),
         }
     }
@@ -304,6 +313,8 @@ fn handle_connection(
     stream.set_nodelay(true)?;
     let mut reader = stream.try_clone()?;
     let mut writer = BufWriter::new(stream);
+    // per-client admission: this connection's private budget
+    let bucket = config.admission.map(TokenBucket::new);
 
     match Msg::read_from(&mut reader)? {
         Msg::Hello => {
@@ -341,16 +352,24 @@ fn handle_connection(
         let started = obs.registry.now_ns();
         let reply = match msg {
             Msg::ExportDtd(_) => Msg::ExportDtd(service.export_dtd()),
-            Msg::Query(q) => {
-                let query = if q.is_empty() { None } else { Some(q.as_str()) };
-                match service.answer(query) {
-                    Ok(xml) => Msg::Answer(xml),
-                    Err(fault) => Msg::Err {
-                        kind: fault.kind,
-                        msg: fault.msg,
-                    },
+            // only the data plane is admission-gated; handshakes, DTD
+            // exports, and stats probes always go through
+            Msg::Query(q) => match bucket.as_ref().map(TokenBucket::try_acquire) {
+                Some(Err(retry_after_ms)) => {
+                    obs.requests_shed.inc();
+                    Msg::Throttled { retry_after_ms }
                 }
-            }
+                _ => {
+                    let query = if q.is_empty() { None } else { Some(q.as_str()) };
+                    match service.answer(query) {
+                        Ok(xml) => Msg::Answer(xml),
+                        Err(fault) => Msg::Err {
+                            kind: fault.kind,
+                            msg: fault.msg,
+                        },
+                    }
+                }
+            },
             Msg::Stats(_) => match service.stats() {
                 Some(json) => Msg::Stats(json),
                 None => Msg::Err {
@@ -359,10 +378,10 @@ fn handle_connection(
                 },
             },
             Msg::Hello => Msg::Hello, // a re-handshake is harmless
-            Msg::Answer(_) | Msg::Err { .. } => {
+            Msg::Answer(_) | Msg::Err { .. } | Msg::Throttled { .. } => {
                 let e = Msg::Err {
                     kind: "protocol".into(),
-                    msg: "clients send ExportDtd/Query, not Answer/Err".into(),
+                    msg: "clients send ExportDtd/Query, not Answer/Err/Throttled".into(),
                 };
                 e.write_to(&mut writer)?;
                 return Err(NetError::protocol("client sent a server-only message"));
@@ -509,6 +528,7 @@ mod tests {
         let h = spawn_echo(ServerConfig {
             max_connections: 1,
             io_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
         });
         let addr = h.addr().to_string();
         let cfg = ClientConfig::default();
@@ -521,6 +541,45 @@ mod tests {
         }
         drop(first);
         h.shutdown();
+    }
+
+    #[test]
+    fn admission_sheds_over_budget_queries_per_client() {
+        let registry = Registry::new();
+        let h = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(Echo),
+            ServerConfig {
+                admission: Some(AdmissionConfig {
+                    burst: 2,
+                    refill_per_sec: 0,
+                }),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+        .with_registry(&registry)
+        .spawn()
+        .unwrap();
+        let addr = h.addr().to_string();
+        let cfg = ClientConfig::default();
+        let mut c = Connection::connect(&addr, &cfg).expect("connect");
+        // the handshake and the DTD export are not admission-gated …
+        c.request(Msg::ExportDtd(String::new())).unwrap();
+        // … the burst of two queries goes through …
+        c.request(Msg::Query(String::new())).unwrap();
+        c.request(Msg::Query(String::new())).unwrap();
+        // … and the third is shed with a backoff hint, on a live socket
+        match c.request(Msg::Query(String::new())) {
+            Err(NetError::Throttled { retry_after_ms }) => assert_eq!(retry_after_ms, 60_000),
+            other => panic!("expected throttle, got {other:?}"),
+        }
+        // the budget is per client: a fresh connection has its own burst
+        let mut c2 = Connection::connect(&addr, &cfg).expect("connect");
+        c2.request(Msg::Query(String::new())).unwrap();
+        drop((c, c2));
+        h.shutdown();
+        assert_eq!(registry.snapshot().counters["net_requests_shed_total"], 1);
     }
 
     #[test]

@@ -12,8 +12,20 @@
 //! mixctl federate   --dtd D1.dtd --query Q3.xmas --doc a.xml --doc b.xml \
 //!                   --fail-rate 0.3 --fault-seed 7
 //! mixctl serve-source --addr 127.0.0.1:0 --dtd D1.dtd --doc dept.xml
+//! mixctl serve-source --addr 127.0.0.1:0 --dtd D1.dtd --doc dept.xml \
+//!                   --admit-rps 100 --admit-burst 20
 //! mixctl federate   --query Q3.xmas --remote 127.0.0.1:7801 --remote host:7802
+//! mixctl federate   --query Q3.xmas --topology cluster.topo
 //! mixctl stats      --remote 127.0.0.1:7801 [--format prom]
+//! ```
+//!
+//! A topology file (`federate --topology`) describes a sharded,
+//! replica-aware cluster of `serve-source` daemons:
+//!
+//! ```text
+//! nodes 2
+//! source site0 = 127.0.0.1:7801, 127.0.0.1:7811
+//! source site1 = 127.0.0.1:7802
 //! ```
 //!
 //! DTD files may use real `<!ELEMENT …>` syntax or the paper's compact
@@ -85,6 +97,9 @@ struct Args {
     format: String,
     metrics_file: Option<String>,
     metrics_interval_ms: u64,
+    topology: Option<String>,
+    admit_rps: Option<u64>,
+    admit_burst: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -113,6 +128,9 @@ fn parse_args() -> Args {
         format: "json".to_owned(),
         metrics_file: None,
         metrics_interval_ms: 1_000,
+        topology: None,
+        admit_rps: None,
+        admit_burst: None,
     };
     while let Some(flag) = argv.next() {
         let mut grab = || argv.next().unwrap_or_else(|| usage());
@@ -168,6 +186,13 @@ fn parse_args() -> Args {
                     eprintln!("mixctl: --format must be 'json' or 'prom'");
                     std::process::exit(2)
                 }
+            }
+            "--topology" => args.topology = Some(grab()),
+            "--admit-rps" => {
+                args.admit_rps = Some(grab().parse().unwrap_or_else(|_| usage()));
+            }
+            "--admit-burst" => {
+                args.admit_burst = Some(grab().parse().unwrap_or_else(|_| usage()));
             }
             "--metrics-file" => args.metrics_file = Some(grab()),
             "--metrics-interval-ms" => {
@@ -386,6 +411,118 @@ fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `federate --topology`: the sharded, replica-aware federation tier.
+///
+/// Every source in the topology becomes a [`ReplicaSet`] over its
+/// replica daemons (replicas that refuse the connection are registered
+/// as [`DeadReplica`] placeholders, keeping failover order stable);
+/// sources are sharded across `nodes` mediator nodes by consistent
+/// hashing; the shards' members reassemble in topology order, so the
+/// answer is byte-identical to a single-node `federate` over the same
+/// sources.
+fn federate_topology(args: &Args, q: &Query, topo_path: &str) -> ExitCode {
+    use std::sync::Arc;
+
+    let topo = match Topology::parse(&read(topo_path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mixctl: {topo_path}: {e}");
+            return ExitCode::from(EXIT_PARSE);
+        }
+    };
+    if topo.sources.is_empty() {
+        eprintln!("mixctl: {topo_path}: the topology lists no sources");
+        return ExitCode::from(2);
+    }
+    let cfg = ClientConfig {
+        io_timeout: std::time::Duration::from_millis(args.timeout_ms),
+        ..ClientConfig::default()
+    };
+    let registry = Registry::new();
+    let mut parts = Vec::new();
+    for spec in &topo.sources {
+        // connect what answers; remember the positions that don't
+        let mut live: Vec<Option<Arc<dyn Wrapper>>> = Vec::new();
+        for addr in &spec.replicas {
+            match RemoteWrapper::connect_with(addr, cfg) {
+                Ok(w) => live.push(Some(Arc::new(w))),
+                Err(e) => {
+                    eprintln!("mixctl: warning: {}: replica {addr}: {e}", spec.name);
+                    live.push(None);
+                }
+            }
+        }
+        let Some(dtd) = live.iter().flatten().next().map(|w| w.dtd().clone()) else {
+            eprintln!("mixctl: every replica of '{}' is unreachable", spec.name);
+            return ExitCode::from(EXIT_UNAVAILABLE);
+        };
+        // dead replicas keep their failover position: a later run where
+        // the replica died one call in produces the same report
+        let replicas: Vec<Arc<dyn Wrapper>> = live
+            .into_iter()
+            .zip(&spec.replicas)
+            .map(|(w, addr)| w.unwrap_or_else(|| Arc::new(DeadReplica::new(addr, dtd.clone()))))
+            .collect();
+        let n = replicas.len();
+        let set = match ReplicaSet::new(
+            &spec.name,
+            replicas,
+            ReplicaPolicy::default(),
+            ReplicaInstruments::new(&registry, &spec.name, n),
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mixctl: {}: {e}", spec.name);
+                return ExitCode::from(source_error_exit(&e));
+            }
+        };
+        parts.push(FederationPart {
+            source: spec.name.clone(),
+            wrapper: Arc::new(set),
+            query: q.clone(),
+        });
+    }
+    let mut fed = match Federation::build(&args.name, parts, topo.nodes, registry) {
+        Ok(f) => f,
+        Err(MediatorError::Normalize(e)) => {
+            eprintln!("mixctl: query rejected: {e}");
+            return ExitCode::from(EXIT_QUERY);
+        }
+        Err(e) => {
+            eprintln!("mixctl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    fed.set_resilience_policy(ResiliencePolicy {
+        max_retries: args.retries,
+        ..ResiliencePolicy::default()
+    });
+    let code = match fed.materialize_with_report() {
+        Ok((doc, report)) => {
+            println!("{}", write_document(&doc, WriteConfig::default()));
+            print!("{report}");
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_DEGRADED)
+            }
+        }
+        Err(e) => {
+            eprintln!("mixctl: {e}");
+            match e {
+                MediatorError::AllSourcesFailed(_) => ExitCode::from(EXIT_UNAVAILABLE),
+                MediatorError::Source { error, .. } => ExitCode::from(source_error_exit(&error)),
+                MediatorError::Normalize(_) => ExitCode::from(EXIT_QUERY),
+                _ => ExitCode::FAILURE,
+            }
+        }
+    };
+    if let Some(path) = &args.metrics_file {
+        dump_metrics(path, fed.registry(), &args.format);
+    }
+    code
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     match args.command.as_str() {
@@ -401,10 +538,15 @@ fn main() -> ExitCode {
                  \x20 tightness  --dtd F --query F [--max-size N]   exact tightness counts\n\
                  \x20 union      [--name N] --part DTD:QUERY …      infer a union view DTD\n\
                  \x20 federate   --query F [--dtd F --doc F …] [--remote HOST:PORT …]\n\
-                 \x20            [--fail-rate R] [--fault-seed S] [--retries N]\n\
-                 \x20            [--timeout-ms MS]   union local docs and remote\n\
-                 \x20            serve-source daemons as one view under injected faults;\n\
-                 \x20            print the (partial) answer + degradation report\n\
+                 \x20            [--topology FILE] [--fail-rate R] [--fault-seed S]\n\
+                 \x20            [--retries N] [--timeout-ms MS]   union local docs and\n\
+                 \x20            remote serve-source daemons as one view under injected\n\
+                 \x20            faults; print the (partial) answer + degradation report.\n\
+                 \x20            --topology shards a replica-aware cluster instead: the\n\
+                 \x20            file lists 'nodes N' and 'source NAME = ADDR, ADDR'\n\
+                 \x20            lines; sources shard across N mediator nodes by\n\
+                 \x20            consistent hashing and each call fails over across the\n\
+                 \x20            source's replicas (circuit breaker per replica)\n\
                  \x20 serve      --bench --dtd F --query F --doc F … [--batch N]\n\
                  \x20            [--threads 1,2,4,8] [--latency-ms MS] [--out FILE]\n\
                  \x20            throughput driver: cold/warm inference-cache timing and\n\
@@ -412,9 +554,12 @@ fn main() -> ExitCode {
                  \x20            sources; JSON report to --out (or stdout); the \"obs\"\n\
                  \x20            field is the full mix-obs snapshot\n\
                  \x20 serve-source --addr HOST:PORT --dtd F --doc F [--query F]\n\
-                 \x20            [--max-conns N] [--timeout-ms MS]   export the source (or,\n\
-                 \x20            with --query, its view — a stacked mediator) over the\n\
-                 \x20            mix-net wire protocol; prints 'listening on HOST:PORT'\n\
+                 \x20            [--max-conns N] [--timeout-ms MS] [--admit-rps N]\n\
+                 \x20            [--admit-burst N]   export the source (or, with --query,\n\
+                 \x20            its view — a stacked mediator) over the mix-net wire\n\
+                 \x20            protocol; prints 'listening on HOST:PORT'. --admit-rps /\n\
+                 \x20            --admit-burst turn on per-client token-bucket admission\n\
+                 \x20            control: queries past the budget get a Throttled reply\n\
                  \x20 stats      --remote HOST:PORT [--format json|prom]   fetch a serving\n\
                  \x20            daemon's observability snapshot over the wire\n\n\
                  observability (serve, serve-source, federate):\n\
@@ -553,6 +698,13 @@ fn main() -> ExitCode {
         }
         "federate" => {
             let q = load_query(&args);
+            if let Some(topo_path) = &args.topology {
+                if !args.docs.is_empty() || !args.remotes.is_empty() {
+                    eprintln!("mixctl: --topology replaces --doc/--remote members");
+                    return ExitCode::from(2);
+                }
+                return federate_topology(&args, &q, topo_path);
+            }
             if args.docs.is_empty() && args.remotes.is_empty() {
                 usage();
             }
@@ -735,6 +887,15 @@ fn main() -> ExitCode {
             let config = ServerConfig {
                 max_connections: args.max_conns,
                 io_timeout: std::time::Duration::from_millis(args.timeout_ms),
+                // either flag opts the daemon into per-client admission
+                // control; --admit-rps 0 means the burst is all a
+                // connection ever gets
+                admission: (args.admit_rps.is_some() || args.admit_burst.is_some()).then(|| {
+                    AdmissionConfig {
+                        burst: args.admit_burst.or(args.admit_rps).unwrap_or(1).max(1),
+                        refill_per_sec: args.admit_rps.unwrap_or(0),
+                    }
+                }),
             };
             let service = WrapperService::new(wrapper).with_registry(registry.clone());
             let server = match Server::bind(addr, std::sync::Arc::new(service), config) {

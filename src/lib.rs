@@ -51,24 +51,28 @@ pub mod prelude {
     pub use mix_dataguide::DataGuide;
     pub use mix_dtd::{
         count_documents_by_size, count_sdocuments_by_size, parse_compact, parse_compact_sdtd,
-        parse_xml_dtd, sdtd_satisfies, tighter_than, validate_document, ContentModel, Dtd, SDtd,
+        parse_xml_dtd, same_documents, satisfies, sdtd_satisfies, tighter_than, validate_document,
+        ContentModel, Dtd, SDtd,
     };
     pub use mix_infer::metrics::{
         non_tight_witnesses, realization_coverage, serving_metrics, soundness_check,
         tightness_counts, ServingMetrics,
     };
     pub use mix_infer::{
-        classify_query, infer_view_dtd, merge, naive_view_dtd, refine, tighten, CacheStats,
-        InferenceCache, InferredView, NaiveMode, Verdict,
+        classify_query, compose_union_views, infer_view_dtd, merge, naive_view_dtd, refine,
+        tighten, CacheStats, InferenceCache, InferredUnionView, InferredView, NaiveMode, Verdict,
     };
     pub use mix_mediator::{
-        compose, render_structure, Answer, AnswerPath, BreakerState, DegradationReport, Fault,
-        FaultInjector, FaultPlan, FetchStatus, LatencyWrapper, Mediator, MediatorError,
-        ProcessorConfig, RemoteWrapper, ResiliencePolicy, SourceError, SourceOutcome, UnionView,
-        ViewWrapper, Wrapper, WrapperService, XmlSource,
+        compose, render_structure, Answer, AnswerPath, BreakerState, DeadReplica,
+        DegradationReport, Fault, FaultInjector, FaultPlan, Federation, FederationPart,
+        FetchStatus, HashRing, LatencyWrapper, Mediator, MediatorError, ProcessorConfig,
+        RemoteWrapper, ReplicaInstruments, ReplicaPolicy, ReplicaSet, ResiliencePolicy,
+        SourceError, SourceOutcome, SourceSpec, Topology, TopologyError, UnionView, ViewWrapper,
+        Wrapper, WrapperService, XmlSource,
     };
     pub use mix_net::{
-        ClientConfig, Connection, Msg, NetError, Pool, Server, ServerConfig, ServerHandle,
+        AdmissionConfig, ClientConfig, Connection, Msg, NetError, Pool, Server, ServerConfig,
+        ServerHandle,
     };
     pub use mix_obs::{Registry, Snapshot};
     pub use mix_relang::symbol::{name, sym, Name, Sym};

@@ -465,6 +465,166 @@ fn federate_writes_a_final_metrics_snapshot() {
     );
 }
 
+/// Spawns a `serve-source` daemon from the binary and parses its
+/// "listening on" announcement.
+fn spawn_source_daemon(
+    dtd: &std::path::Path,
+    doc: &std::path::Path,
+) -> (std::process::Child, String) {
+    use std::io::BufRead as _;
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_mixctl"))
+        .args([
+            "serve-source",
+            "--addr",
+            "127.0.0.1:0",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--doc",
+            doc.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut line = String::new();
+    std::io::BufReader::new(daemon.stdout.as_mut().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("daemon announces its address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_owned();
+    (daemon, addr)
+}
+
+/// The document part of a federate run's stdout (everything before the
+/// degradation report, which starts with `view '`).
+fn document_part(stdout: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stdout).into_owned();
+    match text.find("view '") {
+        Some(i) => text[..i].to_owned(),
+        None => text,
+    }
+}
+
+/// The satellite e2e for `federate --topology`: 2 sources × 2 replica
+/// daemons sharded across 2 nodes; the cluster answer matches a
+/// single-node `federate --remote` over one replica of each source, exit
+/// 0; after one replica is killed, the rerun still exits 0 with the
+/// identical document.
+#[test]
+fn federate_topology_survives_a_replica_kill_byte_identically() {
+    let dtd = fixture("topo.dtd", D1);
+    let doc_a = fixture("topo-a.xml", DOC);
+    let doc_b = fixture(
+        "topo-b.xml",
+        "<department><name>CS</name>\
+          <professor><firstName>B</firstName><lastName>Q</lastName>\
+            <publication><title>z</title><author>y</author><journal/></publication>\
+            <publication><title>w</title><author>y</author><journal/></publication>\
+            <teaches/></professor>\
+          <gradStudent><firstName>H</firstName><lastName>T</lastName>\
+            <publication><title>v</title><author>y</author><conference/></publication>\
+          </gradStudent></department>",
+    );
+    let q = fixture("topo.xmas", Q2);
+
+    // 2 sources × 2 replicas
+    let (mut a0, a0_addr) = spawn_source_daemon(&dtd, &doc_a);
+    let (mut a1, a1_addr) = spawn_source_daemon(&dtd, &doc_a);
+    let (mut b0, b0_addr) = spawn_source_daemon(&dtd, &doc_b);
+    let (mut b1, b1_addr) = spawn_source_daemon(&dtd, &doc_b);
+    let topo = fixture(
+        "cluster.topo",
+        &format!(
+            "# 2 shards x 2 replicas\n\
+             nodes 2\n\
+             source siteA = {a0_addr}, {a1_addr}\n\
+             source siteB = {b0_addr}, {b1_addr}\n"
+        ),
+    );
+
+    // the single-node reference: one replica of each source, same order
+    let single = mixctl(&[
+        "federate",
+        "--query",
+        q.to_str().unwrap(),
+        "--remote",
+        &a0_addr,
+        "--remote",
+        &b0_addr,
+    ]);
+    assert_eq!(single.status.code(), Some(0), "{single:?}");
+    let expected = document_part(&single.stdout);
+    assert!(expected.contains("<view>"), "{expected}");
+
+    let healthy = mixctl(&[
+        "federate",
+        "--query",
+        q.to_str().unwrap(),
+        "--topology",
+        topo.to_str().unwrap(),
+    ]);
+    assert_eq!(healthy.status.code(), Some(0), "{healthy:?}");
+    assert_eq!(
+        document_part(&healthy.stdout),
+        expected,
+        "cluster answer diverged from the single-node run"
+    );
+    let report = String::from_utf8_lossy(&healthy.stdout);
+    assert!(report.contains("2/2 sources served"), "{report}");
+
+    // the chaos event: replica 0 of siteA dies; the rerun must still
+    // serve the identical document, exit 0, report clean
+    let _ = a0.kill();
+    let _ = a0.wait();
+    let degraded_free = mixctl(&[
+        "federate",
+        "--query",
+        q.to_str().unwrap(),
+        "--topology",
+        topo.to_str().unwrap(),
+    ]);
+    assert_eq!(degraded_free.status.code(), Some(0), "{degraded_free:?}");
+    assert_eq!(
+        document_part(&degraded_free.stdout),
+        expected,
+        "replica failover changed the answer bytes"
+    );
+    assert!(
+        String::from_utf8_lossy(&degraded_free.stderr).contains(&a0_addr),
+        "the dead replica should be warned about on stderr"
+    );
+
+    for d in [&mut a1, &mut b0, &mut b1] {
+        let _ = d.kill();
+        let _ = d.wait();
+    }
+
+    // topology parse errors exit 4, like every other parse failure
+    let garbage = fixture("garbage.topo", "nodes 2\nwat\n");
+    let out = mixctl(&[
+        "federate",
+        "--query",
+        q.to_str().unwrap(),
+        "--topology",
+        garbage.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+
+    // --topology and --remote are mutually exclusive: usage error
+    let out = mixctl(&[
+        "federate",
+        "--query",
+        q.to_str().unwrap(),
+        "--topology",
+        topo.to_str().unwrap(),
+        "--remote",
+        "127.0.0.1:1",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
 /// `serve --bench` reports the canonical "obs" snapshot — including the
 /// regex-pool gauges — and no longer emits the deprecated top-level
 /// "cache"/"automata" alias blocks (dropped as announced in PR 4).

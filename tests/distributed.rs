@@ -245,6 +245,107 @@ fn killed_daemon_serves_stale_snapshots_byte_identically() {
 }
 
 // ---------------------------------------------------------------------------
+// Retryable vs. fatal transport faults: a peer speaking the wrong
+// protocol version is a deployment problem, not source sickness.
+// ---------------------------------------------------------------------------
+
+/// A fake daemon that accepts one connection, swallows the client's
+/// `Hello`, and answers with a frame stamped protocol version 9.
+fn version9_daemon() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake daemon");
+    let addr = listener.local_addr().expect("fake daemon addr");
+    std::thread::spawn(move || {
+        if let Ok((mut client, _)) = listener.accept() {
+            let mut hello = [0u8; 6];
+            let _ = client.read_exact(&mut hello);
+            // header: version, type (Hello), 4-byte big-endian length
+            let _ = client.write_all(&[9, 0, 0, 0, 0, 0]);
+            let _ = client.flush();
+            let _ = client.shutdown(Shutdown::Both);
+        }
+    });
+    addr
+}
+
+/// The satellite-2 pin: a protocol version mismatch maps to
+/// [`SourceError::Incompatible`] — fatal, deterministic message — and is
+/// *not* a source fault, unlike a refused connection (retryable,
+/// breaker-counted).
+#[test]
+fn version_mismatch_is_fatal_and_never_counts_against_the_breaker() {
+    let addr = version9_daemon().to_string();
+    let err = match RemoteWrapper::connect(&addr) {
+        Ok(_) => panic!("a version-9 peer must not handshake"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), "incompatible");
+    assert!(
+        !err.is_source_fault(),
+        "a deployment mismatch must not look like source sickness"
+    );
+    assert_eq!(
+        err.to_string(),
+        format!("incompatible peer: {addr}: peer speaks protocol version 9, this build speaks 1")
+    );
+
+    // the breaker contrast, through the resilience layer itself: a source
+    // erroring Incompatible never opens the breaker, one erroring
+    // Unavailable opens it at the threshold
+    use mix::mediator::{resilient_answer, Health, SourceInstruments};
+    let policy = ResiliencePolicy {
+        max_retries: 0,
+        failure_threshold: 2,
+        serve_stale: false,
+        ..ResiliencePolicy::default()
+    };
+    let query = part_query();
+
+    let incompatible = ScriptedSource::new(
+        site_source("i", 1),
+        vec![Some(SourceError::Incompatible("version skew".into())); 4],
+    );
+    let health = Mutex::new(Health::new());
+    for _ in 0..4 {
+        let (doc, outcome) = resilient_answer(
+            "inc",
+            &incompatible,
+            &query,
+            &policy,
+            &health,
+            &SourceInstruments::noop("inc"),
+        );
+        assert!(doc.is_none());
+        assert_eq!(outcome.status, FetchStatus::Failed);
+        assert_eq!(
+            health.lock().unwrap().state(),
+            BreakerState::Closed,
+            "Incompatible must never trip the breaker"
+        );
+    }
+
+    let refused = ScriptedSource::new(
+        site_source("u", 1),
+        vec![Some(SourceError::Unavailable("h:1: connection refused".into())); 2],
+    );
+    let health = Mutex::new(Health::new());
+    for _ in 0..2 {
+        resilient_answer(
+            "ref",
+            &refused,
+            &query,
+            &policy,
+            &health,
+            &SourceInstruments::noop("ref"),
+        );
+    }
+    assert_eq!(
+        health.lock().unwrap().state(),
+        BreakerState::Open,
+        "refused connections are retryable source faults and must count"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Property: RemoteWrapper through a lossy transport agrees with the
 // in-process wrapper or fails with a transport-classified fault.
 // ---------------------------------------------------------------------------
@@ -332,6 +433,7 @@ proptest! {
             connect_timeout: Duration::from_secs(2),
             io_timeout: Duration::from_secs(5),
             pool_size: 2,
+            ..ClientConfig::default()
         };
         let transport_fault = |e: &SourceError| {
             matches!(e.kind(), "transient" | "unavailable" | "timeout")
