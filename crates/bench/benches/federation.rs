@@ -171,6 +171,7 @@ fn bench_storm(query: &Query, expected: &str, admission: Option<AdmissionConfig>
         max_connections: STORM_CLIENTS + 4,
         io_timeout: Duration::from_secs(10),
         admission,
+        ..ServerConfig::default()
     };
     let daemon = spawn_daemon(config, &registry);
     let addr = daemon.addr().to_string();

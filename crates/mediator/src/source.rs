@@ -43,6 +43,15 @@ pub trait Wrapper: Send + Sync {
         let doc = self.fetch()?;
         Ok(evaluate(&nq, &doc))
     }
+
+    /// Answers a batch of queries, one result per query **in input
+    /// order**, each failing independently. The default implementation
+    /// just loops [`Wrapper::answer`]; wrappers with a pipelined
+    /// transport (notably [`RemoteWrapper`]) override it to issue the
+    /// whole batch concurrently without spawning a thread per query.
+    fn answer_batch(&self, queries: &[Query]) -> Vec<Result<Document, SourceError>> {
+        queries.iter().map(|q| self.answer(q)).collect()
+    }
 }
 
 impl Wrapper for std::sync::Arc<dyn Wrapper> {
@@ -56,6 +65,10 @@ impl Wrapper for std::sync::Arc<dyn Wrapper> {
 
     fn answer(&self, q: &Query) -> Result<Document, SourceError> {
         (**self).answer(q)
+    }
+
+    fn answer_batch(&self, queries: &[Query]) -> Vec<Result<Document, SourceError>> {
+        (**self).answer_batch(queries)
     }
 }
 
@@ -156,11 +169,34 @@ impl<W: Wrapper> Wrapper for LatencyWrapper<W> {
 /// breakers, union-view degradation — drives a remote source exactly like
 /// a local one. Exchanges run over a small connection [`Pool`], making the
 /// wrapper safe to share across the mediator's serving threads.
-#[derive(Debug)]
+///
+/// Repeated answers are hash-consed: the parse of each distinct reply
+/// body is memoized, and a repeat serves a clone with
+/// [`Document::refresh_auto_ids`] applied so ID-based deduplication in
+/// downstream evaluation still sees distinct nodes. The memo is keyed by
+/// the *full reply text*, so a source that starts answering differently
+/// simply misses — cached entries can never go stale, only cold.
 pub struct RemoteWrapper {
     pool: Pool,
     dtd: Dtd,
+    parse_memo: std::sync::Mutex<std::collections::HashMap<String, Document>>,
+    memo_hits: mix_obs::Counter,
+    memo_misses: mix_obs::Counter,
 }
+
+impl std::fmt::Debug for RemoteWrapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteWrapper")
+            .field("pool", &self.pool)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Distinct reply bodies the parse memo holds before it is wiped and
+/// rebuilt. Entries are whole answer documents, so the bound is about
+/// memory, not hit rate: a mediator's working set of view answers is far
+/// smaller than this.
+const PARSE_MEMO_CAP: usize = 128;
 
 impl RemoteWrapper {
     /// Connects to `addr` (`host:port`) with default client settings and
@@ -186,12 +222,54 @@ impl RemoteWrapper {
         };
         let dtd = mix_dtd::parse_compact(&text)
             .map_err(|e| SourceError::DtdInvalid(format!("{addr}: exported DTD: {e}")))?;
-        Ok(RemoteWrapper { pool, dtd })
+        Ok(RemoteWrapper {
+            pool,
+            dtd,
+            parse_memo: std::sync::Mutex::new(std::collections::HashMap::new()),
+            memo_hits: mix_obs::global().counter("wire_parse_memo_hits_total"),
+            memo_misses: mix_obs::global().counter("wire_parse_memo_misses_total"),
+        })
     }
 
     /// The remote address this wrapper dials.
     pub fn addr(&self) -> &str {
         self.pool.addr()
+    }
+
+    /// Connections the underlying pool currently considers live. Mostly
+    /// for tests and diagnostics: after a daemon dies, this drops to
+    /// zero as soon as the client has *observed* the death, which is the
+    /// moment failure behavior becomes deterministic.
+    pub fn live_connections(&self) -> usize {
+        self.pool.idle_connections()
+    }
+
+    /// Parses an answer body through the hash-consing memo: a repeat of a
+    /// reply already parsed serves a clone (a few µs) instead of re-running
+    /// the parser, with fresh auto IDs so the copy is indistinguishable
+    /// from an independent parse.
+    fn parse_answer(&self, xml: String) -> Result<Document, SourceError> {
+        fn lock<'a>(
+            m: &'a std::sync::Mutex<std::collections::HashMap<String, Document>>,
+        ) -> std::sync::MutexGuard<'a, std::collections::HashMap<String, Document>> {
+            m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+        if let Some(cached) = lock(&self.parse_memo).get(&xml) {
+            let mut doc = cached.clone();
+            doc.refresh_auto_ids();
+            self.memo_hits.inc();
+            return Ok(doc);
+        }
+        // parse outside the lock — misses are the expensive path
+        let doc = mix_xml::parse_document(&xml)
+            .map_err(|e| SourceError::MalformedXml(format!("{}: answer: {e}", self.pool.addr())))?;
+        self.memo_misses.inc();
+        let mut memo = lock(&self.parse_memo);
+        if memo.len() >= PARSE_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(xml, doc.clone());
+        Ok(doc)
     }
 
     /// One query/answer (or fetch) exchange; an empty query text requests
@@ -203,9 +281,7 @@ impl RemoteWrapper {
             .request(Msg::Query(query_text))
             .map_err(|e| net_to_source_error(self.pool.addr(), millis, e))?;
         match reply {
-            Msg::Answer(xml) => mix_xml::parse_document(&xml).map_err(|e| {
-                SourceError::MalformedXml(format!("{}: answer: {e}", self.pool.addr()))
-            }),
+            Msg::Answer(xml) => self.parse_answer(xml),
             other => Err(SourceError::MalformedXml(format!(
                 "{}: expected an Answer reply, got {:?}",
                 self.pool.addr(),
@@ -229,6 +305,42 @@ impl Wrapper for RemoteWrapper {
         // the remote side only ever sees well-formed normalized queries
         let nq = normalize(q, &self.dtd)?;
         self.exchange(nq.to_string())
+    }
+
+    /// The whole batch rides the multiplexed pool as pipelined `Query`
+    /// frames — replies are matched back by frame id, so the server may
+    /// finish them in any order while this returns them in input order,
+    /// with no thread spawned per query. Queries that fail normalization
+    /// are rejected locally and never reach the wire.
+    fn answer_batch(&self, queries: &[Query]) -> Vec<Result<Document, SourceError>> {
+        let millis = self.pool.config().io_timeout.as_millis() as u64;
+        let mut results: Vec<Option<Result<Document, SourceError>>> =
+            queries.iter().map(|_| None).collect();
+        let mut wire: Vec<(usize, Msg)> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            match normalize(q, &self.dtd) {
+                Ok(nq) => wire.push((i, Msg::Query(nq.to_string()))),
+                Err(e) => results[i] = Some(Err(e.into())),
+            }
+        }
+        let replies = self
+            .pool
+            .request_many(wire.iter().map(|(_, m)| m.clone()).collect());
+        for ((i, _), reply) in wire.into_iter().zip(replies) {
+            results[i] = Some(match reply {
+                Ok(Msg::Answer(xml)) => self.parse_answer(xml),
+                Ok(other) => Err(SourceError::MalformedXml(format!(
+                    "{}: expected an Answer reply, got {:?}",
+                    self.pool.addr(),
+                    other.msg_type()
+                ))),
+                Err(e) => Err(net_to_source_error(self.pool.addr(), millis, e)),
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every query answered or rejected"))
+            .collect()
     }
 }
 
@@ -329,6 +441,29 @@ mod tests {
             xml(&local.answer(&q).unwrap())
         );
         assert_eq!(xml(&remote.fetch().unwrap()), xml(&local.fetch().unwrap()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn memoized_answer_parses_are_byte_identical_with_disjoint_ids() {
+        let (server, addr) = serve_local();
+        let remote = RemoteWrapper::connect(&addr).unwrap();
+        let q = parse_query("profs = SELECT P WHERE <department> P:<professor/> </department>")
+            .unwrap();
+        // first answer parses, the repeats come from the memo
+        let answers: Vec<Document> = (0..3).map(|_| remote.answer(&q).unwrap()).collect();
+        let xml = |d: &Document| mix_xml::write_document(d, mix_xml::WriteConfig::default());
+        assert_eq!(xml(&answers[0]), xml(&answers[1]));
+        assert_eq!(xml(&answers[0]), xml(&answers[2]));
+        // the memo hands out clones, but evaluation dedups picked elements
+        // by id — so each copy must carry its own fresh ids, or gluing two
+        // of them into one constructed document would silently drop nodes
+        let mut seen = std::collections::HashSet::new();
+        for a in &answers {
+            for e in a.root.walk() {
+                assert!(seen.insert(e.id), "id {:?} appears in two answers", e.id);
+            }
+        }
         server.shutdown();
     }
 

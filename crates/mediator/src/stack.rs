@@ -72,6 +72,23 @@ impl Wrapper for ViewWrapper {
             }
         }
     }
+
+    fn answer_batch(&self, queries: &[Query]) -> Vec<Result<Document, SourceError>> {
+        self.mediator
+            .answer_many(queries)
+            .into_iter()
+            .zip(queries)
+            .map(|(r, q)| match r {
+                Ok(a) => Ok(a.document),
+                Err(e @ MediatorError::Source { .. })
+                | Err(e @ MediatorError::AllSourcesFailed(_)) => Err(as_source_error(e)),
+                Err(_) => {
+                    let doc = self.fetch()?;
+                    Ok(mix_xmas::evaluate(q, &doc))
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -458,6 +458,111 @@ impl ReplicaSet {
     }
 }
 
+impl ReplicaSet {
+    /// Routes a whole batch with per-item failover. The healthy case is
+    /// one pipelined [`Wrapper::answer_batch`] call to the first live
+    /// replica; items that come back with source faults carry over to
+    /// the next replica while their siblings' answers stand. Breaker
+    /// accounting is per item — a replica that fails a ten-query batch
+    /// has failed ten calls — but each replica's gate is consulted once
+    /// per batch, so a batch counts as one call against open-breaker
+    /// cooldowns.
+    fn route_batch(&self, queries: &[Query]) -> Vec<Result<Document, SourceError>> {
+        let mut results: Vec<Option<Result<Document, SourceError>>> =
+            queries.iter().map(|_| None).collect();
+        let mut last_err: Vec<Option<SourceError>> = queries.iter().map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..queries.len()).collect();
+        let mut passed_over = false;
+        for (i, (w, h)) in self.replicas.iter().zip(&self.health).enumerate() {
+            if pending.is_empty() {
+                break;
+            }
+            let gate = h
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .gate(self.policy.cooldown_calls);
+            if gate == BreakerGate::Reject {
+                passed_over = true;
+                for &idx in &pending {
+                    last_err[idx].get_or_insert_with(|| {
+                        SourceError::Unavailable(format!(
+                            "circuit open for replica {i} of '{}'",
+                            self.source
+                        ))
+                    });
+                }
+                continue;
+            }
+            let sub: Vec<Query> = pending.iter().map(|&idx| queries[idx].clone()).collect();
+            let replies = w.answer_batch(&sub);
+            let mut carried = Vec::new();
+            let mut served_here = false;
+            for (&idx, reply) in pending.iter().zip(replies) {
+                match reply {
+                    Ok(doc) => {
+                        let reclosed = h
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .record_success(None);
+                        if reclosed {
+                            self.obs
+                                .event("replica-recover", &format!("replica {i} probe succeeded"));
+                        }
+                        if let Some(served) = self.obs.served.get(i) {
+                            served.inc();
+                        }
+                        served_here = true;
+                        results[idx] = Some(Ok(doc));
+                    }
+                    // the caller's fault, identically rejected everywhere
+                    Err(e @ SourceError::Query(_)) => results[idx] = Some(Err(e)),
+                    Err(e) => {
+                        if e.is_source_fault() {
+                            h.lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .record_failure(self.policy.failure_threshold);
+                        }
+                        last_err[idx] = Some(e);
+                        carried.push(idx);
+                    }
+                }
+            }
+            if served_here && passed_over {
+                self.obs.failovers.inc();
+                self.obs.event(
+                    "replica-failover",
+                    &format!("served by replica {i} after earlier replicas failed"),
+                );
+            }
+            if !carried.is_empty() {
+                passed_over = true;
+            }
+            pending = carried;
+        }
+        if !pending.is_empty() {
+            self.obs.exhausted.inc();
+            self.obs.event(
+                "replica-exhausted",
+                "every replica failed or was circuit-open",
+            );
+            for idx in pending {
+                let e = last_err[idx].take().unwrap_or_else(|| {
+                    SourceError::Unavailable(format!(
+                        "no replicas configured for '{}'",
+                        self.source
+                    ))
+                });
+                results[idx] = Some(Err(e));
+            }
+        }
+        self.publish_healthy();
+        results
+            .into_iter()
+            .map(|r| r.expect("every query served, rejected, or exhausted"))
+            .collect()
+    }
+}
+
 impl Wrapper for ReplicaSet {
     fn dtd(&self) -> &mix_dtd::Dtd {
         &self.dtd
@@ -469,6 +574,10 @@ impl Wrapper for ReplicaSet {
 
     fn answer(&self, q: &Query) -> Result<Document, SourceError> {
         self.route(&|w| w.answer(q))
+    }
+
+    fn answer_batch(&self, queries: &[Query]) -> Vec<Result<Document, SourceError>> {
+        self.route_batch(queries)
     }
 }
 

@@ -1,33 +1,56 @@
-//! The client side: a blocking connection with handshake, and a small
-//! pool of them.
+//! The client side: a blocking connection with handshake, and a
+//! multiplexer over a small fixed set of them.
 //!
 //! [`Connection`] is one TCP stream that has completed the `Hello`
-//! exchange. [`Pool`] lends connections out for single request/response
-//! exchanges, reconnecting on demand and *discarding* any connection
-//! whose exchange failed — a failed socket is never returned to the idle
-//! list, so one bad exchange cannot poison the next. Retrying is
-//! deliberately **not** done here: the mediator's resilience layer owns
-//! the retry budget, and a transport that silently retried underneath it
-//! would double-count attempts against circuit breakers.
+//! exchange and runs strictly one exchange at a time — the simple tool
+//! for control-plane chores like a `Stats` probe. [`Pool`] is the data
+//! plane: up to `pool_size` connections, each carrying up to
+//! `in_flight_per_conn` concurrent requests distinguished by frame id. A
+//! dedicated reader thread per connection routes every `Answer` to the
+//! slot that sent the matching `Query`, so callers park on a per-slot
+//! condvar instead of holding a socket hostage, and replies may complete
+//! in any order the server finishes them. A connection whose transport
+//! faults (or whose reply misses its deadline) is *discarded*, failing
+//! every request in flight on it — one bad socket cannot poison the
+//! next. Retrying is deliberately **not** done here: the mediator's
+//! resilience layer owns the retry budget, and a transport that silently
+//! retried underneath it would double-count attempts against circuit
+//! breakers.
 
 use crate::error::NetError;
+use crate::frame::{read_first_frame, read_frame, CONNECTION_FRAME_ID};
 use crate::msg::Msg;
 use mix_obs::{Counter, Histogram, Registry};
-use std::io::BufWriter;
-use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write as _};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The frame id low byte addresses the slot, so a connection can carry at
+/// most 256 concurrent requests.
+const MAX_SLOTS: usize = 256;
+
+/// Frame id of the synchronous `Hello` exchange performed before the
+/// reader thread exists. Slot-carried ids are always ≥ 256 (a nonzero
+/// sequence number occupies the high bytes), so 1 can never collide.
+const HANDSHAKE_ID: u32 = 1;
 
 /// Client knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ClientConfig {
     /// Deadline for establishing the TCP connection.
     pub connect_timeout: Duration,
-    /// Per-exchange read/write deadline.
+    /// Per-exchange deadline: connect/handshake/write at the socket
+    /// level, and how long a caller waits for its routed reply.
     pub io_timeout: Duration,
-    /// Idle connections kept for reuse.
+    /// Connections the multiplexer may hold open at once.
     pub pool_size: usize,
+    /// Concurrent requests each connection may carry (clamped to
+    /// 1..=256); requests beyond `pool_size * in_flight_per_conn` wait
+    /// for a slot.
+    pub in_flight_per_conn: usize,
     /// Upper bound on the randomized delay inserted before *re*-dialing
     /// after a failed exchange or dial. Zero (the default) disables
     /// jitter; the first dial and dials after successes are never
@@ -45,6 +68,7 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(2),
             io_timeout: Duration::from_secs(10),
             pool_size: 4,
+            in_flight_per_conn: 32,
             reconnect_jitter: Duration::ZERO,
             reconnect_jitter_seed: 0,
         }
@@ -67,34 +91,30 @@ pub fn reconnect_jitter(seed: u64, attempt: u64, max: Duration) -> Duration {
     Duration::from_millis(z % (max_ms + 1))
 }
 
-/// One handshaken connection to a remote wrapper.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One handshaken connection to a remote wrapper, strictly one exchange
+/// in flight at a time.
 #[derive(Debug)]
 pub struct Connection {
     reader: TcpStream,
     writer: BufWriter<TcpStream>,
+    next_id: u32,
+    sniffed: bool,
 }
 
 impl Connection {
     /// Connects, applies timeouts, and performs the `Hello` handshake.
     pub fn connect(addr: &str, config: &ClientConfig) -> Result<Connection, NetError> {
-        // resolve then connect with a deadline; `connect_timeout` needs a
-        // SocketAddr, so resolution errors surface as Io like connect ones
-        let sock_addr = std::net::ToSocketAddrs::to_socket_addrs(addr)?
-            .next()
-            .ok_or_else(|| {
-                NetError::Io(std::io::Error::new(
-                    std::io::ErrorKind::NotFound,
-                    format!("'{addr}' resolves to no address"),
-                ))
-            })?;
-        let stream = TcpStream::connect_timeout(&sock_addr, config.connect_timeout)?;
-        stream.set_read_timeout(Some(config.io_timeout))?;
-        stream.set_write_timeout(Some(config.io_timeout))?;
-        stream.set_nodelay(true)?;
+        let stream = dial_stream(addr, config)?;
         let reader = stream.try_clone()?;
         let mut conn = Connection {
             reader,
             writer: BufWriter::new(stream),
+            next_id: HANDSHAKE_ID,
+            sniffed: false,
         };
         match conn.request(Msg::Hello)? {
             Msg::Hello => Ok(conn),
@@ -110,25 +130,342 @@ impl Connection {
     /// ([`Msg::Throttled`]) as [`NetError::Throttled`]; the connection
     /// itself is still usable afterwards in both cases.
     pub fn request(&mut self, msg: Msg) -> Result<Msg, NetError> {
-        msg.write_to(&mut self.writer)?;
-        match Msg::read_from(&mut self.reader)? {
+        let id = self.next_id;
+        self.next_id = self.next_id.checked_add(1).unwrap_or(HANDSHAKE_ID);
+        msg.write_to(&mut self.writer, id)?;
+        // the first reply of a connection is version-sniffed so a v1 peer
+        // surfaces as VersionMismatch, not as a truncated read
+        let (ty, rid, payload) = if self.sniffed {
+            read_frame(&mut self.reader)?
+        } else {
+            self.sniffed = true;
+            read_first_frame(&mut self.reader)?
+        };
+        match Msg::decode(ty, payload)? {
+            // faults may arrive at connection scope (frame id 0), so they
+            // are accepted regardless of id
             Msg::Err { kind, msg } => Err(NetError::Remote { kind, msg }),
             Msg::Throttled { retry_after_ms } => Err(NetError::Throttled { retry_after_ms }),
-            reply => Ok(reply),
+            reply if rid == id => Ok(reply),
+            reply => Err(NetError::protocol(format!(
+                "reply {:?} carried frame id {rid}, expected {id}",
+                reply.msg_type()
+            ))),
         }
     }
 }
 
-/// A bounded pool of connections to one remote wrapper address.
+/// Resolves, connects with a deadline, and applies socket options;
+/// resolution errors surface as Io like connect ones.
+fn dial_stream(addr: &str, config: &ClientConfig) -> Result<TcpStream, NetError> {
+    let sock_addr = std::net::ToSocketAddrs::to_socket_addrs(addr)?
+        .next()
+        .ok_or_else(|| {
+            NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("'{addr}' resolves to no address"),
+            ))
+        })?;
+    let stream = TcpStream::connect_timeout(&sock_addr, config.connect_timeout)?;
+    stream.set_read_timeout(Some(config.io_timeout))?;
+    stream.set_write_timeout(Some(config.io_timeout))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// A clonable rendering of the error that killed a link, so every request
+/// in flight on it can receive its own copy.
+#[derive(Debug, Clone)]
+enum LinkFault {
+    Io(std::io::ErrorKind, String),
+    Protocol(String),
+    Version { theirs: u8, ours: u8 },
+    Remote { kind: String, msg: String },
+}
+
+impl LinkFault {
+    fn of(e: &NetError) -> LinkFault {
+        match e {
+            NetError::Io(err) => LinkFault::Io(err.kind(), err.to_string()),
+            NetError::Protocol(s) => LinkFault::Protocol(s.clone()),
+            NetError::VersionMismatch { theirs, ours } => LinkFault::Version {
+                theirs: *theirs,
+                ours: *ours,
+            },
+            NetError::Remote { kind, msg } => LinkFault::Remote {
+                kind: kind.clone(),
+                msg: msg.clone(),
+            },
+            NetError::Throttled { retry_after_ms } => LinkFault::Io(
+                std::io::ErrorKind::Other,
+                format!("throttled for {retry_after_ms}ms"),
+            ),
+        }
+    }
+
+    fn to_net(&self) -> NetError {
+        match self {
+            LinkFault::Io(kind, msg) => NetError::Io(std::io::Error::new(*kind, msg.clone())),
+            LinkFault::Protocol(s) => NetError::Protocol(s.clone()),
+            LinkFault::Version { theirs, ours } => NetError::VersionMismatch {
+                theirs: *theirs,
+                ours: *ours,
+            },
+            LinkFault::Remote { kind, msg } => NetError::Remote {
+                kind: kind.clone(),
+                msg: msg.clone(),
+            },
+        }
+    }
+}
+
+/// What one in-flight slot is doing.
+#[derive(Debug)]
+enum SlotState {
+    /// On the free list (or about to be reclaimed onto it).
+    Empty,
+    /// A request with this frame id has been written; its caller is
+    /// parked on the condvar.
+    Waiting { id: u32 },
+    /// The reply (or the link's fault) arrived; the caller will collect
+    /// it and free the slot.
+    Done {
+        id: u32,
+        reply: Result<Msg, LinkFault>,
+    },
+    /// The caller timed out and left; if the reply straggles in anyway,
+    /// the reader reclaims the slot.
+    Abandoned { id: u32 },
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+    /// Per-slot sequence number folded into the frame id, so a stale
+    /// reply for a previous occupant of the slot can never be mistaken
+    /// for the current one.
+    seq: AtomicU32,
+}
+
+/// The state the reader thread shares with request issuers. Deliberately
+/// free of the socket itself so the reader holding it keeps nothing
+/// alive: dropping the [`Link`] shuts the socket down, which unblocks the
+/// reader, which then exits.
+#[derive(Debug)]
+struct LinkShared {
+    slots: Vec<Slot>,
+    free: Mutex<Vec<usize>>,
+    fault: Mutex<Option<LinkFault>>,
+    dead: AtomicBool,
+}
+
+impl LinkShared {
+    /// Marks the link dead and completes every waiting slot with (a copy
+    /// of) the fault. Idempotent: the first fault wins, later callers
+    /// just re-sweep for slots that entered `Waiting` during the race.
+    fn fail_all(&self, fault: &LinkFault) {
+        let fault = {
+            let mut f = lock(&self.fault);
+            if f.is_none() {
+                *f = Some(fault.clone());
+            }
+            f.clone().expect("fault just stored")
+        };
+        self.dead.store(true, Ordering::SeqCst);
+        for slot in &self.slots {
+            let mut st = lock(&slot.state);
+            match &*st {
+                SlotState::Waiting { id } => {
+                    *st = SlotState::Done {
+                        id: *id,
+                        reply: Err(fault.clone()),
+                    };
+                    slot.cv.notify_all();
+                }
+                SlotState::Abandoned { .. } => *st = SlotState::Empty,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// One multiplexed connection: a shared writer, the slot table, and a
+/// reader thread routing replies by frame id.
+struct Link {
+    shared: Arc<LinkShared>,
+    writer: Mutex<BufWriter<TcpStream>>,
+    /// Owns the socket for shutdown; reader and writer hold clones of the
+    /// same underlying descriptor.
+    stream: TcpStream,
+}
+
+impl Drop for Link {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+impl Link {
+    fn dial(addr: &str, config: &ClientConfig) -> Result<Link, NetError> {
+        let stream = dial_stream(addr, config)?;
+        // synchronous v2 handshake before the reader thread exists
+        {
+            let mut w = &stream;
+            Msg::Hello.write_to(&mut w, HANDSHAKE_ID)?;
+            let mut r = &stream;
+            let (ty, rid, payload) = read_first_frame(&mut r)?;
+            match Msg::decode(ty, payload)? {
+                Msg::Hello if rid == HANDSHAKE_ID => {}
+                Msg::Err { kind, msg } => return Err(NetError::Remote { kind, msg }),
+                other => {
+                    return Err(NetError::protocol(format!(
+                        "handshake expected Hello back, got {:?}",
+                        other.msg_type()
+                    )))
+                }
+            }
+        }
+        // replies are awaited on slot condvars with their own deadlines;
+        // the reader blocks in read() until traffic, EOF, or shutdown
+        stream.set_read_timeout(None)?;
+        let m = config.in_flight_per_conn.clamp(1, MAX_SLOTS);
+        let shared = Arc::new(LinkShared {
+            slots: (0..m)
+                .map(|_| Slot {
+                    state: Mutex::new(SlotState::Empty),
+                    cv: Condvar::new(),
+                    seq: AtomicU32::new(0),
+                })
+                .collect(),
+            // popped from the back: slot 0 first, so light traffic keeps
+            // reusing the same frame ids
+            free: Mutex::new((0..m).rev().collect()),
+            fault: Mutex::new(None),
+            dead: AtomicBool::new(false),
+        });
+        let reader = stream.try_clone()?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        let reader_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("mix-net-link-reader".into())
+            .spawn(move || reader_loop(reader, reader_shared))
+            .map_err(NetError::Io)?;
+        Ok(Link {
+            shared,
+            writer: Mutex::new(writer),
+            stream,
+        })
+    }
+
+    fn try_acquire_slot(&self) -> Option<usize> {
+        if self.shared.dead.load(Ordering::SeqCst) {
+            return None;
+        }
+        lock(&self.shared.free).pop()
+    }
+
+    fn release_slot(&self, slot: usize) {
+        lock(&self.shared.free).push(slot);
+    }
+
+    fn fail(&self, fault: &LinkFault) {
+        self.shared.fail_all(fault);
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// The per-link reader: routes each reply to the slot addressed by its
+/// frame id's low byte, until the stream or the protocol gives out.
+fn reader_loop(mut stream: TcpStream, shared: Arc<LinkShared>) {
+    loop {
+        let frame = read_frame(&mut stream)
+            .and_then(|(ty, id, payload)| Ok((id, Msg::decode(ty, payload)?)));
+        let (id, msg) = match frame {
+            Ok(x) => x,
+            Err(e) => {
+                shared.fail_all(&LinkFault::of(&e));
+                return;
+            }
+        };
+        if id == CONNECTION_FRAME_ID {
+            // connection-scope frames are terminal: the server is telling
+            // the whole link off, not answering one request
+            let fault = match msg {
+                Msg::Err { kind, msg } => LinkFault::Remote { kind, msg },
+                other => LinkFault::Protocol(format!(
+                    "unsolicited connection-scope {:?} frame",
+                    other.msg_type()
+                )),
+            };
+            shared.fail_all(&fault);
+            return;
+        }
+        let idx = (id & 0xff) as usize;
+        let Some(cell) = shared.slots.get(idx) else {
+            shared.fail_all(&LinkFault::Protocol(format!(
+                "reply frame id {id} maps to no slot"
+            )));
+            return;
+        };
+        let mut st = lock(&cell.state);
+        match &*st {
+            SlotState::Waiting { id: expect } if *expect == id => {
+                *st = SlotState::Done { id, reply: Ok(msg) };
+                cell.cv.notify_all();
+            }
+            SlotState::Abandoned { id: expect } if *expect == id => {
+                *st = SlotState::Empty;
+                drop(st);
+                lock(&shared.free).push(idx);
+            }
+            _ => {
+                drop(st);
+                shared.fail_all(&LinkFault::Protocol(format!(
+                    "reply frame id {id} matches no in-flight request"
+                )));
+                return;
+            }
+        }
+    }
+}
+
+/// A frame id whose slot addresses the low byte and whose per-slot
+/// sequence number (always ≥ 1, so the id is never the connection-scope
+/// 0) fills the high bytes.
+fn make_id(slot: usize, seq: u32) -> u32 {
+    (((seq % 0x00ff_ffff) + 1) << 8) | slot as u32
+}
+
+/// An issued request whose reply has not been collected yet.
+struct Pending {
+    link: Arc<Link>,
+    slot: usize,
+    id: u32,
+    started: u64,
+    deadline: Instant,
+}
+
+/// A multiplexer over a bounded set of connections to one remote wrapper
+/// address.
 ///
 /// `Send + Sync`: the mediator's parallel union materialization and
-/// batched serving hit one source from many threads at once; each
-/// exchange checks a connection out (or dials a fresh one) and returns it
-/// only on success.
+/// batched serving hit one source from many threads at once; each request
+/// claims an in-flight slot on a live connection (dialing a fresh one
+/// only when every slot on every existing connection is taken) and parks
+/// until the reader thread routes its reply back by frame id.
 pub struct Pool {
     addr: String,
     config: ClientConfig,
-    idle: Mutex<Vec<Connection>>,
+    links: Mutex<Vec<Arc<Link>>>,
+    /// Serializes dialing so a burst of first requests multiplexes one
+    /// fresh connection instead of stampeding the remote with dials.
+    dialing: Mutex<()>,
+    /// In-flight permits: bounds issued-but-uncollected requests to
+    /// `pool_size * in_flight_per_conn` so issuers cannot outrun the slot
+    /// supply.
+    permits: Mutex<usize>,
+    permit_cv: Condvar,
     // consecutive failed exchanges/dials; drives the reconnect jitter
     redial_streak: AtomicU64,
     registry: Registry,
@@ -165,7 +502,10 @@ impl Pool {
         Pool {
             addr: addr.into(),
             config,
-            idle: Mutex::new(Vec::new()),
+            links: Mutex::new(Vec::new()),
+            dialing: Mutex::new(()),
+            permits: Mutex::new(0),
+            permit_cv: Condvar::new(),
             redial_streak: AtomicU64::new(0),
             registry: registry.clone(),
             exchanges: registry.counter("net_client_exchanges_total"),
@@ -185,62 +525,282 @@ impl Pool {
         &self.config
     }
 
-    /// Idle connections currently held.
+    /// Live connections currently held (a connection whose reader has
+    /// already declared it dead no longer counts, even before the next
+    /// request sweeps it out).
     pub fn idle_connections(&self) -> usize {
-        self.idle
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+        lock(&self.links)
+            .iter()
+            .filter(|l| !l.shared.dead.load(Ordering::SeqCst))
+            .count()
     }
 
-    /// One request/response exchange on a pooled (or fresh) connection.
+    fn slots_per_conn(&self) -> usize {
+        self.config.in_flight_per_conn.clamp(1, MAX_SLOTS)
+    }
+
+    /// The most requests that can be in flight at once.
+    fn capacity(&self) -> usize {
+        self.config.pool_size.max(1) * self.slots_per_conn()
+    }
+
+    fn acquire_permit(&self) {
+        let cap = self.capacity();
+        let mut held = lock(&self.permits);
+        while *held >= cap {
+            held = self
+                .permit_cv
+                .wait(held)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        *held += 1;
+    }
+
+    fn release_permit(&self) {
+        let mut held = lock(&self.permits);
+        *held = held.saturating_sub(1);
+        drop(held);
+        self.permit_cv.notify_one();
+    }
+
+    /// A free slot on the earliest live link, so sequential callers keep
+    /// riding one connection instead of fanning out.
+    fn claim_slot(&self) -> Option<(Arc<Link>, usize)> {
+        let links = lock(&self.links);
+        links
+            .iter()
+            .find_map(|l| l.try_acquire_slot().map(|s| (Arc::clone(l), s)))
+    }
+
+    /// Drops links whose reader declared them dead; each removal counts
+    /// as one discarded connection.
+    fn prune_dead(&self) {
+        let mut links = lock(&self.links);
+        let before = links.len();
+        links.retain(|l| !l.shared.dead.load(Ordering::SeqCst));
+        for _ in links.len()..before {
+            self.discards.inc();
+        }
+    }
+
+    /// One request/response exchange, multiplexed onto a pooled (or
+    /// fresh) connection.
     pub fn request(&self, msg: Msg) -> Result<Msg, NetError> {
+        let pending = self.issue(msg)?;
+        self.collect(pending)
+    }
+
+    /// Issues every request, windowed to the pool's in-flight capacity,
+    /// and returns the replies **in request order** — the whole point of
+    /// frame ids is that the server may finish them in any order it
+    /// likes. Each element fails independently; one bad exchange does
+    /// not sink its batch-mates.
+    ///
+    /// Frames are stacked unflushed into each connection's write buffer
+    /// and flushed once per window, so a full window of requests costs
+    /// one write syscall per connection instead of one per request.
+    pub fn request_many(&self, msgs: Vec<Msg>) -> Vec<Result<Msg, NetError>> {
+        let n = msgs.len();
+        let mut results: Vec<Option<Result<Msg, NetError>>> = (0..n).map(|_| None).collect();
+        // harvest the oldest issue before exceeding capacity, else a
+        // batch larger than the slot supply would deadlock against its
+        // own uncollected replies
+        let window = self.capacity();
+        let mut outstanding: VecDeque<(usize, Pending)> = VecDeque::new();
+        let mut dirty: Vec<Arc<Link>> = Vec::new();
+        for (i, msg) in msgs.into_iter().enumerate() {
+            while outstanding.len() >= window {
+                self.flush_links(&mut dirty);
+                let (j, pending) = outstanding.pop_front().expect("nonempty window");
+                results[j] = Some(self.collect(pending));
+            }
+            match self.issue_inner(msg, false) {
+                Ok(pending) => {
+                    if !dirty.iter().any(|l| Arc::ptr_eq(l, &pending.link)) {
+                        dirty.push(Arc::clone(&pending.link));
+                    }
+                    outstanding.push_back((i, pending));
+                }
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        self.flush_links(&mut dirty);
+        for (j, pending) in outstanding {
+            results[j] = Some(self.collect(pending));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every index resolved"))
+            .collect()
+    }
+
+    /// Flushes every connection the current batch window wrote to. A
+    /// flush failure kills its link — the pending slots riding it are
+    /// failed over to the link fault, exactly as a mid-write error would
+    /// be — without touching batch-mates on other connections.
+    fn flush_links(&self, dirty: &mut Vec<Arc<Link>>) {
+        for link in dirty.drain(..) {
+            let flushed = lock(&link.writer).flush();
+            if let Err(e) = flushed {
+                link.fail(&LinkFault::of(&NetError::from(e)));
+                self.prune_dead();
+            }
+        }
+    }
+
+    /// Claims a slot (dialing if the live set has none free and is under
+    /// `pool_size`) and writes the request. The reply is collected later
+    /// via [`Pool::collect`].
+    fn issue(&self, msg: Msg) -> Result<Pending, NetError> {
+        self.issue_inner(msg, true)
+    }
+
+    /// [`Pool::issue`], with the flush optional: the batch path defers
+    /// it and flushes once per window via [`Pool::flush_links`].
+    fn issue_inner(&self, msg: Msg, flush: bool) -> Result<Pending, NetError> {
         self.exchanges.inc();
         let started = self.registry.now_ns();
-        let mut conn = match self.checkout() {
-            Some(c) => c,
-            None => {
-                // a *re*-dial after a failure waits out the jittered
-                // delay, so clients that lost the same replica together
-                // don't storm it together when it returns
-                let streak = self.redial_streak.load(Ordering::Relaxed);
-                if streak > 0 {
-                    let delay = reconnect_jitter(
-                        self.config.reconnect_jitter_seed,
-                        streak,
-                        self.config.reconnect_jitter,
-                    );
-                    if !delay.is_zero() {
-                        std::thread::sleep(delay);
+        self.acquire_permit();
+        let (link, slot) = loop {
+            self.prune_dead();
+            if let Some(pair) = self.claim_slot() {
+                break pair;
+            }
+            if lock(&self.links).len() < self.config.pool_size.max(1) {
+                // serialize dialing, and re-scan once the guard is held:
+                // the issuer that dialed before us has a link with free
+                // slots we should ride instead of opening another
+                let _dialing = lock(&self.dialing);
+                if let Some(pair) = self.claim_slot() {
+                    break pair;
+                }
+                if lock(&self.links).len() < self.config.pool_size.max(1) {
+                    match self.dial() {
+                        Ok(link) => {
+                            let slot = link
+                                .try_acquire_slot()
+                                .expect("a fresh unshared link has every slot free");
+                            lock(&self.links).push(Arc::clone(&link));
+                            break (link, slot);
+                        }
+                        Err(e) => {
+                            self.release_permit();
+                            return Err(e);
+                        }
                     }
                 }
-                self.dials.inc();
-                match Connection::connect(&self.addr, &self.config) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        self.redial_streak.fetch_add(1, Ordering::Relaxed);
-                        return Err(e);
-                    }
-                }
+            }
+            // every slot on every live link is taken and the set is at
+            // capacity: another issuer raced us to a freed slot — rescan
+            std::thread::yield_now();
+        };
+        let seq = link.shared.slots[slot].seq.fetch_add(1, Ordering::Relaxed);
+        let id = make_id(slot, seq);
+        *lock(&link.shared.slots[slot].state) = SlotState::Waiting { id };
+        let wrote = {
+            let mut w = lock(&link.writer);
+            if flush {
+                msg.write_to(&mut *w, id)
+            } else {
+                msg.write_to_buffered(&mut *w, id)
             }
         };
-        let result = match conn.request(msg) {
+        if let Err(e) = wrote {
+            *lock(&link.shared.slots[slot].state) = SlotState::Empty;
+            link.release_slot(slot);
+            link.fail(&LinkFault::of(&e));
+            self.prune_dead();
+            self.redial_streak.fetch_add(1, Ordering::Relaxed);
+            self.release_permit();
+            self.rpc_latency
+                .observe(self.registry.now_ns().saturating_sub(started));
+            return Err(e);
+        }
+        // the link may have died between slot acquisition and the write
+        // landing in a kernel buffer; a re-fail sweeps our fresh Waiting
+        // slot into Done so collect() does not sit out the full deadline
+        if link.shared.dead.load(Ordering::SeqCst) {
+            let fault = lock(&link.shared.fault).clone().unwrap_or(LinkFault::Io(
+                std::io::ErrorKind::ConnectionAborted,
+                "connection failed while issuing".into(),
+            ));
+            link.shared.fail_all(&fault);
+        }
+        Ok(Pending {
+            link,
+            slot,
+            id,
+            started,
+            deadline: Instant::now() + self.config.io_timeout,
+        })
+    }
+
+    /// Parks until the reader routes the reply for `pending` (or its
+    /// deadline passes), then frees the slot and classifies the outcome.
+    fn collect(&self, pending: Pending) -> Result<Msg, NetError> {
+        let Pending {
+            link,
+            slot,
+            id,
+            started,
+            deadline,
+        } = pending;
+        let cell = &link.shared.slots[slot];
+        let mut st = lock(&cell.state);
+        let reply = loop {
+            if matches!(&*st, SlotState::Done { id: done, .. } if *done == id) {
+                match std::mem::replace(&mut *st, SlotState::Empty) {
+                    SlotState::Done { reply, .. } => break reply,
+                    _ => unreachable!("just matched Done"),
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                // abandon the slot — a straggling reply must be dropped,
+                // not matched — and kill the link: its stream now carries
+                // an answer nobody will claim, unusable for framing
+                *st = SlotState::Abandoned { id };
+                drop(st);
+                let err = std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("no reply within {:?}", self.config.io_timeout),
+                );
+                link.fail(&LinkFault::Io(err.kind(), err.to_string()));
+                self.prune_dead();
+                self.redial_streak.fetch_add(1, Ordering::Relaxed);
+                self.release_permit();
+                self.rpc_latency
+                    .observe(self.registry.now_ns().saturating_sub(started));
+                return Err(NetError::Io(err));
+            }
+            let (guard, _) = cell
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        };
+        drop(st);
+        link.release_slot(slot);
+        self.release_permit();
+        let result = match reply {
+            // a remote fault or a throttle is an *answer*: the transport
+            // is fine, the link stays; a link fault discards it
+            Ok(Msg::Err { kind, msg }) => {
+                self.redial_streak.store(0, Ordering::Relaxed);
+                Err(NetError::Remote { kind, msg })
+            }
+            Ok(Msg::Throttled { retry_after_ms }) => {
+                self.redial_streak.store(0, Ordering::Relaxed);
+                Err(NetError::Throttled { retry_after_ms })
+            }
             Ok(reply) => {
                 self.redial_streak.store(0, Ordering::Relaxed);
-                self.checkin(conn);
                 Ok(reply)
             }
-            // a remote fault or a throttle is an *answer*: the transport
-            // is fine, keep the connection; anything else discards it
-            Err(e @ (NetError::Remote { .. } | NetError::Throttled { .. })) => {
-                self.redial_streak.store(0, Ordering::Relaxed);
-                self.checkin(conn);
-                Err(e)
-            }
-            Err(e) => {
+            Err(fault) => {
+                self.prune_dead();
                 self.redial_streak.fetch_add(1, Ordering::Relaxed);
-                self.discards.inc();
-                Err(e)
+                Err(fault.to_net())
             }
         };
         self.rpc_latency
@@ -248,20 +808,30 @@ impl Pool {
         result
     }
 
-    fn checkout(&self) -> Option<Connection> {
-        self.idle
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .pop()
-    }
-
-    fn checkin(&self, conn: Connection) {
-        let mut idle = self
-            .idle
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if idle.len() < self.config.pool_size {
-            idle.push(conn);
+    /// Dials one fresh link, waiting out the reconnect jitter when the
+    /// dial follows a failure.
+    fn dial(&self) -> Result<Arc<Link>, NetError> {
+        // a *re*-dial after a failure waits out the jittered delay, so
+        // clients that lost the same replica together don't storm it
+        // together when it returns
+        let streak = self.redial_streak.load(Ordering::Relaxed);
+        if streak > 0 {
+            let delay = reconnect_jitter(
+                self.config.reconnect_jitter_seed,
+                streak,
+                self.config.reconnect_jitter,
+            );
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        self.dials.inc();
+        match Link::dial(&self.addr, &self.config) {
+            Ok(link) => Ok(Arc::new(link)),
+            Err(e) => {
+                self.redial_streak.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
         }
     }
 }
@@ -291,9 +861,27 @@ mod tests {
         }
     }
 
-    #[test]
-    fn pool_reuses_connections_and_keeps_them_after_remote_faults() {
-        let server = Server::bind(
+    /// Echoes the query back (slowly on demand) so tests can tie each
+    /// answer to the request that produced it.
+    struct Echo {
+        delay: Duration,
+    }
+
+    impl WireService for Echo {
+        fn export_dtd(&self) -> String {
+            "{<r : a*> <a : PCDATA>}".into()
+        }
+
+        fn answer(&self, query: Option<&str>) -> Result<String, WireFault> {
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            Ok(format!("<echo>{}</echo>", query.unwrap_or("")))
+        }
+    }
+
+    fn spawn_counting() -> crate::server::ServerHandle {
+        Server::bind(
             "127.0.0.1:0",
             Arc::new(Counting {
                 answers: AtomicUsize::new(0),
@@ -302,7 +890,12 @@ mod tests {
         )
         .unwrap()
         .spawn()
-        .unwrap();
+        .unwrap()
+    }
+
+    #[test]
+    fn pool_reuses_connections_and_keeps_them_after_remote_faults() {
+        let server = spawn_counting();
         let pool = Pool::new(server.addr().to_string(), ClientConfig::default());
         assert_eq!(pool.idle_connections(), 0);
         pool.request(Msg::Query(String::new())).unwrap();
@@ -320,16 +913,7 @@ mod tests {
 
     #[test]
     fn dead_connections_are_discarded_not_pooled() {
-        let server = Server::bind(
-            "127.0.0.1:0",
-            Arc::new(Counting {
-                answers: AtomicUsize::new(0),
-            }),
-            ServerConfig::default(),
-        )
-        .unwrap()
-        .spawn()
-        .unwrap();
+        let server = spawn_counting();
         let addr = server.addr().to_string();
         let pool = Pool::new(addr, ClientConfig::default());
         pool.request(Msg::Query(String::new())).unwrap();
@@ -339,6 +923,83 @@ mod tests {
         // connection is dropped, not returned
         assert!(pool.request(Msg::Query(String::new())).is_err());
         assert_eq!(pool.idle_connections(), 0);
+    }
+
+    #[test]
+    fn many_in_flight_requests_share_one_connection() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(Echo {
+                delay: Duration::from_millis(40),
+            }),
+            ServerConfig {
+                workers: 8,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let registry = Registry::new();
+        let pool = Arc::new(Pool::with_registry(
+            server.addr().to_string(),
+            ClientConfig {
+                pool_size: 1,
+                in_flight_per_conn: 8,
+                ..ClientConfig::default()
+            },
+            &registry,
+        ));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || pool.request(Msg::Query(format!("q{i}"))))
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let reply = h.join().unwrap().unwrap();
+            assert_eq!(reply, Msg::Answer(format!("<echo>q{i}</echo>")));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters["net_client_dials_total"], 1,
+            "eight concurrent requests should multiplex one connection"
+        );
+        assert_eq!(pool.idle_connections(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_many_returns_replies_in_request_order() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(Echo {
+                delay: Duration::from_millis(1),
+            }),
+            ServerConfig {
+                workers: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let pool = Pool::new(
+            server.addr().to_string(),
+            ClientConfig {
+                pool_size: 2,
+                in_flight_per_conn: 4,
+                ..ClientConfig::default()
+            },
+        );
+        // 50 queries through 8 slots forces windowed reuse of every slot
+        let msgs: Vec<Msg> = (0..50).map(|i| Msg::Query(format!("b{i}"))).collect();
+        let replies = pool.request_many(msgs);
+        assert_eq!(replies.len(), 50);
+        for (i, r) in replies.into_iter().enumerate() {
+            assert_eq!(r.unwrap(), Msg::Answer(format!("<echo>b{i}</echo>")));
+        }
+        server.shutdown();
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! `Display`), XMAS queries (`mix_xmas::parse_query` ↔ `Display`), and
 //! XML documents (`mix_xml::parse_document` ↔ `write_document`) — so this
 //! module never needs to know their grammars.
+//!
+//! The frame id travels *beside* the message, not inside it: a `Msg` is
+//! the same value whether it is request 1 or request 900, so
+//! [`Msg::write_to`] takes the id and [`Msg::read_from`] returns it.
 
 use crate::error::NetError;
-use crate::frame::{read_frame, write_frame, MsgType};
+use crate::frame::{read_frame, write_frame, MsgType, HEADER_LEN};
 use std::io::{Read, Write};
 
 /// One protocol message.
@@ -60,7 +64,7 @@ impl Msg {
     }
 
     /// Serializes the payload.
-    fn payload(&self) -> Vec<u8> {
+    pub(crate) fn payload(&self) -> Vec<u8> {
         match self {
             Msg::Hello => Vec::new(),
             Msg::ExportDtd(s) | Msg::Query(s) | Msg::Answer(s) | Msg::Stats(s) => {
@@ -72,7 +76,7 @@ impl Msg {
     }
 
     /// The exact number of bytes this message occupies on the wire
-    /// (6-byte frame header + payload) — what the traffic counters
+    /// (10-byte v2 frame header + payload) — what the traffic counters
     /// record.
     pub fn wire_size(&self) -> u64 {
         let payload = match self {
@@ -84,17 +88,25 @@ impl Msg {
                 ((*retry_after_ms).max(1).ilog10() + 1) as usize
             }
         };
-        6 + payload as u64
+        HEADER_LEN as u64 + payload as u64
     }
 
-    /// Writes this message as one frame.
-    pub fn write_to(&self, w: &mut impl Write) -> Result<(), NetError> {
-        write_frame(w, self.msg_type(), &self.payload())
+    /// Writes this message as one frame carrying `frame_id`.
+    pub fn write_to(&self, w: &mut impl Write, frame_id: u32) -> Result<(), NetError> {
+        write_frame(w, self.msg_type(), frame_id, &self.payload())
     }
 
-    /// Reads one message from the stream.
-    pub fn read_from(r: &mut impl Read) -> Result<Msg, NetError> {
-        let (ty, payload) = read_frame(r)?;
+    /// Encodes the message into `w` without flushing — see
+    /// [`crate::frame::write_frame_buffered`]. The caller must flush
+    /// before waiting for a reply.
+    pub fn write_to_buffered(&self, w: &mut impl Write, frame_id: u32) -> Result<(), NetError> {
+        crate::frame::write_frame_buffered(w, self.msg_type(), frame_id, &self.payload())
+    }
+
+    /// Decodes a message from an already-read frame body. This is the
+    /// half of [`Msg::read_from`] the reactor uses once its ring buffer
+    /// holds a complete frame.
+    pub fn decode(ty: MsgType, payload: Vec<u8>) -> Result<Msg, NetError> {
         let text = String::from_utf8(payload)
             .map_err(|_| NetError::protocol("payload is not valid UTF-8"))?;
         Ok(match ty {
@@ -123,6 +135,12 @@ impl Msg {
             }
         })
     }
+
+    /// Reads one message and its frame id from the stream.
+    pub fn read_from(r: &mut impl Read) -> Result<(u32, Msg), NetError> {
+        let (ty, frame_id, payload) = read_frame(r)?;
+        Ok((frame_id, Msg::decode(ty, payload)?))
+    }
 }
 
 #[cfg(test)]
@@ -132,8 +150,10 @@ mod tests {
 
     fn roundtrip(m: Msg) -> Msg {
         let mut buf = Vec::new();
-        m.write_to(&mut buf).unwrap();
-        Msg::read_from(&mut Cursor::new(buf)).unwrap()
+        m.write_to(&mut buf, 5).unwrap();
+        let (id, got) = Msg::read_from(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(id, 5);
+        got
     }
 
     #[test]
@@ -179,7 +199,7 @@ mod tests {
             },
         ] {
             let mut buf = Vec::new();
-            m.write_to(&mut buf).unwrap();
+            m.write_to(&mut buf, 1).unwrap();
             assert_eq!(m.wire_size(), buf.len() as u64, "{m:?}");
         }
     }
@@ -187,7 +207,7 @@ mod tests {
     #[test]
     fn malformed_throttle_payload_rejected() {
         let mut buf = Vec::new();
-        crate::frame::write_frame(&mut buf, MsgType::Throttled, b"soon").unwrap();
+        crate::frame::write_frame(&mut buf, MsgType::Throttled, 1, b"soon").unwrap();
         assert!(matches!(
             Msg::read_from(&mut Cursor::new(buf)),
             Err(NetError::Protocol(_))
@@ -206,7 +226,7 @@ mod tests {
     #[test]
     fn non_utf8_payload_rejected() {
         let mut buf = Vec::new();
-        crate::frame::write_frame(&mut buf, MsgType::Answer, &[0xff, 0xfe]).unwrap();
+        crate::frame::write_frame(&mut buf, MsgType::Answer, 1, &[0xff, 0xfe]).unwrap();
         assert!(matches!(
             Msg::read_from(&mut Cursor::new(buf)),
             Err(NetError::Protocol(_))

@@ -1,0 +1,213 @@
+//! Per-connection byte ring buffers for the reactor.
+//!
+//! A [`RingBuf`] is a power-of-two circular byte queue that grows on
+//! demand: the reactor appends whatever a nonblocking read produced,
+//! parses complete frames off the front, and stages outgoing frames for
+//! incremental nonblocking writes. Heads and tails chase each other
+//! around the ring, so steady-state traffic costs zero copies beyond the
+//! socket transfer itself — the buffer is only linearized when it must
+//! grow.
+
+use std::io::{Read, Write};
+
+/// How many bytes one `fill_from` call asks the socket for.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// A growable circular byte buffer.
+#[derive(Debug)]
+pub struct RingBuf {
+    buf: Box<[u8]>,
+    head: usize, // index of the first queued byte
+    len: usize,  // queued bytes
+}
+
+impl RingBuf {
+    /// An empty ring; `capacity` rounds up to a power of two (min 64).
+    pub fn with_capacity(capacity: usize) -> RingBuf {
+        let cap = capacity.max(64).next_power_of_two();
+        RingBuf {
+            buf: vec![0u8; cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Queued bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn mask(&self, i: usize) -> usize {
+        i & (self.buf.len() - 1)
+    }
+
+    /// Grows (linearizing) until at least `additional` more bytes fit.
+    fn reserve(&mut self, additional: usize) {
+        let needed = self.len + additional;
+        if needed <= self.buf.len() {
+            return;
+        }
+        let new_cap = needed.next_power_of_two();
+        let mut new_buf = vec![0u8; new_cap].into_boxed_slice();
+        let (a, b) = self.front_slices();
+        new_buf[..a.len()].copy_from_slice(a);
+        new_buf[a.len()..a.len() + b.len()].copy_from_slice(b);
+        self.head = 0;
+        self.buf = new_buf;
+    }
+
+    /// The queued bytes as (front, wrapped) slices; the second is empty
+    /// unless the data wraps the ring edge.
+    pub fn front_slices(&self) -> (&[u8], &[u8]) {
+        let start = self.head;
+        let end = self.head + self.len;
+        if end <= self.buf.len() {
+            (&self.buf[start..end], &[][..])
+        } else {
+            (&self.buf[start..], &self.buf[..self.mask(end)])
+        }
+    }
+
+    /// Appends `data`.
+    pub fn push_slice(&mut self, data: &[u8]) {
+        self.reserve(data.len());
+        let tail = self.mask(self.head + self.len);
+        let first = data.len().min(self.buf.len() - tail);
+        self.buf[tail..tail + first].copy_from_slice(&data[..first]);
+        let rest = &data[first..];
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.len += data.len();
+    }
+
+    /// Copies the first `out.len()` queued bytes into `out` without
+    /// consuming them. Returns false if fewer are queued.
+    pub fn peek_into(&self, out: &mut [u8]) -> bool {
+        if self.len < out.len() {
+            return false;
+        }
+        let (a, b) = self.front_slices();
+        let first = out.len().min(a.len());
+        let rest = out.len() - first;
+        out[..first].copy_from_slice(&a[..first]);
+        out[first..].copy_from_slice(&b[..rest]);
+        true
+    }
+
+    /// Drops the first `n` queued bytes.
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.len);
+        self.head = self.mask(self.head + n);
+        self.len -= n;
+        if self.len == 0 {
+            self.head = 0; // free relinearization
+        }
+    }
+
+    /// Consumes exactly `n` bytes into a fresh `Vec`. Panics (debug) if
+    /// fewer are queued — the caller has already seen the frame header.
+    pub fn take_vec(&mut self, n: usize) -> Vec<u8> {
+        let mut out = vec![0u8; n];
+        let ok = self.peek_into(&mut out);
+        debug_assert!(ok);
+        self.consume(n);
+        out
+    }
+
+    /// One nonblocking read from `r` into the ring (up to [`READ_CHUNK`]
+    /// bytes, one contiguous region). Returns `Ok(0)` on EOF; passes
+    /// `WouldBlock` and other errors through untouched.
+    pub fn fill_from(&mut self, r: &mut impl Read) -> std::io::Result<usize> {
+        self.reserve(8 * 1024);
+        let tail = self.mask(self.head + self.len);
+        // the contiguous spare region starting at the tail ends at the
+        // head when the queued data wraps, else at the ring edge
+        let spare_end = if self.len > 0 && tail < self.head {
+            self.head
+        } else {
+            self.buf.len()
+        };
+        let span = (spare_end - tail).min(READ_CHUNK);
+        let n = r.read(&mut self.buf[tail..tail + span])?;
+        self.len += n;
+        Ok(n)
+    }
+
+    /// One nonblocking write of the front contiguous region to `w`.
+    /// Returns how many bytes left the ring; passes `WouldBlock` through.
+    pub fn drain_to(&mut self, w: &mut impl Write) -> std::io::Result<usize> {
+        if self.len == 0 {
+            return Ok(0);
+        }
+        let (a, _) = self.front_slices();
+        let n = w.write(a)?;
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_peek_consume_roundtrip() {
+        let mut r = RingBuf::with_capacity(8); // rounds to 64
+        r.push_slice(b"hello world");
+        assert_eq!(r.len(), 11);
+        let mut head = [0u8; 5];
+        assert!(r.peek_into(&mut head));
+        assert_eq!(&head, b"hello");
+        r.consume(6);
+        assert_eq!(r.take_vec(5), b"world");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wraps_around_the_ring_edge() {
+        let mut r = RingBuf::with_capacity(64);
+        // walk the head deep into the ring (one byte stays resident so
+        // the head is not reset), then force a wrap
+        r.push_slice(&[b'x'; 56]);
+        r.consume(55);
+        let data: Vec<u8> = (0..40u8).collect();
+        r.push_slice(&data);
+        let (a, b) = r.front_slices();
+        assert_eq!(a.len() + b.len(), 41);
+        assert!(!b.is_empty(), "expected wrapped data");
+        assert_eq!(r.take_vec(1), [b'x']);
+        assert_eq!(r.take_vec(40), data);
+    }
+
+    #[test]
+    fn grows_preserving_order_across_the_wrap() {
+        let mut r = RingBuf::with_capacity(64);
+        r.push_slice(&[1u8; 48]);
+        r.consume(40);
+        let tail: Vec<u8> = (0..200u8).collect();
+        r.push_slice(&tail); // wraps, then outgrows 64
+        assert_eq!(r.len(), 8 + 200);
+        assert_eq!(r.take_vec(8), [1u8; 8]);
+        assert_eq!(r.take_vec(200), tail);
+    }
+
+    #[test]
+    fn fill_and_drain_move_bytes_through_io_traits() {
+        let mut r = RingBuf::with_capacity(64);
+        let src: Vec<u8> = (0..255u8).cycle().take(100_000).collect();
+        let mut cursor = std::io::Cursor::new(src.clone());
+        let mut moved = 0;
+        let mut out = Vec::new();
+        while moved < src.len() || !r.is_empty() {
+            if moved < src.len() {
+                moved += r.fill_from(&mut cursor).unwrap();
+            }
+            r.drain_to(&mut out).unwrap();
+        }
+        assert_eq!(out, src);
+    }
+}

@@ -1,26 +1,35 @@
-//! The server side: a threaded accept loop exporting one [`WireService`].
+//! The server side: a readiness-driven reactor exporting one
+//! [`WireService`].
 //!
-//! One OS thread per connection (bounded by
-//! [`ServerConfig::max_connections`]), per-connection read/write
-//! timeouts, and a graceful [`ServerHandle::shutdown`] for tests and
-//! daemons. The conversation on every connection is:
+//! One event-loop thread owns every socket (see [`crate::reactor`]); a
+//! small worker pool answers queries. Connections are cheap — a parked
+//! connection is an fd and two ring buffers, not a thread — and every
+//! frame carries its own id, so one connection can have many queries in
+//! flight and receive the answers in whatever order the workers finish.
+//! The conversation on every connection is:
 //!
 //! ```text
-//! client: Hello            server: Hello
-//! client: ExportDtd ""     server: ExportDtd <dtd text>
-//! client: Query <q|"">     server: Answer <xml>  |  Err <kind, detail>
-//! …repeat…                 (connection closes on EOF or timeout)
+//! client: Hello #1           server: Hello #1
+//! client: ExportDtd "" #2    server: ExportDtd <dtd text> #2
+//! client: Query <q|""> #3    ┐
+//! client: Query <q|""> #4    ├ server: Answer <xml> #4   (any order,
+//! client: Query <q|""> #5    ┘         Answer <xml> #3    matched by id)
+//! …                                    Err <kind, detail> #5
 //! ```
+//!
+//! A graceful [`ServerHandle::shutdown`] stops accepting and reading at
+//! once, closes idle connections immediately, and *flushes* the answers
+//! of queries that were already admitted (bounded by
+//! [`ServerConfig::drain_timeout`]) — an admitted query is a promise.
 
-use crate::admission::{AdmissionConfig, TokenBucket};
 use crate::error::NetError;
 use crate::msg::Msg;
-use mix_obs::{Counter, Histogram, Registry};
-use std::collections::HashMap;
-use std::io::BufWriter;
-use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::reactor::Reactor;
+use crate::sys::Waker;
+use mix_obs::{Counter, Gauge, Histogram, Registry};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -54,6 +63,10 @@ pub trait WireService: Send + Sync + 'static {
 
     /// Answers a query given as XMAS text; `None` requests the full
     /// exported document (`fetch`). Returns the answer as XML text.
+    ///
+    /// Called from worker threads, possibly many at once — implementations
+    /// must tolerate concurrent calls (they already had to: the old
+    /// thread-per-connection server called it from every handler).
     fn answer(&self, query: Option<&str>) -> Result<String, WireFault>;
 
     /// The service's observability snapshot as `mix-obs/1` JSON — what a
@@ -71,14 +84,22 @@ pub struct ServerConfig {
     /// Concurrent connections served; excess connections are turned away
     /// with an `Err { kind: "unavailable" }` and closed.
     pub max_connections: usize,
-    /// Per-connection read *and* write deadline. An idle client holds a
-    /// thread for at most this long.
+    /// Eviction deadline: a connection with no byte progress in either
+    /// direction for this long *and* nothing in flight is closed (and
+    /// counted in `net_deadline_expiries_total`). A slow trickle of bytes
+    /// is progress — dribblers park cheaply, they do not hold threads.
     pub io_timeout: Duration,
     /// Per-client admission control: every connection gets its own
-    /// [`TokenBucket`] with these knobs, and a `Query` that finds it
-    /// empty is answered with [`Msg::Throttled`] instead of being
-    /// dispatched. `None` (the default) admits everything.
-    pub admission: Option<AdmissionConfig>,
+    /// [`crate::admission::TokenBucket`] with these knobs, and a `Query`
+    /// that finds it empty is answered with [`Msg::Throttled`] instead of
+    /// being dispatched. `None` (the default) admits everything.
+    pub admission: Option<crate::admission::AdmissionConfig>,
+    /// Query worker threads; `0` (the default) sizes to the machine
+    /// (available cores, clamped to 2..=16).
+    pub workers: usize,
+    /// How long shutdown will keep flushing answers of already-admitted
+    /// queries before force-closing what remains.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -87,33 +108,32 @@ impl Default for ServerConfig {
             max_connections: 64,
             io_timeout: Duration::from_secs(30),
             admission: None,
+            workers: 0,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
 
-/// The live connections of a running server, keyed by an admission
-/// counter. Handler threads deregister themselves on exit; shutdown
-/// closes every registered socket, which doubles as the "daemon kill"
-/// signal — blocked reads in handlers return immediately.
-type ConnTable = Arc<Mutex<HashMap<u64, TcpStream>>>;
-
 /// Server-side traffic and lifecycle instruments, resolved once against
-/// one [`Registry`] ([`Registry::noop`] unless
-/// [`Server::with_registry`] is called) and cloned into every handler
-/// thread.
+/// one [`Registry`] ([`Registry::noop`] unless [`Server::with_registry`]
+/// is called) and shared with the reactor.
 #[derive(Clone)]
-struct NetInstruments {
-    registry: Registry,
-    conns_opened: Counter,
-    conns_closed: Counter,
-    conns_refused: Counter,
-    frames_in: Counter,
-    frames_out: Counter,
-    bytes_in: Counter,
-    bytes_out: Counter,
-    deadline_expiries: Counter,
-    requests_shed: Counter,
-    rpc_latency: Histogram,
+pub(crate) struct NetInstruments {
+    pub(crate) registry: Registry,
+    pub(crate) conns_opened: Counter,
+    pub(crate) conns_closed: Counter,
+    pub(crate) conns_refused: Counter,
+    pub(crate) frames_in: Counter,
+    pub(crate) frames_out: Counter,
+    pub(crate) bytes_in: Counter,
+    pub(crate) bytes_out: Counter,
+    pub(crate) deadline_expiries: Counter,
+    pub(crate) requests_shed: Counter,
+    pub(crate) rpc_latency: Histogram,
+    pub(crate) reactor_polls: Counter,
+    pub(crate) reactor_wakeups: Counter,
+    pub(crate) version_mismatches: Counter,
+    pub(crate) inflight_depth: Gauge,
 }
 
 impl NetInstruments {
@@ -130,15 +150,19 @@ impl NetInstruments {
             deadline_expiries: registry.counter("net_deadline_expiries_total"),
             requests_shed: registry.counter("net_requests_shed_total"),
             rpc_latency: registry.histogram("net_rpc_latency_ns"),
+            reactor_polls: registry.counter("net_reactor_polls_total"),
+            reactor_wakeups: registry.counter("net_reactor_wakeups_total"),
+            version_mismatches: registry.counter("net_version_mismatches_total"),
+            inflight_depth: registry.gauge("net_inflight_depth"),
         }
     }
 
-    fn read(&self, msg: &Msg) {
+    pub(crate) fn read(&self, msg: &Msg) {
         self.frames_in.inc();
         self.bytes_in.add(msg.wire_size());
     }
 
-    fn wrote(&self, msg: &Msg) {
+    pub(crate) fn wrote(&self, msg: &Msg) {
         self.frames_out.inc();
         self.bytes_out.add(msg.wire_size());
     }
@@ -156,7 +180,7 @@ pub struct Server<S: WireService> {
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
-    conns: ConnTable,
+    waker: Arc<Waker>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -174,9 +198,9 @@ impl<S: WireService> Server<S> {
     }
 
     /// Records connection lifecycle, frame/byte traffic, deadline
-    /// expiries, and per-RPC serve latency into `registry` (all under
-    /// `net_*` metric names). Without this call every instrument is a
-    /// no-op.
+    /// expiries, reactor wakeups/polls, in-flight depth, and per-RPC
+    /// serve latency into `registry` (all under `net_*` metric names).
+    /// Without this call every instrument is a no-op.
     pub fn with_registry(mut self, registry: &Registry) -> Server<S> {
         self.obs = NetInstruments::new(registry);
         self
@@ -187,74 +211,45 @@ impl<S: WireService> Server<S> {
         Ok(self.listener.local_addr()?)
     }
 
-    /// Runs the accept loop on the calling thread, forever (until the
-    /// process exits). This is what `mixctl serve-source` calls.
+    /// Runs the reactor on the calling thread, forever (until the process
+    /// exits). This is what `mixctl serve-source` calls.
     pub fn run(self) -> Result<(), NetError> {
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: ConnTable = Arc::new(Mutex::new(HashMap::new()));
-        self.accept_loop(&stop, &conns);
+        let waker = Arc::new(Waker::new()?);
+        let reactor = Reactor::new(
+            self.listener,
+            self.service,
+            self.config,
+            self.obs,
+            stop,
+            waker,
+        )?;
+        reactor.run();
         Ok(())
     }
 
-    /// Runs the accept loop on a background thread and returns a handle
-    /// that can shut it down — the daemon form used by benches and tests.
+    /// Runs the reactor on a background thread and returns a handle that
+    /// can shut it down — the daemon form used by benches and tests.
     pub fn spawn(self) -> Result<ServerHandle, NetError> {
         let addr = self.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: ConnTable = Arc::new(Mutex::new(HashMap::new()));
-        let loop_stop = Arc::clone(&stop);
-        let loop_conns = Arc::clone(&conns);
-        let join = std::thread::spawn(move || self.accept_loop(&loop_stop, &loop_conns));
+        let waker = Arc::new(Waker::new()?);
+        let reactor = Reactor::new(
+            self.listener,
+            self.service,
+            self.config,
+            self.obs,
+            Arc::clone(&stop),
+            Arc::clone(&waker),
+        )?;
+        let join = std::thread::spawn(move || reactor.run());
         Ok(ServerHandle {
             addr,
             stop,
-            conns,
+            waker,
             join: Some(join),
         })
     }
-
-    fn accept_loop(self, stop: &AtomicBool, conns: &ConnTable) {
-        let next_id = AtomicU64::new(0);
-        for stream in self.listener.incoming() {
-            if stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            // connection cap: admit-or-refuse is decided here, so a slow
-            // client can never queue unbounded threads
-            let id = next_id.fetch_add(1, Ordering::SeqCst);
-            {
-                let mut live = lock(conns);
-                if live.len() >= self.config.max_connections {
-                    drop(live);
-                    self.obs.conns_refused.inc();
-                    refuse(stream, self.config);
-                    continue;
-                }
-                if let Ok(clone) = stream.try_clone() {
-                    live.insert(id, clone);
-                }
-            }
-            self.obs.conns_opened.inc();
-            let service = Arc::clone(&self.service);
-            let config = self.config;
-            let conns = Arc::clone(conns);
-            let obs = self.obs.clone();
-            std::thread::spawn(move || {
-                // errors on one connection (disconnects, timeouts,
-                // protocol garbage) end that connection only
-                let _ = handle_connection(stream, service.as_ref(), config, &obs);
-                obs.conns_closed.inc();
-                lock(&conns).remove(&id);
-            });
-        }
-    }
-}
-
-fn lock(conns: &ConnTable) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
-    conns
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl ServerHandle {
@@ -263,9 +258,11 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops the daemon: no new connections are accepted and every live
-    /// connection's socket is closed, so in-flight exchanges fail on the
-    /// client side — the loopback stand-in for killing the process.
+    /// Stops the daemon gracefully: no new connections are accepted, no
+    /// new frames are read, idle connections close immediately (that is
+    /// the "daemon killed" signal pooled clients see), and answers for
+    /// queries that were already admitted are flushed before their
+    /// connections close — bounded by [`ServerConfig::drain_timeout`].
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -273,13 +270,8 @@ impl ServerHandle {
     fn stop_and_join(&mut self) {
         let Some(join) = self.join.take() else { return };
         self.stop.store(true, Ordering::SeqCst);
-        // unblock the blocking accept with one throwaway connection
-        let _ = TcpStream::connect(self.addr);
+        self.waker.wake();
         let _ = join.join();
-        // kill live connections; blocked handler reads return immediately
-        for (_, s) in lock(&self.conns).drain() {
-            let _ = s.shutdown(Shutdown::Both);
-        }
     }
 }
 
@@ -289,114 +281,10 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Turn away an over-cap connection with a polite `Err`.
-fn refuse(stream: TcpStream, config: ServerConfig) {
-    let _ = stream.set_write_timeout(Some(config.io_timeout));
-    let mut w = BufWriter::new(stream);
-    let _ = Msg::Err {
-        kind: "unavailable".into(),
-        msg: "connection limit reached".into(),
-    }
-    .write_to(&mut w);
-}
-
-/// One connection's conversation: handshake, then request/response until
-/// EOF, timeout, or a protocol violation.
-fn handle_connection(
-    stream: TcpStream,
-    service: &dyn WireService,
-    config: ServerConfig,
-    obs: &NetInstruments,
-) -> Result<(), NetError> {
-    stream.set_read_timeout(Some(config.io_timeout))?;
-    stream.set_write_timeout(Some(config.io_timeout))?;
-    stream.set_nodelay(true)?;
-    let mut reader = stream.try_clone()?;
-    let mut writer = BufWriter::new(stream);
-    // per-client admission: this connection's private budget
-    let bucket = config.admission.map(TokenBucket::new);
-
-    match Msg::read_from(&mut reader)? {
-        Msg::Hello => {
-            obs.read(&Msg::Hello);
-            Msg::Hello.write_to(&mut writer)?;
-            obs.wrote(&Msg::Hello);
-        }
-        other => {
-            let e = Msg::Err {
-                kind: "protocol".into(),
-                msg: format!("expected Hello, got {:?}", other.msg_type()),
-            };
-            e.write_to(&mut writer)?;
-            return Err(NetError::protocol("handshake violation"));
-        }
-    }
-
-    loop {
-        let msg = match Msg::read_from(&mut reader) {
-            Ok(m) => m,
-            // EOF/timeout/reset: the client is done (or gone). A timeout
-            // is a deadline expiry and is counted as one.
-            Err(NetError::Io(e)) => {
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) {
-                    obs.deadline_expiries.inc();
-                }
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        };
-        obs.read(&msg);
-        let started = obs.registry.now_ns();
-        let reply = match msg {
-            Msg::ExportDtd(_) => Msg::ExportDtd(service.export_dtd()),
-            // only the data plane is admission-gated; handshakes, DTD
-            // exports, and stats probes always go through
-            Msg::Query(q) => match bucket.as_ref().map(TokenBucket::try_acquire) {
-                Some(Err(retry_after_ms)) => {
-                    obs.requests_shed.inc();
-                    Msg::Throttled { retry_after_ms }
-                }
-                _ => {
-                    let query = if q.is_empty() { None } else { Some(q.as_str()) };
-                    match service.answer(query) {
-                        Ok(xml) => Msg::Answer(xml),
-                        Err(fault) => Msg::Err {
-                            kind: fault.kind,
-                            msg: fault.msg,
-                        },
-                    }
-                }
-            },
-            Msg::Stats(_) => match service.stats() {
-                Some(json) => Msg::Stats(json),
-                None => Msg::Err {
-                    kind: "unsupported".into(),
-                    msg: "this service exports no statistics".into(),
-                },
-            },
-            Msg::Hello => Msg::Hello, // a re-handshake is harmless
-            Msg::Answer(_) | Msg::Err { .. } | Msg::Throttled { .. } => {
-                let e = Msg::Err {
-                    kind: "protocol".into(),
-                    msg: "clients send ExportDtd/Query, not Answer/Err/Throttled".into(),
-                };
-                e.write_to(&mut writer)?;
-                return Err(NetError::protocol("client sent a server-only message"));
-            }
-        };
-        reply.write_to(&mut writer)?;
-        obs.wrote(&reply);
-        obs.rpc_latency
-            .observe(obs.registry.now_ns().saturating_sub(started));
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admission::AdmissionConfig;
     use crate::client::{ClientConfig, Connection};
 
     /// A service echoing canned text — protocol-level tests only; the
@@ -521,6 +409,10 @@ mod tests {
         assert_eq!(snap.counters["net_bytes_in_total"], sent);
         // the two non-handshake exchanges each landed one latency sample
         assert_eq!(snap.histograms["net_rpc_latency_ns"].count, 2);
+        // the reactor accounted for its own activity and is now idle
+        assert!(snap.counters["net_reactor_polls_total"] > 0);
+        assert!(snap.counters["net_reactor_wakeups_total"] > 0);
+        assert_eq!(snap.gauges["net_inflight_depth"], 0);
     }
 
     #[test]
@@ -533,7 +425,7 @@ mod tests {
         let addr = h.addr().to_string();
         let cfg = ClientConfig::default();
         let first = Connection::connect(&addr, &cfg).expect("first connects");
-        // give the accept loop a moment to hand the first connection off
+        // give the reactor a moment to admit the first connection
         std::thread::sleep(Duration::from_millis(50));
         match Connection::connect(&addr, &cfg) {
             Err(NetError::Remote { kind, .. }) => assert_eq!(kind, "unavailable"),
@@ -588,5 +480,81 @@ mod tests {
         let addr = h.addr().to_string();
         h.shutdown();
         assert!(Connection::connect(&addr, &ClientConfig::default()).is_err());
+    }
+
+    /// A service that answers slowly — shutdown must still deliver.
+    struct Slow;
+
+    impl WireService for Slow {
+        fn export_dtd(&self) -> String {
+            "{<r : a*> <a : PCDATA>}".into()
+        }
+
+        fn answer(&self, _query: Option<&str>) -> Result<String, WireFault> {
+            std::thread::sleep(Duration::from_millis(150));
+            Ok("<r><a>slow</a></r>".into())
+        }
+    }
+
+    #[test]
+    fn shutdown_flushes_in_flight_answers_before_closing() {
+        // regression: the old live-socket registry severed connections at
+        // shutdown even mid-answer, so an admitted query's reply could be
+        // torn away; the drain phase must deliver it
+        let h = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(Slow),
+            ServerConfig {
+                drain_timeout: Duration::from_secs(5),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let addr = h.addr().to_string();
+        let client = std::thread::spawn(move || {
+            let mut c = Connection::connect(&addr, &ClientConfig::default()).expect("connect");
+            c.request(Msg::Query(String::new()))
+        });
+        // let the query be admitted, then shut down while it is in flight
+        std::thread::sleep(Duration::from_millis(60));
+        h.shutdown();
+        match client.join().expect("client thread") {
+            Ok(Msg::Answer(xml)) => assert_eq!(xml, "<r><a>slow</a></r>"),
+            other => panic!("in-flight answer was dropped by shutdown: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_service_faults_the_query_not_the_server() {
+        struct Panicky;
+        impl WireService for Panicky {
+            fn export_dtd(&self) -> String {
+                "{<r : a*> <a : PCDATA>}".into()
+            }
+            fn answer(&self, query: Option<&str>) -> Result<String, WireFault> {
+                if query == Some("die") {
+                    panic!("scripted panic");
+                }
+                Ok("<r/>".into())
+            }
+        }
+        let h = Server::bind("127.0.0.1:0", Arc::new(Panicky), ServerConfig::default())
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut c =
+            Connection::connect(&h.addr().to_string(), &ClientConfig::default()).expect("connect");
+        match c.request(Msg::Query("die".into())) {
+            Err(NetError::Remote { kind, .. }) => assert_eq!(kind, "internal"),
+            other => panic!("expected internal fault, got {other:?}"),
+        }
+        // the server (and even the connection) survived
+        assert_eq!(
+            c.request(Msg::Query("ok".into())).unwrap(),
+            Msg::Answer("<r/>".into())
+        );
+        h.shutdown();
     }
 }

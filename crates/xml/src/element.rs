@@ -11,45 +11,62 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The ID attribute of an element — unique within a document.
 ///
-/// Parsed documents carry their textual IDs; programmatically built elements
-/// get fresh `#` IDs from a process-wide counter.
+/// Parsed documents carry their textual IDs; programmatically built
+/// elements get fresh `#N` IDs from a process-wide counter. Auto IDs are
+/// a plain number, **not** an interned string: [`ElemId::fresh`] is one
+/// relaxed atomic increment, so the id-refreshing walks that answer
+/// caches run per served copy ([`Element::refresh_auto_ids`]) cost
+/// nanoseconds per node instead of a symbol-table insertion — and the
+/// symbol table no longer accretes one dead `"#N"` entry per constructed
+/// element for the life of the process.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ElemId(Name);
+pub enum ElemId {
+    /// An ID written as `id="…"` in source text.
+    Named(Name),
+    /// A process-unique auto-generated ID, serialized as `#N`.
+    Auto(u64),
+}
 
 static NEXT_AUTO_ID: AtomicU64 = AtomicU64::new(1);
 
 impl ElemId {
-    /// An ID from explicit text (as written in `id="…"`).
+    /// An ID from explicit text (as written in `id="…"`). Text of the
+    /// auto form (`#` + digits) folds onto [`ElemId::Auto`] so that a
+    /// document round-tripped through text keeps its identity semantics.
     pub fn named(s: &str) -> ElemId {
-        ElemId(Name::intern(s))
+        match s.strip_prefix('#').and_then(|t| t.parse::<u64>().ok()) {
+            Some(n) => ElemId::Auto(n),
+            None => ElemId::Named(Name::intern(s)),
+        }
     }
 
     /// A fresh, process-unique ID.
     pub fn fresh() -> ElemId {
-        let n = NEXT_AUTO_ID.fetch_add(1, Ordering::Relaxed);
-        ElemId(Name::intern(&format!("#{n}")))
+        ElemId::Auto(NEXT_AUTO_ID.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// The textual form of the ID.
-    pub fn as_str(self) -> &'static str {
-        self.0.as_str()
-    }
-
-    /// Whether this ID was auto-generated.
+    /// Whether this ID was auto-generated (or spelled in the `#…` form
+    /// reserved for generated IDs, which serializers never emit).
     pub fn is_auto(self) -> bool {
-        self.as_str().starts_with('#')
+        match self {
+            ElemId::Auto(_) => true,
+            ElemId::Named(n) => n.as_str().starts_with('#'),
+        }
     }
 }
 
 impl fmt::Debug for ElemId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.as_str())
+        fmt::Display::fmt(self, f)
     }
 }
 
 impl fmt::Display for ElemId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.as_str())
+        match self {
+            ElemId::Named(n) => write!(f, "{n}"),
+            ElemId::Auto(n) => write!(f, "#{n}"),
+        }
     }
 }
 
@@ -162,6 +179,26 @@ impl Element {
             },
         }
     }
+
+    /// Re-assigns a fresh ID to every *auto-identified* node in this
+    /// subtree, keeping explicit `id="…"` attributes intact.
+    ///
+    /// A plain [`Clone`] shares its IDs with the original, so two clones
+    /// of one parsed answer placed side by side in a constructed document
+    /// would collide — and query evaluation deduplicates picked elements
+    /// by ID, so the collision silently drops members. Answer caches
+    /// that hand out clones of a memoized parse call this on every copy
+    /// they release.
+    pub fn refresh_auto_ids(&mut self) {
+        if self.id.is_auto() {
+            self.id = ElemId::fresh();
+        }
+        if let Content::Elements(children) = &mut self.content {
+            for c in children {
+                c.refresh_auto_ids();
+            }
+        }
+    }
 }
 
 /// Iterator of [`Element::walk`].
@@ -210,6 +247,11 @@ impl Document {
     pub fn size(&self) -> usize {
         self.root.size()
     }
+
+    /// [`Element::refresh_auto_ids`] over the whole document.
+    pub fn refresh_auto_ids(&mut self) {
+        self.root.refresh_auto_ids();
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +288,30 @@ mod tests {
         assert_eq!(ElemId::named("p1"), ElemId::named("p1"));
         assert_ne!(ElemId::named("p1"), ElemId::named("p2"));
         assert!(!ElemId::named("p1").is_auto());
+    }
+
+    #[test]
+    fn refresh_auto_ids_disjoins_clones_but_keeps_named_ids() {
+        let mut original = sample();
+        if let Content::Elements(v) = &mut original.content {
+            v[0].id = ElemId::named("fn1");
+        }
+        let mut copy = original.clone();
+        copy.refresh_auto_ids();
+        // every auto id moved off the original's...
+        let originals: std::collections::HashSet<ElemId> = original
+            .walk()
+            .filter(|e| e.id.is_auto())
+            .map(|e| e.id)
+            .collect();
+        assert!(copy
+            .walk()
+            .filter(|e| e.id.is_auto())
+            .all(|e| !originals.contains(&e.id)));
+        // ...while the explicit id and the shape survived
+        assert_eq!(copy.children()[0].id, ElemId::named("fn1"));
+        assert_eq!(copy.child_names(), original.child_names());
+        assert!(Document::new(copy).duplicate_id().is_none());
     }
 
     #[test]

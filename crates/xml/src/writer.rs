@@ -38,7 +38,7 @@ fn write_elem(e: &Element, cfg: WriteConfig, level: usize, out: &mut String) {
     pad(out, level);
     let _ = write!(out, "<{}", e.name);
     if cfg.write_ids && !e.id.is_auto() {
-        let _ = write!(out, " id=\"{}\"", escape(e.id.as_str()));
+        let _ = write!(out, " id=\"{}\"", escape(&e.id.to_string()));
     }
     match &e.content {
         Content::Elements(v) if v.is_empty() => {

@@ -100,6 +100,27 @@ struct Args {
     topology: Option<String>,
     admit_rps: Option<u64>,
     admit_burst: Option<u64>,
+    workers: usize,
+    memo: usize,
+    conns: Option<usize>,
+    inflight: Option<usize>,
+}
+
+/// The multiplexed-client configuration the shared flags describe:
+/// `--conns` caps the connection set, `--inflight` the pipelined
+/// requests per connection.
+fn client_config(args: &Args) -> ClientConfig {
+    let mut cfg = ClientConfig {
+        io_timeout: std::time::Duration::from_millis(args.timeout_ms),
+        ..ClientConfig::default()
+    };
+    if let Some(n) = args.conns {
+        cfg.pool_size = n.max(1);
+    }
+    if let Some(m) = args.inflight {
+        cfg.in_flight_per_conn = m.max(1);
+    }
+    cfg
 }
 
 fn parse_args() -> Args {
@@ -131,6 +152,10 @@ fn parse_args() -> Args {
         topology: None,
         admit_rps: None,
         admit_burst: None,
+        workers: 0,
+        memo: 0,
+        conns: None,
+        inflight: None,
     };
     while let Some(flag) = argv.next() {
         let mut grab = || argv.next().unwrap_or_else(|| usage());
@@ -193,6 +218,18 @@ fn parse_args() -> Args {
             }
             "--admit-burst" => {
                 args.admit_burst = Some(grab().parse().unwrap_or_else(|_| usage()));
+            }
+            "--workers" => {
+                args.workers = grab().parse().unwrap_or_else(|_| usage());
+            }
+            "--memo" => {
+                args.memo = grab().parse().unwrap_or_else(|_| usage());
+            }
+            "--conns" => {
+                args.conns = Some(grab().parse().unwrap_or_else(|_| usage()));
+            }
+            "--inflight" => {
+                args.inflight = Some(grab().parse().unwrap_or_else(|_| usage()));
             }
             "--metrics-file" => args.metrics_file = Some(grab()),
             "--metrics-interval-ms" => {
@@ -434,10 +471,7 @@ fn federate_topology(args: &Args, q: &Query, topo_path: &str) -> ExitCode {
         eprintln!("mixctl: {topo_path}: the topology lists no sources");
         return ExitCode::from(2);
     }
-    let cfg = ClientConfig {
-        io_timeout: std::time::Duration::from_millis(args.timeout_ms),
-        ..ClientConfig::default()
-    };
+    let cfg = client_config(args);
     let registry = Registry::new();
     let mut parts = Vec::new();
     for spec in &topo.sources {
@@ -539,7 +573,8 @@ fn main() -> ExitCode {
                  \x20 union      [--name N] --part DTD:QUERY …      infer a union view DTD\n\
                  \x20 federate   --query F [--dtd F --doc F …] [--remote HOST:PORT …]\n\
                  \x20            [--topology FILE] [--fail-rate R] [--fault-seed S]\n\
-                 \x20            [--retries N] [--timeout-ms MS]   union local docs and\n\
+                 \x20            [--retries N] [--timeout-ms MS] [--conns N]\n\
+                 \x20            [--inflight M]   union local docs and\n\
                  \x20            remote serve-source daemons as one view under injected\n\
                  \x20            faults; print the (partial) answer + degradation report.\n\
                  \x20            --topology shards a replica-aware cluster instead: the\n\
@@ -555,13 +590,24 @@ fn main() -> ExitCode {
                  \x20            field is the full mix-obs snapshot\n\
                  \x20 serve-source --addr HOST:PORT --dtd F --doc F [--query F]\n\
                  \x20            [--max-conns N] [--timeout-ms MS] [--admit-rps N]\n\
-                 \x20            [--admit-burst N]   export the source (or, with --query,\n\
-                 \x20            its view — a stacked mediator) over the mix-net wire\n\
-                 \x20            protocol; prints 'listening on HOST:PORT'. --admit-rps /\n\
-                 \x20            --admit-burst turn on per-client token-bucket admission\n\
-                 \x20            control: queries past the budget get a Throttled reply\n\
+                 \x20            [--admit-burst N] [--workers N] [--memo N]   export the\n\
+                 \x20            source (or,\n\
+                 \x20            with --query, its view — a stacked mediator) over the\n\
+                 \x20            mix-net wire protocol; prints 'listening on HOST:PORT'.\n\
+                 \x20            --admit-rps / --admit-burst turn on per-client\n\
+                 \x20            token-bucket admission control: queries past the budget\n\
+                 \x20            get a Throttled reply. --workers sizes the reactor's\n\
+                 \x20            service pool (0 = one per CPU). --memo N memoizes up to\n\
+                 \x20            N rendered answers by query text (the source is a\n\
+                 \x20            start-time snapshot, so replays are exact)\n\
                  \x20 stats      --remote HOST:PORT [--format json|prom]   fetch a serving\n\
                  \x20            daemon's observability snapshot over the wire\n\n\
+                 client transport (federate, stats):\n\
+                 \x20 --conns N                connections the multiplexed client may\n\
+                 \x20                          hold per remote (default 4)\n\
+                 \x20 --inflight M             pipelined requests per connection,\n\
+                 \x20                          matched to replies by frame id\n\
+                 \x20                          (default 32, max 256)\n\n\
                  observability (serve, serve-source, federate):\n\
                  \x20 --metrics-file FILE      dump the mix-obs snapshot to FILE\n\
                  \x20                          (periodically for serve-source, once at\n\
@@ -736,10 +782,7 @@ fn main() -> ExitCode {
                 }
             }
             for (i, addr) in args.remotes.iter().enumerate() {
-                let cfg = ClientConfig {
-                    io_timeout: std::time::Duration::from_millis(args.timeout_ms),
-                    ..ClientConfig::default()
-                };
+                let cfg = client_config(&args);
                 let wrapper = match RemoteWrapper::connect_with(addr, cfg) {
                     Ok(w) => w,
                     Err(e) => {
@@ -797,10 +840,7 @@ fn main() -> ExitCode {
                 eprintln!("mixctl: stats needs --remote HOST:PORT");
                 return ExitCode::from(2);
             };
-            let cfg = ClientConfig {
-                io_timeout: std::time::Duration::from_millis(args.timeout_ms),
-                ..ClientConfig::default()
-            };
+            let cfg = client_config(&args);
             let mut conn = match Connection::connect(addr, &cfg) {
                 Ok(c) => c,
                 Err(e) => {
@@ -887,6 +927,8 @@ fn main() -> ExitCode {
             let config = ServerConfig {
                 max_connections: args.max_conns,
                 io_timeout: std::time::Duration::from_millis(args.timeout_ms),
+                // 0 sizes the reactor's worker pool from the CPU count
+                workers: args.workers,
                 // either flag opts the daemon into per-client admission
                 // control; --admit-rps 0 means the burst is all a
                 // connection ever gets
@@ -896,8 +938,15 @@ fn main() -> ExitCode {
                         refill_per_sec: args.admit_rps.unwrap_or(0),
                     }
                 }),
+                ..ServerConfig::default()
             };
-            let service = WrapperService::new(wrapper).with_registry(registry.clone());
+            let mut service = WrapperService::new(wrapper).with_registry(registry.clone());
+            if args.memo > 0 {
+                // safe here: the served wrapper is a snapshot loaded at
+                // start (an XmlSource, possibly under a stacked view), so
+                // answers are stable for the daemon's lifetime
+                service = service.with_answer_memo(args.memo);
+            }
             let server = match Server::bind(addr, std::sync::Arc::new(service), config) {
                 Ok(s) => s.with_registry(&registry),
                 Err(e) => {

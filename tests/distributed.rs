@@ -22,7 +22,7 @@ use std::io::{Read as _, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const SITE_DTD: &str = "{<site : entry*> <entry : PCDATA>}";
 
@@ -110,19 +110,24 @@ impl Wrapper for ScriptedSource {
 }
 
 /// The error sequence a RemoteWrapper observes after its daemon is
-/// killed: the pooled connection dies mid-exchange (a transport fault,
-/// transient), then every redial is refused (unavailable). Only the
-/// *final* error lands in the report, so the transient message is not
-/// part of the byte-identical contract — the refusal message is.
+/// killed: the multiplexed client's reader thread sees the socket close
+/// and marks the pooled link dead *before* any call touches it (the
+/// tests below wait on [`RemoteWrapper::live_connections`] for exactly
+/// this), so the first post-kill call prunes the corpse, redials, and is
+/// refused — unavailable, not transient, hence no retry accounting in
+/// the report.
 fn killed_daemon_script(addr: &str) -> Vec<Option<SourceError>> {
-    vec![
-        Some(SourceError::Transient(format!(
-            "{addr}: transport fault (connection reset)"
-        ))),
-        Some(SourceError::Unavailable(format!(
-            "{addr}: connection refused"
-        ))),
-    ]
+    vec![Some(SourceError::Unavailable(format!(
+        "{addr}: connection refused"
+    )))]
+}
+
+/// Blocks until `remote`'s reader threads have observed the daemon
+/// death — the moment post-kill behavior becomes deterministic.
+fn await_death(remote: &RemoteWrapper) {
+    while remote.live_connections() > 0 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
 }
 
 /// The ISSUE acceptance scenario: two serve-source daemons plus one
@@ -141,10 +146,10 @@ fn killed_daemon_degrades_byte_identically_to_an_in_process_twin() {
     let daemon_b = spawn_daemon("b", 3);
     let beta_addr = daemon_b.addr().to_string();
     let alpha = RemoteWrapper::connect(&daemon_a.addr().to_string()).expect("alpha reachable");
-    let beta = RemoteWrapper::connect(&beta_addr).expect("beta reachable");
+    let beta = Arc::new(RemoteWrapper::connect(&beta_addr).expect("beta reachable"));
     let mut distributed = federation(
         Arc::new(alpha),
-        Arc::new(beta),
+        Arc::clone(&beta) as Arc<dyn Wrapper>,
         Arc::new(site_source("c", 2)),
     );
     distributed.set_resilience_policy(policy);
@@ -152,6 +157,7 @@ fn killed_daemon_degrades_byte_identically_to_an_in_process_twin() {
     // the injected daemon kill: beta's listener closes and its live
     // connections (including the one pooled in the RemoteWrapper) drop
     daemon_b.shutdown();
+    await_death(&beta);
 
     let (doc, report) = distributed
         .materialize_with_report(name("all"))
@@ -200,9 +206,10 @@ fn killed_daemon_serves_stale_snapshots_byte_identically() {
     let daemon_a = spawn_daemon("a", 2);
     let daemon_b = spawn_daemon("b", 3);
     let beta_addr = daemon_b.addr().to_string();
+    let beta = Arc::new(RemoteWrapper::connect(&beta_addr).expect("beta reachable"));
     let distributed = federation(
         Arc::new(RemoteWrapper::connect(&daemon_a.addr().to_string()).expect("alpha reachable")),
-        Arc::new(RemoteWrapper::connect(&beta_addr).expect("beta reachable")),
+        Arc::clone(&beta) as Arc<dyn Wrapper>,
         Arc::new(site_source("c", 2)),
     );
     let mut twin_script = killed_daemon_script(&beta_addr);
@@ -224,6 +231,7 @@ fn killed_daemon_serves_stale_snapshots_byte_identically() {
     assert_eq!(healthy_report.to_string(), twin_healthy_report.to_string());
 
     daemon_b.shutdown();
+    await_death(&beta);
 
     let (degraded, report) = distributed
         .materialize_with_report(name("all"))
@@ -256,9 +264,12 @@ fn version9_daemon() -> SocketAddr {
     let addr = listener.local_addr().expect("fake daemon addr");
     std::thread::spawn(move || {
         if let Ok((mut client, _)) = listener.accept() {
-            let mut hello = [0u8; 6];
+            // swallow the client's v2 Hello header so the reply is not
+            // lost to a reset racing the unread input
+            let mut hello = [0u8; 10];
             let _ = client.read_exact(&mut hello);
-            // header: version, type (Hello), 4-byte big-endian length
+            // header: version, type (Hello), then length — the client
+            // must bail on byte 0 before trusting the rest
             let _ = client.write_all(&[9, 0, 0, 0, 0, 0]);
             let _ = client.flush();
             let _ = client.shutdown(Shutdown::Both);
@@ -285,7 +296,7 @@ fn version_mismatch_is_fatal_and_never_counts_against_the_breaker() {
     );
     assert_eq!(
         err.to_string(),
-        format!("incompatible peer: {addr}: peer speaks protocol version 9, this build speaks 1")
+        format!("incompatible peer: {addr}: peer speaks protocol version 9, this build speaks 2")
     );
 
     // the breaker contrast, through the resilience layer itself: a source
@@ -343,6 +354,184 @@ fn version_mismatch_is_fatal_and_never_counts_against_the_breaker() {
         BreakerState::Open,
         "refused connections are retryable source faults and must count"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Version negotiation, both directions: an old v1 build and a new v2
+// build must tell each other `incompatible` in framing the *other* side
+// can read — never garbage, never a hang.
+// ---------------------------------------------------------------------------
+
+/// An old v1 peer's Hello against the new server: the reply must be a
+/// *v1-framed* `Err` the old build can decode, byte-deterministic across
+/// connections, followed by a clean close.
+#[test]
+fn v1_hello_against_new_server_gets_a_v1_framed_incompatible() {
+    let daemon = spawn_daemon("v", 1);
+    let addr = daemon.addr();
+    let mut replies = Vec::new();
+    for _ in 0..2 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // a v1 Hello: [version=1][type=Hello][len=0 x4]
+        s.write_all(&[1, 0, 0, 0, 0, 0]).expect("send v1 hello");
+        let mut header = [0u8; 6];
+        s.read_exact(&mut header).expect("v1-framed reply header");
+        assert_eq!(header[0], 1, "reply must be framed for the v1 peer");
+        assert_eq!(
+            header[1],
+            mix::net::MsgType::Err as u8,
+            "reply must be an Err frame"
+        );
+        let len = u32::from_be_bytes(header[2..6].try_into().unwrap()) as usize;
+        let mut payload = vec![0u8; len];
+        s.read_exact(&mut payload).expect("v1-framed reply payload");
+        let mut rest = Vec::new();
+        let _ = s.read_to_end(&mut rest);
+        assert!(rest.is_empty(), "nothing may follow the incompatible fault");
+        replies.push(String::from_utf8(payload).expect("fault is UTF-8"));
+    }
+    assert_eq!(
+        replies[0],
+        "incompatible\npeer speaks frame version 1; this build speaks 2"
+    );
+    assert_eq!(replies[0], replies[1], "negotiation must be deterministic");
+    daemon.shutdown();
+}
+
+/// A v1-replying daemon — the shape of an old build on the other end of
+/// a new client's dial. Swallows the 10-byte v2 Hello, answers in v1
+/// framing.
+fn v1_daemon() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind v1 daemon");
+    let addr = listener.local_addr().expect("v1 daemon addr");
+    std::thread::spawn(move || {
+        if let Ok((mut client, _)) = listener.accept() {
+            let mut hello = [0u8; 10];
+            let _ = client.read_exact(&mut hello);
+            let _ = client.write_all(&[1, 0, 0, 0, 0, 0]);
+            let _ = client.flush();
+            let _ = client.shutdown(Shutdown::Both);
+        }
+    });
+    addr
+}
+
+/// The other direction: the new client dialing an old v1 server fails
+/// the handshake with a deterministic `Incompatible` — breaker-neutral,
+/// like every deployment mismatch.
+#[test]
+fn new_client_against_v1_server_is_incompatible_and_breaker_neutral() {
+    let addr = v1_daemon().to_string();
+    let err = match RemoteWrapper::connect(&addr) {
+        Ok(_) => panic!("a v1 peer must not handshake"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), "incompatible");
+    assert!(
+        !err.is_source_fault(),
+        "an old peer must not look like source sickness"
+    );
+    assert_eq!(
+        err.to_string(),
+        format!("incompatible peer: {addr}: peer speaks protocol version 1, this build speaks 2")
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Slow loris: partial frames dribbled one byte at a time must neither
+// stall other connections nor trip the reactor; going *silent* with
+// nothing in flight is what gets a connection evicted.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slow_loris_dribble_stalls_nobody_and_silence_gets_evicted() {
+    const IO_TIMEOUT: Duration = Duration::from_millis(400);
+    let registry = Registry::new();
+    let daemon = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(WrapperService::new(site_source("s", 3))),
+        ServerConfig {
+            io_timeout: IO_TIMEOUT,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback")
+    .with_registry(&registry)
+    .spawn()
+    .expect("spawn daemon");
+    let addr = daemon.addr();
+
+    // the loris: a valid v2 Hello — [version][type][frame_id:4][len:4] —
+    // dribbled one byte per 30ms tick, holding the handshake open for
+    // ~300ms of wall time
+    let loris = TcpStream::connect(addr).expect("loris connects");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let dribbler = std::thread::spawn(move || {
+        let mut loris = loris;
+        for b in [2u8, 0, 0, 0, 0, 1, 0, 0, 0, 0] {
+            loris.write_all(&[b]).expect("dribble a byte");
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        let mut reply = [0u8; 10];
+        loris
+            .read_exact(&mut reply)
+            .expect("a dribbled Hello still completes the handshake");
+        assert_eq!(reply[0], 2, "reply is v2-framed");
+        assert_eq!(reply[1], mix::net::MsgType::Hello as u8);
+        loris
+    });
+
+    // meanwhile the reactor serves other connections at full speed: ten
+    // full round-trips complete while the loris is still mid-header
+    let remote = RemoteWrapper::connect(&addr.to_string()).expect("healthy client");
+    let expected = render(&site_source("s", 3).answer(&part_query()).unwrap());
+    for _ in 0..10 {
+        let doc = remote
+            .answer(&part_query())
+            .expect("served during the dribble");
+        assert_eq!(render(&doc), expected, "answers unperturbed by the loris");
+    }
+    // hang up the healthy client now: its pooled connection closes with
+    // a FIN, so the only eviction candidate left is the loris
+    drop(remote);
+
+    let mut loris = dribbler.join().expect("dribbler thread");
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counters.get("net_deadline_expiries_total").copied(),
+        Some(0),
+        "every dribbled byte is progress — the loris must not be evicted mid-dribble"
+    );
+
+    // the loris now goes silent with nothing in flight: the io_timeout
+    // eviction closes it — not sooner — and counts it
+    let t = Instant::now();
+    let mut rest = Vec::new();
+    loris
+        .read_to_end(&mut rest)
+        .expect("eviction is a clean close");
+    let waited = t.elapsed();
+    assert!(
+        waited >= IO_TIMEOUT - Duration::from_millis(100),
+        "evicted after {waited:?}, before the io_timeout elapsed"
+    );
+    assert!(
+        waited < Duration::from_secs(8),
+        "eviction took {waited:?}, the reactor looks stalled"
+    );
+    assert_eq!(
+        registry
+            .snapshot()
+            .counters
+            .get("net_deadline_expiries_total")
+            .copied(),
+        Some(1),
+        "the eviction must land in net_deadline_expiries_total"
+    );
+    daemon.shutdown();
 }
 
 // ---------------------------------------------------------------------------
