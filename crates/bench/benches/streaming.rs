@@ -1,0 +1,145 @@
+//! X21 — streaming evaluation of a document that dwarfs the matcher's
+//! working set: generate a ≥100 MB D1 department document on disk with
+//! the chunked writer, answer a journal-publication query in one pass
+//! with `mix-stream`, and race the materialize-parse-evaluate path over
+//! the same bytes.
+//!
+//! Custom harness (not Criterion): the acceptance criteria are byte-for-
+//! byte answer identity plus a resident-state-to-document ratio, and the
+//! machine-readable results land in `BENCH_PR8.json` at the
+//! workspace root. The document size is tunable via `X21_MB` (default
+//! 120) so CI can smoke the same binary at a few megabytes.
+
+use mix_dtd::generate::{write_sized_document, ChunkedDocConfig};
+use mix_stream::{stream_answer_to, CompiledQuery};
+use mix_xmas::{evaluate, normalize};
+use mix_xml::{parse_document, write_document, WriteConfig};
+use std::io::{BufReader, BufWriter, Read};
+use std::time::Instant;
+
+fn mb_per_s(bytes: u64, secs: f64) -> f64 {
+    bytes as f64 / (1 << 20) as f64 / secs
+}
+
+fn main() {
+    let mb: u64 = std::env::var("X21_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    let dtd = mix_bench::d1();
+    let query = mix_xmas::parse_query(
+        "publist = SELECT P WHERE <department> <professor | gradStudent> \
+           P:<publication><journal/></publication> </> </department>",
+    )
+    .expect("X21 query parses");
+    let nq = normalize(&query, &dtd).expect("X21 query normalizes");
+    let cq = CompiledQuery::compile(&nq, Some(&dtd)).expect("X21 query is streamable");
+
+    let path = std::env::temp_dir().join(format!("mix_x21_{}.xml", std::process::id()));
+    let gen_cfg = ChunkedDocConfig {
+        target_bytes: mb << 20,
+        max_subtree_bytes: 64 << 10,
+        ..ChunkedDocConfig::default()
+    };
+    let t = Instant::now();
+    let doc_bytes = {
+        let file = std::fs::File::create(&path).expect("create X21 document");
+        let mut out = BufWriter::new(file);
+        write_sized_document(&dtd, 0x21, gen_cfg, &mut out).expect("generate X21 document")
+    };
+    let gen_s = t.elapsed().as_secs_f64();
+    println!(
+        "X21: generated {:.1} MB of valid D1 department at {} ({:.0} MB/s)",
+        doc_bytes as f64 / (1 << 20) as f64,
+        path.display(),
+        mb_per_s(doc_bytes, gen_s),
+    );
+
+    // Streaming pass: one sequential read, answer serialized as it resolves.
+    let t = Instant::now();
+    let mut streamed = Vec::new();
+    let stats = {
+        let file = std::fs::File::open(&path).expect("open X21 document");
+        stream_answer_to(
+            BufReader::new(file),
+            &cq,
+            WriteConfig::default(),
+            &mut streamed,
+        )
+        .expect("streaming pass succeeds")
+    };
+    let stream_s = t.elapsed().as_secs_f64();
+    let peak = stats.peak_state_bytes();
+    println!(
+        "X21: streamed {} bytes in {:.2} s ({:.0} MB/s): {} answers, \
+         peak state {} bytes (matcher {} + reader {}), {}x smaller than the document",
+        stats.bytes_read,
+        stream_s,
+        mb_per_s(stats.bytes_read, stream_s),
+        stats.answers,
+        peak,
+        stats.peak_matcher_bytes,
+        stats.reader_buffer_high_water,
+        doc_bytes / peak.max(1) as u64,
+    );
+
+    // Materialize-parse-evaluate over the same bytes.
+    let t = Instant::now();
+    let mut text = String::new();
+    std::fs::File::open(&path)
+        .expect("open X21 document")
+        .read_to_string(&mut text)
+        .expect("read X21 document");
+    let doc = parse_document(&text).expect("X21 document parses");
+    let answer = evaluate(&nq, &doc);
+    let reference = write_document(&answer, WriteConfig::default());
+    let memory_s = t.elapsed().as_secs_f64();
+    println!(
+        "X21: in-memory read+parse+evaluate in {:.2} s ({:.0} MB/s)",
+        memory_s,
+        mb_per_s(doc_bytes, memory_s),
+    );
+
+    assert_eq!(
+        stats.bytes_read, doc_bytes,
+        "the stream must read every byte"
+    );
+    assert!(stats.answers > 0, "the X21 workload must produce answers");
+    assert_eq!(
+        streamed,
+        reference.as_bytes(),
+        "streamed answer must be byte-identical to the in-memory evaluator"
+    );
+    assert!(
+        (peak as u64) * 50 < doc_bytes,
+        "peak resident state ({peak} bytes) must be far below the document ({doc_bytes} bytes)"
+    );
+    std::fs::remove_file(&path).ok();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"X21\",\n  \
+         \"generated_by\": \"cargo bench -p mix-bench --bench streaming\",\n  \
+         \"document\": {{ \"bytes\": {}, \"mb\": {:.1}, \"gen_mb_s\": {:.0} }},\n  \
+         \"streaming\": {{ \"seconds\": {:.3}, \"mb_s\": {:.1}, \"answers\": {},\n    \
+         \"peak_state_bytes\": {}, \"peak_matcher_bytes\": {}, \
+         \"reader_buffer_high_water\": {},\n    \
+         \"doc_to_state_ratio\": {} }},\n  \
+         \"in_memory\": {{ \"seconds\": {:.3}, \"mb_s\": {:.1} }},\n  \
+         \"byte_identical_answers\": true\n}}",
+        doc_bytes,
+        doc_bytes as f64 / (1 << 20) as f64,
+        mb_per_s(doc_bytes, gen_s),
+        stream_s,
+        mb_per_s(doc_bytes, stream_s),
+        stats.answers,
+        peak,
+        stats.peak_matcher_bytes,
+        stats.reader_buffer_high_water,
+        doc_bytes / peak.max(1) as u64,
+        memory_s,
+        mb_per_s(doc_bytes, memory_s),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
+    std::fs::write(out, json + "\n").expect("write BENCH_PR8.json");
+    println!("wrote {out}");
+}

@@ -1,11 +1,19 @@
 //! Random DTD generation — the other half of the workload generator
-//! (random DTD → random documents → random queries → soundness check).
+//! (random DTD → random documents → random queries → soundness check) —
+//! and size-targeted *chunked* document generation, which writes a valid
+//! document of roughly a requested byte size straight into an
+//! [`io::Write`] sink without ever materializing it (the workload source
+//! for the streaming-evaluation experiments).
 
-use crate::analysis::describes_some_document;
+use crate::analysis::{describes_some_document, productive, restrict};
 use crate::model::{ContentModel, Dtd};
+use crate::sample::{min_cost, minimal_sizes, minimal_word};
 use mix_relang::ast::Regex;
 use mix_relang::symbol::Name;
+use mix_xml::escape;
 use rand::Rng;
+use std::collections::HashMap;
+use std::io::{self, Write};
 
 /// Knobs for [`random_dtd`].
 #[derive(Debug, Clone)]
@@ -107,6 +115,277 @@ pub fn seeded_dtd(seed: u64, cfg: &DtdGenConfig) -> Dtd {
     random_dtd(&mut rng, cfg)
 }
 
+/// Knobs for [`ChunkedDocWriter`].
+#[derive(Debug, Clone)]
+pub struct ChunkedDocConfig {
+    /// Stop growing once this many bytes are written; loops then unwind
+    /// with minimal expansions, so output exceeds the target only by the
+    /// closing tags and one minimal subtree per open loop.
+    pub target_bytes: u64,
+    /// Per-subtree byte cap below the root: an element stops expanding
+    /// its own loops past this size. This keeps documents *wide* (many
+    /// medium siblings under the root) rather than one deep arm, which
+    /// is also the shape that a bounded-state streaming evaluator should
+    /// be benchmarked against.
+    pub max_subtree_bytes: u64,
+    /// Below this element depth every expansion is minimal (guards
+    /// against recursive DTDs).
+    pub max_depth: usize,
+    /// Probability of continuing a `*`/`+` loop while under budget.
+    pub loop_continue: f64,
+    /// PCDATA values are drawn from this pool; empty strings are dropped
+    /// (compact `<n></n>` re-parses as element content, which would make
+    /// the output invalid under a PCDATA model).
+    pub string_pool: Vec<String>,
+}
+
+impl Default for ChunkedDocConfig {
+    fn default() -> Self {
+        ChunkedDocConfig {
+            target_bytes: 1 << 20,
+            max_subtree_bytes: 64 << 10,
+            max_depth: 24,
+            loop_continue: 0.9,
+            string_pool: ["CS", "EE", "Math", "alpha", "beta", "gamma"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+struct CountingWriter<'w, W: Write> {
+    inner: &'w mut W,
+    written: u64,
+}
+
+impl<W: Write> Write for CountingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Streams a random valid document of (roughly) a target byte size into
+/// any [`io::Write`] sink — compact XML, element by element, nothing
+/// materialized. The generator walks each content-model regex directly:
+/// `*`/`+` loops keep iterating while the global budget allows and the
+/// local subtree cap is not hit, alternations pick random productive
+/// branches while growing and the cheapest branch when unwinding.
+///
+/// Reaching a large target requires the DTD to have a reachable loop
+/// (`*` or `+`); with a finite document language the writer simply stops
+/// at the largest document it can produce — check the returned byte
+/// count.
+pub struct ChunkedDocWriter<'d> {
+    dtd: &'d Dtd,
+    cfg: ChunkedDocConfig,
+    /// Content models restricted to productive names.
+    restricted: HashMap<Name, Regex>,
+    /// Precomputed minimal expansions.
+    min_sizes: HashMap<Name, usize>,
+}
+
+impl<'d> ChunkedDocWriter<'d> {
+    /// Prepares a writer; `None` when the DTD describes no documents.
+    pub fn new(dtd: &'d Dtd, mut cfg: ChunkedDocConfig) -> Option<ChunkedDocWriter<'d>> {
+        let prod = productive(dtd);
+        if !prod.contains(&dtd.doc_type) {
+            return None;
+        }
+        let mut restricted = HashMap::new();
+        for (n, m) in dtd.types.iter() {
+            if let ContentModel::Elements(r) = m {
+                restricted.insert(n, restrict(r, &prod));
+            }
+        }
+        let min_sizes = minimal_sizes(dtd, &prod, &restricted);
+        cfg.string_pool.retain(|s| !s.is_empty());
+        if cfg.string_pool.is_empty() {
+            cfg.string_pool.push("x".into());
+        }
+        Some(ChunkedDocWriter {
+            dtd,
+            cfg,
+            restricted,
+            min_sizes,
+        })
+    }
+
+    /// Writes one document; returns the number of bytes produced.
+    pub fn write<W: Write>(&self, rng: &mut impl Rng, out: &mut W) -> io::Result<u64> {
+        let mut cw = CountingWriter {
+            inner: out,
+            written: 0,
+        };
+        self.element(self.dtd.doc_type, 0, &mut cw, rng)?;
+        Ok(cw.written)
+    }
+
+    /// May this element (whose subtree started at byte `start`) keep
+    /// growing? The root ignores the subtree cap — it must span the
+    /// whole target.
+    fn growing<W: Write>(&self, depth: usize, start: u64, cw: &CountingWriter<'_, W>) -> bool {
+        cw.written < self.cfg.target_bytes
+            && (depth == 0 || cw.written - start < self.cfg.max_subtree_bytes)
+    }
+
+    /// Should a loop take another iteration? Non-root loops stop
+    /// geometrically (`loop_continue`) for subtree variety; the root loop
+    /// is target-driven — it is the only loop that can span the whole
+    /// document, so it must keep producing children until the target.
+    fn iterate<W: Write>(
+        &self,
+        depth: usize,
+        start: u64,
+        cw: &CountingWriter<'_, W>,
+        rng: &mut impl Rng,
+    ) -> bool {
+        self.growing(depth, start, cw) && (depth == 0 || rng.gen_bool(self.cfg.loop_continue))
+    }
+
+    fn element<W: Write>(
+        &self,
+        n: Name,
+        depth: usize,
+        cw: &mut CountingWriter<'_, W>,
+        rng: &mut impl Rng,
+    ) -> io::Result<()> {
+        match self.dtd.get(n) {
+            Some(ContentModel::Pcdata) | None => {
+                let pool = &self.cfg.string_pool;
+                let v = &pool[rng.gen_range(0..pool.len())];
+                write!(cw, "<{n}>{}</{n}>", escape(v))
+            }
+            Some(ContentModel::Elements(_)) => {
+                write!(cw, "<{n}>")?;
+                let start = cw.written;
+                if depth >= self.cfg.max_depth {
+                    self.minimal_children(n, cw, rng)?;
+                } else {
+                    self.walk(&self.restricted[&n], depth, start, cw, rng)?;
+                }
+                write!(cw, "</{n}>")
+            }
+        }
+    }
+
+    fn walk<W: Write>(
+        &self,
+        r: &Regex,
+        depth: usize,
+        start: u64,
+        cw: &mut CountingWriter<'_, W>,
+        rng: &mut impl Rng,
+    ) -> io::Result<()> {
+        match r {
+            Regex::Empty | Regex::Epsilon => Ok(()),
+            Regex::Sym(s) => self.element(s.name, depth + 1, cw, rng),
+            Regex::Concat(v) => {
+                for x in v {
+                    self.walk(x, depth, start, cw, rng)?;
+                }
+                Ok(())
+            }
+            Regex::Alt(v) => {
+                let alive: Vec<&Regex> = v
+                    .iter()
+                    .filter(|x| min_cost(x, &self.min_sizes).is_some())
+                    .collect();
+                let pick = if alive.is_empty() {
+                    return Ok(()); // restricted models keep a live branch; defensive
+                } else if self.growing(depth, start, cw) {
+                    alive[rng.gen_range(0..alive.len())]
+                } else {
+                    alive
+                        .iter()
+                        .min_by_key(|x| min_cost(x, &self.min_sizes).unwrap_or(usize::MAX))
+                        .expect("nonempty")
+                };
+                self.walk(pick, depth, start, cw, rng)
+            }
+            Regex::Star(x) => {
+                while self.iterate(depth, start, cw, rng) && min_cost(x, &self.min_sizes).is_some()
+                {
+                    self.walk(x, depth, start, cw, rng)?;
+                }
+                Ok(())
+            }
+            Regex::Plus(x) => {
+                self.walk(x, depth, start, cw, rng)?;
+                while self.iterate(depth, start, cw, rng) && min_cost(x, &self.min_sizes).is_some()
+                {
+                    self.walk(x, depth, start, cw, rng)?;
+                }
+                Ok(())
+            }
+            Regex::Opt(x) => {
+                if self.growing(depth, start, cw)
+                    && rng.gen_bool(0.5)
+                    && min_cost(x, &self.min_sizes).is_some()
+                {
+                    self.walk(x, depth, start, cw, rng)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Emits a minimal valid expansion of `n`'s content.
+    fn minimal_children<W: Write>(
+        &self,
+        n: Name,
+        cw: &mut CountingWriter<'_, W>,
+        rng: &mut impl Rng,
+    ) -> io::Result<()> {
+        let word = minimal_word(&self.restricted[&n], &self.min_sizes)
+            .expect("productive name has a minimal word");
+        for s in word {
+            self.minimal_element(s.name, cw, rng)?;
+        }
+        Ok(())
+    }
+
+    fn minimal_element<W: Write>(
+        &self,
+        n: Name,
+        cw: &mut CountingWriter<'_, W>,
+        rng: &mut impl Rng,
+    ) -> io::Result<()> {
+        match self.dtd.get(n) {
+            Some(ContentModel::Pcdata) | None => {
+                let pool = &self.cfg.string_pool;
+                let v = &pool[rng.gen_range(0..pool.len())];
+                write!(cw, "<{n}>{}</{n}>", escape(v))
+            }
+            Some(ContentModel::Elements(_)) => {
+                write!(cw, "<{n}>")?;
+                self.minimal_children(n, cw, rng)?;
+                write!(cw, "</{n}>")
+            }
+        }
+    }
+}
+
+/// Convenience: streams one seeded document for `dtd` into `out`,
+/// returning the bytes written.
+pub fn write_sized_document<W: Write>(
+    dtd: &Dtd,
+    seed: u64,
+    cfg: ChunkedDocConfig,
+    out: &mut W,
+) -> io::Result<u64> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let w = ChunkedDocWriter::new(dtd, cfg).expect("DTD describes documents");
+    w.write(&mut rng, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +429,78 @@ mod tests {
         let d = seeded_dtd(7, &cfg);
         assert!(d.types.len() >= 40);
         assert!(!usable(&d).is_empty());
+    }
+
+    #[test]
+    fn chunked_writer_hits_size_target_with_valid_output() {
+        let d = crate::paper::d1_department();
+        let cfg = ChunkedDocConfig {
+            target_bytes: 40_000,
+            max_subtree_bytes: 2_000,
+            ..ChunkedDocConfig::default()
+        };
+        let mut buf = Vec::new();
+        let n = write_sized_document(&d, 11, cfg, &mut buf).unwrap();
+        assert_eq!(n as usize, buf.len());
+        assert!(n >= 40_000, "undershot the target: {n}");
+        assert!(n < 80_000, "overshot the target wildly: {n}");
+        let doc = mix_xml::parse_document(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert!(crate::validate::satisfies(&d, &doc));
+        // the subtree cap keeps the document wide: many root children
+        assert!(doc.root.children().len() > 10);
+    }
+
+    #[test]
+    fn chunked_writer_bounds_depth_on_recursive_dtds() {
+        let d = crate::paper::section_recursive();
+        let cfg = ChunkedDocConfig {
+            target_bytes: 30_000,
+            max_subtree_bytes: 1_000,
+            max_depth: 8,
+            ..ChunkedDocConfig::default()
+        };
+        let mut buf = Vec::new();
+        write_sized_document(&d, 3, cfg, &mut buf).unwrap();
+        let doc = mix_xml::parse_document(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert!(crate::validate::satisfies(&d, &doc));
+        fn depth(e: &mix_xml::Element) -> usize {
+            1 + e.children().iter().map(depth).max().unwrap_or(0)
+        }
+        // max_depth caps growth; minimal unwinding below it adds at most
+        // the DTD's minimal-document depth
+        assert!(
+            depth(&doc.root) <= 8 + 4,
+            "runaway depth {}",
+            depth(&doc.root)
+        );
+    }
+
+    #[test]
+    fn chunked_writer_stops_on_finite_languages() {
+        let d = crate::parse::parse_compact("{<r : a, a> <a : PCDATA>}").unwrap();
+        let cfg = ChunkedDocConfig {
+            target_bytes: 1 << 20,
+            ..ChunkedDocConfig::default()
+        };
+        let mut buf = Vec::new();
+        let n = write_sized_document(&d, 1, cfg, &mut buf).unwrap();
+        assert!(n < 200, "finite language cannot reach the target: {n}");
+        let doc = mix_xml::parse_document(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert!(crate::validate::satisfies(&d, &doc));
+    }
+
+    #[test]
+    fn chunked_writer_agrees_with_seed() {
+        let d = crate::paper::d1_department();
+        let cfg = ChunkedDocConfig {
+            target_bytes: 10_000,
+            ..ChunkedDocConfig::default()
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_sized_document(&d, 42, cfg.clone(), &mut a).unwrap();
+        write_sized_document(&d, 42, cfg, &mut b).unwrap();
+        assert_eq!(a, b, "same seed must stream the same document");
     }
 
     #[test]

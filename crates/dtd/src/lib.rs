@@ -38,7 +38,9 @@ pub use count::{
     count_documents_by_size, count_documents_upto, count_sdocuments_by_size, count_sdocuments_upto,
 };
 pub use enumerate::enumerate_documents;
-pub use generate::{random_dtd, seeded_dtd, DtdGenConfig};
+pub use generate::{
+    random_dtd, seeded_dtd, write_sized_document, ChunkedDocConfig, ChunkedDocWriter, DtdGenConfig,
+};
 pub use model::{ContentModel, Dtd, SDtd, TypeMap};
 pub use parse::{parse_compact, parse_compact_sdtd, parse_xml_dtd, DtdError};
 pub use sample::{sample_documents, DocConfig, DocSampler};

@@ -132,7 +132,7 @@ impl<'d> DocSampler<'d> {
 
 /// Minimal document size per productive name (fixpoint over `min_word_len`
 /// weighted by child minima).
-fn minimal_sizes(
+pub(crate) fn minimal_sizes(
     dtd: &Dtd,
     prod: &HashSet<Name>,
     restricted: &HashMap<Name, Regex>,
@@ -161,7 +161,7 @@ fn minimal_sizes(
 
 /// Cheapest total child size of a word in `L(r)` where name `n` costs
 /// `sizes[n]`; `None` if no word is currently costable.
-fn min_cost(r: &Regex, sizes: &HashMap<Name, usize>) -> Option<usize> {
+pub(crate) fn min_cost(r: &Regex, sizes: &HashMap<Name, usize>) -> Option<usize> {
     match r {
         Regex::Empty => None,
         Regex::Epsilon => Some(0),
@@ -174,7 +174,10 @@ fn min_cost(r: &Regex, sizes: &HashMap<Name, usize>) -> Option<usize> {
 }
 
 /// A minimal-cost word of `L(r)`.
-fn minimal_word(r: &Regex, sizes: &HashMap<Name, usize>) -> Option<Vec<mix_relang::Sym>> {
+pub(crate) fn minimal_word(
+    r: &Regex,
+    sizes: &HashMap<Name, usize>,
+) -> Option<Vec<mix_relang::Sym>> {
     match r {
         Regex::Empty => None,
         Regex::Epsilon | Regex::Star(_) | Regex::Opt(_) => Some(vec![]),

@@ -55,6 +55,7 @@ pub mod resilience;
 pub mod simplifier;
 pub mod source;
 pub mod stack;
+pub mod streaming;
 pub mod topology;
 pub mod wire;
 
@@ -72,6 +73,7 @@ pub use resilience::{
 pub use simplifier::{simplify_query, SimplifyStats};
 pub use source::{LatencyWrapper, RemoteWrapper, Wrapper, XmlSource};
 pub use stack::ViewWrapper;
+pub use streaming::{ServedBy, StreamFactory, StreamingWrapper};
 pub use topology::{
     DeadReplica, Federation, FederationPart, HashRing, ReplicaPolicy, ReplicaSet, SourceSpec,
     Topology, TopologyError,

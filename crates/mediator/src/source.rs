@@ -179,9 +179,10 @@ impl<W: Wrapper> Wrapper for LatencyWrapper<W> {
 pub struct RemoteWrapper {
     pool: Pool,
     dtd: Dtd,
-    parse_memo: std::sync::Mutex<std::collections::HashMap<String, Document>>,
+    parse_memo: std::sync::Mutex<ParseMemo>,
     memo_hits: mix_obs::Counter,
     memo_misses: mix_obs::Counter,
+    memo_evictions: mix_obs::Counter,
 }
 
 impl std::fmt::Debug for RemoteWrapper {
@@ -197,6 +198,59 @@ impl std::fmt::Debug for RemoteWrapper {
 /// memory, not hit rate: a mediator's working set of view answers is far
 /// smaller than this.
 const PARSE_MEMO_CAP: usize = 128;
+
+/// A reply body larger than this bypasses the memo entirely: one
+/// streaming-scale answer must not pin megabytes in the cache for a
+/// speculative repeat.
+const PARSE_MEMO_MAX_ENTRY_BYTES: usize = 1 << 20;
+
+/// Total reply-text bytes the memo may hold (the parsed documents cost a
+/// small multiple of this; the reply text is the accounted proxy since
+/// it is the key we must keep anyway).
+const PARSE_MEMO_MAX_BYTES: usize = 16 << 20;
+
+/// The parse memo with its size accounting: bounded by entry count
+/// ([`PARSE_MEMO_CAP`]) and by total reply-text bytes
+/// ([`PARSE_MEMO_MAX_BYTES`]); oversized replies
+/// ([`PARSE_MEMO_MAX_ENTRY_BYTES`]) are never admitted. Overflow wipes
+/// the whole memo (wipe-and-rebuild keeps the hit path a single hash
+/// lookup; entries can never go stale, only cold, so the wipe costs
+/// re-parses, not correctness).
+struct ParseMemo {
+    map: std::collections::HashMap<String, Document>,
+    bytes: usize,
+}
+
+impl ParseMemo {
+    fn new() -> ParseMemo {
+        ParseMemo {
+            map: std::collections::HashMap::new(),
+            bytes: 0,
+        }
+    }
+
+    fn get(&self, xml: &str) -> Option<&Document> {
+        self.map.get(xml)
+    }
+
+    /// Admits a parsed reply; returns the number of entries evicted to
+    /// make room (0 when nothing was wiped or the reply was too large to
+    /// admit at all).
+    fn insert(&mut self, xml: String, doc: Document) -> u64 {
+        if xml.len() > PARSE_MEMO_MAX_ENTRY_BYTES {
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.map.len() >= PARSE_MEMO_CAP || self.bytes + xml.len() > PARSE_MEMO_MAX_BYTES {
+            evicted = self.map.len() as u64;
+            self.map.clear();
+            self.bytes = 0;
+        }
+        self.bytes += xml.len();
+        self.map.insert(xml, doc);
+        evicted
+    }
+}
 
 impl RemoteWrapper {
     /// Connects to `addr` (`host:port`) with default client settings and
@@ -225,9 +279,10 @@ impl RemoteWrapper {
         Ok(RemoteWrapper {
             pool,
             dtd,
-            parse_memo: std::sync::Mutex::new(std::collections::HashMap::new()),
+            parse_memo: std::sync::Mutex::new(ParseMemo::new()),
             memo_hits: mix_obs::global().counter("wire_parse_memo_hits_total"),
             memo_misses: mix_obs::global().counter("wire_parse_memo_misses_total"),
+            memo_evictions: mix_obs::global().counter("wire_parse_memo_evictions_total"),
         })
     }
 
@@ -249,9 +304,7 @@ impl RemoteWrapper {
     /// the parser, with fresh auto IDs so the copy is indistinguishable
     /// from an independent parse.
     fn parse_answer(&self, xml: String) -> Result<Document, SourceError> {
-        fn lock<'a>(
-            m: &'a std::sync::Mutex<std::collections::HashMap<String, Document>>,
-        ) -> std::sync::MutexGuard<'a, std::collections::HashMap<String, Document>> {
+        fn lock(m: &std::sync::Mutex<ParseMemo>) -> std::sync::MutexGuard<'_, ParseMemo> {
             m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
         }
         if let Some(cached) = lock(&self.parse_memo).get(&xml) {
@@ -264,11 +317,10 @@ impl RemoteWrapper {
         let doc = mix_xml::parse_document(&xml)
             .map_err(|e| SourceError::MalformedXml(format!("{}: answer: {e}", self.pool.addr())))?;
         self.memo_misses.inc();
-        let mut memo = lock(&self.parse_memo);
-        if memo.len() >= PARSE_MEMO_CAP {
-            memo.clear();
+        let evicted = lock(&self.parse_memo).insert(xml, doc.clone());
+        if evicted > 0 {
+            self.memo_evictions.add(evicted);
         }
-        memo.insert(xml, doc.clone());
         Ok(doc)
     }
 
@@ -508,6 +560,44 @@ mod tests {
             Err(SourceError::Unavailable(_)) => {}
             other => panic!("expected Unavailable after daemon kill, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_memo_is_bounded_by_entries_and_bytes() {
+        let small = parse_document("<a/>").unwrap();
+        let mut memo = ParseMemo::new();
+
+        // entry-count bound: the cap'th distinct insert wipes the memo
+        for i in 0..PARSE_MEMO_CAP {
+            assert_eq!(memo.insert(format!("<a id='k{i}'/>"), small.clone()), 0);
+        }
+        let evicted = memo.insert("<a id='straw'/>".into(), small.clone());
+        assert_eq!(evicted, PARSE_MEMO_CAP as u64);
+        assert!(memo.get("<a id='straw'/>").is_some());
+        assert!(memo.get("<a id='k0'/>").is_none());
+
+        // byte bound: a few large (but admissible) entries trip it long
+        // before the entry cap
+        let mut memo = ParseMemo::new();
+        let big = "x".repeat(PARSE_MEMO_MAX_ENTRY_BYTES - 8);
+        let fits = PARSE_MEMO_MAX_BYTES / PARSE_MEMO_MAX_ENTRY_BYTES;
+        for i in 0..fits {
+            assert_eq!(memo.insert(format!("{big}{i}"), small.clone()), 0, "i={i}");
+        }
+        assert!(memo.insert(format!("{big}{fits}"), small.clone()) > 0);
+    }
+
+    #[test]
+    fn oversized_replies_bypass_the_memo() {
+        let small = parse_document("<a/>").unwrap();
+        let mut memo = ParseMemo::new();
+        let huge = "y".repeat(PARSE_MEMO_MAX_ENTRY_BYTES + 1);
+        assert_eq!(memo.insert(huge.clone(), small), 0);
+        assert!(
+            memo.get(&huge).is_none(),
+            "oversized reply must not be cached"
+        );
+        assert_eq!(memo.bytes, 0);
     }
 
     #[test]

@@ -1,0 +1,722 @@
+//! A pull-based XML event reader over any [`std::io::Read`].
+//!
+//! Produces the same document model as `mix_xml::parse_document` — the
+//! paper's fragment of Section 2 — but as a stream of
+//! open/text/close events with **O(depth + longest token)** memory instead
+//! of a materialized tree. Every acceptance and rejection rule of the
+//! in-memory parser is replicated event-for-event:
+//!
+//! * only the `id` attribute is allowed; other attributes are errors;
+//! * no mixed content: an element has either a single text run (possibly
+//!   split by comments) or child elements, never both;
+//! * `</>` anonymous close tags (the paper's compact notation) close the
+//!   innermost element;
+//! * `<a></a>` is *element* content (an empty child list) while
+//!   `<a>  </a>` is *text* content `"  "` — whitespace between elements
+//!   is skipped only once children exist;
+//! * XML prologs and comments are tolerated between elements (and
+//!   comments inside element content), entity references
+//!   `&lt; &gt; &quot; &apos; &amp;` are decoded with
+//!   [`mix_xml::unescape`];
+//! * trailing input after the root element is rejected.
+//!
+//! One relaxation: the in-memory parser checks ID uniqueness over the
+//! whole materialized tree, auto-assigned IDs included. The reader checks
+//! uniqueness over the *explicit* `id="…"` attributes it sees (it never
+//! assigns IDs), which is the same guarantee for every document a
+//! serializer in this workspace produces.
+
+use mix_relang::symbol::Name;
+use mix_xml::{unescape, ElemId, XmlError};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::io::Read;
+
+/// One parsing event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// An element opened (`<name>`, `<name id="…">`, or the open half of
+    /// a self-closing `<name/>`, which is immediately followed by its
+    /// [`XmlEvent::Close`]).
+    Open {
+        /// The element name.
+        name: Name,
+        /// The explicit ID attribute, if any.
+        id: Option<ElemId>,
+    },
+    /// The element's character content. Emitted at most once per element,
+    /// immediately before its [`XmlEvent::Close`], and only for elements
+    /// with no child elements.
+    Text(String),
+    /// An element closed.
+    Close {
+        /// The element name (resolved even for anonymous `</>` tags).
+        name: Name,
+    },
+    /// The document is over: root closed, trailing misc consumed, EOF
+    /// reached. Repeated calls keep returning `Eof`.
+    Eof,
+}
+
+/// A streaming parse failure: an I/O error from the underlying reader or
+/// a positioned syntax error (same rules as `mix_xml::parse_document`).
+#[derive(Debug)]
+pub enum StreamError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// The input violates the paper's XML fragment.
+    Parse(XmlError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "stream I/O error: {e}"),
+            StreamError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<XmlError> for StreamError {
+    fn from(e: XmlError) -> Self {
+        StreamError::Parse(e)
+    }
+}
+
+struct Level {
+    name: Name,
+    saw_child: bool,
+    text: Option<String>,
+}
+
+/// The pull-based event reader. See the module docs for the exact
+/// accepted fragment.
+pub struct EventReader<R: Read> {
+    src: R,
+    /// Decoded window of not-yet-consumed input.
+    buf: String,
+    /// Cursor into `buf`.
+    pos: usize,
+    /// Bytes dropped from the front of `buf` (absolute position of
+    /// `buf[0]` in the input).
+    consumed: u64,
+    /// Undecoded UTF-8 tail of the last read.
+    carry: Vec<u8>,
+    eof: bool,
+    queued: VecDeque<XmlEvent>,
+    stack: Vec<Level>,
+    seen_root: bool,
+    finished: bool,
+    ids: HashSet<ElemId>,
+    buf_high_water: usize,
+    bytes_read: u64,
+}
+
+const READ_CHUNK: usize = 64 * 1024;
+const COMPACT_THRESHOLD: usize = 8 * 1024;
+
+impl<R: Read> EventReader<R> {
+    /// Wraps a byte source.
+    pub fn new(src: R) -> EventReader<R> {
+        EventReader {
+            src,
+            buf: String::new(),
+            pos: 0,
+            consumed: 0,
+            carry: Vec::new(),
+            eof: false,
+            queued: VecDeque::new(),
+            stack: Vec::new(),
+            seen_root: false,
+            finished: false,
+            ids: HashSet::new(),
+            buf_high_water: 0,
+            bytes_read: 0,
+        }
+    }
+
+    /// Largest number of buffered, not-yet-consumed bytes held at any
+    /// point — the reader's memory high-water mark (grows with the
+    /// longest single token, not with the document).
+    pub fn buffer_high_water(&self) -> usize {
+        self.buf_high_water
+    }
+
+    /// Total input bytes consumed so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    fn err(&self, msg: impl Into<String>) -> StreamError {
+        StreamError::Parse(XmlError {
+            pos: (self.consumed + self.pos as u64) as usize,
+            msg: msg.into(),
+        })
+    }
+
+    /// Reads one chunk from the source; `false` once EOF is reached.
+    fn fill_more(&mut self) -> Result<bool, StreamError> {
+        if self.eof {
+            return Ok(false);
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        let n = self.src.read(&mut chunk)?;
+        if n == 0 {
+            self.eof = true;
+            if !self.carry.is_empty() {
+                return Err(self.err("input ends inside a multi-byte UTF-8 sequence"));
+            }
+            return Ok(false);
+        }
+        self.bytes_read += n as u64;
+        self.carry.extend_from_slice(&chunk[..n]);
+        match std::str::from_utf8(&self.carry) {
+            Ok(s) => {
+                self.buf.push_str(s);
+                self.carry.clear();
+            }
+            Err(e) if e.error_len().is_none() => {
+                let valid = e.valid_up_to();
+                self.buf
+                    .push_str(std::str::from_utf8(&self.carry[..valid]).expect("valid prefix"));
+                self.carry.drain(..valid);
+            }
+            Err(_) => return Err(self.err("input is not valid UTF-8")),
+        }
+        self.buf_high_water = self.buf_high_water.max(self.buf.len() - self.pos);
+        Ok(true)
+    }
+
+    /// Ensures at least `n` unconsumed bytes are buffered; `false` when
+    /// EOF arrives first.
+    fn have(&mut self, n: usize) -> Result<bool, StreamError> {
+        while self.buf.len() - self.pos < n {
+            if !self.fill_more()? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn compact(&mut self) {
+        if self.pos >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.consumed += self.pos as u64;
+            self.pos = 0;
+        }
+    }
+
+    fn peek_char(&mut self) -> Result<Option<char>, StreamError> {
+        if !self.have(1)? {
+            return Ok(None);
+        }
+        Ok(self.buf[self.pos..].chars().next())
+    }
+
+    fn bump(&mut self) -> Result<Option<char>, StreamError> {
+        let c = self.peek_char()?;
+        if let Some(c) = c {
+            self.pos += c.len_utf8();
+        }
+        Ok(c)
+    }
+
+    fn starts_with(&mut self, s: &str) -> Result<bool, StreamError> {
+        if !self.have(s.len())? && self.buf.len() - self.pos < s.len() {
+            return Ok(false);
+        }
+        Ok(self.buf[self.pos..].starts_with(s))
+    }
+
+    fn eat_str(&mut self, s: &str) -> Result<bool, StreamError> {
+        if self.starts_with(s)? {
+            self.pos += s.len();
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn skip_ws(&mut self) -> Result<(), StreamError> {
+        while matches!(self.peek_char()?, Some(c) if c.is_whitespace()) {
+            self.bump()?;
+            self.compact();
+        }
+        Ok(())
+    }
+
+    /// Skips whitespace, `<?…?>` processing instructions and `<!--…-->`
+    /// comments — the in-memory parser's `skip_misc`.
+    fn skip_misc(&mut self) -> Result<(), StreamError> {
+        loop {
+            self.skip_ws()?;
+            if self.starts_with("<?")? {
+                self.skip_until("?>", "unterminated processing instruction")?;
+            } else if self.starts_with("<!--")? {
+                self.skip_until("-->", "unterminated comment")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Advances past the next occurrence of `end` (inclusive).
+    fn skip_until(&mut self, end: &str, msg: &str) -> Result<(), StreamError> {
+        loop {
+            if let Some(k) = self.buf[self.pos..].find(end) {
+                self.pos += k + end.len();
+                self.compact();
+                return Ok(());
+            }
+            // Keep a window large enough that `end` can't hide across the
+            // refill boundary, discard the rest.
+            let keep = (end.len() - 1).min(self.buf.len() - self.pos);
+            let drop = self.buf.len() - self.pos - keep;
+            self.pos += drop;
+            self.compact();
+            if !self.fill_more()? {
+                return Err(self.err(msg));
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, StreamError> {
+        let mut out = String::new();
+        match self.peek_char()? {
+            Some(c) if c.is_alphabetic() || c == '_' || c == ':' => {
+                out.push(c);
+                self.bump()?;
+            }
+            _ => return Err(self.err("expected an element name")),
+        }
+        while let Some(c) = self.peek_char()? {
+            if c.is_alphanumeric() || matches!(c, '_' | ':' | '.' | '-') {
+                out.push(c);
+                self.bump()?;
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn quoted(&mut self) -> Result<String, StreamError> {
+        let quote = match self.peek_char()? {
+            Some(q @ ('"' | '\'')) => {
+                self.bump()?;
+                q
+            }
+            _ => return Err(self.err("expected a quoted attribute value")),
+        };
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(c) if c == quote => return Ok(unescape(&out)),
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    /// Parses `<name …>` / `<name …/>`; returns the Open event (queueing
+    /// the Close for the self-closing form).
+    fn open_tag(&mut self) -> Result<XmlEvent, StreamError> {
+        if !self.eat_str("<")? {
+            return Err(self.err("expected '<'"));
+        }
+        let name = self.name()?;
+        let elem_name = Name::intern(&name);
+        let mut id: Option<ElemId> = None;
+        loop {
+            self.skip_ws()?;
+            match self.peek_char()? {
+                Some('/') => {
+                    self.bump()?;
+                    if !self.eat_str(">")? {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.register_id(id)?;
+                    self.queued.push_back(XmlEvent::Close { name: elem_name });
+                    self.compact();
+                    return Ok(XmlEvent::Open {
+                        name: elem_name,
+                        id,
+                    });
+                }
+                Some('>') => {
+                    self.bump()?;
+                    self.register_id(id)?;
+                    self.stack.push(Level {
+                        name: elem_name,
+                        saw_child: false,
+                        text: None,
+                    });
+                    self.compact();
+                    return Ok(XmlEvent::Open {
+                        name: elem_name,
+                        id,
+                    });
+                }
+                None => return Err(self.err(format!("unterminated element '{name}'"))),
+                Some(_) => {
+                    let attr = self
+                        .name()
+                        .map_err(|_| self.err("expected attribute, '/>' or '>'"))?;
+                    self.skip_ws()?;
+                    if !self.eat_str("=")? {
+                        return Err(self.err("expected '=' after attribute name"));
+                    }
+                    self.skip_ws()?;
+                    let value = self.quoted()?;
+                    if attr.eq_ignore_ascii_case("id") {
+                        if id.is_some() {
+                            return Err(self.err("duplicate id attribute"));
+                        }
+                        id = Some(ElemId::named(&value));
+                    } else {
+                        return Err(self.err(format!(
+                            "attribute '{attr}' is outside the paper's model (only 'id' is allowed)"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    fn register_id(&mut self, id: Option<ElemId>) -> Result<(), StreamError> {
+        if let Some(id) = id {
+            if !self.ids.insert(id) {
+                return Err(self.err(format!("duplicate element id '{id}'")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses `</name>` or `</>`; emits the pending text (if any) first.
+    fn close_tag(&mut self) -> Result<XmlEvent, StreamError> {
+        self.pos += 2; // "</"
+        self.skip_ws()?;
+        let open_name = self.stack.last().expect("close inside content").name;
+        if self.peek_char()? != Some('>') {
+            let n = self.name()?;
+            if n != open_name.as_str() {
+                return Err(self.err(format!("mismatched close tag: '{n}' vs '{open_name}'")));
+            }
+            self.skip_ws()?;
+        }
+        if !self.eat_str(">")? {
+            return Err(self.err("expected '>' in close tag"));
+        }
+        self.compact();
+        let level = self.stack.pop().expect("checked above");
+        match level.text {
+            Some(t) => {
+                if level.saw_child {
+                    return Err(self.err("mixed content is outside the paper's model"));
+                }
+                self.queued.push_back(XmlEvent::Close { name: level.name });
+                Ok(XmlEvent::Text(t))
+            }
+            None => Ok(XmlEvent::Close { name: level.name }),
+        }
+    }
+
+    /// Reads a maximal text run (up to the next `<` or EOF), undecoded.
+    fn text_run(&mut self) -> Result<String, StreamError> {
+        let mut out = String::new();
+        loop {
+            if let Some(k) = self.buf[self.pos..].find('<') {
+                out.push_str(&self.buf[self.pos..self.pos + k]);
+                self.pos += k;
+                self.compact();
+                return Ok(out);
+            }
+            out.push_str(&self.buf[self.pos..]);
+            self.pos = self.buf.len();
+            self.compact();
+            if !self.fill_more()? {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// The next event. After the final [`XmlEvent::Eof`] every further
+    /// call returns `Eof` again.
+    pub fn next_event(&mut self) -> Result<XmlEvent, StreamError> {
+        if let Some(ev) = self.queued.pop_front() {
+            return Ok(ev);
+        }
+        if self.finished {
+            return Ok(XmlEvent::Eof);
+        }
+        if !self.seen_root {
+            self.skip_misc()?;
+            self.seen_root = true;
+            return self.open_tag();
+        }
+        if self.stack.is_empty() {
+            self.skip_misc()?;
+            if self.have(1)? {
+                return Err(self.err("trailing input after root element"));
+            }
+            self.finished = true;
+            return Ok(XmlEvent::Eof);
+        }
+        loop {
+            if !self.have(1)? {
+                let name = self.stack.last().expect("nonempty").name;
+                return Err(self.err(format!("unterminated element '{name}'")));
+            }
+            if self.buf[self.pos..].starts_with('<') {
+                if self.starts_with("<!--")? {
+                    self.skip_misc()?;
+                    continue;
+                }
+                if self.starts_with("</")? {
+                    return self.close_tag();
+                }
+                let level = self.stack.last_mut().expect("nonempty");
+                if level.text.as_deref().is_some_and(|t| !t.trim().is_empty()) {
+                    return Err(self.err("mixed content is outside the paper's model"));
+                }
+                level.text = None;
+                level.saw_child = true;
+                return self.open_tag();
+            }
+            let run = self.text_run()?;
+            let level = self.stack.last_mut().expect("nonempty");
+            if run.trim().is_empty() && level.saw_child {
+                continue; // inter-element whitespace
+            }
+            level
+                .text
+                .get_or_insert_with(String::new)
+                .push_str(&unescape(&run));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_xml::{parse_document, Content, Document, Element};
+    use std::io::Cursor;
+
+    fn events(src: &str) -> Result<Vec<XmlEvent>, StreamError> {
+        let mut r = EventReader::new(Cursor::new(src.as_bytes().to_vec()));
+        let mut out = Vec::new();
+        loop {
+            match r.next_event()? {
+                XmlEvent::Eof => return Ok(out),
+                ev => out.push(ev),
+            }
+        }
+    }
+
+    /// An element under construction: name, explicit id, children, text.
+    type OpenFrame = (Name, Option<ElemId>, Vec<Element>, Option<String>);
+
+    /// Rebuilds a `Document` from events — the bridge used to check the
+    /// reader against the in-memory parser on arbitrary inputs.
+    fn rebuild(src: &str) -> Result<Document, StreamError> {
+        let mut r = EventReader::new(Cursor::new(src.as_bytes().to_vec()));
+        let mut stack: Vec<OpenFrame> = Vec::new();
+        let mut root = None;
+        loop {
+            match r.next_event()? {
+                XmlEvent::Open { name, id } => stack.push((name, id, Vec::new(), None)),
+                XmlEvent::Text(t) => stack.last_mut().unwrap().3 = Some(t),
+                XmlEvent::Close { .. } => {
+                    let (name, id, children, text) = stack.pop().unwrap();
+                    let e = Element {
+                        name,
+                        id: id.unwrap_or_else(ElemId::fresh),
+                        content: match text {
+                            Some(t) => Content::Text(t),
+                            None => Content::Elements(children),
+                        },
+                    };
+                    match stack.last_mut() {
+                        Some(parent) => parent.2.push(e),
+                        None => root = Some(e),
+                    }
+                }
+                XmlEvent::Eof => return Ok(Document::new(root.expect("root closed"))),
+            }
+        }
+    }
+
+    /// Serialized forms agree (IDs are fresh per parse, so compare text).
+    fn assert_agrees(src: &str) {
+        let cfg = mix_xml::WriteConfig {
+            indent: None,
+            write_ids: true,
+        };
+        match (parse_document(src), rebuild(src)) {
+            (Ok(a), Ok(b)) => assert_eq!(
+                mix_xml::write_document(&a, cfg),
+                mix_xml::write_document(&b, cfg),
+                "disagreement on {src:?}"
+            ),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!(
+                "parser {:?} vs reader {:?} on {src:?}",
+                a.map(|d| mix_xml::write_document(&d, cfg)),
+                b.map(|d| mix_xml::write_document(&d, cfg)),
+            ),
+        }
+    }
+
+    #[test]
+    fn event_shape() {
+        let evs = events(r#"<a id="x"><b>hi</b><c/></a>"#).unwrap();
+        use XmlEvent::*;
+        assert_eq!(
+            evs,
+            vec![
+                Open {
+                    name: Name::intern("a"),
+                    id: Some(ElemId::named("x"))
+                },
+                Open {
+                    name: Name::intern("b"),
+                    id: None
+                },
+                Text("hi".into()),
+                Close {
+                    name: Name::intern("b")
+                },
+                Open {
+                    name: Name::intern("c"),
+                    id: None
+                },
+                Close {
+                    name: Name::intern("c")
+                },
+                Close {
+                    name: Name::intern("a")
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn agrees_with_inmemory_parser_on_accepts_and_rejects() {
+        for src in [
+            r#"<professor id="p1"><firstName>Yannis</firstName><teaches/></professor>"#,
+            "<a><b/><b/></a>",
+            "<publication><journal></></>",
+            "<a>\n  <b/>\n  <c/>\n</a>",
+            "<name>  CS &amp; Engineering </name>",
+            "<a></a>",
+            "<a>  </a>",
+            "<a>text<b/></a>",
+            "<a><b/>text</a>",
+            r#"<a href="x"/>"#,
+            "<a></b>",
+            "<a>",
+            "<?xml version=\"1.0\"?>\n<!-- dept -->\n<a><b/></a>",
+            "<a><!-- inside --><b/></a>",
+            r#"<a><b id="x"/><c id="x"/></a>"#,
+            r#"<a><b id="x"/><c id="y"/></a>"#,
+            "<a/><b/>",
+            "<a>x<!-- c -->y</a>",
+            "<a>x <!-- c --> y</a>",
+            "<a><b/> <!-- c --> x</a>",
+            "<t>a &lt; b &amp; c</t>",
+            "<a attr='x'/>",
+            "<a id='p' id='q'/>",
+            "<x>&quot;&apos;</x>",
+            "<a><b>  </b></a>",
+        ] {
+            assert_agrees(src);
+        }
+    }
+
+    #[test]
+    fn small_read_chunks_do_not_change_events() {
+        // A reader that trickles one byte at a time exercises every
+        // refill boundary (entities, tags, names split across reads).
+        struct OneByte<'a>(&'a [u8], usize);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let src = "<dept>\n <prof id=\"p1\"><nm>Y &amp; Z</nm><t/></prof>\n</dept>";
+        let mut whole = EventReader::new(Cursor::new(src.as_bytes().to_vec()));
+        let mut trickle = EventReader::new(OneByte(src.as_bytes(), 0));
+        loop {
+            let a = whole.next_event().unwrap();
+            let b = trickle.next_event().unwrap();
+            assert_eq!(a, b);
+            if a == XmlEvent::Eof {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn multibyte_names_and_text_survive_split_reads() {
+        let src = "<café>søren — ∀x</café>";
+        assert_agrees(src);
+        struct TwoBytes<'a>(&'a [u8], usize);
+        impl Read for TwoBytes<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = (self.0.len() - self.1).min(2);
+                buf[..n].copy_from_slice(&self.0[self.1..self.1 + n]);
+                self.1 += n;
+                Ok(n)
+            }
+        }
+        let mut r = EventReader::new(TwoBytes(src.as_bytes(), 0));
+        assert!(matches!(r.next_event().unwrap(), XmlEvent::Open { .. }));
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Text("søren — ∀x".into()));
+    }
+
+    #[test]
+    fn buffer_stays_bounded_on_wide_documents() {
+        // 20k siblings: the window must not grow with the document.
+        let mut src = String::from("<root>");
+        for i in 0..20_000 {
+            src.push_str(&format!("<leaf>v{i}</leaf>"));
+        }
+        src.push_str("</root>");
+        let mut r = EventReader::new(Cursor::new(src.clone().into_bytes()));
+        loop {
+            if r.next_event().unwrap() == XmlEvent::Eof {
+                break;
+            }
+        }
+        assert_eq!(r.bytes_read(), src.len() as u64);
+        assert!(
+            r.buffer_high_water() <= 2 * READ_CHUNK,
+            "window grew to {}",
+            r.buffer_high_water()
+        );
+    }
+
+    #[test]
+    fn eof_is_sticky() {
+        let mut r = EventReader::new(Cursor::new(b"<a/>".to_vec()));
+        let mut n = 0;
+        while r.next_event().unwrap() != XmlEvent::Eof {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Eof);
+    }
+}

@@ -14,6 +14,9 @@ pub mod skeleton;
 pub mod writer;
 
 pub use element::{Content, Document, ElemId, Element};
-pub use parser::{parse_document, parse_element, XmlError};
+pub use parser::{escape, parse_document, parse_element, unescape, XmlError};
 pub use skeleton::{same_structural_class, Skeleton};
-pub use writer::{write_document, write_element, WriteConfig};
+pub use writer::{
+    write_document, write_document_to, write_element, write_element_at, write_element_to,
+    WriteConfig,
+};

@@ -249,7 +249,10 @@ impl<'a> P<'a> {
     }
 }
 
-fn unescape(s: &str) -> String {
+/// Replaces the five XML entity references (`&lt; &gt; &quot; &apos;
+/// &amp;`) with their characters. Shared with the streaming event reader
+/// (`mix-stream`), which must decode text identically to this parser.
+pub fn unescape(s: &str) -> String {
     if !s.contains('&') {
         return s.to_owned();
     }
@@ -260,7 +263,10 @@ fn unescape(s: &str) -> String {
         .replace("&amp;", "&")
 }
 
-pub(crate) fn escape(s: &str) -> String {
+/// Escapes `& < > "` as entity references — the inverse of [`unescape`]
+/// for serializer output (apostrophes pass through; `unescape` still
+/// decodes `&apos;` from foreign producers).
+pub fn escape(s: &str) -> String {
     if !s.contains(['&', '<', '>', '"']) {
         return s.to_owned();
     }

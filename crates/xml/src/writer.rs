@@ -1,8 +1,15 @@
 //! Serialization of elements back to XML text.
+//!
+//! The core serializer renders into any [`std::io::Write`] sink, so answer
+//! documents can be streamed to files and sockets without first building
+//! the whole text in memory (the `mix-stream` answer path). The `String`
+//! conveniences delegate to it and keep their historical byte-exact output
+//! (indented mode trims the trailing newline for symmetric roundtrips; the
+//! `io` variants keep it, since a streaming producer cannot un-write).
 
 use crate::element::{Content, Document, Element};
 use crate::parser::escape;
-use std::fmt::Write;
+use std::io::{self, Write};
 
 /// Serialization options.
 #[derive(Debug, Clone, Copy)]
@@ -22,50 +29,88 @@ impl Default for WriteConfig {
     }
 }
 
-fn write_elem(e: &Element, cfg: WriteConfig, level: usize, out: &mut String) {
-    let pad = |out: &mut String, level: usize| {
+fn write_elem<W: Write>(
+    e: &Element,
+    cfg: WriteConfig,
+    level: usize,
+    out: &mut W,
+) -> io::Result<()> {
+    const SPACES: &str = "                                                                ";
+    let pad = |out: &mut W, level: usize| -> io::Result<()> {
         if let Some(w) = cfg.indent {
-            for _ in 0..level * w {
-                out.push(' ');
+            let mut n = level * w;
+            while n > 0 {
+                let take = n.min(SPACES.len());
+                out.write_all(&SPACES.as_bytes()[..take])?;
+                n -= take;
             }
         }
+        Ok(())
     };
-    let nl = |out: &mut String| {
+    let nl = |out: &mut W| -> io::Result<()> {
         if cfg.indent.is_some() {
-            out.push('\n');
+            out.write_all(b"\n")?;
         }
+        Ok(())
     };
-    pad(out, level);
-    let _ = write!(out, "<{}", e.name);
+    pad(out, level)?;
+    write!(out, "<{}", e.name)?;
     if cfg.write_ids && !e.id.is_auto() {
-        let _ = write!(out, " id=\"{}\"", escape(&e.id.to_string()));
+        write!(out, " id=\"{}\"", escape(&e.id.to_string()))?;
     }
     match &e.content {
         Content::Elements(v) if v.is_empty() => {
-            out.push_str("/>");
-            nl(out);
+            out.write_all(b"/>")?;
+            nl(out)?;
         }
         Content::Elements(v) => {
-            out.push('>');
-            nl(out);
+            out.write_all(b">")?;
+            nl(out)?;
             for c in v {
-                write_elem(c, cfg, level + 1, out);
+                write_elem(c, cfg, level + 1, out)?;
             }
-            pad(out, level);
-            let _ = write!(out, "</{}>", e.name);
-            nl(out);
+            pad(out, level)?;
+            write!(out, "</{}>", e.name)?;
+            nl(out)?;
         }
         Content::Text(t) => {
-            let _ = write!(out, ">{}</{}>", escape(t), e.name);
-            nl(out);
+            write!(out, ">{}</{}>", escape(t), e.name)?;
+            nl(out)?;
         }
     }
+    Ok(())
+}
+
+/// Serializes an element into an [`io::Write`] sink, indented as if it
+/// sat at nesting `level` of a larger document. In indented mode the
+/// output ends with a newline (streaming producers append siblings, so
+/// there is no trailing trim — see [`write_element`] for the `String`
+/// symmetry rule).
+pub fn write_element_at<W: Write>(
+    e: &Element,
+    cfg: WriteConfig,
+    level: usize,
+    out: &mut W,
+) -> io::Result<()> {
+    write_elem(e, cfg, level, out)
+}
+
+/// Serializes an element to a sink at level 0 (newline-terminated in
+/// indented mode; see [`write_element_at`]).
+pub fn write_element_to<W: Write>(e: &Element, cfg: WriteConfig, out: &mut W) -> io::Result<()> {
+    write_elem(e, cfg, 0, out)
+}
+
+/// Serializes a document to a sink (newline-terminated in indented mode).
+pub fn write_document_to<W: Write>(d: &Document, cfg: WriteConfig, out: &mut W) -> io::Result<()> {
+    write_element_to(&d.root, cfg, out)
 }
 
 /// Serializes an element.
 pub fn write_element(e: &Element, cfg: WriteConfig) -> String {
-    let mut out = String::new();
-    write_elem(e, cfg, 0, &mut out);
+    let mut buf = Vec::new();
+    write_elem(e, cfg, 0, &mut buf).expect("writing to a Vec cannot fail");
+    let mut out = String::from_utf8(buf).expect("serializer emits UTF-8");
     if cfg.indent.is_some() {
         // drop the trailing newline for symmetric roundtrips
         out.truncate(out.trim_end().len());
@@ -133,5 +178,50 @@ mod tests {
         );
         assert_eq!(out, "<t>a &lt; b &amp; c</t>");
         assert_eq!(parse_element(&out).unwrap().pcdata(), Some("a < b & c"));
+    }
+
+    #[test]
+    fn io_variant_matches_string_variant_modulo_trailing_newline() {
+        let src = "<a><b><c/></b><d>t &amp; u</d></a>";
+        let e = parse_element(src).unwrap();
+        for cfg in [
+            WriteConfig::default(),
+            WriteConfig {
+                indent: None,
+                write_ids: true,
+            },
+            WriteConfig {
+                indent: Some(4),
+                write_ids: false,
+            },
+        ] {
+            let mut buf = Vec::new();
+            write_element_to(&e, cfg, &mut buf).unwrap();
+            let via_io = String::from_utf8(buf).unwrap();
+            let via_string = write_element(&e, cfg);
+            if cfg.indent.is_some() {
+                assert_eq!(via_io, format!("{via_string}\n"));
+            } else {
+                assert_eq!(via_io, via_string);
+            }
+        }
+    }
+
+    #[test]
+    fn write_element_at_indents_like_a_nested_child() {
+        let e = parse_element("<d>txt</d>").unwrap();
+        let mut buf = Vec::new();
+        write_element_at(&e, WriteConfig::default(), 2, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "    <d>txt</d>\n");
+    }
+
+    #[test]
+    fn deep_indentation_pads_fully() {
+        // deeper than the serializer's internal padding chunk
+        let e = Element::new("x", vec![]);
+        let mut buf = Vec::new();
+        write_element_at(&e, WriteConfig::default(), 40, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s, format!("{}<x/>\n", " ".repeat(80)));
     }
 }

@@ -104,6 +104,7 @@ struct Args {
     memo: usize,
     conns: Option<usize>,
     inflight: Option<usize>,
+    stream: bool,
 }
 
 /// The multiplexed-client configuration the shared flags describe:
@@ -156,6 +157,7 @@ fn parse_args() -> Args {
         memo: 0,
         conns: None,
         inflight: None,
+        stream: false,
     };
     while let Some(flag) = argv.next() {
         let mut grab = || argv.next().unwrap_or_else(|| usage());
@@ -181,6 +183,7 @@ fn parse_args() -> Args {
             }
             "--name" => args.name = grab(),
             "--bench" => args.bench = true,
+            "--stream" => args.stream = true,
             "--batch" => {
                 args.batch = grab().parse().unwrap_or_else(|_| usage());
             }
@@ -557,6 +560,65 @@ fn federate_topology(args: &Args, q: &Query, topo_path: &str) -> ExitCode {
     code
 }
 
+/// `eval --stream`: one-pass evaluation over the document file with the
+/// answer serialized incrementally to stdout (byte-identical to the
+/// in-memory path) and a resource report on stderr. Returns `None` when
+/// the query is outside the streamable fragment — the caller falls back.
+fn stream_eval_command(args: &Args, dtd: &Dtd, nq: &Query) -> Option<ExitCode> {
+    let cq = match CompiledQuery::compile(nq, Some(dtd)) {
+        Ok(cq) => cq,
+        Err(unsupported) => {
+            eprintln!("mixctl: query not streamable ({unsupported}); evaluating in memory");
+            return None;
+        }
+    };
+    let path = args
+        .docs
+        .first()
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mixctl: {path}: {e}");
+            return Some(ExitCode::FAILURE);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    match stream_answer_to(
+        std::io::BufReader::new(file),
+        &cq,
+        WriteConfig::default(),
+        &mut out,
+    ) {
+        Ok(stats) => {
+            use std::io::Write;
+            let _ = out.write_all(b"\n");
+            let _ = out.flush();
+            eprintln!(
+                "streamed {} bytes, {} events; {} answers; peak state {} bytes \
+                 (matcher {} + reader buffer {})",
+                stats.bytes_read,
+                stats.events,
+                stats.answers,
+                stats.peak_state_bytes(),
+                stats.peak_matcher_bytes,
+                stats.reader_buffer_high_water,
+            );
+            Some(ExitCode::SUCCESS)
+        }
+        Err(mix::stream::StreamError::Parse(e)) => {
+            eprintln!("mixctl: {path}: {e}");
+            Some(ExitCode::from(EXIT_PARSE))
+        }
+        Err(mix::stream::StreamError::Io(e)) => {
+            eprintln!("mixctl: {path}: {e}");
+            Some(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     match args.command.as_str() {
@@ -567,7 +629,12 @@ fn main() -> ExitCode {
                  \x20 infer      --dtd F --query F   infer the specialized + merged view DTDs\n\
                  \x20 classify   --dtd F --query F   valid | satisfiable | unsatisfiable\n\
                  \x20 validate   --dtd F --doc F     validate a document (exit 1 on failure)\n\
-                 \x20 eval       --dtd F --doc F --query F   run the query, print the view\n\
+                 \x20 eval       --dtd F --doc F --query F [--stream]   run the query and\n\
+                 \x20            print the view. --stream evaluates in one pass over the\n\
+                 \x20            document file with bounded state (large documents), with\n\
+                 \x20            a one-line resource report on stderr; queries outside\n\
+                 \x20            the streamable fragment fall back to in-memory\n\
+                 \x20            evaluation\n\
                  \x20 structure  --dtd F             the DTD-based query-interface summary\n\
                  \x20 tightness  --dtd F --query F [--max-size N]   exact tightness counts\n\
                  \x20 union      [--name N] --part DTD:QUERY …      infer a union view DTD\n\
@@ -689,19 +756,24 @@ fn main() -> ExitCode {
         }
         "eval" => {
             let dtd = load_dtd(&args);
-            let doc = load_doc(&args);
             let q = load_query(&args);
-            match normalize(&q, &dtd) {
-                Ok(nq) => {
-                    let out = evaluate(&nq, &doc);
-                    println!("{}", write_document(&out, WriteConfig::default()));
-                    ExitCode::SUCCESS
-                }
+            let nq = match normalize(&q, &dtd) {
+                Ok(nq) => nq,
                 Err(e) => {
                     eprintln!("mixctl: query rejected: {e}");
-                    ExitCode::from(EXIT_QUERY)
+                    return ExitCode::from(EXIT_QUERY);
                 }
+            };
+            if args.stream {
+                if let Some(code) = stream_eval_command(&args, &dtd, &nq) {
+                    return code;
+                }
+                // not streamable: fall through to the in-memory path
             }
+            let doc = load_doc(&args);
+            let out = evaluate(&nq, &doc);
+            println!("{}", write_document(&out, WriteConfig::default()));
+            ExitCode::SUCCESS
         }
         "structure" => {
             let dtd = load_dtd(&args);

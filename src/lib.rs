@@ -43,6 +43,7 @@ pub use mix_mediator as mediator;
 pub use mix_net as net;
 pub use mix_obs as obs;
 pub use mix_relang as relang;
+pub use mix_stream as stream;
 pub use mix_xmas as xmas;
 pub use mix_xml as xml;
 
@@ -66,9 +67,9 @@ pub mod prelude {
         compose, render_structure, Answer, AnswerPath, BreakerState, DeadReplica,
         DegradationReport, Fault, FaultInjector, FaultPlan, Federation, FederationPart,
         FetchStatus, HashRing, LatencyWrapper, Mediator, MediatorError, ProcessorConfig,
-        RemoteWrapper, ReplicaInstruments, ReplicaPolicy, ReplicaSet, ResiliencePolicy,
-        SourceError, SourceOutcome, SourceSpec, Topology, TopologyError, UnionView, ViewWrapper,
-        Wrapper, WrapperService, XmlSource,
+        RemoteWrapper, ReplicaInstruments, ReplicaPolicy, ReplicaSet, ResiliencePolicy, ServedBy,
+        SourceError, SourceOutcome, SourceSpec, StreamingWrapper, Topology, TopologyError,
+        UnionView, ViewWrapper, Wrapper, WrapperService, XmlSource,
     };
     pub use mix_net::{
         AdmissionConfig, ClientConfig, Connection, Msg, NetError, Pool, Server, ServerConfig,
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use mix_obs::{Registry, Snapshot};
     pub use mix_relang::symbol::{name, sym, Name, Sym};
     pub use mix_relang::{equivalent, is_subset, parse_regex, simplify, Regex};
+    pub use mix_stream::{stream_answer, stream_answer_to, CompiledQuery, StreamStats};
     pub use mix_xmas::{evaluate, normalize, parse_query, Query};
     pub use mix_xml::{parse_document, write_document, Document, Element, WriteConfig};
 }

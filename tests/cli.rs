@@ -679,3 +679,55 @@ fn serve_bench_json_carries_the_obs_snapshot() {
         "pool byte gauge missing or zero"
     );
 }
+
+#[test]
+fn eval_stream_matches_in_memory_output() {
+    let dtd = fixture("st.dtd", D1);
+    let doc = fixture("st.xml", DOC);
+    // A streamable query (no !=) …
+    let q = fixture(
+        "st.xmas",
+        "profs = SELECT P WHERE <department> <name>CS</name> P:<professor/> </department>",
+    );
+    let args = [
+        "eval",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--doc",
+        doc.to_str().unwrap(),
+        "--query",
+        q.to_str().unwrap(),
+    ];
+    let plain = mixctl(&args);
+    assert!(plain.status.success());
+    let mut streamed_args = args.to_vec();
+    streamed_args.push("--stream");
+    let streamed = mixctl(&streamed_args);
+    assert!(streamed.status.success());
+    assert_eq!(
+        plain.stdout, streamed.stdout,
+        "stream output must be byte-identical"
+    );
+    let report = String::from_utf8_lossy(&streamed.stderr);
+    assert!(report.contains("peak state"), "{report}");
+
+    // … and a query outside the fragment (Q2 uses !=) falls back with
+    // identical output and a note.
+    let q2 = fixture("st2.xmas", Q2);
+    let args2 = [
+        "eval",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--doc",
+        doc.to_str().unwrap(),
+        "--query",
+        q2.to_str().unwrap(),
+    ];
+    let plain2 = mixctl(&args2);
+    let mut streamed_args2 = args2.to_vec();
+    streamed_args2.push("--stream");
+    let streamed2 = mixctl(&streamed_args2);
+    assert!(streamed2.status.success());
+    assert_eq!(plain2.stdout, streamed2.stdout);
+    assert!(String::from_utf8_lossy(&streamed2.stderr).contains("not streamable"));
+}
