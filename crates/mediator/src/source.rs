@@ -246,8 +246,13 @@ impl ParseMemo {
             self.map.clear();
             self.bytes = 0;
         }
-        self.bytes += xml.len();
-        self.map.insert(xml, doc);
+        let len = xml.len();
+        self.bytes += len;
+        // Two threads can miss on the same reply and both insert; the
+        // replaced entry's key is the same text, so undo its accounting.
+        if self.map.insert(xml, doc).is_some() {
+            self.bytes -= len;
+        }
         evicted
     }
 }
@@ -585,6 +590,23 @@ mod tests {
             assert_eq!(memo.insert(format!("{big}{i}"), small.clone()), 0, "i={i}");
         }
         assert!(memo.insert(format!("{big}{fits}"), small.clone()) > 0);
+    }
+
+    #[test]
+    fn reinserting_the_same_reply_does_not_double_count_bytes() {
+        // Two threads can both miss on the same reply and insert it;
+        // the replacement must not inflate the byte accounting
+        // (regression: the counter only drifted upward, forcing
+        // premature full wipes).
+        let small = parse_document("<a/>").unwrap();
+        let mut memo = ParseMemo::new();
+        let xml = "<a id='dup'/>".to_string();
+        memo.insert(xml.clone(), small.clone());
+        let once = memo.bytes;
+        memo.insert(xml.clone(), small.clone());
+        memo.insert(xml, small);
+        assert_eq!(memo.bytes, once);
+        assert_eq!(memo.map.len(), 1);
     }
 
     #[test]

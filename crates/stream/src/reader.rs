@@ -277,9 +277,14 @@ impl<R: Read> EventReader<R> {
                 return Ok(());
             }
             // Keep a window large enough that `end` can't hide across the
-            // refill boundary, discard the rest.
+            // refill boundary, discard the rest. The window is sized in
+            // bytes, so widen it until the new pos is a char boundary —
+            // `end` is ASCII, so keeping extra bytes never loses a match.
             let keep = (end.len() - 1).min(self.buf.len() - self.pos);
-            let drop = self.buf.len() - self.pos - keep;
+            let mut drop = self.buf.len() - self.pos - keep;
+            while !self.buf.is_char_boundary(self.pos + drop) {
+                drop -= 1;
+            }
             self.pos += drop;
             self.compact();
             if !self.fill_more()? {
@@ -685,6 +690,41 @@ mod tests {
         let mut r = EventReader::new(TwoBytes(src.as_bytes(), 0));
         assert!(matches!(r.next_event().unwrap(), XmlEvent::Open { .. }));
         assert_eq!(r.next_event().unwrap(), XmlEvent::Text("søren — ∀x".into()));
+    }
+
+    #[test]
+    fn multibyte_comment_survives_trickle_reads() {
+        // The comment skipper trims its window by raw byte count; with
+        // 1-byte reads the trim lands inside the multi-byte characters
+        // unless it is widened back to a char boundary (regression:
+        // slice panic "byte index is not a char boundary").
+        struct OneByte<'a>(&'a [u8], usize);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        for src in [
+            "<a><!--€€€--><b/></a>",
+            "<?π — ∀x?><a>t</a>",
+            "<a>x<!-- søren — café -->y</a>",
+        ] {
+            let mut whole = EventReader::new(Cursor::new(src.as_bytes().to_vec()));
+            let mut trickle = EventReader::new(OneByte(src.as_bytes(), 0));
+            loop {
+                let a = whole.next_event().unwrap();
+                let b = trickle.next_event().unwrap();
+                assert_eq!(a, b, "in {src:?}");
+                if a == XmlEvent::Eof {
+                    break;
+                }
+            }
+        }
     }
 
     #[test]
