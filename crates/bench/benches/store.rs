@@ -1,0 +1,174 @@
+//! X22 — restart-to-first-warm-answer: how long a restarted serving
+//! process takes to answer its working set, cold versus warm-started
+//! from a persisted `mix-store` generation.
+//!
+//! Custom harness (not Criterion): the acceptance criteria are a ≥10×
+//! cold/warm ratio with byte-identical inference results, plus a
+//! corrupted-store pass that must fall back cold (skips counted, still
+//! byte-identical). Machine-readable results land in `BENCH_PR9.json`
+//! at the workspace root.
+
+use mix_dtd::Dtd;
+use mix_infer::{InferenceCache, InferredView, WarmStore};
+use mix_obs::Registry;
+use mix_store::Store;
+use mix_xmas::Query;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The restart working set: the paper's D1 queries plus deep/wide chain
+/// views whose cold inference is dominated by automata and memo work —
+/// the cost a warm start is supposed to skip.
+fn workload() -> Vec<(Query, Dtd)> {
+    let mut w = vec![
+        (mix_bench::q2(), mix_bench::d1()),
+        (mix_bench::q3(), mix_bench::d1()),
+    ];
+    for (depth, width) in [
+        (6, 12),
+        (8, 16),
+        (10, 24),
+        (12, 32),
+        (10, 48),
+        (8, 64),
+        (6, 96),
+        (14, 48),
+        (5, 128),
+    ] {
+        let (dtd, q) = mix_bench::wide_chain_workload(depth, width);
+        w.push((q, dtd));
+    }
+    let (dtd, q) = mix_bench::chain_workload(24);
+    w.push((q, dtd));
+    w
+}
+
+fn render(iv: &InferredView) -> String {
+    format!(
+        "{}\n{}\n{:?}\n{}",
+        iv.sdtd, iv.dtd, iv.verdict, iv.list_type
+    )
+}
+
+/// Answers the whole working set through `cache`, returning the elapsed
+/// time and the canonical renders.
+fn first_answers(cache: &InferenceCache, work: &[(Query, Dtd)]) -> (f64, Vec<String>) {
+    let t = Instant::now();
+    let renders = work
+        .iter()
+        .map(|(q, dtd)| render(&cache.infer(q, dtd).expect("X22 inference succeeds")))
+        .collect();
+    (t.elapsed().as_secs_f64(), renders)
+}
+
+fn main() {
+    let work = workload();
+    let dir = std::env::temp_dir().join(format!("mix_x22_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // -- cold process: empty store, every answer is a full inference ------
+    mix_relang::clear_memo();
+    let cold_registry = Registry::new();
+    let store = Arc::new(Store::open(&dir, &cold_registry).expect("open X22 store"));
+    let cache = InferenceCache::with_store(cold_registry, Arc::clone(&store) as Arc<dyn WarmStore>);
+    let (cold_s, reference) = first_answers(&cache, &work);
+    assert_eq!(
+        cache.stats().misses,
+        work.len() as u64,
+        "cold run must miss"
+    );
+    // clean shutdown: one compacted generation (pool + memo + views)
+    assert!(cache.compact_store());
+    let bytes = store.stats().bytes;
+    println!(
+        "X22: cold first answers over {} views in {:.1} ms; compacted {} store bytes",
+        work.len(),
+        cold_s * 1e3,
+        bytes,
+    );
+
+    // -- warm restart: load the generation, then answer the same set ------
+    mix_relang::clear_memo();
+    let warm_registry = Registry::new();
+    let t = Instant::now();
+    let store = Arc::new(Store::open(&dir, &warm_registry).expect("reopen X22 store"));
+    let cache = InferenceCache::with_store(warm_registry, Arc::clone(&store) as Arc<dyn WarmStore>);
+    let (answer_s, warm_renders) = first_answers(&cache, &work);
+    let warm_s = t.elapsed().as_secs_f64();
+    let stats = store.stats();
+    assert_eq!(warm_renders, reference, "a warm restart changed an answer");
+    assert_eq!(
+        cache.stats().misses,
+        0,
+        "every warm answer must come from the store, not re-inference"
+    );
+    assert_eq!(
+        stats.load_skipped, 0,
+        "a clean store must load without skips"
+    );
+    let speedup = cold_s / warm_s.max(1e-9);
+    println!(
+        "X22: warm restart answered in {:.2} ms (load+lookup; {:.2} ms lookups): {:.0}x",
+        warm_s * 1e3,
+        answer_s * 1e3,
+        speedup,
+    );
+    assert!(
+        speedup >= 10.0,
+        "warm restart must be at least 10x the cold start (got {speedup:.1}x)"
+    );
+
+    // -- corrupted store: bit flips must degrade to cold, never to wrong --
+    let gen = std::fs::read_dir(&dir)
+        .expect("store dir")
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "snap"))
+        .expect("a compacted generation exists");
+    let pristine = std::fs::read(&gen).expect("read generation");
+    let mut corrupt_skipped = 0u64;
+    // flip a byte at several depths of the file: header, pool record,
+    // and the view records near the tail
+    for denom in [2, 3, 5, 8] {
+        let mut bad = pristine.clone();
+        let at = bad.len() / denom;
+        bad[at] ^= 0x20;
+        std::fs::write(&gen, &bad).expect("write corrupted generation");
+        mix_relang::clear_memo();
+        let registry = Registry::new();
+        let store = Arc::new(Store::open(&dir, &registry).expect("open corrupted store"));
+        let cache = InferenceCache::with_store(registry, Arc::clone(&store) as Arc<dyn WarmStore>);
+        let (_, renders) = first_answers(&cache, &work);
+        assert_eq!(renders, reference, "a corrupted store changed an answer");
+        corrupt_skipped += store.stats().load_skipped;
+    }
+    std::fs::write(&gen, &pristine).expect("restore generation");
+    assert!(
+        corrupt_skipped > 0,
+        "corrupted generations must count skipped records"
+    );
+    println!("X22: 4 corrupted-store restarts: {corrupt_skipped} records skipped, answers byte-identical");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let json = format!(
+        "{{\n  \"experiment\": \"X22\",\n  \
+         \"generated_by\": \"cargo bench -p mix-bench --bench store\",\n  \
+         \"views\": {},\n  \"store_bytes\": {},\n  \
+         \"cold_first_answers_ms\": {:.3},\n  \
+         \"warm_restart_ms\": {:.3},\n  \"warm_lookup_ms\": {:.3},\n  \
+         \"warm_speedup\": {:.1},\n  \
+         \"corrupted_runs\": {{ \"restarts\": 4, \"records_skipped\": {}, \
+         \"byte_identical_answers\": true }},\n  \
+         \"byte_identical_answers\": true\n}}",
+        work.len(),
+        bytes,
+        cold_s * 1e3,
+        warm_s * 1e3,
+        answer_s * 1e3,
+        speedup,
+        corrupt_skipped,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
+    std::fs::write(out, json + "\n").expect("write BENCH_PR9.json");
+    println!("wrote {out}");
+}

@@ -33,6 +33,19 @@
 //! typed view over the same instruments, reported through
 //! [`crate::metrics::serving_metrics`] next to the automata-layer
 //! [`mix_relang::memo_stats`].
+//!
+//! **Bounding.** The table is capped ([`INFERENCE_CACHE_CAPACITY`] by
+//! default): at the bound, inserting runs a second-chance sweep — every
+//! entry not hit since the previous sweep is dropped (counted in
+//! `inference_cache_evictions_total`), survivors are demoted, and a
+//! fully-referenced table flushes wholesale like the relang memo tables.
+//!
+//! **Persistence.** A cache built with [`InferenceCache::with_store`]
+//! warm-starts from a [`WarmStore`] (mix-store's content-addressed
+//! segment store) and writes each freshly inferred entry behind to it;
+//! [`InferenceCache::compact_store`] snapshots the resident entries back
+//! at clean shutdown. The fingerprints are process-independent content
+//! hashes, which is exactly what makes the entries portable.
 
 use crate::pipeline::{infer_view_dtd, InferredView};
 use mix_dtd::{ContentModel, Dtd};
@@ -41,7 +54,50 @@ use mix_relang::ast::Regex;
 use mix_xmas::{normalize, NormalizeError, Query};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Default resident-entry bound of an [`InferenceCache`] (the PR-8
+/// `ParseMemo` bound philosophy: a mediator's working set is small, so
+/// cap the table and evict instead of growing without limit).
+pub const INFERENCE_CACHE_CAPACITY: usize = 4096;
+
+/// A persistence backend an [`InferenceCache`] can warm-start from —
+/// implemented by `mix-store`'s content-addressed segment store. The
+/// trait lives here (not in the store crate) so `mix-infer` stays free
+/// of any storage dependency; the cache only ever sees opaque loads and
+/// write-behind notifications.
+///
+/// Contract: `load_views` must return only entries whose payloads were
+/// re-validated against their fingerprints (a corrupt or stale entry is
+/// the implementation's problem to drop — cold inference is always the
+/// correct fallback), and `record_view`/`compact` must never block
+/// serving on durability (best-effort, swallow I/O errors).
+pub trait WarmStore: Send + Sync {
+    /// Every persisted, re-validated `(fingerprint, inferred view)` pair.
+    fn load_views(&self) -> Vec<(Fingerprint, InferredView)>;
+    /// Write-behind notification: `iv` was just inferred under `fp`.
+    fn record_view(&self, fp: &Fingerprint, iv: &InferredView);
+    /// Compacts the backing store down to `entries` (plus whatever
+    /// non-view state the store persists, e.g. the regex pool arena).
+    fn compact(&self, entries: &[(Fingerprint, Arc<InferredView>)]);
+}
+
+/// One resident entry: the shared result plus the second-chance
+/// reference bit (set on every hit, cleared by the eviction sweep).
+struct Slot {
+    view: Arc<InferredView>,
+    referenced: AtomicBool,
+}
+
+impl Slot {
+    fn new(view: Arc<InferredView>) -> Slot {
+        Slot {
+            view,
+            referenced: AtomicBool::new(false),
+        }
+    }
+}
 
 /// Process-independent cache key for one (normalized query, source DTD)
 /// inference.
@@ -110,6 +166,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped by [`InferenceCache::invalidate_dtd`].
     pub invalidations: u64,
+    /// Entries dropped by the capacity bound's second-chance sweep.
+    pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -117,11 +175,14 @@ pub struct CacheStats {
 /// A concurrency-safe memo table for [`infer_view_dtd`], shared by every
 /// thread of the mediator's serving layer (`answer_many`).
 pub struct InferenceCache {
-    map: RwLock<HashMap<Fingerprint, Arc<InferredView>>>,
+    map: RwLock<HashMap<Fingerprint, Slot>>,
+    capacity: usize,
+    store: Option<Arc<dyn WarmStore>>,
     registry: Registry,
     hits: Counter,
     misses: Counter,
     invalidations: Counter,
+    evictions: Counter,
     entries: Gauge,
 }
 
@@ -141,14 +202,45 @@ impl InferenceCache {
     /// `registry` — pass the mediator's registry to serve one merged
     /// exposition, or [`Registry::noop`] to observe nothing.
     pub fn with_registry(registry: Registry) -> InferenceCache {
+        InferenceCache::with_capacity(INFERENCE_CACHE_CAPACITY, registry)
+    }
+
+    /// An empty cache bounded at `capacity` resident entries. At the
+    /// bound, inserting sweeps second-chance style: entries not hit since
+    /// the previous sweep are evicted (counted in
+    /// `inference_cache_evictions_total`); if every entry was hit, the
+    /// table is flushed wholesale like the relang memo tables.
+    pub fn with_capacity(capacity: usize, registry: Registry) -> InferenceCache {
         InferenceCache {
             map: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            store: None,
             hits: registry.counter("inference_cache_hits_total"),
             misses: registry.counter("inference_cache_misses_total"),
             invalidations: registry.counter("inference_cache_invalidations_total"),
+            evictions: registry.counter("inference_cache_evictions_total"),
             entries: registry.gauge("inference_cache_entries"),
             registry,
         }
+    }
+
+    /// A cache that warm-starts from `store` (every persisted,
+    /// re-validated entry is resident before the first lookup) and writes
+    /// behind to it on each miss. Loading past the capacity bound stops
+    /// early — cold inference refills anything dropped.
+    pub fn with_store(registry: Registry, store: Arc<dyn WarmStore>) -> InferenceCache {
+        let mut cache = InferenceCache::with_registry(registry);
+        let mut map = HashMap::new();
+        for (fp, iv) in store.load_views() {
+            if map.len() >= cache.capacity {
+                break;
+            }
+            map.entry(fp).or_insert_with(|| Slot::new(Arc::new(iv)));
+        }
+        cache.entries.set(map.len() as i64);
+        cache.map = RwLock::new(map);
+        cache.store = Some(store);
+        cache
     }
 
     /// The registry this cache observes into.
@@ -171,9 +263,10 @@ impl InferenceCache {
     pub fn infer(&self, q: &Query, source: &Dtd) -> Result<Arc<InferredView>, NormalizeError> {
         let lookup = self.registry.span("cache_lookup");
         let fp = InferenceCache::fingerprint(q, source)?;
-        if let Some(iv) = self.map.read().get(&fp) {
+        if let Some(slot) = self.map.read().get(&fp) {
             self.hits.inc();
-            return Ok(Arc::clone(iv));
+            slot.referenced.store(true, Ordering::Relaxed);
+            return Ok(Arc::clone(&slot.view));
         }
         drop(lookup);
         self.misses.inc();
@@ -182,10 +275,36 @@ impl InferenceCache {
         drop(infer_span);
         // under contention the pipeline may have raced: keep the first
         // insert so concurrent callers converge on one shared value
-        let mut map = self.map.write();
-        let shared = Arc::clone(map.entry(fp).or_insert(iv));
-        self.entries.set(map.len() as i64);
+        let (shared, inserted) = {
+            let mut map = self.map.write();
+            let inserted = !map.contains_key(&fp);
+            if inserted && map.len() >= self.capacity {
+                self.sweep(&mut map);
+            }
+            let shared = Arc::clone(&map.entry(fp).or_insert_with(|| Slot::new(iv)).view);
+            self.entries.set(map.len() as i64);
+            (shared, inserted)
+        };
+        if inserted {
+            // write-behind outside the lock: durability never blocks peers
+            if let Some(store) = &self.store {
+                store.record_view(&fp, &shared);
+            }
+        }
         Ok(shared)
+    }
+
+    /// The second-chance sweep run at the capacity bound (caller holds
+    /// the write lock): drop everything not referenced since the last
+    /// sweep and demote the survivors; if every entry was referenced,
+    /// flush wholesale — the next misses rebuild the hot set.
+    fn sweep(&self, map: &mut HashMap<Fingerprint, Slot>) {
+        let before = map.len();
+        map.retain(|_, slot| slot.referenced.swap(false, Ordering::Relaxed));
+        if map.len() == before {
+            map.clear();
+        }
+        self.evictions.add((before - map.len()) as u64);
     }
 
     /// Drops every entry inferred against `source` (matched by DTD
@@ -201,6 +320,29 @@ impl InferenceCache {
         self.invalidations.add(dropped as u64);
         self.entries.set(map.len() as i64);
         dropped
+    }
+
+    /// The resident entries, for compaction: every `(fingerprint, view)`
+    /// pair currently held.
+    pub fn entries_snapshot(&self) -> Vec<(Fingerprint, Arc<InferredView>)> {
+        self.map
+            .read()
+            .iter()
+            .map(|(&fp, slot)| (fp, Arc::clone(&slot.view)))
+            .collect()
+    }
+
+    /// Compacts the warm store (if one is attached) down to the resident
+    /// entries — the clean-shutdown / on-demand snapshot hook. Returns
+    /// whether a store was attached.
+    pub fn compact_store(&self) -> bool {
+        match &self.store {
+            Some(store) => {
+                store.compact(&self.entries_snapshot());
+                true
+            }
+            None => false,
+        }
     }
 
     /// Drops everything (counters are kept).
@@ -226,6 +368,7 @@ impl InferenceCache {
             hits: self.hits.get(),
             misses: self.misses.get(),
             invalidations: self.invalidations.get(),
+            evictions: self.evictions.get(),
             entries: self.len(),
         }
     }
@@ -326,6 +469,98 @@ mod tests {
         // reordering definitions is a different document
         let c = parse_compact("{<site : item*> <item : part?> <part : EMPTY>}").unwrap();
         assert_ne!(fingerprint_dtd(&a), fingerprint_dtd(&c));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_second_chance() {
+        // capacity 2: two queries fill the cache; a third insert sweeps.
+        // q_a is re-hit before the sweep (reference bit set), q_b is not —
+        // so the sweep evicts exactly q_b.
+        let cache = InferenceCache::with_capacity(2, Registry::new());
+        let d = d1_department();
+        let q_a = q3();
+        let q_b = parse_query("profs = SELECT P WHERE <department> P:<professor/> </>").unwrap();
+        let q_c = parse_query("grads = SELECT G WHERE <department> G:<gradStudent/> </>").unwrap();
+        cache.infer(&q_a, &d).unwrap();
+        cache.infer(&q_b, &d).unwrap();
+        cache.infer(&q_a, &d).unwrap(); // sets q_a's reference bit
+        cache.infer(&q_c, &d).unwrap(); // at capacity: sweep runs
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1, "only the unreferenced entry is evicted");
+        assert_eq!(s.entries, 2);
+        // q_a survived (hit), q_b was evicted (miss)
+        let h = cache.stats().hits;
+        cache.infer(&q_a, &d).unwrap();
+        assert_eq!(cache.stats().hits, h + 1);
+        let m = cache.stats().misses;
+        cache.infer(&q_b, &d).unwrap();
+        assert_eq!(cache.stats().misses, m + 1);
+    }
+
+    #[test]
+    fn all_referenced_sweep_flushes_wholesale() {
+        let cache = InferenceCache::with_capacity(2, Registry::new());
+        let d = d1_department();
+        let q_a = q3();
+        let q_b = parse_query("profs = SELECT P WHERE <department> P:<professor/> </>").unwrap();
+        let q_c = parse_query("grads = SELECT G WHERE <department> G:<gradStudent/> </>").unwrap();
+        cache.infer(&q_a, &d).unwrap();
+        cache.infer(&q_b, &d).unwrap();
+        cache.infer(&q_a, &d).unwrap();
+        cache.infer(&q_b, &d).unwrap(); // both reference bits set
+        cache.infer(&q_c, &d).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 2, "everything referenced: wholesale flush");
+        assert_eq!(s.entries, 1, "only the new entry is resident");
+    }
+
+    #[derive(Default)]
+    struct RecordingStore {
+        seed: Vec<(Fingerprint, InferredView)>,
+        recorded: parking_lot::Mutex<Vec<Fingerprint>>,
+        compacted: parking_lot::Mutex<Vec<usize>>,
+    }
+
+    impl WarmStore for RecordingStore {
+        fn load_views(&self) -> Vec<(Fingerprint, InferredView)> {
+            self.seed.clone()
+        }
+        fn record_view(&self, fp: &Fingerprint, _iv: &InferredView) {
+            self.recorded.lock().push(*fp);
+        }
+        fn compact(&self, entries: &[(Fingerprint, Arc<InferredView>)]) {
+            self.compacted.lock().push(entries.len());
+        }
+    }
+
+    #[test]
+    fn warm_store_loads_writes_behind_and_compacts() {
+        let d = d1_department();
+        let fp = InferenceCache::fingerprint(&q3(), &d).unwrap();
+        let seeded = infer_view_dtd(&q3(), &d).unwrap();
+        let store = Arc::new(RecordingStore {
+            seed: vec![(fp, seeded)],
+            ..RecordingStore::default()
+        });
+        let cache =
+            InferenceCache::with_store(Registry::new(), Arc::clone(&store) as Arc<dyn WarmStore>);
+        assert_eq!(cache.len(), 1, "store entries are resident on construct");
+        // the seeded entry serves as a hit: no pipeline run, no write-behind
+        cache.infer(&q3(), &d).unwrap();
+        assert_eq!(cache.stats(), {
+            let mut s = cache.stats();
+            s.hits = 1;
+            s.misses = 0;
+            s
+        });
+        assert!(store.recorded.lock().is_empty());
+        // a genuinely new inference writes behind
+        let q_b = parse_query("profs = SELECT P WHERE <department> P:<professor/> </>").unwrap();
+        cache.infer(&q_b, &d).unwrap();
+        assert_eq!(store.recorded.lock().len(), 1);
+        // compaction hands the store every resident entry
+        assert!(cache.compact_store());
+        assert_eq!(store.compacted.lock().as_slice(), &[2]);
     }
 
     #[test]

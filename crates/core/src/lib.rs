@@ -30,7 +30,10 @@ pub mod refine;
 pub mod tighten;
 pub mod union;
 
-pub use cache::{fingerprint_dtd, fingerprint_query, CacheStats, Fingerprint, InferenceCache};
+pub use cache::{
+    fingerprint_dtd, fingerprint_query, CacheStats, Fingerprint, InferenceCache, WarmStore,
+    INFERENCE_CACHE_CAPACITY,
+};
 pub use inferlist::{infer_list, one_level_extension, project};
 pub use merge::{merge, Merged};
 pub use naive::{naive_view_dtd, NaiveMode};

@@ -223,6 +223,21 @@ impl Mediator {
         Mediator::with_cache(config, Arc::new(InferenceCache::with_registry(registry)))
     }
 
+    /// An empty mediator whose [`InferenceCache`] warm-starts from a
+    /// persistent [`WarmStore`](mix_infer::WarmStore) and writes behind
+    /// to it on every miss — `mixctl --store-dir` builds its mediators
+    /// through here so restarts answer warm (experiment X22).
+    pub fn with_store(
+        config: ProcessorConfig,
+        registry: Registry,
+        store: Arc<dyn mix_infer::WarmStore>,
+    ) -> Mediator {
+        Mediator::with_cache(
+            config,
+            Arc::new(InferenceCache::with_store(registry, store)),
+        )
+    }
+
     /// An empty mediator sharing an existing [`InferenceCache`] — stacked
     /// or fleet-deployed mediators over the same sources can pool their
     /// inference work. The mediator adopts the cache's registry.

@@ -165,6 +165,41 @@ pub fn clear_memo() {
     m.inclusions_boxed.write().clear();
 }
 
+/// Snapshots the id-keyed inclusion table as `(a, b, L(a) ⊆ L(b))`
+/// triples — the mix-store persistence surface. The ids are only
+/// meaningful next to a matching arena export ([`pool::export_arena`])
+/// taken in the same process, which is why the store writes both into
+/// one checksummed generation.
+pub fn export_inclusions() -> Vec<(ReId, ReId, bool)> {
+    memo()
+        .inclusions
+        .read()
+        .iter()
+        .map(|(&(a, b), &v)| (a, b, v))
+        .collect()
+}
+
+/// Seeds the id-keyed inclusion table with persisted results whose ids
+/// were re-validated through [`pool::import_arena`]. Seeding respects
+/// the capacity bound (entries past it are dropped rather than flushing
+/// warm state) and never overwrites a resident entry. Returns how many
+/// entries were inserted.
+pub fn import_inclusions(entries: impl IntoIterator<Item = (ReId, ReId, bool)>) -> usize {
+    let m = memo();
+    let mut table = m.inclusions.write();
+    let mut inserted = 0;
+    for (a, b, v) in entries {
+        if table.len() >= INCLUSION_CAPACITY {
+            break;
+        }
+        if let std::collections::hash_map::Entry::Vacant(slot) = table.entry((a, b)) {
+            slot.insert(v);
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
 /// The minimized complete DFA of `r` over `alphabet`, shared via the
 /// process-wide cache. `alphabet` must be sorted and must contain every
 /// symbol of `r` (as guaranteed by the callers in [`crate::ops`]).
@@ -441,6 +476,36 @@ mod tests {
         assert_eq!(interned, boxed);
         assert_eq!(boxed, boxed_again);
         assert!(interned);
+    }
+
+    #[test]
+    fn inclusion_export_import_restores_cached_answers() {
+        let a = pool::intern(&r("w1, w1"));
+        let b = pool::intern(&r("w1*"));
+        assert!(memoized_subset_id(a, b));
+        let exported = export_inclusions();
+        assert!(exported.contains(&(a, b, true)));
+        // a fresh process is simulated by clearing, then importing
+        clear_memo();
+        let seeded = import_inclusions(exported.clone());
+        assert!(seeded >= 1);
+        let before = memo_stats();
+        assert!(memoized_subset_id(a, b));
+        let after = memo_stats();
+        assert!(
+            after.inclusion_hits > before.inclusion_hits,
+            "imported entry must serve as a hit"
+        );
+        // re-importing is a no-op (resident entries are never overwritten)
+        assert_eq!(
+            import_inclusions(
+                exported
+                    .iter()
+                    .copied()
+                    .filter(|&(x, y, _)| (x, y) == (a, b))
+            ),
+            0
+        );
     }
 
     #[test]

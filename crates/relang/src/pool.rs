@@ -688,6 +688,150 @@ pub fn image_id(id: ReId) -> ReId {
 }
 
 // ---------------------------------------------------------------------
+// Portable arena export / import (the mix-store warm-start surface)
+// ---------------------------------------------------------------------
+
+/// One node of a portable arena export: the [`ReNode`] shape with every
+/// child replaced by its *export index* and symbols spelled out as
+/// `(name string, tag)` pairs. Intern indices are process-local, so a
+/// portable encoding must bottom out in content, never in ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PortableNode {
+    /// The empty language.
+    Empty,
+    /// The empty sequence `ε`.
+    Epsilon,
+    /// A single tagged name, by content.
+    Sym {
+        /// The element name, spelled out.
+        name: String,
+        /// The specialization tag (`0` = untagged).
+        tag: crate::symbol::Tag,
+    },
+    /// Concatenation (children as export indices).
+    Concat(Vec<u32>),
+    /// Union (children as export indices).
+    Alt(Vec<u32>),
+    /// Kleene closure.
+    Star(u32),
+    /// One-or-more.
+    Plus(u32),
+    /// Zero-or-one.
+    Opt(u32),
+}
+
+/// One exported arena slot: the portable node plus the content-stable
+/// fingerprint cached at intern time. [`import_arena`] re-interns the
+/// node and re-verifies the fingerprint; a mismatch disqualifies the
+/// slot (and everything reachable through it) instead of trusting it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortableEntry {
+    /// The node, children as indices into the same export.
+    pub node: PortableNode,
+    /// The [`fingerprint`] recorded when the node was interned.
+    pub fp: u64,
+}
+
+/// The outcome of [`import_arena`]: a dense map from export indices to
+/// the (re-)interned ids of this process, with holes where a slot failed
+/// re-validation.
+#[derive(Clone, Debug, Default)]
+pub struct ImportedArena {
+    /// `ids[i]` is the local id of export slot `i`, or `None` if the slot
+    /// (or a child it depends on) failed fingerprint re-validation.
+    pub ids: Vec<Option<ReId>>,
+    /// Slots re-interned and fingerprint-verified.
+    pub imported: usize,
+    /// Slots dropped (bad child reference or fingerprint mismatch).
+    pub skipped: usize,
+}
+
+impl ImportedArena {
+    /// The local id of export slot `i`, if it survived re-validation.
+    pub fn id(&self, i: u32) -> Option<ReId> {
+        self.ids.get(i as usize).copied().flatten()
+    }
+}
+
+/// Exports the whole arena in allocation order. Children always precede
+/// parents (a node is interned only after its children), so an export is
+/// importable by a single forward pass. The export index of a slot is
+/// exactly its [`ReId::index`] at export time.
+pub fn export_arena() -> Vec<PortableEntry> {
+    let g = pool().inner.read();
+    g.entries
+        .iter()
+        .map(|e| {
+            let node = match &e.node {
+                ReNode::Empty => PortableNode::Empty,
+                ReNode::Epsilon => PortableNode::Epsilon,
+                ReNode::Sym(s) => PortableNode::Sym {
+                    name: s.name.as_str().to_owned(),
+                    tag: s.tag,
+                },
+                ReNode::Concat(v) => PortableNode::Concat(v.iter().map(|c| c.0).collect()),
+                ReNode::Alt(v) => PortableNode::Alt(v.iter().map(|c| c.0).collect()),
+                ReNode::Star(x) => PortableNode::Star(x.0),
+                ReNode::Plus(x) => PortableNode::Plus(x.0),
+                ReNode::Opt(x) => PortableNode::Opt(x.0),
+            };
+            PortableEntry { node, fp: e.fp }
+        })
+        .collect()
+}
+
+/// Re-interns an exported arena into this process's pool, re-validating
+/// every slot: children must resolve to already-imported slots (exports
+/// are in allocation order, so a forward reference is corruption), and
+/// the recomputed fingerprint must equal the recorded one. A failed slot
+/// becomes a hole; slots referencing a hole become holes themselves, so
+/// corruption never poisons anything downstream — ids stay dense because
+/// interning goes through the ordinary hash-consing path.
+pub fn import_arena(entries: &[PortableEntry]) -> ImportedArena {
+    use crate::symbol::Name;
+    let mut out = ImportedArena {
+        ids: Vec::with_capacity(entries.len()),
+        ..ImportedArena::default()
+    };
+    for entry in entries {
+        // resolve children against the slots imported so far; any miss
+        // (forward/out-of-range reference or an earlier hole) skips this
+        // slot too
+        let child = |i: &u32| out.ids.get(*i as usize).copied().flatten();
+        let id = match &entry.node {
+            PortableNode::Empty => Some(ReId::EMPTY),
+            PortableNode::Epsilon => Some(ReId::EPSILON),
+            PortableNode::Sym { name, tag } => Some(sym_id(Sym {
+                name: Name::intern(name),
+                tag: *tag,
+            })),
+            PortableNode::Concat(v) => v
+                .iter()
+                .map(child)
+                .collect::<Option<Vec<ReId>>>()
+                .map(|kids| intern_node(ReNode::Concat(kids.into()))),
+            PortableNode::Alt(v) => v
+                .iter()
+                .map(child)
+                .collect::<Option<Vec<ReId>>>()
+                .map(|kids| intern_node(ReNode::Alt(kids.into()))),
+            PortableNode::Star(x) => child(x).map(|k| intern_node(ReNode::Star(k))),
+            PortableNode::Plus(x) => child(x).map(|k| intern_node(ReNode::Plus(k))),
+            PortableNode::Opt(x) => child(x).map(|k| intern_node(ReNode::Opt(k))),
+        };
+        // content-addressing check: the fingerprint recomputed from the
+        // re-interned structure must match the recorded one
+        let id = id.filter(|&i| fingerprint(i) == entry.fp);
+        match id {
+            Some(_) => out.imported += 1,
+            None => out.skipped += 1,
+        }
+        out.ids.push(id);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Baseline mode and statistics
 // ---------------------------------------------------------------------
 
@@ -942,6 +1086,55 @@ mod tests {
         let i = intern_alphabet(&alpha);
         assert_eq!(intern_alphabet(&alpha), i);
         assert_eq!(&alphabet_by_index(i)[..], &alpha[..]);
+    }
+
+    #[test]
+    fn export_import_roundtrips_the_arena() {
+        let a = intern(&r("exp1, (exp2 | exp3)*"));
+        let b = intern(&r("exp4^2, exp1+"));
+        let exported = export_arena();
+        let back = import_arena(&exported);
+        assert_eq!(back.skipped, 0);
+        assert_eq!(back.imported, exported.len());
+        // importing into the same process maps every slot onto itself
+        assert_eq!(back.id(a.index()), Some(a));
+        assert_eq!(back.id(b.index()), Some(b));
+        assert_eq!(back.id(ReId::EMPTY.index()), Some(ReId::EMPTY));
+    }
+
+    #[test]
+    fn import_skips_tampered_slots_and_their_dependents() {
+        let parent = intern(&r("tam1, tam2"));
+        let mut exported = export_arena();
+        // find tam1's leaf slot and corrupt its recorded fingerprint
+        let leaf = exported
+            .iter()
+            .position(|e| matches!(&e.node, PortableNode::Sym { name, .. } if name == "tam1"))
+            .expect("leaf exported");
+        exported[leaf].fp ^= 1;
+        let back = import_arena(&exported);
+        assert!(back.skipped >= 1);
+        assert_eq!(back.id(leaf as u32), None, "tampered slot must not map");
+        assert_eq!(
+            back.id(parent.index()),
+            None,
+            "a node over a tampered child must not map"
+        );
+        // untouched slots still import
+        assert_eq!(back.id(ReId::EPSILON.index()), Some(ReId::EPSILON));
+    }
+
+    #[test]
+    fn import_skips_forward_references() {
+        let exported = vec![PortableEntry {
+            // child index 7 does not exist yet at slot 0: corruption
+            node: PortableNode::Star(7),
+            fp: 0,
+        }];
+        let back = import_arena(&exported);
+        assert_eq!(back.imported, 0);
+        assert_eq!(back.skipped, 1);
+        assert_eq!(back.id(0), None);
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! The store's byte layer: little-endian primitive encoding and the
+//! length-prefixed, checksummed record framing.
+//!
+//! A store file is `MAGIC` followed by records. One record is
+//!
+//! ```text
+//! [kind: u8][len: u32 LE][payload: len bytes][check: u64 LE]
+//! ```
+//!
+//! where `check` is FNV-1a over the kind byte, the length field, and the
+//! payload — so a flip anywhere in a record (including its framing)
+//! fails verification. Decoding is total: every read is bounds-checked
+//! and returns `None` instead of panicking, because the input is
+//! untrusted bytes off a disk.
+
+/// File magic, version included: bump the trailing digit on any
+/// incompatible format change so old files are skipped, not misread.
+pub const MAGIC: [u8; 8] = *b"MIXSTOR1";
+
+/// Record kind: the portable regex-pool arena.
+pub const KIND_POOL: u8 = 1;
+/// Record kind: a batch of memoized inclusion results.
+pub const KIND_INCLUSIONS: u8 = 2;
+/// Record kind: one inference-cache entry.
+pub const KIND_VIEW: u8 = 3;
+
+/// FNV-1a over `bytes` — the same checksum the fingerprint layer uses.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian payload writer.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    pub fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+}
+
+/// Frames `payload` as one checksummed record.
+pub fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() as u32;
+    let mut out = Vec::with_capacity(1 + 4 + payload.len() + 8);
+    out.push(kind);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a(&out).to_le_bytes());
+    out
+}
+
+/// One step of record scanning.
+pub enum Scan<'a> {
+    /// A record whose checksum verified.
+    Record { kind: u8, payload: &'a [u8] },
+    /// A fully-framed record whose checksum failed — skipped, scanning
+    /// continues at the next frame boundary.
+    Corrupt,
+    /// The tail of the file is not a whole record (torn append or a
+    /// corrupted length field pointing past the end): scanning stops.
+    Truncated,
+    /// Clean end of input.
+    End,
+}
+
+/// Scans the record stream after the file header.
+pub struct Records<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Records<'a> {
+    pub fn new(body: &'a [u8]) -> Records<'a> {
+        Records { buf: body, pos: 0 }
+    }
+
+    pub fn next(&mut self) -> Scan<'a> {
+        let rest = &self.buf[self.pos..];
+        if rest.is_empty() {
+            return Scan::End;
+        }
+        if rest.len() < 1 + 4 {
+            return Scan::Truncated;
+        }
+        let len = u32::from_le_bytes(rest[1..5].try_into().expect("4 bytes")) as usize;
+        let Some(total) = len.checked_add(1 + 4 + 8) else {
+            return Scan::Truncated;
+        };
+        if rest.len() < total {
+            return Scan::Truncated;
+        }
+        let framed = &rest[..total];
+        self.pos += total;
+        let stored = u64::from_le_bytes(framed[total - 8..].try_into().expect("8 bytes"));
+        if fnv1a(&framed[..total - 8]) != stored {
+            return Scan::Corrupt;
+        }
+        Scan::Record {
+            kind: framed[0],
+            payload: &framed[5..total - 8],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips() {
+        let framed = frame(KIND_VIEW, b"payload");
+        let mut records = Records::new(&framed);
+        match records.next() {
+            Scan::Record { kind, payload } => {
+                assert_eq!(kind, KIND_VIEW);
+                assert_eq!(payload, b"payload");
+            }
+            _ => panic!("framed record must scan"),
+        }
+        assert!(matches!(records.next(), Scan::End));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        let framed = frame(KIND_POOL, b"some payload bytes");
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x10;
+            let mut records = Records::new(&bad);
+            match records.next() {
+                Scan::Record { .. } => panic!("flip at {i} went undetected"),
+                Scan::Corrupt | Scan::Truncated => {}
+                Scan::End => panic!("flip at {i} emptied the stream"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let framed = frame(KIND_INCLUSIONS, b"xyz");
+        for cut in 1..framed.len() {
+            let mut records = Records::new(&framed[..cut]);
+            assert!(
+                matches!(records.next(), Scan::Truncated | Scan::Corrupt),
+                "cut at {cut} must not yield a record"
+            );
+        }
+    }
+
+    #[test]
+    fn dec_never_reads_past_the_end() {
+        let mut d = Dec::new(&[1, 2, 3]);
+        assert_eq!(d.u8(), Some(1));
+        assert_eq!(d.u32(), None, "2 bytes left, u32 needs 4");
+        assert_eq!(d.u8(), Some(2));
+        let mut d = Dec::new(&[200, 0, 0, 0, b'h', b'i']);
+        assert_eq!(d.str(), None, "declared length 200 exceeds the buffer");
+    }
+}

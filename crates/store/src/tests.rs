@@ -1,0 +1,404 @@
+//! Store engine tests: roundtrips, generation management, and the
+//! adversarial pair — byte-level corruption fuzzing and crash-point
+//! enumeration. The invariant under attack is always the same: loading
+//! never panics and never returns an entry that differs from what cold
+//! inference would compute; at worst the store degrades to cold.
+
+use super::*;
+use mix_infer::InferenceCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> TempDir {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("mix-store-test-{}-{label}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Canonical render of a view — "byte-identical" in the acceptance
+/// criteria means these strings match exactly.
+fn render(iv: &InferredView) -> String {
+    let names: Vec<&str> = iv.merged_names.iter().map(|n| n.as_str()).collect();
+    format!(
+        "{}\n{}\n{}\n{:?}\n{}\n{:?}",
+        iv.query, iv.sdtd, iv.dtd, iv.verdict, iv.list_type, names
+    )
+}
+
+/// Real inference results over the paper's D1 — the entries every test
+/// persists and reloads.
+fn sample_views() -> Vec<(Fingerprint, InferredView)> {
+    let source = mix_dtd::paper::d1_department();
+    let queries = [
+        "publist = SELECT P WHERE <department> <name>CS</name> \
+         <professor | gradStudent> P:<publication><journal/></publication> </> </>",
+        "profs = SELECT P WHERE <department> P:<professor/> </>",
+        "grads = SELECT G WHERE <department> G:<gradStudent><advisor/></gradStudent> </>",
+    ];
+    queries
+        .iter()
+        .map(|src| {
+            let q = mix_xmas::parse_query(src).unwrap();
+            let fp = InferenceCache::fingerprint(&q, &source).unwrap();
+            let iv = mix_infer::infer_view_dtd(&q, &source).unwrap();
+            (fp, iv)
+        })
+        .collect()
+}
+
+fn open(dir: &Path) -> (Store, Registry) {
+    let registry = Registry::new();
+    let store = Store::open(dir, &registry).unwrap();
+    (store, registry)
+}
+
+/// Asserts every loaded entry matches the cold reference for its
+/// fingerprint — the "never wrong, at worst missing" invariant.
+fn assert_subset_of(
+    loaded: &[(Fingerprint, InferredView)],
+    reference: &[(Fingerprint, InferredView)],
+) {
+    for (fp, iv) in loaded {
+        let (_, expect) = reference
+            .iter()
+            .find(|(rfp, _)| rfp == fp)
+            .unwrap_or_else(|| panic!("loaded a fingerprint never stored: {fp:?}"));
+        assert_eq!(render(iv), render(expect), "loaded entry differs from cold");
+    }
+}
+
+fn dedup_count(loaded: &[(Fingerprint, InferredView)]) -> usize {
+    let mut fps: Vec<Fingerprint> = loaded.iter().map(|(fp, _)| *fp).collect();
+    fps.sort_by_key(|fp| (fp.query, fp.dtd));
+    fps.dedup();
+    fps.len()
+}
+
+#[test]
+fn wal_roundtrip_warm_starts_byte_identical() {
+    let dir = TempDir::new("wal-roundtrip");
+    let views = sample_views();
+    {
+        let (store, _) = open(dir.path());
+        for (fp, iv) in &views {
+            store.append_view(fp, iv);
+        }
+        assert_eq!(store.stats().writes, views.len() as u64);
+        assert!(store.stats().bytes > 0);
+    }
+    let (store, _) = open(dir.path());
+    let loaded = store.load();
+    assert_eq!(loaded.len(), views.len());
+    assert_subset_of(&loaded, &views);
+    assert_eq!(store.stats().loads, views.len() as u64);
+    assert_eq!(store.stats().load_skipped, 0);
+}
+
+#[test]
+fn compaction_snapshots_truncates_wal_and_drops_old_generations() {
+    let dir = TempDir::new("compaction");
+    let views = sample_views();
+    let arcs: Vec<(Fingerprint, Arc<InferredView>)> = views
+        .iter()
+        .map(|(fp, iv)| (*fp, Arc::new(iv.clone())))
+        .collect();
+    let (store, _) = open(dir.path());
+    for (fp, iv) in &views {
+        store.append_view(fp, iv);
+    }
+    let gen = store.compact_now(&arcs).unwrap();
+    assert_eq!(gen, 1);
+    assert!(dir.path().join("gen-00000001.snap").exists());
+    assert_eq!(
+        std::fs::read(dir.path().join("wal.log")).unwrap(),
+        MAGIC.to_vec(),
+        "compaction must leave an empty (header-only) wal"
+    );
+    // a second compaction supersedes and removes the first generation
+    let gen = store.compact_now(&arcs).unwrap();
+    assert_eq!(gen, 2);
+    assert!(!dir.path().join("gen-00000001.snap").exists());
+    assert!(dir.path().join("gen-00000002.snap").exists());
+    assert_eq!(store.stats().compactions, 2);
+
+    let (fresh, _) = open(dir.path());
+    let loaded = fresh.load();
+    assert_subset_of(&loaded, &views);
+    assert_eq!(dedup_count(&loaded), views.len());
+    // the snapshot also carries pool slots + inclusions, all re-validated
+    assert!(fresh.stats().loads >= views.len() as u64);
+    assert_eq!(fresh.stats().load_skipped, 0);
+}
+
+#[test]
+fn wal_appends_after_compaction_survive() {
+    let dir = TempDir::new("wal-after-compact");
+    let views = sample_views();
+    let (store, _) = open(dir.path());
+    let head: Vec<(Fingerprint, Arc<InferredView>)> = views[..1]
+        .iter()
+        .map(|(fp, iv)| (*fp, Arc::new(iv.clone())))
+        .collect();
+    store.compact_now(&head).unwrap();
+    // post-compaction misses append to the recreated wal
+    for (fp, iv) in &views[1..] {
+        store.append_view(fp, iv);
+    }
+    let (fresh, _) = open(dir.path());
+    let loaded = fresh.load();
+    assert_subset_of(&loaded, &views);
+    assert_eq!(dedup_count(&loaded), views.len());
+}
+
+#[test]
+fn unknown_record_kinds_are_skipped_not_fatal() {
+    let dir = TempDir::new("unknown-kind");
+    let views = sample_views();
+    let (store, _) = open(dir.path());
+    store.append_view(&views[0].0, &views[0].1);
+    // splice a validly-framed record of a future kind into the wal
+    let mut wal = std::fs::read(dir.path().join("wal.log")).unwrap();
+    wal.extend_from_slice(&frame(9, b"from a newer version"));
+    std::fs::write(dir.path().join("wal.log"), &wal).unwrap();
+    store.append_view(&views[1].0, &views[1].1);
+
+    let (fresh, _) = open(dir.path());
+    let loaded = fresh.load();
+    assert_eq!(loaded.len(), 2);
+    assert_subset_of(&loaded, &views);
+    assert_eq!(fresh.stats().load_skipped, 1);
+}
+
+#[test]
+fn missing_dir_contents_load_cold() {
+    let dir = TempDir::new("cold");
+    let (store, _) = open(dir.path());
+    assert!(store.load().is_empty());
+    assert_eq!(store.stats(), StoreStats::default());
+}
+
+/// The fuzz half of the corruption satellite: flip one bit at *every*
+/// byte offset of a full generation snapshot. Loading must never panic
+/// and must never hand back an entry that differs from cold inference.
+#[test]
+fn every_byte_flip_of_a_generation_loads_safely() {
+    let build = TempDir::new("fuzz-build");
+    let views = sample_views();
+    let arcs: Vec<(Fingerprint, Arc<InferredView>)> = views
+        .iter()
+        .map(|(fp, iv)| (*fp, Arc::new(iv.clone())))
+        .collect();
+    let (builder, _) = open(build.path());
+    builder.compact_now(&arcs).unwrap();
+    let pristine = std::fs::read(build.path().join("gen-00000001.snap")).unwrap();
+
+    let dir = TempDir::new("fuzz-run");
+    let snap = dir.path().join("gen-00000001.snap");
+    for i in 0..pristine.len() {
+        let mut bad = pristine.clone();
+        bad[i] ^= 0x04;
+        std::fs::write(&snap, &bad).unwrap();
+        let (store, _) = open(dir.path());
+        let loaded = store.load();
+        assert_subset_of(&loaded, &views);
+        let stats = store.stats();
+        assert!(
+            dedup_count(&loaded) == views.len() || stats.load_skipped > 0,
+            "flip at byte {i} dropped entries without counting a skip"
+        );
+    }
+}
+
+/// The truncation half: cut the snapshot at every length. Same invariant.
+#[test]
+fn every_truncation_of_a_generation_loads_safely() {
+    let build = TempDir::new("trunc-build");
+    let views = sample_views();
+    let arcs: Vec<(Fingerprint, Arc<InferredView>)> = views
+        .iter()
+        .map(|(fp, iv)| (*fp, Arc::new(iv.clone())))
+        .collect();
+    let (builder, _) = open(build.path());
+    builder.compact_now(&arcs).unwrap();
+    let pristine = std::fs::read(build.path().join("gen-00000001.snap")).unwrap();
+
+    // cuts at a frame boundary leave a well-formed shorter file — the
+    // same shape a wal has after a SIGKILL mid-append — so they load
+    // cleanly with fewer entries and correctly count no skip
+    let mut boundaries = vec![MAGIC.len()];
+    {
+        let mut pos = MAGIC.len();
+        while pos + 5 <= pristine.len() {
+            let len = u32::from_le_bytes(pristine[pos + 1..pos + 5].try_into().unwrap()) as usize;
+            pos += len + 1 + 4 + 8;
+            boundaries.push(pos);
+        }
+    }
+
+    let dir = TempDir::new("trunc-run");
+    let snap = dir.path().join("gen-00000001.snap");
+    for cut in 0..pristine.len() {
+        std::fs::write(&snap, &pristine[..cut]).unwrap();
+        let (store, _) = open(dir.path());
+        let loaded = store.load();
+        assert_subset_of(&loaded, &views);
+        let stats = store.stats();
+        assert!(
+            dedup_count(&loaded) == views.len()
+                || stats.load_skipped > 0
+                || boundaries.contains(&cut),
+            "cut at byte {cut} dropped entries without counting a skip"
+        );
+    }
+}
+
+/// Deterministic enumeration of the compaction crash windows. Each state
+/// is built on disk exactly as a crash would leave it; every one must
+/// load the union of generation-1 and the wal with nothing wrong.
+#[test]
+fn crash_points_mid_compaction_leave_the_store_loadable() {
+    let views = sample_views();
+    let set_a: Vec<(Fingerprint, Arc<InferredView>)> = views[..2]
+        .iter()
+        .map(|(fp, iv)| (*fp, Arc::new(iv.clone())))
+        .collect();
+
+    // the pre-crash state: gen-1 holds A, the wal holds B (a later miss)
+    let seed = TempDir::new("crash-seed");
+    let (store, _) = open(seed.path());
+    store.compact_now(&set_a).unwrap();
+    store.append_view(&views[2].0, &views[2].1);
+    let gen1 = std::fs::read(seed.path().join("gen-00000001.snap")).unwrap();
+    let wal = std::fs::read(seed.path().join("wal.log")).unwrap();
+    // what the *completed* next compaction would have written
+    let done = TempDir::new("crash-done");
+    let (all_store, _) = open(done.path());
+    let set_all: Vec<(Fingerprint, Arc<InferredView>)> = views
+        .iter()
+        .map(|(fp, iv)| (*fp, Arc::new(iv.clone())))
+        .collect();
+    all_store.compact_now(&set_all).unwrap();
+    let gen2 = std::fs::read(done.path().join("gen-00000001.snap")).unwrap();
+
+    let build = |label: &str, files: &[(&str, &[u8])]| -> TempDir {
+        let dir = TempDir::new(label);
+        for (name, bytes) in files {
+            std::fs::write(dir.path().join(name), bytes).unwrap();
+        }
+        dir
+    };
+
+    let mut states: Vec<(String, TempDir)> = Vec::new();
+    // crash while writing the tmp file, at every possible length: the
+    // tmp is never read, so the previous generation must load untouched
+    for cut in [
+        0,
+        1,
+        gen2.len() / 2,
+        gen2.len().saturating_sub(1),
+        gen2.len(),
+    ] {
+        states.push((
+            format!("tmp-cut-{cut}"),
+            build(
+                "crash-tmp",
+                &[
+                    ("gen-00000001.snap", &gen1[..]),
+                    ("wal.log", &wal[..]),
+                    ("gen-00000002.snap.tmp", &gen2[..cut]),
+                ],
+            ),
+        ));
+    }
+    // crash after the rename, before the wal truncate: the stale wal
+    // replays entries the snapshot already holds — idempotent
+    states.push((
+        "renamed-stale-wal".into(),
+        build(
+            "crash-rename",
+            &[
+                ("gen-00000001.snap", &gen1[..]),
+                ("gen-00000002.snap", &gen2[..]),
+                ("wal.log", &wal[..]),
+            ],
+        ),
+    ));
+    // crash after the wal truncate, before the old generation is removed:
+    // the newest generation wins
+    states.push((
+        "old-gen-lingers".into(),
+        build(
+            "crash-unlink",
+            &[
+                ("gen-00000001.snap", &gen1[..]),
+                ("gen-00000002.snap", &gen2[..]),
+                ("wal.log", &MAGIC[..]),
+            ],
+        ),
+    ));
+
+    for (label, dir) in &states {
+        let (store, _) = open(dir.path());
+        let loaded = store.load();
+        assert_subset_of(&loaded, &views);
+        assert_eq!(
+            dedup_count(&loaded),
+            views.len(),
+            "crash state {label} lost committed entries"
+        );
+        assert_eq!(
+            store.stats().load_skipped,
+            0,
+            "crash state {label} should load cleanly, not by skipping"
+        );
+    }
+}
+
+#[test]
+fn warm_store_round_trip_through_the_inference_cache() {
+    let dir = TempDir::new("cache-integration");
+    let source = mix_dtd::paper::d1_department();
+    let q =
+        mix_xmas::parse_query("profs = SELECT P WHERE <department> P:<professor/> </>").unwrap();
+
+    // first process: miss → write-behind → clean-shutdown compaction
+    let cold_render;
+    {
+        let registry = Registry::new();
+        let store: Arc<Store> = Arc::new(Store::open(dir.path(), &registry).unwrap());
+        let cache = InferenceCache::with_store(registry, Arc::clone(&store) as _);
+        cold_render = render(&cache.infer(&q, &source).unwrap());
+        assert_eq!(store.stats().writes, 1);
+        assert!(cache.compact_store());
+    }
+
+    // second process: the entry is resident before the first lookup
+    let registry = Registry::new();
+    let store: Arc<Store> = Arc::new(Store::open(dir.path(), &registry).unwrap());
+    let cache = InferenceCache::with_store(registry, store as _);
+    let warm = cache.infer(&q, &source).unwrap();
+    assert_eq!(render(&warm), cold_render);
+    assert_eq!(
+        cache.stats().hits,
+        1,
+        "the warm start must hit, not re-infer"
+    );
+    assert_eq!(cache.stats().misses, 0);
+}

@@ -14,6 +14,8 @@
 //! mixctl serve-source --addr 127.0.0.1:0 --dtd D1.dtd --doc dept.xml
 //! mixctl serve-source --addr 127.0.0.1:0 --dtd D1.dtd --doc dept.xml \
 //!                   --admit-rps 100 --admit-burst 20
+//! mixctl serve-source --addr 127.0.0.1:0 --dtd D1.dtd --doc dept.xml \
+//!                   --query Q3.xmas --store-dir /var/lib/mix/store
 //! mixctl federate   --query Q3.xmas --remote 127.0.0.1:7801 --remote host:7802
 //! mixctl federate   --query Q3.xmas --topology cluster.topo
 //! mixctl stats      --remote 127.0.0.1:7801 [--format prom]
@@ -105,6 +107,7 @@ struct Args {
     conns: Option<usize>,
     inflight: Option<usize>,
     stream: bool,
+    store_dir: Option<String>,
 }
 
 /// The multiplexed-client configuration the shared flags describe:
@@ -158,6 +161,7 @@ fn parse_args() -> Args {
         conns: None,
         inflight: None,
         stream: false,
+        store_dir: None,
     };
     while let Some(flag) = argv.next() {
         let mut grab = || argv.next().unwrap_or_else(|| usage());
@@ -234,6 +238,7 @@ fn parse_args() -> Args {
             "--inflight" => {
                 args.inflight = Some(grab().parse().unwrap_or_else(|_| usage()));
             }
+            "--store-dir" => args.store_dir = Some(grab()),
             "--metrics-file" => args.metrics_file = Some(grab()),
             "--metrics-interval-ms" => {
                 args.metrics_interval_ms = grab().parse().unwrap_or_else(|_| usage());
@@ -302,6 +307,21 @@ fn load_doc(args: &Args) -> Document {
     )
 }
 
+/// Opens the `--store-dir` warm-start store against `registry` (so its
+/// `store_*` counters sit next to the serving instruments), or `None`
+/// when the flag is absent. An unopenable directory is fatal: the user
+/// asked for persistence and silently serving cold would lose it.
+fn open_store(args: &Args, registry: &Registry) -> Option<std::sync::Arc<Store>> {
+    let dir = args.store_dir.as_deref()?;
+    match Store::open(dir, registry) {
+        Ok(s) => Some(std::sync::Arc::new(s)),
+        Err(e) => {
+            eprintln!("mixctl: cannot open store directory '{dir}': {e}");
+            std::process::exit(1)
+        }
+    }
+}
+
 /// Renders an observability snapshot in the requested `--format`.
 fn render_snapshot(snap: &Snapshot, format: &str) -> String {
     match format {
@@ -330,7 +350,15 @@ fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
     // -- cold vs. warm inference ------------------------------------------
     mix::relang::clear_memo();
     let registry = Registry::new();
-    let cache = Arc::new(InferenceCache::with_registry(registry.clone()));
+    // --store-dir makes the "cold" probe a *restart* probe: the cache
+    // (and pool/memo) warm-start from the previous run's generation
+    let cache = match open_store(args, &registry) {
+        Some(store) => Arc::new(InferenceCache::with_store(
+            registry.clone(),
+            store as Arc<dyn WarmStore>,
+        )),
+        None => Arc::new(InferenceCache::with_registry(registry.clone())),
+    };
     let t = Instant::now();
     let iv = match cache.infer(view_q, dtd) {
         Ok(iv) => iv,
@@ -438,6 +466,9 @@ fn serve_bench(args: &Args, dtd: &Dtd, view_q: &Query) -> ExitCode {
     if let Some(path) = &args.metrics_file {
         dump_metrics(path, m.registry(), &args.format);
     }
+    // clean exit: snapshot everything learned this run into one compacted
+    // generation for the next restart (no-op without --store-dir)
+    m.inference_cache().compact_store();
     match &args.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, json + "\n") {
@@ -476,6 +507,12 @@ fn federate_topology(args: &Args, q: &Query, topo_path: &str) -> ExitCode {
     }
     let cfg = client_config(args);
     let registry = Registry::new();
+    // the federation tier holds no single inference cache to warm, but a
+    // store still seeds the pool arena and inclusion memo every shard
+    // mediator consults (loaded views are re-inferred warm from those)
+    if let Some(store) = open_store(args, &registry) {
+        let _ = store.load();
+    }
     let mut parts = Vec::new();
     for spec in &topo.sources {
         // connect what answers; remember the positions that don't
@@ -675,6 +712,18 @@ fn main() -> ExitCode {
                  \x20 --inflight M             pipelined requests per connection,\n\
                  \x20                          matched to replies by frame id\n\
                  \x20                          (default 32, max 256)\n\n\
+                 warm starts (serve, serve-source, federate):\n\
+                 \x20 --store-dir DIR          persist the inference cache, regex pool\n\
+                 \x20                          arena, and inclusion memo to DIR and\n\
+                 \x20                          reload them on start: restarts answer\n\
+                 \x20                          warm. Misses append to a write-behind\n\
+                 \x20                          log (killed daemons lose nothing); a\n\
+                 \x20                          clean exit compacts one snapshot\n\
+                 \x20                          generation. Corrupt or truncated store\n\
+                 \x20                          bytes are skipped record-by-record\n\
+                 \x20                          (counted in store_load_skipped_total)\n\
+                 \x20                          and the daemon falls back to cold\n\
+                 \x20                          inference — never to wrong answers\n\n\
                  observability (serve, serve-source, federate):\n\
                  \x20 --metrics-file FILE      dump the mix-obs snapshot to FILE\n\
                  \x20                          (periodically for serve-source, once at\n\
@@ -826,7 +875,15 @@ fn main() -> ExitCode {
             if args.docs.is_empty() && args.remotes.is_empty() {
                 usage();
             }
-            let mut m = Mediator::with_registry(ProcessorConfig::default(), Registry::new());
+            let registry = Registry::new();
+            let mut m = match open_store(&args, &registry) {
+                Some(store) => Mediator::with_store(
+                    ProcessorConfig::default(),
+                    registry,
+                    store as std::sync::Arc<dyn WarmStore>,
+                ),
+                None => Mediator::with_registry(ProcessorConfig::default(), registry),
+            };
             m.set_resilience_policy(ResiliencePolicy {
                 max_retries: args.retries,
                 ..ResiliencePolicy::default()
@@ -905,6 +962,7 @@ fn main() -> ExitCode {
             if let Some(path) = &args.metrics_file {
                 dump_metrics(path, m.registry(), &args.format);
             }
+            m.inference_cache().compact_store();
             code
         }
         "stats" => {
@@ -973,14 +1031,33 @@ fn main() -> ExitCode {
             // requests and the --metrics-file dump both read it merged
             // with the process-wide automata memo counters
             let registry = Registry::new();
+            let store = open_store(&args, &registry);
+            // a clean shutdown compacts through this handle; SIGKILLed
+            // daemons still warm-start from the write-behind wal
+            let mut compact_cache: Option<std::sync::Arc<InferenceCache>> = None;
             // --query exports the *view* (a stacked mediator) instead of
             // the raw source
             let wrapper: std::sync::Arc<dyn Wrapper> = match &args.query {
-                None => std::sync::Arc::new(source),
+                None => {
+                    // no inference cache to warm, but loading still seeds
+                    // the process-wide pool arena and inclusion memo
+                    if let Some(store) = &store {
+                        let _ = store.load();
+                    }
+                    std::sync::Arc::new(source)
+                }
                 Some(_) => {
                     let q = load_query(&args);
-                    let mut m =
-                        Mediator::with_registry(ProcessorConfig::default(), registry.clone());
+                    let mut m = match &store {
+                        Some(store) => Mediator::with_store(
+                            ProcessorConfig::default(),
+                            registry.clone(),
+                            std::sync::Arc::clone(store) as std::sync::Arc<dyn WarmStore>,
+                        ),
+                        None => {
+                            Mediator::with_registry(ProcessorConfig::default(), registry.clone())
+                        }
+                    };
                     m.add_source("local", std::sync::Arc::new(source));
                     if let Err(e) = m.register_view("local", &q) {
                         if let MediatorError::Normalize(e) = e {
@@ -990,6 +1067,7 @@ fn main() -> ExitCode {
                         eprintln!("mixctl: {e}");
                         return ExitCode::FAILURE;
                     }
+                    compact_cache = Some(std::sync::Arc::clone(m.inference_cache()));
                     let view = q.view_name;
                     let vw = ViewWrapper::new(std::sync::Arc::new(m), view)
                         .expect("the view was registered just above");
@@ -1050,7 +1128,14 @@ fn main() -> ExitCode {
                 });
             }
             match server.run() {
-                Ok(()) => ExitCode::SUCCESS,
+                Ok(()) => {
+                    // a clean stop snapshots the cache (plus pool and
+                    // memo) into one compacted generation
+                    if let Some(cache) = &compact_cache {
+                        cache.compact_store();
+                    }
+                    ExitCode::SUCCESS
+                }
                 Err(e) => {
                     eprintln!("mixctl: {e}");
                     ExitCode::FAILURE

@@ -33,6 +33,9 @@
 //!   (`mixctl serve-source` daemons, `RemoteWrapper` clients),
 //! * [`obs`] — the observability substrate: atomic instruments, span
 //!   tracing, Prometheus/JSON expositions (`mixctl stats`),
+//! * [`store`] — the persistent content-addressed warm-start store
+//!   (`mixctl ... --store-dir`): pool arena, inclusion memo, and
+//!   inference results survive restarts,
 //! * [`dataguide`] — strong DataGuides for the Section 5 related-work
 //!   comparison.
 
@@ -43,6 +46,7 @@ pub use mix_mediator as mediator;
 pub use mix_net as net;
 pub use mix_obs as obs;
 pub use mix_relang as relang;
+pub use mix_store as store;
 pub use mix_stream as stream;
 pub use mix_xmas as xmas;
 pub use mix_xml as xml;
@@ -62,6 +66,7 @@ pub mod prelude {
     pub use mix_infer::{
         classify_query, compose_union_views, infer_view_dtd, merge, naive_view_dtd, refine,
         tighten, CacheStats, InferenceCache, InferredUnionView, InferredView, NaiveMode, Verdict,
+        WarmStore,
     };
     pub use mix_mediator::{
         compose, render_structure, Answer, AnswerPath, BreakerState, DeadReplica,
@@ -78,6 +83,7 @@ pub mod prelude {
     pub use mix_obs::{Registry, Snapshot};
     pub use mix_relang::symbol::{name, sym, Name, Sym};
     pub use mix_relang::{equivalent, is_subset, parse_regex, simplify, Regex};
+    pub use mix_store::{Store, StoreStats};
     pub use mix_stream::{stream_answer, stream_answer_to, CompiledQuery, StreamStats};
     pub use mix_xmas::{evaluate, normalize, parse_query, Query};
     pub use mix_xml::{parse_document, write_document, Document, Element, WriteConfig};

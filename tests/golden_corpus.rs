@@ -223,23 +223,45 @@ fn obs_stats_exposition_golden() {
         "breaker-open",
         "source 'site0': opened after 3 consecutive failures",
     );
+    // the `mixctl stats` surface of a `--store-dir` daemon: the warm-start
+    // store's counters and the regex-pool gauges sit in the same
+    // exposition as the serving instruments. The real values vary run to
+    // run (pool size depends on test order, load time on the disk), so a
+    // fixed spread is fed by name — pinning the names and the rendering.
+    registry.counter("store_loads_total").add(42);
+    registry.counter("store_load_skipped_total").add(2);
+    registry.counter("store_writes_total").add(7);
+    registry.counter("store_compactions_total").add(1);
+    registry.counter("store_bytes_total").add(16_384);
+    registry.histogram("store_load_ns").observe(750_000);
+    registry.gauge("relang_pool_nodes").set(512);
+    registry.gauge("relang_pool_bytes").set(98_304);
+    registry.counter("relang_pool_intern_hits_total").add(1_024);
+    registry.counter("relang_pool_intern_misses_total").add(512);
 
-    let actual = registry.snapshot().to_prometheus();
-    let path = golden_path("obs-stats-exposition");
-    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
-        std::fs::write(&path, &actual).unwrap();
-        return;
-    }
-    match std::fs::read_to_string(&path) {
-        Ok(golden) if golden == actual => {}
-        Ok(golden) => panic!(
-            "obs exposition drifted from {}:\n{}",
-            path.display(),
-            unified_diff(&golden, &actual)
-        ),
-        Err(e) => panic!(
-            "cannot read {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden_corpus`",
-            path.display()
-        ),
+    let snap = registry.snapshot();
+    // pin both wire renderings: Prometheus text and the JSON the
+    // `Msg::Stats` reply carries (the `--format json` default)
+    for (actual, case) in [
+        (snap.to_prometheus(), "obs-stats-exposition"),
+        (snap.to_json() + "\n", "obs-stats-exposition-json"),
+    ] {
+        let path = golden_path(case);
+        if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(golden) if golden == actual => {}
+            Ok(golden) => panic!(
+                "obs exposition drifted from {}:\n{}",
+                path.display(),
+                unified_diff(&golden, &actual)
+            ),
+            Err(e) => panic!(
+                "cannot read {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden_corpus`",
+                path.display()
+            ),
+        }
     }
 }

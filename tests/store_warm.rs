@@ -1,0 +1,183 @@
+//! Warm-start smoke over the real binary: a `serve-source` daemon with
+//! `--store-dir` is populated, SIGKILLed, and restarted on the same
+//! directory. The restarted daemon must (a) show warm-hit and `store_*`
+//! counters in its stats exposition and (b) answer byte-identically to
+//! the first process. A third run over a bit-flipped store must fall
+//! back cold — skipped records counted, answers still byte-identical.
+
+use std::io::BufRead as _;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+const D1: &str = "{<department : name, professor+, gradStudent+, course*>\
+  <professor : firstName, lastName, publication+, teaches>\
+  <gradStudent : firstName, lastName, publication+>\
+  <publication : title, author+, (journal | conference)>\
+  <teaches : EMPTY> <journal : EMPTY> <conference : EMPTY> <course : EMPTY>}";
+
+const Q2: &str = "withJournals = SELECT P WHERE <department> <name>CS</name> \
+  P:<professor | gradStudent> \
+    <publication id=Pub1><journal/></publication> \
+    <publication id=Pub2><journal/></publication> \
+  </> </> AND Pub1 != Pub2";
+
+const DOC: &str = "<department><name>CS</name>\
+  <professor><firstName>Y</firstName><lastName>P</lastName>\
+    <publication><title>a</title><author>x</author><journal/></publication>\
+    <publication><title>b</title><author>x</author><journal/></publication>\
+    <teaches/></professor>\
+  <gradStudent><firstName>G</firstName><lastName>S</lastName>\
+    <publication><title>c</title><author>x</author><conference/></publication>\
+  </gradStudent></department>";
+
+fn fixture(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mix-store-warm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write fixture");
+    path
+}
+
+fn mixctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mixctl"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+/// Spawns a view-exporting daemon on the store directory and returns it
+/// with its announced address.
+fn spawn_daemon(dtd: &str, doc: &str, q: &str, store: &str) -> (Child, String) {
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_mixctl"))
+        .args([
+            "serve-source",
+            "--addr",
+            "127.0.0.1:0",
+            "--dtd",
+            dtd,
+            "--doc",
+            doc,
+            "--query",
+            q,
+            "--store-dir",
+            store,
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut line = String::new();
+    std::io::BufReader::new(daemon.stdout.as_mut().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("daemon announces its address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_owned();
+    (daemon, addr)
+}
+
+/// Pulls one counter out of the compact stats JSON (`"name":N`).
+fn counter(stats_json: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    let at = stats_json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{name} missing from stats: {stats_json}"));
+    stats_json[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("counter value parses")
+}
+
+fn stats_of(addr: &str) -> String {
+    let out = mixctl(&["stats", "--remote", addr]);
+    assert!(out.status.success(), "{:?}", out);
+    String::from_utf8(out.stdout).expect("stats are utf-8")
+}
+
+fn federate_answer(addr: &str, q: &str) -> String {
+    let out = mixctl(&["federate", "--query", q, "--remote", addr]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    String::from_utf8(out.stdout).expect("answer is utf-8")
+}
+
+#[test]
+fn killed_daemon_restarts_warm_with_identical_answers() {
+    let dtd = fixture("warm.dtd", D1);
+    let doc = fixture("warm.xml", DOC);
+    let q = fixture("warm.xmas", Q2);
+    let store = std::env::temp_dir().join(format!("mix-store-warm-dir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let (dtd, doc, q, store) = (
+        dtd.to_str().unwrap(),
+        doc.to_str().unwrap(),
+        q.to_str().unwrap(),
+        store.to_str().unwrap().to_owned(),
+    );
+
+    // first life: registering the view is the cache miss that the
+    // write-behind log captures before we ever answer a query
+    let (mut daemon, addr) = spawn_daemon(dtd, doc, q, &store);
+    let cold_answer = federate_answer(&addr, q);
+    let stats = stats_of(&addr);
+    assert!(counter(&stats, "store_writes_total") > 0, "{stats}");
+    assert_eq!(
+        counter(&stats, "inference_cache_misses_total"),
+        1,
+        "{stats}"
+    );
+    // stats carries the pool gauges next to the store counters
+    assert!(stats.contains("\"relang_pool_nodes\":"), "{stats}");
+    // SIGKILL: no clean shutdown, no compaction — only the wal survives
+    daemon.kill().expect("kill");
+    daemon.wait().expect("reap");
+    assert!(
+        std::path::Path::new(&store).join("wal.log").exists(),
+        "the write-behind log must exist after a kill"
+    );
+
+    // second life: the view must be resident before the first lookup
+    let (mut daemon, addr) = spawn_daemon(dtd, doc, q, &store);
+    let warm_answer = federate_answer(&addr, q);
+    let stats = stats_of(&addr);
+    daemon.kill().expect("kill");
+    daemon.wait().expect("reap");
+    assert_eq!(
+        warm_answer, cold_answer,
+        "a warm restart changed the answer"
+    );
+    assert!(counter(&stats, "store_loads_total") > 0, "{stats}");
+    assert_eq!(counter(&stats, "store_load_skipped_total"), 0, "{stats}");
+    assert_eq!(
+        counter(&stats, "inference_cache_misses_total"),
+        0,
+        "the restart re-inferred instead of warm-starting: {stats}"
+    );
+    assert!(counter(&stats, "inference_cache_hits_total") > 0, "{stats}");
+
+    // third life: flip a bit in every store file — the daemon must come
+    // up cold (skips counted) and still answer byte-identically
+    for entry in std::fs::read_dir(&store).expect("store dir").flatten() {
+        let path = entry.path();
+        let mut bytes = std::fs::read(&path).expect("store file");
+        if bytes.len() > 20 {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            std::fs::write(&path, &bytes).expect("corrupt store file");
+        }
+    }
+    let (mut daemon, addr) = spawn_daemon(dtd, doc, q, &store);
+    let corrupt_answer = federate_answer(&addr, q);
+    let stats = stats_of(&addr);
+    daemon.kill().expect("kill");
+    daemon.wait().expect("reap");
+    assert_eq!(
+        corrupt_answer, cold_answer,
+        "a corrupted store changed the answer"
+    );
+    assert!(counter(&stats, "store_load_skipped_total") > 0, "{stats}");
+
+    let _ = std::fs::remove_dir_all(&store);
+}
