@@ -63,6 +63,7 @@ fn bench_mediator(c: &mut Criterion) {
                 use_simplifier: false,
                 use_composition: false,
                 use_condition_pruning: false,
+                use_sat_pruning: false,
             },
         );
         let compose_only = build(
@@ -71,6 +72,7 @@ fn bench_mediator(c: &mut Criterion) {
                 use_simplifier: false,
                 use_composition: true,
                 use_condition_pruning: false,
+                use_sat_pruning: false,
             },
         );
 
@@ -113,6 +115,7 @@ fn bench_mediator(c: &mut Criterion) {
                 use_simplifier: false,
                 use_composition: false,
                 use_condition_pruning: true,
+                use_sat_pruning: false,
             },
         );
         g.bench_with_input(

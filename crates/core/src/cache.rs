@@ -81,6 +81,15 @@ pub trait WarmStore: Send + Sync {
     /// Compacts the backing store down to `entries` (plus whatever
     /// non-view state the store persists, e.g. the regex pool arena).
     fn compact(&self, entries: &[(Fingerprint, Arc<InferredView>)]);
+    /// Every persisted `(fingerprint, satisfiability verdict)` pair a
+    /// [`crate::sat::SatCache`] can warm-start from. Default: none —
+    /// stores predating the sat layer keep compiling unchanged.
+    fn load_sat_verdicts(&self) -> Vec<(Fingerprint, crate::sat::SatVerdict)> {
+        Vec::new()
+    }
+    /// Write-behind notification: `verdict` was just decided under `fp`.
+    /// Only `Sat`/`Unsat` arrive here — `Unknown` is never persisted.
+    fn record_sat_verdict(&self, _fp: &Fingerprint, _verdict: &crate::sat::SatVerdict) {}
 }
 
 /// One resident entry: the shared result plus the second-chance

@@ -160,6 +160,11 @@ pub struct ProcessorConfig {
     /// Rewrite queries before evaluation: drop provably-valid conditions
     /// and narrow dead disjuncts (see [`crate::simplifier`]).
     pub use_condition_pruning: bool,
+    /// Check per-source queries against the source DTD with the
+    /// satisfiability analyzer ([`mix_infer::check_sat`]) and skip the
+    /// fetch entirely when the query is provably `Unsat`, synthesizing
+    /// the empty contribution the source would have returned.
+    pub use_sat_pruning: bool,
 }
 
 impl Default for ProcessorConfig {
@@ -168,6 +173,7 @@ impl Default for ProcessorConfig {
             use_simplifier: true,
             use_composition: true,
             use_condition_pruning: true,
+            use_sat_pruning: true,
         }
     }
 }
@@ -186,6 +192,9 @@ pub struct Mediator {
     /// The serving layer's inference cache: registration, re-inference on
     /// source replacement, and every `answer_many` worker share it.
     cache: Arc<InferenceCache>,
+    /// Memoized satisfiability verdicts — consulted before every
+    /// fetch-shaped call when [`ProcessorConfig::use_sat_pruning`] is on.
+    sat: mix_infer::SatCache,
     /// The observability registry every layer under this mediator records
     /// into (shared with the cache; see [`Mediator::with_registry`]).
     registry: Registry,
@@ -232,10 +241,17 @@ impl Mediator {
         registry: Registry,
         store: Arc<dyn mix_infer::WarmStore>,
     ) -> Mediator {
-        Mediator::with_cache(
+        let mut mediator = Mediator::with_cache(
             config,
-            Arc::new(InferenceCache::with_store(registry, store)),
-        )
+            Arc::new(InferenceCache::with_store(
+                registry.clone(),
+                Arc::clone(&store),
+            )),
+        );
+        // the satisfiability memo warm-starts and writes behind through
+        // the same store, so restarts also skip re-proving Unsat queries
+        mediator.sat = mix_infer::SatCache::with_store(registry, store);
+        mediator
     }
 
     /// An empty mediator sharing an existing [`InferenceCache`] — stacked
@@ -251,6 +267,7 @@ impl Mediator {
             policy: ResiliencePolicy::default(),
             health: HashMap::new(),
             cache,
+            sat: mix_infer::SatCache::with_registry(registry.clone()),
             instruments: MediatorInstruments::new(&registry),
             source_obs: HashMap::new(),
             registry,
@@ -260,6 +277,13 @@ impl Mediator {
     /// The inference cache this mediator registers and serves through.
     pub fn inference_cache(&self) -> &Arc<InferenceCache> {
         &self.cache
+    }
+
+    /// The satisfiability memo consulted before every fetch-shaped call
+    /// (exposed so `mixctl explain --sat` can report per-source verdicts
+    /// through the same cache the serving paths use).
+    pub fn sat_cache(&self) -> &mix_infer::SatCache {
+        &self.sat
     }
 
     /// The observability registry the whole serving stack records into.
@@ -587,6 +611,61 @@ impl Mediator {
         }
     }
 
+    /// When sat pruning is enabled and **every** member of the registered
+    /// union view `name` is provably `Unsat`, synthesizes the whole
+    /// member vector — empty contributions with clean outcomes, in union
+    /// order — without contacting a single source. Returns `None` (and
+    /// counts nothing) when any member might contribute: a mixed shard
+    /// is served by the normal path, which skips and counts its `Unsat`
+    /// members one by one, so no member is ever counted twice. The
+    /// federation tier (see [`crate::topology::Federation`]) uses this to
+    /// skip whole shards before spawning their worker threads.
+    pub fn prune_union_members(
+        &self,
+        name: Name,
+    ) -> Option<Vec<(Option<Document>, SourceOutcome)>> {
+        if !self.config.use_sat_pruning {
+            return None;
+        }
+        let view = match self.views.get(&name)? {
+            AnyView::Union(v) => v,
+            AnyView::Single(_) => return None,
+        };
+        // verdicts first, side effects after: only an all-Unsat shard
+        // counts (and synthesizes) anything here
+        for (source, q) in view.sources.iter().zip(&view.inferred.queries) {
+            let wrapper = self.sources.get(source)?;
+            if !self.sat.verdict(q, wrapper.dtd()).is_unsat() {
+                return None;
+            }
+        }
+        let members: Vec<(Option<Document>, SourceOutcome)> = view
+            .sources
+            .iter()
+            .zip(&view.inferred.queries)
+            .map(|(source, q)| {
+                self.instruments.sat_pruned.inc();
+                let breaker = self.health[source]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .state();
+                (
+                    Some(empty_answer(q.view_name)),
+                    SourceOutcome {
+                        source: source.clone(),
+                        status: FetchStatus::Fresh,
+                        retries: 0,
+                        backoff_ms: 0,
+                        error: None,
+                        breaker,
+                        short_circuited: false,
+                    },
+                )
+            })
+            .collect();
+        (!members.is_empty()).then_some(members)
+    }
+
     /// One resilient call per member of a union view, in parallel, in
     /// union order.
     fn union_members(
@@ -602,7 +681,11 @@ impl Mediator {
             &'a Query,
             Arc<SourceInstruments>,
         );
-        let mut parts: Vec<Part<'_>> = Vec::new();
+        // Members the analyzer proves `Unsat` are answered here with the
+        // synthesized empty contribution (`slots[i]` pre-filled); only
+        // the rest are spawned. Slot order stays the registration order.
+        let mut slots: Vec<Option<(Option<Document>, SourceOutcome)>> = Vec::new();
+        let mut live: Vec<(usize, Part<'_>)> = Vec::new();
         for (source, q) in view.sources.iter().zip(&view.inferred.queries) {
             let wrapper = self
                 .sources
@@ -610,22 +693,30 @@ impl Mediator {
                 .ok_or_else(|| MediatorError::UnknownSource(source.clone()))?;
             let health = Arc::clone(&self.health[source]);
             let obs = Arc::clone(&self.source_obs[source]);
-            parts.push((source.as_str(), Arc::clone(wrapper), health, q, obs));
+            if let Some(skipped) = self.sat_skip(source, wrapper.as_ref(), &health, q) {
+                slots.push(Some(skipped));
+            } else {
+                live.push((
+                    slots.len(),
+                    (source.as_str(), Arc::clone(wrapper), health, q, obs),
+                ));
+                slots.push(None);
+            }
         }
-        // query the sources in parallel (wrappers are Send + Sync);
-        // member order stays the registration order. The caller's
-        // trace id is propagated into each worker so every
-        // `fetch/<source>` span joins the request's trace.
+        // query the surviving sources in parallel (wrappers are Send +
+        // Sync). The caller's trace id is propagated into each worker so
+        // every `fetch/<source>` span joins the request's trace.
         let policy = &self.policy;
         let trace = mix_obs::current_trace();
-        Ok(if parts.len() > 1 {
+        let answered: Vec<(usize, (Option<Document>, SourceOutcome))> = if live.len() > 1 {
             std::thread::scope(|scope| {
-                let handles: Vec<_> = parts
+                let handles: Vec<_> = live
                     .iter()
-                    .map(|(s, w, h, q, obs)| {
+                    .map(|(i, (s, w, h, q, obs))| {
+                        let i = *i;
                         scope.spawn(move || {
                             let _t = mix_obs::set_current_trace(trace);
-                            resilient_answer(s, w.as_ref(), q, policy, h, obs)
+                            (i, resilient_answer(s, w.as_ref(), q, policy, h, obs))
                         })
                     })
                     .collect();
@@ -635,11 +726,19 @@ impl Mediator {
                     .collect()
             })
         } else {
-            parts
-                .iter()
-                .map(|(s, w, h, q, obs)| resilient_answer(s, w.as_ref(), q, policy, h, obs))
+            live.iter()
+                .map(|(i, (s, w, h, q, obs))| {
+                    (*i, resilient_answer(s, w.as_ref(), q, policy, h, obs))
+                })
                 .collect()
-        })
+        };
+        for (i, answer) in answered {
+            slots[i] = Some(answer);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every member slot was filled"))
+            .collect())
     }
 
     /// Records a degraded (non-clean) report as an obs event, at the
@@ -671,6 +770,41 @@ impl Mediator {
         );
     }
 
+    /// Consults the satisfiability analyzer before a fetch-shaped call:
+    /// when pruning is enabled and the per-source query is provably
+    /// `Unsat` against the source DTD, returns the empty contribution
+    /// (and a clean outcome) the source would have produced — without
+    /// contacting it. `Sat` and `Unknown` return `None`: the fetch
+    /// proceeds exactly as before, which is what keeps pruning sound.
+    fn sat_skip(
+        &self,
+        source: &str,
+        wrapper: &dyn Wrapper,
+        health: &Arc<Mutex<Health>>,
+        q: &Query,
+    ) -> Option<(Option<Document>, SourceOutcome)> {
+        if !self.config.use_sat_pruning || !self.sat.verdict(q, wrapper.dtd()).is_unsat() {
+            return None;
+        }
+        self.instruments.sat_pruned.inc();
+        let breaker = health
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .state();
+        Some((
+            Some(empty_answer(q.view_name)),
+            SourceOutcome {
+                source: source.to_owned(),
+                status: FetchStatus::Fresh,
+                retries: 0,
+                backoff_ms: 0,
+                error: None,
+                breaker,
+                short_circuited: false,
+            },
+        ))
+    }
+
     /// One resilient call to a registered source.
     fn call_source(
         &self,
@@ -682,6 +816,9 @@ impl Mediator {
             .get(source)
             .ok_or_else(|| MediatorError::UnknownSource(source.to_owned()))?;
         let health = &self.health[source];
+        if let Some(skipped) = self.sat_skip(source, wrapper.as_ref(), health, q) {
+            return Ok(skipped);
+        }
         Ok(resilient_answer(
             source,
             wrapper.as_ref(),
@@ -971,6 +1108,7 @@ mod tests {
                 use_simplifier: false,
                 use_composition: false,
                 use_condition_pruning: false,
+                use_sat_pruning: false,
             });
             let src = XmlSource::new(d1_department(), dept_doc()).unwrap();
             m.add_source("cs-dept", Arc::new(src));

@@ -157,6 +157,9 @@ pub(crate) struct MediatorInstruments {
     pub(crate) queries: Counter,
     /// Answers pruned as unsatisfiable by the DTD simplifier.
     pub(crate) pruned: Counter,
+    /// Member fetches skipped because the satisfiability analyzer proved
+    /// the per-source query `Unsat` (one increment per skipped fetch).
+    pub(crate) sat_pruned: Counter,
     /// Answers shipped as one composed query (no materialization).
     pub(crate) composed: Counter,
     /// Answers that materialized the view.
@@ -172,6 +175,7 @@ impl MediatorInstruments {
         MediatorInstruments {
             queries: registry.counter("mediator_queries_total"),
             pruned: registry.counter("mediator_answers_pruned_total"),
+            sat_pruned: registry.counter("sat_pruned_total"),
             composed: registry.counter("mediator_answers_composed_total"),
             materialized: registry.counter("mediator_answers_materialized_total"),
             errors: registry.counter("mediator_query_errors_total"),

@@ -722,15 +722,29 @@ impl Federation {
         let _span = self.registry.span("federate");
         let trace = mix_obs::current_trace();
         type ShardMembers = Vec<(Option<Document>, SourceOutcome)>;
-        let per_shard: Vec<Result<ShardMembers, MediatorError>> = if self.shards.len() > 1 {
+        // shard-skip: a shard whose every member is provably `Unsat` is
+        // answered here — synthesized empty contributions in shard-local
+        // order — without spawning its worker thread at all
+        let mut per_shard: Vec<Option<Result<ShardMembers, MediatorError>>> = self
+            .shards
+            .iter()
+            .map(|m| m.prune_union_members(self.view).map(Ok))
+            .collect();
+        let live: Vec<usize> = per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let answered: Vec<(usize, Result<ShardMembers, MediatorError>)> = if live.len() > 1 {
             std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
+                let handles: Vec<_> = live
                     .iter()
-                    .map(|m| {
+                    .map(|&i| {
+                        let m = &self.shards[i];
                         scope.spawn(move || {
                             let _t = mix_obs::set_current_trace(trace);
-                            m.materialize_union_members(self.view)
+                            (i, m.materialize_union_members(self.view))
                         })
                     })
                     .collect();
@@ -740,15 +754,17 @@ impl Federation {
                     .collect()
             })
         } else {
-            self.shards
-                .iter()
-                .map(|m| m.materialize_union_members(self.view))
+            live.iter()
+                .map(|&i| (i, self.shards[i].materialize_union_members(self.view)))
                 .collect()
         };
+        for (i, result) in answered {
+            per_shard[i] = Some(result);
+        }
         let mut slots: Vec<Option<(Option<Document>, SourceOutcome)>> =
             (0..self.total).map(|_| None).collect();
         for (gps, members) in self.positions.iter().zip(per_shard) {
-            let members = members?;
+            let members = members.expect("every shard was pruned or materialized")?;
             debug_assert_eq!(gps.len(), members.len());
             for (local, member) in members.into_iter().enumerate() {
                 slots[gps[local]] = Some(member);
@@ -1098,6 +1114,99 @@ mod tests {
             ));
             assert_eq!(fed.inferred().verdict, su.inferred.verdict);
         }
+    }
+
+    /// Shard-level satisfiability pruning: members with provably-Unsat
+    /// queries are skipped before any fetch — a shard where *every*
+    /// member is Unsat never even spawns — and the federated answer
+    /// stays byte-identical to an unpruned single-node run.
+    #[test]
+    fn unsat_members_and_shards_are_skipped_before_any_fetch() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct CountingSource {
+            inner: XmlSource,
+            fetches: Arc<AtomicUsize>,
+        }
+        impl Wrapper for CountingSource {
+            fn dtd(&self) -> &mix_dtd::Dtd {
+                self.inner.dtd()
+            }
+            fn fetch(&self) -> Result<Document, SourceError> {
+                self.fetches.fetch_add(1, Ordering::SeqCst);
+                self.inner.fetch()
+            }
+        }
+
+        // <entry> is PCDATA, so a child step under it is provably Unsat
+        let unsat_query = || {
+            parse_query("all = SELECT X WHERE <site> <entry> X:<deep/> </entry> </site>").unwrap()
+        };
+        let build_parts = |fetches: &Arc<AtomicUsize>, sat_members: usize| -> Vec<FederationPart> {
+            (0..4)
+                .map(|i| {
+                    let s = format!("site{i}");
+                    FederationPart {
+                        source: s.clone(),
+                        wrapper: Arc::new(CountingSource {
+                            inner: site_source(&s, i + 1),
+                            fetches: Arc::clone(fetches),
+                        }) as Arc<dyn Wrapper>,
+                        query: if i < sat_members {
+                            part_query()
+                        } else {
+                            unsat_query()
+                        },
+                    }
+                })
+                .collect()
+        };
+
+        // reference: a single unpruned node over the same sources
+        let reference = |sat_members: usize| -> Document {
+            let mut m = Mediator::with_config(ProcessorConfig {
+                use_sat_pruning: false,
+                ..ProcessorConfig::default()
+            });
+            for i in 0..4 {
+                let s = format!("site{i}");
+                m.add_source(&s, Arc::new(site_source(&s, i + 1)));
+            }
+            let parts: Vec<(String, Query)> = (0..4)
+                .map(|i| {
+                    let q = if i < sat_members {
+                        part_query()
+                    } else {
+                        unsat_query()
+                    };
+                    (format!("site{i}"), q)
+                })
+                .collect();
+            let refs: Vec<(&str, Query)> =
+                parts.iter().map(|(s, q)| (s.as_str(), q.clone())).collect();
+            m.register_union_view("all", &refs).unwrap();
+            m.materialize(name("all")).unwrap()
+        };
+
+        // every member Unsat: all shards skip, zero fetches anywhere
+        let fetches = Arc::new(AtomicUsize::new(0));
+        let registry = Registry::new();
+        let fed = Federation::build("all", build_parts(&fetches, 0), 2, registry.clone()).unwrap();
+        let (doc, report) = fed.materialize_with_report().unwrap();
+        assert_eq!(render(&doc), render(&reference(0)));
+        assert_eq!(fetches.load(Ordering::SeqCst), 0, "no member may fetch");
+        assert_eq!(report.outcomes.len(), 4);
+        assert!(report.is_clean(), "pruned members report fresh: {report}");
+        assert_eq!(registry.snapshot().counters["sat_pruned_total"], 4);
+
+        // mixed: only the satisfiable member fetches, bytes still match
+        let fetches = Arc::new(AtomicUsize::new(0));
+        let registry = Registry::new();
+        let fed = Federation::build("all", build_parts(&fetches, 1), 2, registry.clone()).unwrap();
+        let (doc, _) = fed.materialize_with_report().unwrap();
+        assert_eq!(render(&doc), render(&reference(1)));
+        assert_eq!(fetches.load(Ordering::SeqCst), 1, "one Sat member fetches");
+        assert_eq!(registry.snapshot().counters["sat_pruned_total"], 3);
     }
 
     /// A replica killed under a shard is invisible in the answer: the

@@ -23,6 +23,9 @@ pub const KIND_POOL: u8 = 1;
 pub const KIND_INCLUSIONS: u8 = 2;
 /// Record kind: one inference-cache entry.
 pub const KIND_VIEW: u8 = 3;
+/// Record kind: one memoized satisfiability verdict (PR 10). Loaders
+/// predating it skip the records as an unknown future kind.
+pub const KIND_SAT: u8 = 4;
 
 /// FNV-1a over `bytes` — the same checksum the fingerprint layer uses.
 pub fn fnv1a(bytes: &[u8]) -> u64 {

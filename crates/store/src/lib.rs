@@ -43,15 +43,19 @@
 
 mod codec;
 
-use codec::{frame, Dec, Enc, Records, Scan, KIND_INCLUSIONS, KIND_POOL, KIND_VIEW, MAGIC};
-use mix_infer::{fingerprint_query, Fingerprint, InferredView, Verdict, WarmStore};
+use codec::{
+    frame, Dec, Enc, Records, Scan, KIND_INCLUSIONS, KIND_POOL, KIND_SAT, KIND_VIEW, MAGIC,
+};
+use mix_infer::{fingerprint_query, Fingerprint, InferredView, SatVerdict, Verdict, WarmStore};
 use mix_obs::{Counter, Histogram, Registry};
 use mix_relang::pool::{self, PortableEntry, PortableNode, ReId};
 use mix_relang::symbol::Name;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -80,6 +84,14 @@ pub struct Store {
     /// The append handle of `wal.log`, opened lazily; also serializes
     /// wal truncation against concurrent appends during compaction.
     wal: Mutex<Option<File>>,
+    /// Every satisfiability verdict this store has seen — loaded records
+    /// plus write-behind appends — so compaction re-emits them and a
+    /// `SatCache` constructed after the inference cache warm-starts
+    /// without re-reading the directory.
+    sat: Mutex<HashMap<Fingerprint, SatVerdict>>,
+    /// Whether [`Store::load`] has run (a sat-verdict read on a store
+    /// nobody loaded yet triggers one).
+    loaded: AtomicBool,
     loads: Counter,
     load_skipped: Counter,
     writes: Counter,
@@ -97,6 +109,8 @@ impl Store {
         Ok(Store {
             dir,
             wal: Mutex::new(None),
+            sat: Mutex::new(HashMap::new()),
+            loaded: AtomicBool::new(false),
             loads: registry.counter("store_loads_total"),
             load_skipped: registry.counter("store_load_skipped_total"),
             writes: registry.counter("store_writes_total"),
@@ -150,6 +164,7 @@ impl Store {
     /// skipped, never fatal.
     pub fn load(&self) -> Vec<(Fingerprint, InferredView)> {
         let t = Instant::now();
+        self.loaded.store(true, Ordering::Release);
         let mut views = Vec::new();
         for (_, path) in self.generations().iter().rev() {
             match std::fs::read(path) {
@@ -219,6 +234,13 @@ impl Store {
                         }
                         None => self.load_skipped.inc(),
                     },
+                    KIND_SAT => match decode_sat(payload) {
+                        Some((fp, v)) => {
+                            self.loads.inc();
+                            self.sat.lock().insert(fp, v);
+                        }
+                        None => self.load_skipped.inc(),
+                    },
                     // an unknown kind is a future format: skip, don't fail
                     _ => self.load_skipped.inc(),
                 },
@@ -230,7 +252,18 @@ impl Store {
     /// Best-effort: an I/O error is reported and swallowed — durability
     /// never blocks serving, and the entry stays resident in memory.
     pub fn append_view(&self, fp: &Fingerprint, iv: &InferredView) {
-        let framed = frame(KIND_VIEW, &encode_view(fp, iv));
+        self.append_framed(frame(KIND_VIEW, &encode_view(fp, iv)));
+    }
+
+    /// Appends one satisfiability verdict to the write-behind log (and
+    /// the in-memory accumulator compaction re-emits from). Best-effort,
+    /// like [`Store::append_view`].
+    pub fn append_sat(&self, fp: &Fingerprint, verdict: &SatVerdict) {
+        self.sat.lock().insert(*fp, verdict.clone());
+        self.append_framed(frame(KIND_SAT, &encode_sat(fp, verdict)));
+    }
+
+    fn append_framed(&self, framed: Vec<u8>) {
         let mut guard = self.wal.lock();
         let result = (|| -> io::Result<()> {
             if guard.is_none() {
@@ -284,6 +317,18 @@ impl Store {
         for (fp, iv) in entries {
             buf.extend_from_slice(&frame(KIND_VIEW, &encode_view(fp, iv)));
         }
+        // sat verdicts ride along in fingerprint order (deterministic
+        // snapshots), so truncating the wal below never loses them
+        let mut sat: Vec<(Fingerprint, SatVerdict)> = self
+            .sat
+            .lock()
+            .iter()
+            .map(|(&fp, v)| (fp, v.clone()))
+            .collect();
+        sat.sort_by_key(|(fp, _)| (fp.dtd, fp.query));
+        for (fp, v) in &sat {
+            buf.extend_from_slice(&frame(KIND_SAT, &encode_sat(fp, v)));
+        }
         {
             let mut file = File::create(&tmp)?;
             file.write_all(&buf)?;
@@ -327,6 +372,23 @@ impl WarmStore for Store {
         if let Err(e) = self.compact_now(entries) {
             eprintln!("mix-store: compaction failed (previous generation remains): {e}");
         }
+    }
+
+    fn load_sat_verdicts(&self) -> Vec<(Fingerprint, SatVerdict)> {
+        // the usual construction order loads views (and with them the
+        // sat records) first; a store nobody loaded yet reads the disk
+        if !self.loaded.load(Ordering::Acquire) {
+            let _ = self.load();
+        }
+        self.sat
+            .lock()
+            .iter()
+            .map(|(&fp, v)| (fp, v.clone()))
+            .collect()
+    }
+
+    fn record_sat_verdict(&self, fp: &Fingerprint, verdict: &SatVerdict) {
+        self.append_sat(fp, verdict);
     }
 }
 
@@ -518,6 +580,47 @@ fn decode_view(payload: &[u8]) -> Option<(Fingerprint, InferredView)> {
             list_type,
         },
     ))
+}
+
+/// A sat record is the fingerprint pair plus the verdict. Only decided
+/// verdicts persist (`Unknown` just means the analyzer gave up, which a
+/// fresh process can rediscover for free); the record-level checksum is
+/// the integrity guard, exactly as for inclusion entries.
+fn encode_sat(fp: &Fingerprint, verdict: &SatVerdict) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u64(fp.query);
+    e.u64(fp.dtd);
+    match verdict {
+        SatVerdict::Sat => {
+            e.u8(0);
+            e.str("");
+        }
+        SatVerdict::Unsat(reason) => {
+            e.u8(1);
+            e.str(reason);
+        }
+        SatVerdict::Unknown => {
+            e.u8(2);
+            e.str("");
+        }
+    }
+    e.finish()
+}
+
+fn decode_sat(payload: &[u8]) -> Option<(Fingerprint, SatVerdict)> {
+    let mut d = Dec::new(payload);
+    let fp = Fingerprint {
+        query: d.u64()?,
+        dtd: d.u64()?,
+    };
+    let code = d.u8()?;
+    let reason = d.str()?;
+    let verdict = match code {
+        0 => SatVerdict::Sat,
+        1 => SatVerdict::Unsat(reason),
+        _ => return None, // Unknown (or a future code) is never resident
+    };
+    d.is_done().then_some((fp, verdict))
 }
 
 #[cfg(test)]

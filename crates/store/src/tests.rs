@@ -112,6 +112,37 @@ fn wal_roundtrip_warm_starts_byte_identical() {
 }
 
 #[test]
+fn sat_verdicts_roundtrip_and_survive_compaction() {
+    let dir = TempDir::new("sat-roundtrip");
+    let source = mix_dtd::paper::d1_department();
+    let q =
+        mix_xmas::parse_query("x = SELECT C WHERE <department> <professor> C:<course/> </> </>")
+            .unwrap();
+    let expect = mix_infer::check_sat(&q, &source);
+    assert!(expect.is_unsat(), "fixture must be unsat");
+    // write-behind through the WarmStore seam
+    let fp = InferenceCache::fingerprint(&q, &source).unwrap();
+    {
+        let (store, _) = open(dir.path());
+        store.record_sat_verdict(&fp, &expect);
+    }
+    // wal reload
+    {
+        let (store, _) = open(dir.path());
+        let verdicts = store.load_sat_verdicts();
+        assert_eq!(verdicts, vec![(fp, expect.clone())]);
+    }
+    // compaction re-emits the verdicts into the snapshot
+    {
+        let (store, _) = open(dir.path());
+        store.load();
+        store.compact_now(&[]).unwrap();
+    }
+    let (store, _) = open(dir.path());
+    assert_eq!(store.load_sat_verdicts(), vec![(fp, expect)]);
+}
+
+#[test]
 fn compaction_snapshots_truncates_wal_and_drops_old_generations() {
     let dir = TempDir::new("compaction");
     let views = sample_views();

@@ -7,6 +7,8 @@
 //! mixctl validate   --dtd D1.dtd --doc dept.xml      validate a document
 //! mixctl eval       --dtd D1.dtd --doc dept.xml --query Q2.xmas
 //! mixctl structure  --dtd D1.dtd                     query-interface summary
+//! mixctl explain    --sat --dtd D1.dtd --query Q2.xmas   would the fetch be pruned?
+//! mixctl explain    --sat --part D1.dtd:Q3.xmas --part D9.dtd:Q3.xmas
 //! mixctl tightness  --dtd D1.dtd --query Q2.xmas --max-size 16
 //! mixctl union      --part D1.dtd:Q3.xmas --part D1b.dtd:Q3.xmas
 //! mixctl federate   --dtd D1.dtd --query Q3.xmas --doc a.xml --doc b.xml \
@@ -60,8 +62,9 @@ const EXIT_UNAVAILABLE: u8 = 6;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mixctl <infer|classify|validate|eval|structure|tightness|union|federate|\
-         serve|serve-source|stats> [--dtd FILE] [--query FILE] [--doc FILE] [--max-size N]\n\
+        "usage: mixctl <infer|classify|validate|eval|structure|explain|tightness|union|\
+         federate|serve|serve-source|stats> [--dtd FILE] [--query FILE] [--doc FILE] \
+         [--max-size N]\n\
          run `mixctl help` for details"
     );
     std::process::exit(2)
@@ -108,6 +111,7 @@ struct Args {
     inflight: Option<usize>,
     stream: bool,
     store_dir: Option<String>,
+    sat: bool,
 }
 
 /// The multiplexed-client configuration the shared flags describe:
@@ -162,6 +166,7 @@ fn parse_args() -> Args {
         inflight: None,
         stream: false,
         store_dir: None,
+        sat: false,
     };
     while let Some(flag) = argv.next() {
         let mut grab = || argv.next().unwrap_or_else(|| usage());
@@ -188,6 +193,7 @@ fn parse_args() -> Args {
             "--name" => args.name = grab(),
             "--bench" => args.bench = true,
             "--stream" => args.stream = true,
+            "--sat" => args.sat = true,
             "--batch" => {
                 args.batch = grab().parse().unwrap_or_else(|_| usage());
             }
@@ -673,6 +679,11 @@ fn main() -> ExitCode {
                  \x20            the streamable fragment fall back to in-memory\n\
                  \x20            evaluation\n\
                  \x20 structure  --dtd F             the DTD-based query-interface summary\n\
+                 \x20 explain    --sat --dtd F --query F   per-source satisfiability\n\
+                 \x20            verdict: 'sat', 'unknown', or 'unsat: WITNESS' with the\n\
+                 \x20            proof path, plus whether the mediator would skip the\n\
+                 \x20            fetch. --part DTD:QUERY … explains a federated plan\n\
+                 \x20            (one line per source)\n\
                  \x20 tightness  --dtd F --query F [--max-size N]   exact tightness counts\n\
                  \x20 union      [--name N] --part DTD:QUERY …      infer a union view DTD\n\
                  \x20 federate   --query F [--dtd F --doc F …] [--remote HOST:PORT …]\n\
@@ -827,6 +838,39 @@ fn main() -> ExitCode {
         "structure" => {
             let dtd = load_dtd(&args);
             print!("{}", render_structure(&dtd));
+            ExitCode::SUCCESS
+        }
+        "explain" => {
+            if !args.sat {
+                eprintln!("mixctl: explain needs --sat (per-source satisfiability verdicts)");
+                return ExitCode::from(2);
+            }
+            // one --dtd/--query pair, or per-source --part DTD:QUERY pairs
+            // (the federated shape): each line is one source's verdict
+            let parts: Vec<(String, String)> = if args.parts.is_empty() {
+                vec![(
+                    args.dtd.clone().unwrap_or_else(|| usage()),
+                    args.query.clone().unwrap_or_else(|| usage()),
+                )]
+            } else {
+                args.parts.clone()
+            };
+            let mut pruned = 0usize;
+            for (dtd_path, query_path) in &parts {
+                let dtd = load_dtd_path(dtd_path);
+                let q = load_query_path(query_path);
+                let verdict = check_sat(&q, &dtd);
+                let action = match &verdict {
+                    SatVerdict::Unsat(_) => {
+                        pruned += 1;
+                        "fetch skipped"
+                    }
+                    SatVerdict::Sat => "fetch proceeds",
+                    SatVerdict::Unknown => "fetch proceeds (not provably empty)",
+                };
+                println!("{dtd_path}: {verdict} [{action}]");
+            }
+            println!("{pruned}/{} source fetches pruned", parts.len());
             ExitCode::SUCCESS
         }
         "union" => {

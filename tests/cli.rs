@@ -224,6 +224,107 @@ fn rejected_queries_exit_5() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("query rejected"));
 }
 
+/// `explain --sat` prints one deterministic verdict line per source
+/// (the Unsat ones carrying the proof path) plus a pruning summary; the
+/// `--sat` flag is mandatory.
+#[test]
+fn explain_sat_prints_per_source_verdicts() {
+    let dtd = fixture("ex.dtd", D1);
+    let sat_q = fixture(
+        "ex-sat.xmas",
+        "pubs = SELECT P WHERE <department> <professor> P:<publication/> </> </>",
+    );
+    let unsat_q = fixture(
+        "ex-unsat.xmas",
+        "none = SELECT C WHERE <department> <professor> C:<course/> </> </>",
+    );
+
+    // single-source form: --dtd/--query
+    let out = mixctl(&[
+        "explain",
+        "--sat",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--query",
+        unsat_q.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("unsat: department/professor: child step <course> never occurs"),
+        "{text}"
+    );
+    assert!(text.contains("[fetch skipped]"), "{text}");
+    assert!(text.contains("1/1 source fetches pruned"), "{text}");
+
+    // federated form: one --part DTD:QUERY line per source
+    let sat_part = format!("{}:{}", dtd.to_str().unwrap(), sat_q.to_str().unwrap());
+    let unsat_part = format!("{}:{}", dtd.to_str().unwrap(), unsat_q.to_str().unwrap());
+    let out = mixctl(&[
+        "explain",
+        "--sat",
+        "--part",
+        &sat_part,
+        "--part",
+        &unsat_part,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}");
+    assert!(lines[0].ends_with("sat [fetch proceeds]"), "{text}");
+    assert!(lines[1].contains("unsat:"), "{text}");
+    assert_eq!(lines[2], "1/2 source fetches pruned", "{text}");
+
+    // explain without --sat is a usage error
+    assert_eq!(mixctl(&["explain"]).status.code(), Some(2));
+}
+
+/// A query whose tags are absent from the source DTD is *not* a
+/// client-facing error: the satisfiability analyzer proves it `Unsat`,
+/// the mediator skips the fetch, and the run exits 0 with a clean empty
+/// answer. (Contrast `rejected_queries_exit_5`: structurally malformed
+/// queries still reject with exit 5.)
+#[test]
+fn absent_tag_queries_federate_to_a_clean_empty_answer() {
+    let dtd = fixture("at.dtd", D1);
+    let doc = fixture("at.xml", DOC);
+    let q = fixture(
+        "at.xmas",
+        "none = SELECT C WHERE <department> <professor> C:<course/> </> </>",
+    );
+    let metrics =
+        std::env::temp_dir().join(format!("mixctl-sat-metrics-{}.json", std::process::id()));
+    let out = mixctl(&[
+        "federate",
+        "--name",
+        "none",
+        "--query",
+        q.to_str().unwrap(),
+        "--dtd",
+        dtd.to_str().unwrap(),
+        "--doc",
+        doc.to_str().unwrap(),
+        "--metrics-file",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("<none/>"), "{text}");
+    assert!(text.contains("1/1 sources served"), "{text}");
+    let snap_text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let _ = std::fs::remove_file(&metrics);
+    let snap = mix::obs::Snapshot::from_json(snap_text.trim()).expect("snapshot parses");
+    assert_eq!(
+        snap.counters["sat_pruned_total"], 1,
+        "the fetch was skipped"
+    );
+    assert_eq!(
+        snap.counters["source_served_fresh_total{source=\"site0\"}"], 0,
+        "the source must never be contacted"
+    );
+}
+
 /// `federate --remote` against a dead address is an unavailable-source
 /// failure: exit code 6.
 #[test]
@@ -349,6 +450,14 @@ fn stats_subcommand_against_loopback_daemon() {
     let dtd = fixture("st.dtd", D1);
     let doc = fixture("st.xml", DOC);
     let q = fixture("st.xmas", Q2);
+    // the daemon exports the *view* (root <withJournals>), so the
+    // federated query must be rooted there — a <department>-rooted query
+    // is provably empty against the exported view DTD and the
+    // satisfiability analyzer would skip the fetch this test counts
+    let view_q = fixture(
+        "st-view.xmas",
+        "profs = SELECT P WHERE <withJournals> P:<professor/> </withJournals>",
+    );
 
     let mut daemon = Command::new(env!("CARGO_BIN_EXE_mixctl"))
         .args([
@@ -380,11 +489,15 @@ fn stats_subcommand_against_loopback_daemon() {
     let fed = mixctl(&[
         "federate",
         "--query",
-        q.to_str().unwrap(),
+        view_q.to_str().unwrap(),
         "--remote",
         &addr,
     ]);
     assert_eq!(fed.status.code(), Some(0), "{fed:?}");
+    assert!(
+        String::from_utf8_lossy(&fed.stdout).contains("<professor>"),
+        "the stacked view should serve its professor"
+    );
 
     let json_out = mixctl(&["stats", "--remote", &addr]);
     let prom_out = mixctl(&["stats", "--remote", &addr, "--format", "prom"]);

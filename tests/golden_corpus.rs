@@ -165,6 +165,70 @@ fn golden_corpus() {
     );
 }
 
+/// The satisfiability corpus behind `mixctl explain --sat`: two provably
+/// unsatisfiable query shapes per representative source DTD — a
+/// wrong-tag child step and an impossible sibling pair — plus one
+/// satisfiable control. Pins the verdict `Display` (witness path
+/// included) and the skip decision exactly as the CLI prints them.
+#[test]
+fn sat_explain_golden() {
+    let cases: Vec<(&str, Dtd, &str)> = vec![
+        (
+            "d1 wrong-child-tag",
+            d1_department(),
+            "none = SELECT C WHERE <department> <professor> C:<course/> </> </>",
+        ),
+        (
+            "d1 impossible-siblings",
+            d1_department(),
+            "b = SELECT T WHERE <department> <professor> <publication> \
+             T:<title/> <journal/> <conference/> </> </> </>",
+        ),
+        (
+            "d9 wrong-child-tag",
+            d9_professor(),
+            "v = SELECT P WHERE <professor> P:<publication/> </>",
+        ),
+        (
+            "d9 impossible-siblings",
+            d9_professor(),
+            "v = SELECT N WHERE <professor> N:<name/> <name/> </>",
+        ),
+        (
+            "d1 satisfiable-control",
+            d1_department(),
+            "pubs = SELECT P WHERE <department> <professor> P:<publication/> </> </>",
+        ),
+    ];
+    let mut actual = String::new();
+    for (case, dtd, src) in &cases {
+        let verdict = check_sat(&parse_query(src).unwrap(), dtd);
+        let action = if verdict.is_unsat() {
+            "fetch skipped"
+        } else {
+            "fetch proceeds"
+        };
+        writeln!(actual, "{case}: {verdict} [{action}]").unwrap();
+    }
+    let path = golden_path("sat-explain");
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(golden) if golden == actual => {}
+        Ok(golden) => panic!(
+            "sat-explain corpus drifted from {}:\n{}",
+            path.display(),
+            unified_diff(&golden, &actual)
+        ),
+        Err(e) => panic!(
+            "cannot read {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden_corpus`",
+            path.display()
+        ),
+    }
+}
+
 /// The snapshots themselves must be reproducible: rendering a case twice
 /// in the same process (fresh fixture objects, so fresh intern order
 /// downstream) yields byte-identical text.
@@ -209,6 +273,13 @@ fn obs_stats_exposition_golden() {
     m.materialize(name("profs")).expect("clean materialize");
     m.query(&parse_query("pq = SELECT X WHERE <profs> X:<professor/> </profs>").unwrap())
         .expect("view query answers");
+    // an unsatisfiable view: the satisfiability analyzer proves it empty
+    // and the fetch is skipped, so the `sat_*` family lands in the
+    // exposition with production-path values rather than hand-fed ones
+    let uq =
+        parse_query("none = SELECT C WHERE <department> <professor> C:<course/> </> </>").unwrap();
+    m.register_view("site0", &uq).unwrap();
+    m.materialize(name("none")).expect("pruned materialize");
     // deterministic non-zero distributions: the manual clock never
     // advances mid-call, so the stack's own timers all record 0 — feed
     // the named histograms a fixed spread instead

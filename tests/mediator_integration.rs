@@ -16,6 +16,7 @@ fn all_off() -> ProcessorConfig {
         use_simplifier: false,
         use_composition: false,
         use_condition_pruning: false,
+        use_sat_pruning: false,
     }
 }
 
